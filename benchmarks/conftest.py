@@ -1,0 +1,41 @@
+"""Benchmark fixtures: the cached evaluation database and engine.
+
+Run with:  pytest benchmarks/ --benchmark-only
+
+Each figure-level benchmark executes its experiment driver once under the
+timer and prints the reproduced table/series so the output can be compared
+with the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.generator import load_or_build_database
+from repro.search import SearchEngine
+
+
+@pytest.fixture(scope="session")
+def eval_db():
+    return load_or_build_database()
+
+
+@pytest.fixture(scope="session")
+def eval_engine(eval_db):
+    return SearchEngine(eval_db)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+@pytest.fixture(scope="session")
+def loaded_db_engine(eval_engine):
+    from repro.search import CombinedSimilarity
+
+    combo = CombinedSimilarity.uniform(
+        ["principal_moments", "moment_invariants", "geometric_params"]
+    )
+    query_id = eval_engine.database.ids()[0]
+    return eval_engine, combo, query_id

@@ -1,0 +1,46 @@
+"""ABL-VOX — voxel resolution vs skeletal-graph feature quality.
+
+The eigenvalue feature vector depends on voxelization + thinning; this
+ablation rebuilds the eigenvalue feature at several grid resolutions and
+reports the average recall of the 26-query workload, plus extraction cost.
+DESIGN.md flags resolution as the main cost/quality knob of the skeleton
+pipeline.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets.generator import load_or_build_database
+from repro.evaluation import one_query_per_group
+from repro.search import SearchEngine
+
+RESOLUTIONS = (12, 16, 24)
+
+
+def _avg_recall_eigenvalues(db) -> float:
+    engine = SearchEngine(db)
+    recalls = []
+    for query_id in one_query_per_group(db):
+        relevant = set(db.relevant_to(query_id))
+        res = engine.search_knn(query_id, "eigenvalues", k=10)
+        recalls.append(len(relevant & {r.shape_id for r in res}) / len(relevant))
+    return float(np.mean(recalls))
+
+
+@pytest.mark.parametrize("resolution", RESOLUTIONS)
+def test_ablation_voxel_resolution(benchmark, resolution, capsys):
+    start = time.time()
+    db = load_or_build_database(voxel_resolution=resolution)
+    build_seconds = time.time() - start
+
+    recall = benchmark.pedantic(
+        _avg_recall_eigenvalues, args=(db,), iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print(
+            f"\nABL-VOX  N={resolution:3d}: eigenvalue avg recall@10 = "
+            f"{recall:.3f}  (db build/load {build_seconds:.1f}s)"
+        )
+    assert 0.0 <= recall <= 1.0

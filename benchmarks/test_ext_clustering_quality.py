@@ -1,0 +1,53 @@
+"""EXT-CLUSTER — quantifying the paper's three clustering algorithms.
+
+The paper implements SOM, GA, and k-means for search-by-browsing but
+reports no quality numbers; this extension clusters the corpus's
+principal-moment space into 26 clusters and scores every algorithm (plus
+agglomerative linkage) against the ground-truth classification map.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.cluster import (
+    SelfOrganizingMap,
+    agglomerative_labels,
+    ga_cluster,
+    kmeans,
+    purity,
+    silhouette_score,
+)
+
+
+def sweep(eval_db, seed=13):
+    matrix, ids = eval_db.feature_matrix("principal_moments")
+    truth = [eval_db.group_of(i) for i in ids]
+    rng = np.random.default_rng(seed)
+
+    results = {}
+    km = kmeans(matrix, 26, rng=rng, n_init=5)
+    results["k-means"] = km.labels
+    som = SelfOrganizingMap((6, 5), n_epochs=30).fit(matrix, rng=rng)
+    results["SOM (6x5)"] = som.labels
+    ga = ga_cluster(matrix, 26, rng=rng, generations=20)
+    results["GA"] = ga.labels
+    results["agglomerative-avg"] = agglomerative_labels(matrix, 26)
+
+    out = {}
+    for name, labels in results.items():
+        sil = silhouette_score(matrix, labels) if len(np.unique(labels)) > 1 else 0.0
+        out[name] = (purity(labels, truth), sil, len(np.unique(labels)))
+    return out
+
+
+def test_ext_clustering_quality(benchmark, eval_db, capsys):
+    table = run_once(benchmark, sweep, eval_db)
+    with capsys.disabled():
+        print("\nEXT-CLUSTER  26-cluster quality vs ground truth "
+              "(principal-moment space)")
+        print(f"  {'algorithm':20s} {'purity':>7s} {'silhouette':>11s} {'clusters':>9s}")
+        for name, (pur, sil, k) in sorted(table.items(), key=lambda kv: -kv[1][0]):
+            print(f"  {name:20s} {pur:7.3f} {sil:11.3f} {k:9d}")
+    for name, (pur, _, _) in table.items():
+        assert pur > 0.4, name  # far better than chance (26 groups + noise)

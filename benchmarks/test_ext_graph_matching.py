@@ -1,0 +1,58 @@
+"""EXT-GED — exact skeletal-graph matching as a rerank step.
+
+The paper avoids direct graph search and indexes adjacency eigenvalues
+instead.  Skeletal graphs here are tiny, so the exact graph edit distance
+the paper sidesteps is affordable as a rerank: retrieve a pool by
+spectrum, reorder it by type-aware GED.  Measures whether exact matching
+improves on the spectrum alone (recall@10 over the 26-query workload).
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.datasets import load_or_build_database
+from repro.evaluation import one_query_per_group
+from repro.features import ExtractionContext
+from repro.search import SearchEngine
+from repro.skeleton import graph_edit_distance
+
+POOL = 30
+PRESENT = 10
+
+
+def sweep():
+    db = load_or_build_database(load_meshes=True)
+    engine = SearchEngine(db)
+    # Build skeletal graphs once per shape (the expensive part).
+    graphs = {}
+    for record in db:
+        context = ExtractionContext(record.mesh, voxel_resolution=24)
+        graphs[record.shape_id] = context.skeletal_graph
+
+    spectrum_recall, ged_recall = [], []
+    for query_id in one_query_per_group(db):
+        relevant = set(db.relevant_to(query_id))
+        pool = engine.search_knn(query_id, "eigenvalues", k=POOL)
+        top_spec = {r.shape_id for r in pool[:PRESENT]}
+        spectrum_recall.append(len(relevant & top_spec) / len(relevant))
+
+        query_graph = graphs[query_id]
+        reranked = sorted(
+            (r.shape_id for r in pool),
+            key=lambda sid: graph_edit_distance(query_graph, graphs[sid]),
+        )[:PRESENT]
+        ged_recall.append(len(relevant & set(reranked)) / len(relevant))
+    return float(np.mean(spectrum_recall)), float(np.mean(ged_recall))
+
+
+def test_ext_graph_matching(benchmark, capsys):
+    spec, ged = run_once(benchmark, sweep)
+    with capsys.disabled():
+        print("\nEXT-GED  skeletal-graph retrieval, recall@10 (26 queries)")
+        print(f"  eigenvalue spectrum only:     {spec:.3f}")
+        print(f"  spectrum pool + exact GED:    {ged:.3f}")
+        print("  (the exact matching the paper calls NP-complete is "
+              "tractable on entity graphs of this size)")
+    assert 0.0 <= spec <= 1.0
+    assert 0.0 <= ged <= 1.0

@@ -1,0 +1,60 @@
+"""EXT-NOISE — retrieval robustness to the size of the noise pool.
+
+The paper mixes 27 "noisy shapes" into the database to stress precision;
+this extension varies the noise pool (0 / 27 / 81 ungrouped shapes) and
+measures how much average recall at |R| = |A| degrades for the moment-
+based feature vectors.  Distractors only hurt when they fall between a
+query and its true group in feature space, so degradation quantifies the
+descriptors' margin.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.datasets.generator import build_corpus
+from repro.db import ShapeDatabase
+from repro.evaluation import one_query_per_group
+from repro.features import FeaturePipeline
+from repro.search import SearchEngine
+
+FEATURES = ["moment_invariants", "geometric_params", "principal_moments"]
+NOISE_LEVELS = (0, 27, 81)
+
+
+def run(noise_count: int):
+    db = ShapeDatabase(FeaturePipeline(feature_names=FEATURES))
+    for shape in build_corpus(noise_count=noise_count):
+        db.insert_mesh(shape.mesh, name=shape.name, group=shape.group)
+    engine = SearchEngine(db)
+    out = {}
+    for feature in FEATURES:
+        recalls = []
+        for query_id in one_query_per_group(db):
+            relevant = set(db.relevant_to(query_id))
+            res = engine.search_knn(query_id, feature, k=len(relevant))
+            recalls.append(len(relevant & {r.shape_id for r in res}) / len(relevant))
+        out[feature] = float(np.mean(recalls))
+    return out
+
+
+def sweep():
+    return {level: run(level) for level in NOISE_LEVELS}
+
+
+def test_ext_noise_robustness(benchmark, capsys):
+    table = run_once(benchmark, sweep)
+    with capsys.disabled():
+        print("\nEXT-NOISE  avg recall at |R|=|A| vs noise-pool size")
+        header = f"  {'feature':22s}" + "".join(
+            f"  noise={lvl:<4d}" for lvl in NOISE_LEVELS
+        )
+        print(header)
+        for feature in FEATURES:
+            row = f"  {feature:22s}"
+            for level in NOISE_LEVELS:
+                row += f"  {table[level][feature]:.3f}     "
+            print(row)
+    # More distractors can only make retrieval harder (allow small noise).
+    for feature in FEATURES:
+        assert table[81][feature] <= table[0][feature] + 0.05

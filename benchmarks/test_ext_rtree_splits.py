@@ -1,0 +1,40 @@
+"""EXT-RTREE — node accesses by split strategy (linear/quadratic/R*).
+
+The paper uses a Guttman R-tree; this extension quantifies how the split
+policy affects k-NN pruning on clustered feature-like data.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.index import RTree
+from repro.index.rtree import SPLIT_STRATEGIES
+
+
+def sweep(n_points=5000, dim=3, n_queries=30, seed=21):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-10, 10, size=(max(4, n_points // 250), dim))
+    assign = rng.integers(len(centers), size=n_points)
+    points = centers[assign] + rng.normal(scale=0.3, size=(n_points, dim))
+    queries = points[rng.choice(n_points, size=n_queries, replace=False)]
+
+    out = {}
+    for strategy in SPLIT_STRATEGIES:
+        tree = RTree(dim, max_entries=8, split=strategy)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        tree.reset_stats()
+        for q in queries:
+            tree.nearest(q, 10)
+        out[strategy] = tree.node_accesses / n_queries
+    return out
+
+
+def test_ext_rtree_split_strategies(benchmark, capsys):
+    table = run_once(benchmark, sweep)
+    with capsys.disabled():
+        print("\nEXT-RTREE  node accesses per 10-NN query (5000 points)")
+        for strategy, accesses in sorted(table.items(), key=lambda kv: kv[1]):
+            print(f"  {strategy:12s} {accesses:8.1f}")
+    assert table["rstar"] <= table["linear"]

@@ -1,0 +1,17 @@
+"""FIG4 — group-size distribution of the 113-model database."""
+
+from conftest import run_once
+
+from repro.evaluation import exp_group_sizes
+
+
+def test_fig04_group_sizes(benchmark, eval_db, capsys):
+    result = run_once(benchmark, exp_group_sizes, eval_db)
+    with capsys.disabled():
+        print()
+        print(result.format())
+    assert result.n_groups == 26
+    assert result.n_grouped_shapes == 86
+    assert result.n_noise == 27
+    assert result.sizes_ascending == sorted(result.sizes_ascending)
+    assert 2 == result.sizes_ascending[0] and result.sizes_ascending[-1] == 8

@@ -1,0 +1,15 @@
+"""FIG7 — the worked threshold-query example (paper: th 0.85 -> P .50/R .22)."""
+
+from conftest import run_once
+
+from repro.evaluation import exp_threshold_example
+
+
+def test_fig07_threshold_query(benchmark, eval_db, eval_engine, capsys):
+    result = run_once(benchmark, exp_threshold_example, eval_db, eval_engine)
+    with capsys.disabled():
+        print()
+        print(result.format())
+    # Same small-|R| regime as the paper's example; precision matches 0.50.
+    assert 1 <= len(result.retrieved) <= 10
+    assert result.precision >= 0.25

@@ -1,0 +1,14 @@
+"""FIG13/14 — worked example: one-shot vs multi-step retrieval."""
+
+from conftest import run_once
+
+from repro.evaluation import exp_multistep_example
+
+
+def test_fig13_14_multistep_example(benchmark, eval_db, eval_engine, capsys):
+    result = run_once(benchmark, exp_multistep_example, eval_db, eval_engine)
+    with capsys.disabled():
+        print()
+        print(result.format())
+        print("  (paper's example: one-shot P .30/R .43 -> multi-step P .50/R .71)")
+    assert result.multistep_recall > result.one_shot_recall

@@ -1,0 +1,26 @@
+"""FIG15 — average recall of 26 queries per feature vector + multi-step.
+
+The paper's headline result: descending order of average recall is
+principal moments > moment invariants > geometric parameters >
+eigenvalues, with the multi-step strategy beating every one-shot feature
+vector (+51% over principal moments in the paper)."""
+
+from conftest import run_once
+
+from repro.evaluation import exp_average_recall
+
+
+def test_fig15_average_recall(benchmark, eval_db, eval_engine, capsys):
+    result = run_once(benchmark, exp_average_recall, eval_db, eval_engine)
+    with capsys.disabled():
+        print()
+        print(result.format())
+    assert result.ordering("group_size") == [
+        "principal_moments",
+        "moment_invariants",
+        "geometric_params",
+        "eigenvalues",
+    ]
+    best = max(result.recall_at_group_size.values())
+    assert result.multistep_user_guided[0] > best
+    assert result.multistep_fixed[0] >= best

@@ -1,0 +1,16 @@
+"""FIG16 — average precision and recall with ten shapes retrieved."""
+
+from conftest import run_once
+
+from repro.evaluation import FEATURE_ORDER, exp_effectiveness_at_10
+
+
+def test_fig16_effectiveness_at_10(benchmark, eval_db, eval_engine, capsys):
+    result = run_once(benchmark, exp_effectiveness_at_10, eval_db, eval_engine)
+    with capsys.disabled():
+        print()
+        print(result.format())
+        print("  (paper: precisions look like scaled recalls because group "
+              "sizes are below 10)")
+    for fname in FEATURE_ORDER:
+        assert result.precision[fname] < result.recall[fname]

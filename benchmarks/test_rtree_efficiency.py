@@ -1,0 +1,24 @@
+"""RTREE — index efficiency on real and synthetic databases (Sec. 2.3).
+
+The paper (citing its companion study [6]) reports the R-tree search as
+"almost optimal for small real databases and efficient for large synthetic
+databases"; the access-ratio column should grow with database size."""
+
+from conftest import run_once
+
+from repro.evaluation import exp_rtree_efficiency
+
+
+def test_rtree_efficiency(benchmark, eval_db, capsys):
+    result = run_once(
+        benchmark,
+        exp_rtree_efficiency,
+        eval_db,
+        synthetic_sizes=(1000, 5000, 20000),
+    )
+    with capsys.disabled():
+        print()
+        print(result.format())
+    speedups = [row.speedup for row in result.rows]
+    assert speedups[-1] > speedups[1]  # efficiency grows with size
+    assert speedups[-1] > 10.0

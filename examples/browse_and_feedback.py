@@ -1,0 +1,67 @@
+"""Search by browsing and relevance feedback (Sections 2.1-2.2).
+
+Demonstrates the two interactive modes the paper's interface offers beyond
+plain query-by-example:
+
+* drill-down browsing of the cluster hierarchy (pick a representative
+  instead of modeling a query shape), and
+* relevance feedback: mark results relevant/irrelevant and let the system
+  reconstruct the query and reconfigure feature weights.
+
+Run:  python examples/browse_and_feedback.py
+"""
+
+from repro import ThreeDESS
+from repro.datasets import load_or_build_database
+
+
+def show_tree(system, node, depth=0, max_depth=2):
+    rep = system.database.get(node.representative_id).name
+    print(f"{'  ' * depth}[{node.size:3d} shapes] representative: {rep}")
+    if depth < max_depth:
+        for child in node.children:
+            show_tree(system, child, depth + 1, max_depth)
+
+
+def main() -> None:
+    print("Loading the evaluation corpus ...")
+    db = load_or_build_database()
+    system = ThreeDESS(database=db)
+
+    # ------------------------------------------------------------------
+    # Search by browsing: the database organized as a drill-down tree.
+    # ------------------------------------------------------------------
+    print("\n--- Browse hierarchy (principal moments, two levels) ---")
+    root = system.browse_hierarchy("principal_moments")
+    show_tree(system, root)
+
+    print("\nRepresentative shapes offered by the picking interface:")
+    for shape_id in system.sample_shapes():
+        print(f"  id {shape_id}: {db.get(shape_id).name}")
+
+    # ------------------------------------------------------------------
+    # Relevance feedback: refine a query by marking results.
+    # ------------------------------------------------------------------
+    query_id = sorted(db.classification_map()["l_bracket"])[0]
+    print(f"\n--- Relevance feedback on query {db.get(query_id).name} ---")
+    session = system.feedback_session(query_id, feature_name="geometric_params", k=8)
+
+    results = session.search()
+    print("Round 0 results:")
+    relevant, irrelevant = [], []
+    for hit in results:
+        is_rel = hit.group == "l_bracket"
+        (relevant if is_rel else irrelevant).append(hit.shape_id)
+        print(f"  {'*' if is_rel else ' '} {hit.name:22s} sim={hit.similarity:.3f}")
+
+    session.feedback(relevant, irrelevant)
+    results = session.search()
+    hits = sum(1 for h in results if h.group == "l_bracket")
+    print(f"\nRound 1 after feedback: {hits}/{len(results)} relevant")
+    for hit in results:
+        marker = "*" if hit.group == "l_bracket" else " "
+        print(f"  {marker} {hit.name:22s} sim={hit.similarity:.3f}")
+
+
+if __name__ == "__main__":
+    main()

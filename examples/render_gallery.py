@@ -1,0 +1,44 @@
+"""Render a gallery of the evaluation corpus (the viewer tier at work).
+
+Produces one contact sheet per similarity group (PPM strips) plus SVG
+thumbnails for a few representative shapes — the headless counterpart of
+the paper's Java3D result presentation.
+
+Run:  python examples/render_gallery.py [output_dir]
+"""
+
+import os
+import sys
+
+from repro.datasets import load_or_build_database
+from repro.viewer import render_results_strip, render_to_svg
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "gallery"
+    os.makedirs(out_dir, exist_ok=True)
+
+    print("Loading the evaluation corpus with geometry ...")
+    db = load_or_build_database(load_meshes=True)
+    cmap = db.classification_map()
+
+    chosen = ["l_bracket", "stepped_shaft", "washer", "flange", "elbow_pipe"]
+    for group in chosen:
+        meshes = [db.get(i).mesh for i in sorted(cmap[group])]
+        meshes = [m for m in meshes if m is not None]
+        path = os.path.join(out_dir, f"group_{group}.ppm")
+        render_results_strip(meshes, path, thumb=96)
+        print(f"  {group:16s} -> {path} ({len(meshes)} thumbnails)")
+
+    for group in chosen[:3]:
+        shape_id = sorted(cmap[group])[0]
+        mesh = db.get(shape_id).mesh
+        path = os.path.join(out_dir, f"{db.get(shape_id).name}.svg")
+        render_to_svg(mesh, path, size=192)
+        print(f"  svg thumbnail -> {path}")
+
+    print(f"\nGallery written to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Reproduce every table and figure of the paper in one run.
+
+Equivalent to ``three-dess experiment all``.  The evaluation database is
+built (and cached) on first use; all experiment output is printed in the
+format the benchmark harness checks.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from repro.datasets import load_or_build_database
+from repro.evaluation import (
+    exp_average_recall,
+    exp_effectiveness_at_10,
+    exp_group_sizes,
+    exp_multistep_example,
+    exp_pr_curves,
+    exp_rtree_efficiency,
+    exp_threshold_example,
+)
+from repro.search import SearchEngine
+
+
+def main() -> None:
+    db = load_or_build_database()
+    engine = SearchEngine(db)
+
+    print(exp_group_sizes(db).format(), "\n")
+    print(exp_threshold_example(db, engine).format(), "\n")
+    print(exp_pr_curves(db, engine).format(), "\n")
+    print(exp_multistep_example(db, engine).format(), "\n")
+    print(exp_average_recall(db, engine).format(), "\n")
+    print(exp_effectiveness_at_10(db, engine).format(), "\n")
+    print(exp_rtree_efficiency(db).format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro: reproduction of "Content-based Three-dimensional Engineering
+Shape Search" (Lou, Prabhakar & Ramani, ICDE 2004) — the 3DESS system.
+
+Public entry points:
+
+* :class:`repro.ThreeDESS` — the three-tier search system facade.
+* :mod:`repro.geometry` — triangle-mesh substrate and primitives.
+* :mod:`repro.features` — the paper's four feature vectors.
+* :mod:`repro.datasets` — the synthetic 113-shape evaluation corpus.
+* :mod:`repro.evaluation` — per-figure experiment drivers.
+"""
+
+from .core.config import SystemConfig
+from .core.system import ThreeDESS
+
+__version__ = "1.0.0"
+
+__all__ = ["ThreeDESS", "SystemConfig", "__version__"]

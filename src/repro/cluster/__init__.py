@@ -1,0 +1,40 @@
+"""Clustering: k-means, SOM, GA, agglomerative; browse hierarchy; quality."""
+
+from .agglomerative import (
+    AVERAGE,
+    COMPLETE,
+    LINKAGES,
+    SINGLE,
+    Dendrogram,
+    Merge,
+    agglomerative,
+    agglomerative_labels,
+)
+from .ga import GAClusteringResult, ga_cluster
+from .hierarchy import ClusterNode, build_hierarchy
+from .kmeans import KMeansResult, inertia_of, kmeans
+from .quality import cluster_sizes, purity, silhouette_score
+from .som import SelfOrganizingMap, SOMResult
+
+__all__ = [
+    "kmeans",
+    "KMeansResult",
+    "inertia_of",
+    "SelfOrganizingMap",
+    "SOMResult",
+    "ga_cluster",
+    "GAClusteringResult",
+    "ClusterNode",
+    "build_hierarchy",
+    "agglomerative",
+    "agglomerative_labels",
+    "Dendrogram",
+    "Merge",
+    "SINGLE",
+    "COMPLETE",
+    "AVERAGE",
+    "LINKAGES",
+    "silhouette_score",
+    "purity",
+    "cluster_sizes",
+]

@@ -1,0 +1,125 @@
+"""Agglomerative hierarchical clustering.
+
+A classical alternative to the recursive k-means browse tree: clusters
+are merged bottom-up under single, complete, or average linkage.  Useful
+when the number of clusters is not known in advance (cut the dendrogram
+wherever the browsing interface needs it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+SINGLE = "single"
+COMPLETE = "complete"
+AVERAGE = "average"
+LINKAGES = (SINGLE, COMPLETE, AVERAGE)
+
+
+@dataclass
+class Merge:
+    """One dendrogram step: clusters ``a`` and ``b`` merge at ``distance``."""
+
+    a: int
+    b: int
+    distance: float
+    size: int
+
+
+@dataclass
+class Dendrogram:
+    """Full merge history over n points (clusters 0..n-1 are leaves;
+    merge i creates cluster n+i)."""
+
+    n_points: int
+    merges: List[Merge] = field(default_factory=list)
+
+    def cut(self, n_clusters: int) -> np.ndarray:
+        """Flat labels from cutting the dendrogram at ``n_clusters``."""
+        if not 1 <= n_clusters <= self.n_points:
+            raise ValueError(
+                f"n_clusters must be in [1, {self.n_points}], got {n_clusters}"
+            )
+        parent = list(range(self.n_points + len(self.merges)))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        keep = self.n_points - n_clusters  # apply the first `keep` merges
+        for i, merge in enumerate(self.merges[:keep]):
+            new = self.n_points + i
+            parent[find(merge.a)] = new
+            parent[find(merge.b)] = new
+        roots = [find(i) for i in range(self.n_points)]
+        _, labels = np.unique(roots, return_inverse=True)
+        return labels
+
+
+def agglomerative(
+    data: np.ndarray, linkage: str = AVERAGE
+) -> Dendrogram:
+    """Build the full dendrogram with the Lance-Williams update.
+
+    O(n^3) worst case with an O(n^2) distance matrix — fine for the
+    browsing workloads here (hundreds of shapes).
+    """
+    if linkage not in LINKAGES:
+        raise ValueError(f"unknown linkage {linkage!r}; choose from {LINKAGES}")
+    mat = np.asarray(data, dtype=np.float64)
+    if mat.ndim != 2 or len(mat) == 0:
+        raise ValueError(f"data must be non-empty 2D, got shape {mat.shape}")
+    n = len(mat)
+    dendro = Dendrogram(n_points=n)
+    if n == 1:
+        return dendro
+
+    sq = (mat**2).sum(axis=1)
+    dist = np.sqrt(np.maximum(0.0, sq[:, None] + sq[None, :] - 2 * mat @ mat.T))
+    np.fill_diagonal(dist, np.inf)
+
+    active = {i: (i, 1) for i in range(n)}  # row -> (cluster id, size)
+    next_id = n
+    rows = list(range(n))
+    while len(rows) > 1:
+        sub = dist[np.ix_(rows, rows)]
+        flat = np.argmin(sub)
+        i_pos, j_pos = divmod(flat, len(rows))
+        if i_pos == j_pos:  # pragma: no cover - inf diagonal prevents this
+            break
+        ri, rj = rows[i_pos], rows[j_pos]
+        d = float(dist[ri, rj])
+        id_i, size_i = active[ri]
+        id_j, size_j = active[rj]
+        dendro.merges.append(
+            Merge(a=id_i, b=id_j, distance=d, size=size_i + size_j)
+        )
+        # Lance-Williams update into row ri.
+        for rk in rows:
+            if rk in (ri, rj):
+                continue
+            dik, djk = dist[ri, rk], dist[rj, rk]
+            if linkage == SINGLE:
+                new = min(dik, djk)
+            elif linkage == COMPLETE:
+                new = max(dik, djk)
+            else:
+                new = (size_i * dik + size_j * djk) / (size_i + size_j)
+            dist[ri, rk] = dist[rk, ri] = new
+        rows.remove(rj)
+        active[ri] = (next_id, size_i + size_j)
+        del active[rj]
+        next_id += 1
+    return dendro
+
+
+def agglomerative_labels(
+    data: np.ndarray, n_clusters: int, linkage: str = AVERAGE
+) -> np.ndarray:
+    """Convenience: dendrogram + cut in one call."""
+    return agglomerative(data, linkage=linkage).cut(n_clusters)

@@ -1,0 +1,106 @@
+"""Genetic-algorithm clustering (Section 2.2 of the paper).
+
+Chromosomes encode k cluster centers; fitness is the negative within-
+cluster sum of squares.  Tournament selection, uniform center crossover,
+and Gaussian mutation, with one Lloyd refinement step per generation
+(a common GA-KM hybrid that keeps populations small and convergence
+fast enough for interactive clustering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .kmeans import inertia_of
+
+
+@dataclass
+class GAClusteringResult:
+    """Best clustering found by the GA."""
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    generations: int
+
+
+def _assign(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    return ((data[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2).argmin(axis=1)
+
+
+def _lloyd_step(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    labels = _assign(data, centers)
+    out = centers.copy()
+    for c in range(len(centers)):
+        members = data[labels == c]
+        if len(members):
+            out[c] = members.mean(axis=0)
+    return out
+
+
+def ga_cluster(
+    data: np.ndarray,
+    k: int,
+    rng: Optional[np.random.Generator] = None,
+    population: int = 12,
+    generations: int = 25,
+    mutation_rate: float = 0.2,
+    tournament: int = 3,
+) -> GAClusteringResult:
+    """Cluster rows of ``data`` into k groups with a genetic algorithm."""
+    mat = np.asarray(data, dtype=np.float64)
+    if mat.ndim != 2 or len(mat) == 0:
+        raise ValueError(f"data must be non-empty 2D, got shape {mat.shape}")
+    if not 1 <= k <= len(mat):
+        raise ValueError(f"k must be in [1, {len(mat)}], got {k}")
+    gen = rng if rng is not None else np.random.default_rng()
+
+    spread = np.maximum(mat.max(axis=0) - mat.min(axis=0), 1e-12)
+
+    def random_individual() -> np.ndarray:
+        return mat[gen.choice(len(mat), size=k, replace=False)].copy()
+
+    def fitness(centers: np.ndarray) -> float:
+        labels = _assign(mat, centers)
+        return -inertia_of(mat, labels) if len(np.unique(labels)) else -np.inf
+
+    pop = [random_individual() for _ in range(max(2, population))]
+    scores = [fitness(ind) for ind in pop]
+
+    for _ in range(generations):
+        new_pop = []
+        elite = int(np.argmax(scores))
+        new_pop.append(pop[elite].copy())
+        while len(new_pop) < len(pop):
+            # Tournament selection of two parents.
+            parents = []
+            for _ in range(2):
+                contenders = gen.choice(len(pop), size=min(tournament, len(pop)), replace=False)
+                parents.append(pop[max(contenders, key=lambda i: scores[i])])
+            # Uniform crossover at the center level.
+            take = gen.random(k) < 0.5
+            child = np.where(take[:, None], parents[0], parents[1]).copy()
+            # Gaussian mutation.
+            mutate = gen.random(k) < mutation_rate
+            if mutate.any():
+                child[mutate] += gen.normal(
+                    scale=0.1, size=(int(mutate.sum()), mat.shape[1])
+                ) * spread
+            # One Lloyd refinement step (memetic improvement).
+            child = _lloyd_step(mat, child)
+            new_pop.append(child)
+        pop = new_pop
+        scores = [fitness(ind) for ind in pop]
+
+    best = int(np.argmax(scores))
+    centers = pop[best]
+    labels = _assign(mat, centers)
+    return GAClusteringResult(
+        labels=labels,
+        centers=centers,
+        inertia=inertia_of(mat, labels),
+        generations=generations,
+    )

@@ -1,0 +1,107 @@
+"""Hierarchical organization for search-by-browsing (Section 2.1).
+
+The database is organized into a drill-down tree by recursive (bisecting)
+k-means: each internal node splits its members into a few child clusters
+until clusters are small enough to browse directly.  Every node carries a
+representative shape (the member closest to the cluster centroid) — the
+"shapes sampled from the database" the paper's picking interface shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .kmeans import kmeans
+
+
+@dataclass
+class ClusterNode:
+    """One node of the browse hierarchy."""
+
+    member_ids: List[int]
+    representative_id: int
+    depth: int
+    children: List["ClusterNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def size(self) -> int:
+        return len(self.member_ids)
+
+    def walk(self):
+        """Yield every node in pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def leaves(self) -> List["ClusterNode"]:
+        """All leaf nodes."""
+        return [node for node in self.walk() if node.is_leaf]
+
+
+def _representative(matrix: np.ndarray, ids: Sequence[int]) -> int:
+    center = matrix.mean(axis=0)
+    best = int(((matrix - center) ** 2).sum(axis=1).argmin())
+    return ids[best]
+
+
+def build_hierarchy(
+    matrix: np.ndarray,
+    ids: Sequence[int],
+    branching: int = 3,
+    leaf_size: int = 6,
+    max_depth: int = 8,
+    rng: Optional[np.random.Generator] = None,
+) -> ClusterNode:
+    """Build the drill-down tree over feature vectors.
+
+    Parameters
+    ----------
+    matrix, ids:
+        Feature matrix and the matching shape ids (row-aligned).
+    branching:
+        Children per internal node (k of the recursive k-means).
+    leaf_size:
+        Clusters at or below this size are not split further.
+    """
+    mat = np.asarray(matrix, dtype=np.float64)
+    id_list = list(ids)
+    if mat.ndim != 2 or len(mat) != len(id_list):
+        raise ValueError("matrix rows and ids must be aligned")
+    if len(id_list) == 0:
+        raise ValueError("cannot build a hierarchy over zero shapes")
+    if branching < 2:
+        raise ValueError(f"branching must be >= 2, got {branching}")
+    gen = rng if rng is not None else np.random.default_rng(0)
+
+    def recurse(sub: np.ndarray, sub_ids: List[int], depth: int) -> ClusterNode:
+        node = ClusterNode(
+            member_ids=list(sub_ids),
+            representative_id=_representative(sub, sub_ids),
+            depth=depth,
+        )
+        distinct = len(np.unique(sub, axis=0))
+        if (
+            len(sub_ids) <= leaf_size
+            or depth >= max_depth
+            or distinct < 2
+        ):
+            return node
+        k = min(branching, distinct)
+        result = kmeans(sub, k, rng=gen, n_init=3)
+        labels = result.labels
+        if len(np.unique(labels)) < 2:
+            return node
+        for c in np.unique(labels):
+            pick = labels == c
+            child_ids = [sid for sid, keep in zip(sub_ids, pick) if keep]
+            node.children.append(recurse(sub[pick], child_ids, depth + 1))
+        return node
+
+    return recurse(mat, id_list, 0)

@@ -1,0 +1,103 @@
+"""k-means clustering (one of the paper's three clustering algorithms).
+
+Plain Lloyd iterations with k-means++ seeding and multiple restarts; fully
+deterministic under a seeded generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Assignment and quality of one clustering."""
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    n_iter: int
+
+
+def _plus_plus_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    n = len(data)
+    centers = np.empty((k, data.shape[1]))
+    centers[0] = data[rng.integers(n)]
+    closest = ((data - centers[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            centers[i:] = data[rng.integers(n, size=k - i)]
+            break
+        probs = closest / total
+        centers[i] = data[rng.choice(n, p=probs)]
+        dist = ((data - centers[i]) ** 2).sum(axis=1)
+        closest = np.minimum(closest, dist)
+    return centers
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    rng: Optional[np.random.Generator] = None,
+    n_init: int = 5,
+    max_iter: int = 100,
+    tol: float = 1e-8,
+) -> KMeansResult:
+    """Cluster rows of ``data`` into k groups.
+
+    Returns the best of ``n_init`` k-means++ restarts by inertia.
+    """
+    mat = np.asarray(data, dtype=np.float64)
+    if mat.ndim != 2 or len(mat) == 0:
+        raise ValueError(f"data must be non-empty 2D, got shape {mat.shape}")
+    if not 1 <= k <= len(mat):
+        raise ValueError(f"k must be in [1, {len(mat)}], got {k}")
+    gen = rng if rng is not None else np.random.default_rng()
+
+    best: Optional[KMeansResult] = None
+    for _ in range(max(1, n_init)):
+        centers = _plus_plus_init(mat, k, gen)
+        labels = np.zeros(len(mat), dtype=np.int64)
+        n_iter = 0
+        for n_iter in range(1, max_iter + 1):
+            dists = ((mat[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            labels = dists.argmin(axis=1)
+            new_centers = centers.copy()
+            for c in range(k):
+                members = mat[labels == c]
+                if len(members):
+                    new_centers[c] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    far = dists.min(axis=1).argmax()
+                    new_centers[c] = mat[far]
+            shift = np.abs(new_centers - centers).max()
+            centers = new_centers
+            if shift <= tol:
+                break
+        dists = ((mat[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        labels = dists.argmin(axis=1)
+        inertia = float(dists[np.arange(len(mat)), labels].sum())
+        candidate = KMeansResult(labels, centers, inertia, n_iter)
+        if best is None or candidate.inertia < best.inertia:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def inertia_of(data: np.ndarray, labels: np.ndarray) -> float:
+    """Within-cluster sum of squared distances for a given assignment."""
+    mat = np.asarray(data, dtype=np.float64)
+    lab = np.asarray(labels)
+    total = 0.0
+    for c in np.unique(lab):
+        members = mat[lab == c]
+        center = members.mean(axis=0)
+        total += float(((members - center) ** 2).sum())
+    return total

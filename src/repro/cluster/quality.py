@@ -1,0 +1,72 @@
+"""Clustering quality measures.
+
+Used to compare the three clustering algorithms the system ships (the
+paper implements SOM, GA, and k-means but does not quantify them) and to
+validate browse hierarchies against the corpus ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+def silhouette_score(data: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all samples.
+
+    s(i) = (b - a) / max(a, b) with a = mean intra-cluster distance and
+    b = smallest mean distance to another cluster.  Singleton clusters
+    contribute 0 by convention.
+    """
+    mat = np.asarray(data, dtype=np.float64)
+    lab = np.asarray(labels)
+    if mat.ndim != 2 or len(mat) != len(lab):
+        raise ValueError("data rows and labels must be aligned")
+    unique = np.unique(lab)
+    if len(unique) < 2:
+        raise ValueError("silhouette needs at least two clusters")
+    sq = (mat**2).sum(axis=1)
+    dist = np.sqrt(np.maximum(0.0, sq[:, None] + sq[None, :] - 2 * mat @ mat.T))
+
+    scores = np.zeros(len(mat))
+    for i in range(len(mat)):
+        same = lab == lab[i]
+        n_same = same.sum()
+        if n_same <= 1:
+            scores[i] = 0.0
+            continue
+        a = dist[i, same].sum() / (n_same - 1)
+        b = np.inf
+        for other in unique:
+            if other == lab[i]:
+                continue
+            members = lab == other
+            b = min(b, dist[i, members].mean())
+        scores[i] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())
+
+
+def purity(labels: np.ndarray, truth: Sequence[Optional[str]]) -> float:
+    """Fraction of samples in the majority true class of their cluster.
+
+    Samples with ``None`` truth (noise shapes) are skipped.
+    """
+    lab = np.asarray(labels)
+    mask = np.array([t is not None for t in truth])
+    if not mask.any():
+        raise ValueError("purity needs at least one labelled sample")
+    lab = lab[mask]
+    true = np.asarray([t for t in truth if t is not None])
+    correct = 0
+    for cluster in np.unique(lab):
+        members = true[lab == cluster]
+        _, counts = np.unique(members, return_counts=True)
+        correct += counts.max()
+    return correct / len(true)
+
+
+def cluster_sizes(labels: np.ndarray) -> Dict[int, int]:
+    """Cluster label -> member count."""
+    unique, counts = np.unique(np.asarray(labels), return_counts=True)
+    return {int(k): int(v) for k, v in zip(unique, counts)}

@@ -1,0 +1,93 @@
+"""Self-Organizing Map clustering (Section 2.2 of the paper).
+
+A small 2D Kohonen grid trained with exponentially decaying learning rate
+and neighborhood radius; shapes are then assigned to their best-matching
+unit, and units become clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SOMResult:
+    """Trained map and the per-sample unit assignment."""
+
+    weights: np.ndarray  # (rows, cols, dim)
+    labels: np.ndarray  # flat unit index per sample
+    grid_shape: Tuple[int, int]
+
+    def n_clusters(self) -> int:
+        """Number of units actually used by at least one sample."""
+        return len(np.unique(self.labels))
+
+
+class SelfOrganizingMap:
+    """Rectangular SOM with Gaussian neighborhood.
+
+    Parameters
+    ----------
+    grid_shape:
+        (rows, cols) of the unit lattice.
+    n_epochs:
+        Full passes over the data.
+    learning_rate / radius:
+        Initial values; both decay exponentially to ~1% of the start.
+    """
+
+    def __init__(
+        self,
+        grid_shape: Tuple[int, int] = (3, 3),
+        n_epochs: int = 30,
+        learning_rate: float = 0.5,
+        radius: Optional[float] = None,
+    ) -> None:
+        rows, cols = grid_shape
+        if rows < 1 or cols < 1:
+            raise ValueError(f"grid must be at least 1x1, got {grid_shape}")
+        self.grid_shape = (int(rows), int(cols))
+        self.n_epochs = int(n_epochs)
+        self.learning_rate = float(learning_rate)
+        self.radius = float(radius) if radius is not None else max(rows, cols) / 2.0
+
+    def fit(
+        self, data: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> SOMResult:
+        """Train the map and assign every sample to its best unit."""
+        mat = np.asarray(data, dtype=np.float64)
+        if mat.ndim != 2 or len(mat) == 0:
+            raise ValueError(f"data must be non-empty 2D, got shape {mat.shape}")
+        gen = rng if rng is not None else np.random.default_rng()
+        rows, cols = self.grid_shape
+        n_units = rows * cols
+
+        lo, hi = mat.min(axis=0), mat.max(axis=0)
+        weights = gen.uniform(size=(n_units, mat.shape[1])) * (hi - lo) + lo
+        coords = np.array([(r, c) for r in range(rows) for c in range(cols)], dtype=np.float64)
+
+        total_steps = max(1, self.n_epochs * len(mat))
+        decay = total_steps / np.log(max(self.radius, 1.0 + 1e-9) * 100.0)
+        step = 0
+        for _ in range(self.n_epochs):
+            order = gen.permutation(len(mat))
+            for idx in order:
+                sample = mat[idx]
+                bmu = int(((weights - sample) ** 2).sum(axis=1).argmin())
+                frac = np.exp(-step / decay)
+                lr = self.learning_rate * frac
+                rad = max(self.radius * frac, 1e-6)
+                grid_dist2 = ((coords - coords[bmu]) ** 2).sum(axis=1)
+                influence = np.exp(-grid_dist2 / (2.0 * rad**2))
+                weights += lr * influence[:, None] * (sample - weights)
+                step += 1
+
+        labels = ((mat[:, None, :] - weights[None, :, :]) ** 2).sum(axis=2).argmin(axis=1)
+        return SOMResult(
+            weights=weights.reshape(rows, cols, mat.shape[1]),
+            labels=labels,
+            grid_shape=self.grid_shape,
+        )

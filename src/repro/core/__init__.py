@@ -1,0 +1,6 @@
+"""The 3DESS system facade (three-tier composition of Fig. 1)."""
+
+from .config import SystemConfig
+from .system import ThreeDESS
+
+__all__ = ["ThreeDESS", "SystemConfig"]

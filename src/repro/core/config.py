@@ -1,0 +1,63 @@
+"""System configuration for the 3DESS facade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..features.base import DEFAULT_VOXEL_RESOLUTION
+from ..features.registry import PAPER_FEATURES
+from ..moments.normalization import DEFAULT_TARGET_VOLUME
+from ..search.similarity import RANGE_WEIGHTS
+
+
+@dataclass
+class SystemConfig:
+    """Tunable knobs of the search system.
+
+    Attributes
+    ----------
+    feature_names:
+        Feature vectors extracted for every inserted shape (the paper's
+        four by default).
+    voxel_resolution:
+        Grid resolution N for voxelization/skeletonization.
+    target_volume:
+        Normalization constant C of Eq. 3.3.
+    index_max_entries:
+        R-tree node capacity M.
+    weighting:
+        Similarity weighting scheme ("range" or "uniform").
+    browse_branching / browse_leaf_size:
+        Shape of the drill-down hierarchy for search-by-browsing.
+    """
+
+    feature_names: List[str] = field(default_factory=lambda: list(PAPER_FEATURES))
+    voxel_resolution: int = DEFAULT_VOXEL_RESOLUTION
+    target_volume: float = DEFAULT_TARGET_VOLUME
+    index_max_entries: int = 8
+    weighting: str = RANGE_WEIGHTS
+    browse_branching: int = 3
+    browse_leaf_size: int = 6
+    clustering_seed: Optional[int] = 0
+    #: Content-addressed feature cache (skips re-extraction of identical
+    #: geometry, e.g. re-imported CAD files).
+    feature_cache: bool = False
+    feature_cache_entries: int = 1024
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent settings."""
+        if not self.feature_names:
+            raise ValueError("at least one feature vector is required")
+        if self.voxel_resolution < 2:
+            raise ValueError("voxel resolution must be >= 2")
+        if self.target_volume <= 0:
+            raise ValueError("target volume must be positive")
+        if self.index_max_entries < 2:
+            raise ValueError("index node capacity must be >= 2")
+        if self.browse_branching < 2:
+            raise ValueError("browse branching must be >= 2")
+        if self.browse_leaf_size < 1:
+            raise ValueError("browse leaf size must be >= 1")
+        if self.feature_cache_entries < 1:
+            raise ValueError("feature cache size must be >= 1")

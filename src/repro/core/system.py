@@ -1,0 +1,183 @@
+"""The 3DESS facade: the three-tier system of Fig. 1 behind one object.
+
+``ThreeDESS`` wires the INTERFACE operations (query by example, query by
+browsing, relevance feedback), the SERVER modules (feature extraction,
+clustering), and the DATABASE tier (record store + R-tree indexes)
+together, so an application works with one handle:
+
+>>> system = ThreeDESS()
+>>> part_id = system.insert(mesh, group="brackets")
+>>> hits = system.query_by_example(mesh, feature_name="principal_moments")
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..cluster.hierarchy import ClusterNode, build_hierarchy
+from ..db.database import ShapeDatabase
+from ..features.pipeline import FeaturePipeline
+from ..geometry.io import load_mesh
+from ..geometry.mesh import TriangleMesh
+from ..search.engine import Query, SearchEngine, SearchResult
+from ..search.feedback import RelevanceFeedbackSession
+from ..search.multistep import MultiStepPlan, multi_step_search
+from .config import SystemConfig
+
+
+class ThreeDESS:
+    """3D Engineering Shape Search system (the paper's prototype).
+
+    Parameters
+    ----------
+    config:
+        System knobs; defaults reproduce the paper's configuration.
+    database:
+        Optionally adopt an existing populated database (its pipeline is
+        replaced by one built from ``config`` if absent).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        database: Optional[ShapeDatabase] = None,
+    ) -> None:
+        self.config = config if config is not None else SystemConfig()
+        self.config.validate()
+        pipeline = FeaturePipeline(
+            feature_names=self.config.feature_names,
+            voxel_resolution=self.config.voxel_resolution,
+            target_volume=self.config.target_volume,
+        )
+        if self.config.feature_cache:
+            from ..features.cache import CachingPipeline
+
+            pipeline = CachingPipeline(
+                pipeline, max_entries=self.config.feature_cache_entries
+            )
+        if database is None:
+            database = ShapeDatabase(
+                pipeline, index_max_entries=self.config.index_max_entries
+            )
+        elif database.pipeline is None:
+            database.pipeline = pipeline
+        self.database = database
+        self.engine = SearchEngine(database, weighting=self.config.weighting)
+        self._hierarchies: Dict[str, ClusterNode] = {}
+
+    # ------------------------------------------------------------------
+    # INTERFACE: inserting and submitting queries
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        mesh: TriangleMesh,
+        name: Optional[str] = None,
+        group: Optional[str] = None,
+    ) -> int:
+        """Insert a shape: extract all feature vectors and index them."""
+        shape_id = self.database.insert_mesh(mesh, name=name, group=group)
+        self.engine.invalidate()
+        self._hierarchies = {}
+        return shape_id
+
+    def insert_file(self, path: Union[str, os.PathLike], group: Optional[str] = None) -> int:
+        """Insert a shape from a CAD file (OFF/STL/OBJ)."""
+        return self.insert(load_mesh(path), group=group)
+
+    def query_by_example(
+        self,
+        query: Query,
+        feature_name: str = "principal_moments",
+        k: int = 10,
+    ) -> List[SearchResult]:
+        """k-NN query-by-example under one feature vector."""
+        return self.engine.search_knn(query, feature_name, k=k)
+
+    def query_by_threshold(
+        self,
+        query: Query,
+        feature_name: str = "principal_moments",
+        threshold: float = 0.9,
+    ) -> List[SearchResult]:
+        """Similarity-threshold query (Eq. 4.4)."""
+        return self.engine.search_threshold(query, feature_name, threshold=threshold)
+
+    def multi_step(
+        self,
+        query: Query,
+        steps: Optional[Sequence[Tuple[str, int]]] = None,
+    ) -> List[SearchResult]:
+        """Multi-step search (Section 4.2); default plan is the paper's."""
+        plan = MultiStepPlan(list(steps)) if steps is not None else None
+        return multi_step_search(self.engine, query, plan)
+
+    def feedback_session(
+        self, query: Query, feature_name: str = "principal_moments", k: int = 10
+    ) -> RelevanceFeedbackSession:
+        """Start an interactive relevance-feedback loop."""
+        return RelevanceFeedbackSession(self.engine, query, feature_name, k=k)
+
+    # ------------------------------------------------------------------
+    # INTERFACE: search by browsing
+    # ------------------------------------------------------------------
+    def browse_hierarchy(self, feature_name: str = "principal_moments") -> ClusterNode:
+        """Drill-down cluster tree over one feature space (cached).
+
+        As the paper notes, the classification differs per feature vector,
+        so a hierarchy is built (and cached) per feature name.
+        """
+        cached = self._hierarchies.get(feature_name)
+        if cached is None:
+            matrix, ids = self.database.feature_matrix(feature_name)
+            cached = build_hierarchy(
+                matrix,
+                ids,
+                branching=self.config.browse_branching,
+                leaf_size=self.config.browse_leaf_size,
+                rng=np.random.default_rng(self.config.clustering_seed),
+            )
+            self._hierarchies[feature_name] = cached
+        return cached
+
+    def sample_shapes(self, feature_name: str = "principal_moments") -> List[int]:
+        """Representative shapes (one per top-level cluster) — the paper's
+        pick-a-model-instead-of-drawing-one interface."""
+        root = self.browse_hierarchy(feature_name)
+        if root.is_leaf:
+            return [root.representative_id]
+        return [child.representative_id for child in root.children]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: Union[str, os.PathLike]) -> None:
+        """Persist the shape database."""
+        self.database.save(directory)
+
+    @classmethod
+    def load(
+        cls,
+        directory: Union[str, os.PathLike],
+        config: Optional[SystemConfig] = None,
+        load_meshes: bool = True,
+    ) -> "ThreeDESS":
+        """Restore a system from a saved database directory."""
+        cfg = config if config is not None else SystemConfig()
+        pipeline = FeaturePipeline(
+            feature_names=cfg.feature_names,
+            voxel_resolution=cfg.voxel_resolution,
+            target_volume=cfg.target_volume,
+        )
+        db = ShapeDatabase.load(
+            directory,
+            pipeline=pipeline,
+            load_meshes=load_meshes,
+            index_max_entries=cfg.index_max_entries,
+        )
+        return cls(config=cfg, database=db)
+
+    def __len__(self) -> int:
+        return len(self.database)

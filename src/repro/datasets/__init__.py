@@ -1,0 +1,32 @@
+"""Synthetic evaluation corpus: 26 part families + noise shapes."""
+
+from .families import FAMILIES
+from .generator import (
+    ALL_DESCRIPTOR_FEATURES,
+    load_or_build_extended_database,
+    DEFAULT_SEED,
+    GROUP_SIZES,
+    CorpusShape,
+    build_corpus,
+    build_database,
+    default_cache_dir,
+    group_size_profile,
+    load_or_build_database,
+)
+from .noise import N_NOISE, make_noise_shapes
+
+__all__ = [
+    "FAMILIES",
+    "GROUP_SIZES",
+    "N_NOISE",
+    "DEFAULT_SEED",
+    "CorpusShape",
+    "build_corpus",
+    "build_database",
+    "group_size_profile",
+    "load_or_build_database",
+    "load_or_build_extended_database",
+    "ALL_DESCRIPTOR_FEATURES",
+    "default_cache_dir",
+    "make_noise_shapes",
+]

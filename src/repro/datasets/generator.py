@@ -1,0 +1,201 @@
+"""Build the 113-shape evaluation corpus (Section 4, Fig. 4).
+
+26 similarity groups with sizes between two and eight totalling 86
+shapes, plus 27 noise shapes.  The whole corpus is deterministic under a
+seed, and the populated :class:`ShapeDatabase` (features extracted for
+every shape) can be cached on disk because extraction is the expensive
+step.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..db.database import ShapeDatabase
+from ..features.base import DEFAULT_VOXEL_RESOLUTION
+from ..features.pipeline import FeaturePipeline
+from ..geometry.mesh import TriangleMesh
+from .families import FAMILIES
+from .noise import N_NOISE, make_noise_shapes
+
+DEFAULT_SEED = 42
+
+#: Group sizes per family, matching Fig. 4's profile: 26 groups, sizes in
+#: [2, 8], sum 86.  (9 groups of 2, 8 of 3, 5 of 4, 2 of 5, 1 of 6, 1 of 8.)
+GROUP_SIZES: Dict[str, int] = {
+    "l_bracket": 8,
+    "block": 6,
+    "stepped_shaft": 5,
+    "plate_with_hole": 5,
+    "washer": 4,
+    "u_channel": 4,
+    "t_section": 4,
+    "flange": 4,
+    "elbow_pipe": 4,
+    "h_beam": 3,
+    "c_clamp": 3,
+    "bushing": 3,
+    "cone_part": 3,
+    "slim_rod": 3,
+    "hex_nut": 3,
+    "torus_ring": 3,
+    "sphere_knob": 3,
+    "cross_section": 2,
+    "comb_plate": 2,
+    "staircase": 2,
+    "angle_rib": 2,
+    "tapered_block": 2,
+    "pyramid_mount": 2,
+    "hex_prism": 2,
+    "dumbbell": 2,
+    "tee_pipe": 2,
+}
+
+_total = sum(GROUP_SIZES.values())
+if _total != 86 or len(GROUP_SIZES) != 26:  # pragma: no cover - structural
+    raise AssertionError(f"corpus profile broken: {len(GROUP_SIZES)} groups, {_total} shapes")
+
+
+@dataclass
+class CorpusShape:
+    """One generated shape before database insertion."""
+
+    mesh: TriangleMesh
+    name: str
+    group: Optional[str]
+
+
+def group_size_profile() -> List[int]:
+    """Group sizes in ascending order (the series of Fig. 4)."""
+    return sorted(GROUP_SIZES.values())
+
+
+#: Within-group spread of the characteristic part size (volume jitter).
+_VOLUME_JITTER = (0.92, 1.10)
+
+
+def build_corpus(
+    seed: int = DEFAULT_SEED, noise_count: int = N_NOISE
+) -> List[CorpusShape]:
+    """Generate all 113 meshes deterministically.
+
+    Members of a family share a characteristic size: each mesh is rescaled
+    to the family's reference volume (drawn once per family) with a small
+    jitter.  Proportions still vary member to member, which is how real
+    part families behave — a size-160 L-bracket and a size-165 L-bracket
+    with slightly different arm lengths.
+    """
+    from ..geometry.properties import volume as mesh_volume
+    from ..geometry.transform import scale as mesh_scale
+
+    rng = np.random.default_rng(seed)
+    shapes: List[CorpusShape] = []
+    for family_index, (family, size) in enumerate(GROUP_SIZES.items()):
+        maker = FAMILIES[family]
+        ref_rng = np.random.default_rng([seed, family_index])
+        reference_volume = mesh_volume(maker(ref_rng))
+        for k in range(size):
+            mesh = maker(rng)
+            target = reference_volume * rng.uniform(*_VOLUME_JITTER)
+            factor = (target / mesh_volume(mesh)) ** (1.0 / 3.0)
+            mesh = mesh_scale(mesh, factor)
+            mesh.name = f"{family}_{k:02d}"
+            shapes.append(
+                CorpusShape(mesh=mesh, name=mesh.name, group=family)
+            )
+    for mesh in make_noise_shapes(rng, noise_count):
+        shapes.append(CorpusShape(mesh=mesh, name=mesh.name, group=None))
+    return shapes
+
+
+def build_database(
+    seed: int = DEFAULT_SEED,
+    voxel_resolution: int = DEFAULT_VOXEL_RESOLUTION,
+    feature_names: Optional[List[str]] = None,
+) -> ShapeDatabase:
+    """Generate the corpus and extract every feature vector."""
+    pipeline = FeaturePipeline(
+        feature_names=feature_names, voxel_resolution=voxel_resolution
+    )
+    db = ShapeDatabase(pipeline)
+    for shape in build_corpus(seed):
+        db.insert_mesh(shape.mesh, name=shape.name, group=shape.group)
+    return db
+
+
+def default_cache_dir() -> str:
+    """Directory used for the cached evaluation database."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-3dess")
+
+
+def load_or_build_database(
+    seed: int = DEFAULT_SEED,
+    voxel_resolution: int = DEFAULT_VOXEL_RESOLUTION,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    load_meshes: bool = False,
+    feature_names: Optional[List[str]] = None,
+    cache_tag: str = "",
+) -> ShapeDatabase:
+    """The evaluation database, cached on disk after the first build.
+
+    Feature extraction for 113 shapes takes tens of seconds; benchmarks
+    and experiments share one cached copy keyed by (seed, resolution) plus
+    an optional ``cache_tag`` for non-default feature sets.
+    """
+    root = os.fspath(cache_dir) if cache_dir is not None else default_cache_dir()
+    key = f"corpus_seed{seed}_res{voxel_resolution}{cache_tag}"
+    path = os.path.join(root, key)
+    pipeline = FeaturePipeline(
+        feature_names=feature_names, voxel_resolution=voxel_resolution
+    )
+    if os.path.exists(os.path.join(path, "manifest.json")):
+        return ShapeDatabase.load(path, pipeline=pipeline, load_meshes=load_meshes)
+    db = build_database(
+        seed=seed, voxel_resolution=voxel_resolution, feature_names=feature_names
+    )
+    os.makedirs(path, exist_ok=True)
+    db.save(path)
+    return db
+
+
+#: All descriptors compared by the extension benchmark: the paper's four
+#: plus the related-work descriptors.
+ALL_DESCRIPTOR_FEATURES: List[str] = [
+    "moment_invariants",
+    "geometric_params",
+    "principal_moments",
+    "eigenvalues",
+    "extended_invariants",
+    "d1_distribution",
+    "d2_distribution",
+    "a3_distribution",
+    "shell_histogram",
+    "sector_histogram",
+    "combined_histogram",
+    "fourier3d",
+    "view_hu",
+    "face_graph",
+    "spherical_harmonics",
+]
+
+
+def load_or_build_extended_database(
+    seed: int = DEFAULT_SEED,
+    voxel_resolution: int = DEFAULT_VOXEL_RESOLUTION,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+) -> ShapeDatabase:
+    """Evaluation database carrying every registered descriptor."""
+    return load_or_build_database(
+        seed=seed,
+        voxel_resolution=voxel_resolution,
+        cache_dir=cache_dir,
+        feature_names=list(ALL_DESCRIPTOR_FEATURES),
+        cache_tag="_ext",
+    )

@@ -1,0 +1,86 @@
+"""Noise shapes: the 27 database members that belong to no group.
+
+A mix of one-off odd parts (a gear blank, an extreme plate, a long cone,
+...) and random box agglomerations, all deterministic under the corpus
+seed.  Noise shapes stress precision: they populate the feature space
+without ever being relevant to any query.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..geometry.composite import Placement, assemble
+from ..geometry.mesh import TriangleMesh
+from ..geometry.primitives import (
+    box,
+    cone,
+    cylinder,
+    extrude_polygon,
+    frustum,
+    torus,
+    tube,
+    uv_sphere,
+)
+from ..geometry.transform import random_rotation, rotate, translate
+from .families import make_gear_disc
+
+N_NOISE = 27
+
+
+def _random_blob(rng: np.random.Generator, n_parts: int) -> TriangleMesh:
+    """Agglomeration of randomly sized boxes around the origin."""
+    parts = []
+    for _ in range(n_parts):
+        extents = rng.uniform(0.8, 4.0, size=3)
+        offset = rng.uniform(-2.0, 2.0, size=3)
+        parts.append(Placement(box(extents), offset=offset))
+    return assemble(parts, name="blob")
+
+
+def _oddballs(rng: np.random.Generator) -> List[TriangleMesh]:
+    """One-off parts unlike any family template."""
+    zig = extrude_polygon(
+        [[0, 0], [5, 0], [5, 1], [2, 1], [2, 2], [6, 2], [6, 3], [0, 3]],
+        rng.uniform(0.8, 1.4),
+        name="zigzag",
+    )
+    star_profile = []
+    n_spikes = 5
+    for i in range(2 * n_spikes):
+        r = 4.0 if i % 2 == 0 else 1.6
+        a = np.pi * i / n_spikes
+        star_profile.append([r * np.cos(a), r * np.sin(a)])
+    star = extrude_polygon(star_profile, rng.uniform(0.8, 1.5), name="star")
+    return [
+        make_gear_disc(rng),
+        box((11.0, 8.0, 0.7)),     # large thin sheet
+        cone(1.4, 9.0, 24),        # slender cone
+        torus(2.5, 1.1, 24, 12),   # fat torus
+        tube(6.0, 5.6, 1.0, 32),   # thin-walled ring
+        frustum(5.0, 4.5, 1.0, 24),
+        uv_sphere(2.5, 16, 24),
+        zig,
+        star,
+        cylinder(0.6, 11.0, 16),   # long pin
+    ]
+
+
+def make_noise_shapes(rng: np.random.Generator, count: int = N_NOISE) -> List[TriangleMesh]:
+    """Deterministic list of ``count`` ungrouped shapes."""
+    shapes: List[TriangleMesh] = []
+    for mesh in _oddballs(rng):
+        if len(shapes) >= count:
+            break
+        shapes.append(mesh)
+    while len(shapes) < count:
+        shapes.append(_random_blob(rng, int(rng.integers(3, 6))))
+    out = []
+    for k, mesh in enumerate(shapes[:count]):
+        posed = rotate(mesh, random_rotation(rng))
+        posed = translate(posed, rng.uniform(-5.0, 5.0, size=3))
+        posed.name = f"noise_{k:02d}_{mesh.name}"
+        out.append(posed)
+    return out

@@ -1,0 +1,13 @@
+"""Database tier: shape records, persistence, indexed store."""
+
+from .database import ShapeDatabase
+from .records import ShapeRecord
+from .storage import StorageError, load_records, save_records
+
+__all__ = [
+    "ShapeDatabase",
+    "ShapeRecord",
+    "save_records",
+    "load_records",
+    "StorageError",
+]

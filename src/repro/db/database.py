@@ -1,0 +1,253 @@
+"""The shape database: records + per-feature multidimensional indexes.
+
+Mirrors the paper's DATABASE tier (Section 2.3): whenever a shape is
+inserted, a database ID is generated, all feature vectors are extracted
+and stored, and the R-tree index of every feature space is updated with
+the new (vector, ID) pair.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..features.pipeline import FeaturePipeline
+from ..geometry.mesh import TriangleMesh
+from ..index.rtree import RTree
+from .records import ShapeRecord
+from .storage import load_records, save_records
+
+
+class ShapeDatabase:
+    """In-memory shape store with per-feature R-tree indexes.
+
+    Parameters
+    ----------
+    pipeline:
+        Feature-extraction pipeline run on every inserted mesh.  Databases
+        restored from disk may pass ``pipeline=None`` and work purely from
+        stored vectors (no new mesh inserts until a pipeline is attached).
+    index_max_entries:
+        R-tree node capacity.
+    """
+
+    def __init__(
+        self,
+        pipeline: Optional[FeaturePipeline] = None,
+        index_max_entries: int = 8,
+    ) -> None:
+        self.pipeline = pipeline
+        self.index_max_entries = int(index_max_entries)
+        self._records: Dict[int, ShapeRecord] = {}
+        self._indexes: Dict[str, RTree] = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Record access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ShapeRecord]:
+        return iter(sorted(self._records.values(), key=lambda r: r.shape_id))
+
+    def __contains__(self, shape_id: int) -> bool:
+        return shape_id in self._records
+
+    def get(self, shape_id: int) -> ShapeRecord:
+        """Record for ``shape_id`` (KeyError when absent)."""
+        try:
+            return self._records[shape_id]
+        except KeyError as exc:
+            raise KeyError(f"no shape with id {shape_id}") from exc
+
+    def ids(self) -> List[int]:
+        """All shape ids, ascending."""
+        return sorted(self._records)
+
+    def feature_names(self) -> List[str]:
+        """Feature vectors present in the database."""
+        names = set()
+        for rec in self._records.values():
+            names.update(rec.features)
+        return sorted(names)
+
+    # ------------------------------------------------------------------
+    # Insertion / deletion
+    # ------------------------------------------------------------------
+    def insert_mesh(
+        self,
+        mesh: TriangleMesh,
+        name: Optional[str] = None,
+        group: Optional[str] = None,
+        metadata: Optional[Dict[str, str]] = None,
+    ) -> int:
+        """Insert a mesh: extract all pipeline features, index, return ID."""
+        if self.pipeline is None:
+            raise RuntimeError(
+                "database has no feature pipeline; use insert_record or "
+                "attach a FeaturePipeline"
+            )
+        features = self.pipeline.extract(mesh)
+        record = ShapeRecord(
+            shape_id=self._allocate_id(),
+            name=name if name is not None else (mesh.name or "shape"),
+            mesh=mesh,
+            group=group,
+            features=features,
+            metadata=dict(metadata or {}),
+        )
+        self._store(record)
+        return record.shape_id
+
+    def insert_record(self, record: ShapeRecord) -> int:
+        """Insert a pre-built record (id of 0 or taken ids are reassigned)."""
+        if record.shape_id in self._records or record.shape_id <= 0:
+            record.shape_id = self._allocate_id()
+        else:
+            self._next_id = max(self._next_id, record.shape_id + 1)
+        self._store(record)
+        return record.shape_id
+
+    def delete(self, shape_id: int) -> None:
+        """Remove a record and de-index its feature vectors."""
+        record = self.get(shape_id)
+        for fname, vec in record.features.items():
+            index = self._indexes.get(fname)
+            if index is not None:
+                index.delete(vec, shape_id)
+        del self._records[shape_id]
+
+    def _allocate_id(self) -> int:
+        shape_id = self._next_id
+        self._next_id += 1
+        return shape_id
+
+    def _store(self, record: ShapeRecord) -> None:
+        self._records[record.shape_id] = record
+        for fname, vec in record.features.items():
+            self._index_for(fname, len(vec)).insert(vec, record.shape_id)
+
+    def _index_for(self, feature_name: str, dim: int) -> RTree:
+        index = self._indexes.get(feature_name)
+        if index is None:
+            index = RTree(dim, max_entries=self.index_max_entries)
+            self._indexes[feature_name] = index
+        if index.dim != dim:
+            raise ValueError(
+                f"feature {feature_name!r} dimension mismatch: index has "
+                f"{index.dim}, vector has {dim}"
+            )
+        return index
+
+    # ------------------------------------------------------------------
+    # Feature-space queries (used by the search engine)
+    # ------------------------------------------------------------------
+    def index(self, feature_name: str) -> RTree:
+        """The R-tree over one feature space."""
+        try:
+            return self._indexes[feature_name]
+        except KeyError as exc:
+            raise KeyError(
+                f"no index for feature {feature_name!r}; "
+                f"have {sorted(self._indexes)}"
+            ) from exc
+
+    def feature_matrix(self, feature_name: str) -> Tuple[np.ndarray, List[int]]:
+        """(matrix, ids) of all stored vectors for one feature."""
+        ids = [
+            rec.shape_id
+            for rec in self
+            if feature_name in rec.features
+        ]
+        if not ids:
+            raise KeyError(f"no shapes carry feature {feature_name!r}")
+        matrix = np.vstack([self._records[i].features[feature_name] for i in ids])
+        return matrix, ids
+
+    def nearest(
+        self,
+        feature_name: str,
+        query: np.ndarray,
+        k: int,
+        weights: Optional[np.ndarray] = None,
+    ) -> List[Tuple[int, float]]:
+        """k-NN over one feature space via the R-tree."""
+        return self.index(feature_name).nearest(query, k=k, weights=weights)
+
+    def within_radius(
+        self,
+        feature_name: str,
+        query: np.ndarray,
+        radius: float,
+        weights: Optional[np.ndarray] = None,
+    ) -> List[Tuple[int, float]]:
+        """All shapes within a feature-space radius via the R-tree."""
+        return self.index(feature_name).radius_search(
+            query, radius, weights=weights
+        )
+
+    # ------------------------------------------------------------------
+    # Ground truth helpers (Section 4 evaluation)
+    # ------------------------------------------------------------------
+    def classification_map(self) -> Dict[str, List[int]]:
+        """Group label -> shape ids (noise shapes excluded)."""
+        out: Dict[str, List[int]] = {}
+        for rec in self:
+            if rec.group is not None:
+                out.setdefault(rec.group, []).append(rec.shape_id)
+        return out
+
+    def group_of(self, shape_id: int) -> Optional[str]:
+        """Group label of a shape (None for noise shapes)."""
+        return self.get(shape_id).group
+
+    def relevant_to(self, shape_id: int) -> List[int]:
+        """Ground-truth similar set A for a query shape (excluding it)."""
+        group = self.group_of(shape_id)
+        if group is None:
+            return []
+        return [
+            rec.shape_id
+            for rec in self
+            if rec.group == group and rec.shape_id != shape_id
+        ]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: Union[str, os.PathLike]) -> None:
+        """Persist all records (see :mod:`repro.db.storage`)."""
+        save_records(list(self), directory)
+
+    @classmethod
+    def load(
+        cls,
+        directory: Union[str, os.PathLike],
+        pipeline: Optional[FeaturePipeline] = None,
+        load_meshes: bool = True,
+        index_max_entries: int = 8,
+    ) -> "ShapeDatabase":
+        """Restore a database directory, rebuilding all indexes."""
+        db = cls(pipeline=pipeline, index_max_entries=index_max_entries)
+        for record in load_records(directory, load_meshes=load_meshes):
+            db.insert_record(record)
+        return db
+
+    def rebuild_indexes(self, bulk: bool = True) -> None:
+        """Rebuild every feature index (STR bulk load by default)."""
+        self._indexes = {}
+        if not self._records:
+            return
+        if not bulk:
+            for rec in self:
+                for fname, vec in rec.features.items():
+                    self._index_for(fname, len(vec)).insert(vec, rec.shape_id)
+            return
+        for fname in self.feature_names():
+            matrix, ids = self.feature_matrix(fname)
+            self._indexes[fname] = RTree.bulk_load(
+                matrix, ids, max_entries=self.index_max_entries
+            )

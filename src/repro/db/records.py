@@ -1,0 +1,51 @@
+"""Shape records: what the database stores per model.
+
+A record couples the shape's database ID with its geometry, its manual
+classification group (the ground truth of Section 4), and the extracted
+feature vectors keyed by feature name — mirroring the Oracle schema the
+paper describes (model + feature vectors + ID).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..geometry.mesh import TriangleMesh
+
+
+@dataclass
+class ShapeRecord:
+    """One shape in the database."""
+
+    shape_id: int
+    name: str
+    mesh: Optional[TriangleMesh] = None
+    group: Optional[str] = None
+    features: Dict[str, np.ndarray] = field(default_factory=dict)
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def feature(self, feature_name: str) -> np.ndarray:
+        """Stored vector for ``feature_name``.
+
+        Raises ``KeyError`` with the available names when missing.
+        """
+        try:
+            return self.features[feature_name]
+        except KeyError as exc:
+            raise KeyError(
+                f"shape {self.shape_id} has no feature {feature_name!r}; "
+                f"available: {sorted(self.features)}"
+            ) from exc
+
+    def is_noise(self) -> bool:
+        """Whether the shape belongs to no similarity group."""
+        return self.group is None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ShapeRecord id={self.shape_id} name={self.name!r} "
+            f"group={self.group!r} features={sorted(self.features)}>"
+        )

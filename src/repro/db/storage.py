@@ -1,0 +1,123 @@
+"""File-backed persistence for the shape database.
+
+Layout of a database directory::
+
+    manifest.json     record metadata (ids, names, groups, feature names)
+    features.npz      feature vectors, key "<id>/<feature_name>"
+    meshes/<id>.off   geometry (optional; records may be feature-only)
+
+Saves are atomic at the manifest level: data files are written first and
+the manifest last, so a crashed save never yields a manifest that points
+at missing data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Union
+
+import numpy as np
+
+from ..geometry.io_off import load_off, save_off
+from .records import ShapeRecord
+
+MANIFEST_NAME = "manifest.json"
+FEATURES_NAME = "features.npz"
+MESH_DIR = "meshes"
+_FORMAT_VERSION = 1
+
+
+class StorageError(RuntimeError):
+    """Raised for unreadable or inconsistent database directories."""
+
+
+def save_records(
+    records: List[ShapeRecord], directory: Union[str, os.PathLike]
+) -> None:
+    """Persist records (metadata + features + meshes) to a directory."""
+    root = os.fspath(directory)
+    os.makedirs(root, exist_ok=True)
+    mesh_dir = os.path.join(root, MESH_DIR)
+    os.makedirs(mesh_dir, exist_ok=True)
+
+    arrays: Dict[str, np.ndarray] = {}
+    manifest_records = []
+    for rec in records:
+        for fname, vec in rec.features.items():
+            arrays[f"{rec.shape_id}/{fname}"] = np.asarray(vec, dtype=np.float64)
+        has_mesh = rec.mesh is not None
+        if has_mesh:
+            save_off(rec.mesh, os.path.join(mesh_dir, f"{rec.shape_id}.off"))
+        manifest_records.append(
+            {
+                "shape_id": rec.shape_id,
+                "name": rec.name,
+                "group": rec.group,
+                "features": sorted(rec.features),
+                "has_mesh": has_mesh,
+                "metadata": rec.metadata,
+            }
+        )
+
+    np.savez_compressed(os.path.join(root, FEATURES_NAME), **arrays)
+
+    manifest = {"version": _FORMAT_VERSION, "records": manifest_records}
+    fd, tmp_path = tempfile.mkstemp(dir=root, suffix=".manifest.tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+        os.replace(tmp_path, os.path.join(root, MANIFEST_NAME))
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def load_records(
+    directory: Union[str, os.PathLike], load_meshes: bool = True
+) -> List[ShapeRecord]:
+    """Load records from a directory written by :func:`save_records`."""
+    root = os.fspath(directory)
+    manifest_path = os.path.join(root, MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        raise StorageError(f"{root}: no {MANIFEST_NAME} found")
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    version = manifest.get("version")
+    if version != _FORMAT_VERSION:
+        raise StorageError(f"{root}: unsupported format version {version!r}")
+
+    features_path = os.path.join(root, FEATURES_NAME)
+    arrays = {}
+    if os.path.exists(features_path):
+        with np.load(features_path) as data:
+            arrays = {key: data[key] for key in data.files}
+
+    records: List[ShapeRecord] = []
+    for item in manifest["records"]:
+        shape_id = int(item["shape_id"])
+        features: Dict[str, np.ndarray] = {}
+        for fname in item["features"]:
+            key = f"{shape_id}/{fname}"
+            if key not in arrays:
+                raise StorageError(f"{root}: missing feature array {key!r}")
+            features[fname] = arrays[key]
+        mesh = None
+        if load_meshes and item.get("has_mesh"):
+            mesh_path = os.path.join(root, MESH_DIR, f"{shape_id}.off")
+            if not os.path.exists(mesh_path):
+                raise StorageError(f"{root}: missing mesh file for id {shape_id}")
+            mesh = load_off(mesh_path)
+        records.append(
+            ShapeRecord(
+                shape_id=shape_id,
+                name=item["name"],
+                mesh=mesh,
+                group=item.get("group"),
+                features=features,
+                metadata=dict(item.get("metadata", {})),
+            )
+        )
+    return records

@@ -1,0 +1,93 @@
+"""Extended shape descriptors from the paper's related work.
+
+Shape distributions (Osada et al.), shape histograms (Ankerst et al.),
+and a 3D Fourier descriptor (Vranic & Saupe) — usable anywhere the
+paper's four feature vectors are.
+"""
+
+from .extractors import (
+    FaceGraphExtractor,
+    SphericalHarmonicsExtractor,
+    EXTENDED_DESCRIPTORS,
+    A3DistributionExtractor,
+    CombinedHistogramExtractor,
+    D1DistributionExtractor,
+    D2DistributionExtractor,
+    Fourier3DExtractor,
+    SectorHistogramExtractor,
+    ViewBasedExtractor,
+    ShellHistogramExtractor,
+)
+from .face_graph import (
+    FaceGraph,
+    FacePatch,
+    face_graph_descriptor,
+    segment_faces,
+)
+from .fourier import fourier_descriptor
+from .spherical import shell_harmonic_energies, spherical_harmonics_descriptor
+from .views import (
+    PRINCIPAL_VIEWS,
+    hu_moments,
+    match_drawing,
+    silhouette_mask,
+    view_based_descriptor,
+    view_signatures,
+)
+from .sampling import sample_surface_points
+from .shape_distribution import (
+    A3,
+    D1,
+    D2,
+    D3,
+    KINDS,
+    distribution_samples,
+    shape_distribution,
+)
+from .shape_histogram import (
+    COMBINED,
+    MODELS,
+    SECTOR,
+    SHELL,
+    shape_histogram,
+)
+
+__all__ = [
+    "sample_surface_points",
+    "shape_distribution",
+    "distribution_samples",
+    "D1",
+    "D2",
+    "D3",
+    "A3",
+    "KINDS",
+    "shape_histogram",
+    "SHELL",
+    "SECTOR",
+    "COMBINED",
+    "MODELS",
+    "fourier_descriptor",
+    "EXTENDED_DESCRIPTORS",
+    "D1DistributionExtractor",
+    "D2DistributionExtractor",
+    "A3DistributionExtractor",
+    "ShellHistogramExtractor",
+    "SectorHistogramExtractor",
+    "CombinedHistogramExtractor",
+    "Fourier3DExtractor",
+    "ViewBasedExtractor",
+    "FaceGraphExtractor",
+    "SphericalHarmonicsExtractor",
+    "spherical_harmonics_descriptor",
+    "shell_harmonic_energies",
+    "segment_faces",
+    "face_graph_descriptor",
+    "FaceGraph",
+    "FacePatch",
+    "hu_moments",
+    "silhouette_mask",
+    "view_signatures",
+    "view_based_descriptor",
+    "match_drawing",
+    "PRINCIPAL_VIEWS",
+]

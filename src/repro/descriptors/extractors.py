@@ -1,0 +1,147 @@
+"""Feature-extractor adapters for the extended descriptors.
+
+These wrap the related-work descriptors (shape distributions, shape
+histograms, 3D Fourier) in the same :class:`FeatureExtractor` interface as
+the paper's four feature vectors, so they can be stored, indexed, and used
+in one-shot or multi-step searches interchangeably — the comparison the
+paper's related-work section motivates but does not run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..features.base import ExtractionContext, FeatureExtractor
+from .fourier import fourier_descriptor
+from .shape_distribution import A3, D1, D2, DEFAULT_BINS, shape_distribution
+from .shape_histogram import COMBINED, DEFAULT_SHELLS, SECTOR, SHELL, shape_histogram
+
+
+class D2DistributionExtractor(FeatureExtractor):
+    """Osada D2 shape distribution (pairwise surface distances)."""
+
+    name = "d2_distribution"
+    dim = DEFAULT_BINS
+
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        return shape_distribution(context.mesh, kind=D2, bins=self.dim)
+
+
+class D1DistributionExtractor(FeatureExtractor):
+    """Osada D1 shape distribution (distance to the sample centroid)."""
+
+    name = "d1_distribution"
+    dim = DEFAULT_BINS
+
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        return shape_distribution(context.mesh, kind=D1, bins=self.dim)
+
+
+class A3DistributionExtractor(FeatureExtractor):
+    """Osada A3 shape distribution (angles of surface point triples)."""
+
+    name = "a3_distribution"
+    dim = DEFAULT_BINS
+
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        return shape_distribution(context.mesh, kind=A3, bins=self.dim)
+
+
+class ShellHistogramExtractor(FeatureExtractor):
+    """Ankerst shell-model shape histogram (rotation invariant)."""
+
+    name = "shell_histogram"
+    dim = DEFAULT_SHELLS
+
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        return shape_histogram(context.mesh, model=SHELL, n_shells=self.dim)
+
+
+class SectorHistogramExtractor(FeatureExtractor):
+    """Ankerst sector-model histogram on the pose-normalized mesh."""
+
+    name = "sector_histogram"
+    dim = 6
+
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        return shape_histogram(context.normalization.mesh, model=SECTOR)
+
+
+class CombinedHistogramExtractor(FeatureExtractor):
+    """Ankerst combined shells-x-sectors histogram (normalized pose)."""
+
+    name = "combined_histogram"
+    dim = DEFAULT_SHELLS * 6
+
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        return shape_histogram(
+            context.normalization.mesh, model=COMBINED, n_shells=DEFAULT_SHELLS
+        )
+
+
+class Fourier3DExtractor(FeatureExtractor):
+    """Low-frequency 3D DFT magnitudes of the normalized voxel model."""
+
+    name = "fourier3d"
+    dim = 27  # cutoff 1 -> 3^3 coefficients
+
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        return fourier_descriptor(context.voxels, cutoff=1)
+
+
+class ViewBasedExtractor(FeatureExtractor):
+    """Hu-moment signatures of the three principal-view silhouettes.
+
+    A lightweight take on view-based matching (Cyr & Kimia's aspect-graph
+    line of work): the pose-normalized model is projected onto its three
+    principal planes and each silhouette is summarized with Hu's seven
+    2D moment invariants.
+    """
+
+    name = "view_hu"
+    dim = 21
+
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        from .views import view_based_descriptor
+
+        return view_based_descriptor(context.normalization.mesh)
+
+
+class FaceGraphExtractor(FeatureExtractor):
+    """Spectral summary of the face-adjacency patch graph (the mesh-level
+    analogue of El-Mehalawi & Miller's B-rep graphs)."""
+
+    name = "face_graph"
+    dim = 12
+
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        from .face_graph import face_graph_descriptor
+
+        return face_graph_descriptor(context.normalization.mesh)
+
+
+class SphericalHarmonicsExtractor(FeatureExtractor):
+    """Shell-wise spherical-harmonic energy signature of the voxel model
+    (rotation invariant per degree)."""
+
+    name = "spherical_harmonics"
+    dim = 36  # 6 shells x degrees 0..5
+
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        from .spherical import spherical_harmonics_descriptor
+
+        return spherical_harmonics_descriptor(context.voxels)
+
+
+EXTENDED_DESCRIPTORS = [
+    D1DistributionExtractor,
+    D2DistributionExtractor,
+    A3DistributionExtractor,
+    ShellHistogramExtractor,
+    SectorHistogramExtractor,
+    CombinedHistogramExtractor,
+    Fourier3DExtractor,
+    ViewBasedExtractor,
+    FaceGraphExtractor,
+    SphericalHarmonicsExtractor,
+]

@@ -1,0 +1,41 @@
+"""3D Fourier descriptor (Vranic & Saupe, ref [28] of the paper).
+
+The pose-normalized model is voxelized and transformed with a 3D discrete
+Fourier transform; the magnitudes of the lowest-frequency coefficients
+form the feature vector.  Magnitudes are invariant to (cyclic)
+translation, and pose normalization supplies rotation invariance; the
+spectrum is normalized by the DC term so occupancy scale cancels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..voxel.grid import VoxelGrid
+
+DEFAULT_CUTOFF = 3  # keep |k| <= cutoff per axis
+
+
+def fourier_descriptor(grid: VoxelGrid, cutoff: int = DEFAULT_CUTOFF) -> np.ndarray:
+    """Low-frequency DFT magnitude descriptor of a voxel model.
+
+    Returns the magnitudes of all coefficients with each frequency index
+    in [-cutoff, cutoff], flattened in a fixed order and divided by the DC
+    magnitude; length ``(2*cutoff + 1)**3``.
+    """
+    if cutoff < 1:
+        raise ValueError(f"cutoff must be >= 1, got {cutoff}")
+    occ = grid.occupancy.astype(np.float64)
+    side = 2 * cutoff + 1
+    if min(occ.shape) < side:
+        raise ValueError(
+            f"grid {occ.shape} too small for cutoff {cutoff} (needs >= {side})"
+        )
+    spectrum = np.fft.fftn(occ)
+    freqs = list(range(0, cutoff + 1)) + list(range(-cutoff, 0))
+    block = spectrum[np.ix_(freqs, freqs, freqs)]
+    mags = np.abs(block).ravel()
+    dc = mags[0]
+    if dc <= 0:
+        return np.zeros(side**3)
+    return mags / dc

@@ -1,0 +1,48 @@
+"""Seeded surface sampling for statistical shape descriptors.
+
+Shape distributions (Osada et al. [15]) and related descriptors integrate
+properties of points sampled uniformly over the model surface.  Sampling
+is area-weighted over triangles with uniform barycentric coordinates, and
+fully deterministic under a seed so stored descriptors are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.mesh import MeshError, TriangleMesh
+
+
+def sample_surface_points(
+    mesh: TriangleMesh,
+    n_points: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Uniformly sample points on the mesh surface, shape (n_points, 3).
+
+    Triangles are chosen with probability proportional to their area;
+    points within a triangle use the square-root barycentric trick so the
+    density is uniform over the surface.
+    """
+    if n_points < 1:
+        raise ValueError(f"n_points must be >= 1, got {n_points}")
+    if mesh.n_faces == 0:
+        raise MeshError("cannot sample an empty mesh")
+    gen = rng if rng is not None else np.random.default_rng()
+
+    areas = mesh.face_areas()
+    total = areas.sum()
+    if total <= 0:
+        raise MeshError("mesh has zero surface area")
+    probabilities = areas / total
+    chosen = gen.choice(mesh.n_faces, size=n_points, p=probabilities)
+
+    tri = mesh.triangles[chosen]
+    r1 = np.sqrt(gen.random(n_points))
+    r2 = gen.random(n_points)
+    a = (1.0 - r1)[:, None]
+    b = (r1 * (1.0 - r2))[:, None]
+    c = (r1 * r2)[:, None]
+    return a * tri[:, 0] + b * tri[:, 1] + c * tri[:, 2]

@@ -1,0 +1,91 @@
+"""Spherical-harmonics shape descriptor (Kazhdan & Funkhouser, ref [29]).
+
+The voxel model is decomposed into functions on concentric spheres; each
+shell's occupancy function is projected onto spherical harmonics and the
+descriptor stores the *energy per degree* — sum over orders m of
+|c_lm|^2 — which is invariant to rotation because rotations only mix
+coefficients within a degree.
+
+Feature layout: an (n_shells x (max_degree + 1)) energy grid, flattened
+shell-major and L1-normalized so total voxel mass cancels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # SciPy >= 1.15 renamed sph_harm (and swapped argument order).
+    from scipy.special import sph_harm_y as _sph_harm_y
+
+    def _spherical_harmonic(order, degree, azimuth, polar):
+        return _sph_harm_y(degree, order, polar, azimuth)
+
+except ImportError:  # pragma: no cover - older SciPy
+    from scipy.special import sph_harm as _sph_harm
+
+    def _spherical_harmonic(order, degree, azimuth, polar):
+        return _sph_harm(order, degree, azimuth, polar)
+
+from ..voxel.grid import VoxelGrid
+
+DEFAULT_SHELLS = 6
+DEFAULT_MAX_DEGREE = 5
+
+
+def shell_harmonic_energies(
+    grid: VoxelGrid,
+    n_shells: int = DEFAULT_SHELLS,
+    max_degree: int = DEFAULT_MAX_DEGREE,
+) -> np.ndarray:
+    """Per-shell, per-degree harmonic energies of a voxel model.
+
+    Returns an array of shape (n_shells, max_degree + 1).  Empty shells
+    contribute zero energy.
+    """
+    if n_shells < 1:
+        raise ValueError(f"n_shells must be >= 1, got {n_shells}")
+    if max_degree < 0:
+        raise ValueError(f"max_degree must be >= 0, got {max_degree}")
+    idx = grid.occupied_indices()
+    energies = np.zeros((n_shells, max_degree + 1))
+    if len(idx) == 0:
+        return energies
+
+    center = idx.mean(axis=0)
+    rel = idx - center
+    radii = np.linalg.norm(rel, axis=1)
+    r_max = radii.max()
+    if r_max <= 0:
+        energies[0, 0] = 1.0
+        return energies
+    shell = np.minimum(
+        (radii / r_max * n_shells).astype(np.int64), n_shells - 1
+    )
+    # Spherical angles of each occupied voxel direction.
+    theta = np.arccos(np.clip(rel[:, 2] / np.maximum(radii, 1e-12), -1.0, 1.0))
+    phi = np.arctan2(rel[:, 1], rel[:, 0])
+
+    for s in range(n_shells):
+        members = shell == s
+        if not members.any():
+            continue
+        th = theta[members]
+        ph = phi[members]
+        for degree in range(max_degree + 1):
+            energy = 0.0
+            for order in range(-degree, degree + 1):
+                coeff = _spherical_harmonic(order, degree, ph, th).sum()
+                energy += float(np.abs(coeff) ** 2)
+            energies[s, degree] = energy
+    return energies
+
+
+def spherical_harmonics_descriptor(
+    grid: VoxelGrid,
+    n_shells: int = DEFAULT_SHELLS,
+    max_degree: int = DEFAULT_MAX_DEGREE,
+) -> np.ndarray:
+    """Flattened, L1-normalized shell/degree energy signature."""
+    energies = shell_harmonic_energies(grid, n_shells, max_degree).ravel()
+    total = energies.sum()
+    return energies / total if total > 0 else energies

@@ -1,0 +1,49 @@
+"""ASCII rendering of precision-recall curves for terminal output.
+
+The CLI has no plotting dependency, so Figs. 8-12 are drawn as character
+grids — enough to see the inverse P/R shape and compare feature vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .pr_curve import PRCurve
+
+_MARKERS = "o+x*#@"
+
+
+def ascii_pr_plot(
+    curves: Dict[str, PRCurve],
+    width: int = 51,
+    height: int = 17,
+) -> str:
+    """Plot several PR curves (label -> curve) on one character grid.
+
+    X axis: recall 0..1; Y axis: precision 0..1.  Each curve gets a
+    marker; later curves overwrite earlier ones where they collide.
+    """
+    if not curves:
+        raise ValueError("nothing to plot")
+    if width < 11 or height < 5:
+        raise ValueError("plot area too small")
+    grid = [[" "] * width for _ in range(height)]
+
+    legend = []
+    for index, (label, curve) in enumerate(curves.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"  {marker} {label}")
+        for point in curve.points:
+            x = int(round(point.recall * (width - 1)))
+            y = int(round((1.0 - point.precision) * (height - 1)))
+            grid[y][x] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        precision_label = 1.0 - row_index / (height - 1)
+        prefix = f"{precision_label:4.1f} |" if row_index % 4 == 0 else "     |"
+        lines.append(prefix + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append("      0" + " " * (width - 9) + "recall 1")
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Retrieval metrics (Section 4.1, Eq. 4.1-4.2).
+
+Precision = |A n R| / |R|, recall = |A n R| / |A|, where A is the ground
+truth similar set and R the retrieved set.  Following the paper, the query
+shape itself is never counted (it is guaranteed to be retrieved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Set
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """One (precision, recall) evaluation."""
+
+    precision: float
+    recall: float
+    n_retrieved: int
+    n_relevant: int
+    n_hits: int
+
+
+def evaluate_retrieval(
+    retrieved: Iterable[int], relevant: Iterable[int]
+) -> PrecisionRecall:
+    """Precision and recall of a retrieved id set against ground truth.
+
+    Empty retrievals have precision 0 by convention; queries with no
+    relevant shapes (noise queries) are rejected because recall is
+    undefined for them.
+    """
+    r_set: Set[int] = set(retrieved)
+    a_set: Set[int] = set(relevant)
+    if not a_set:
+        raise ValueError("relevant set is empty; recall undefined (noise query?)")
+    hits = len(r_set & a_set)
+    precision = hits / len(r_set) if r_set else 0.0
+    return PrecisionRecall(
+        precision=precision,
+        recall=hits / len(a_set),
+        n_retrieved=len(r_set),
+        n_relevant=len(a_set),
+        n_hits=hits,
+    )
+
+
+def precision_at_k(ranked_ids: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """Precision of the top-k ranked retrieval."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    top = ranked_ids[:k]
+    a_set = set(relevant)
+    return sum(1 for i in top if i in a_set) / k
+
+
+def recall_at_k(ranked_ids: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """Recall of the top-k ranked retrieval."""
+    a_set = set(relevant)
+    if not a_set:
+        raise ValueError("relevant set is empty; recall undefined")
+    top = set(ranked_ids[:k])
+    return len(top & a_set) / len(a_set)
+
+
+def average_precision(ranked_ids: Sequence[int], relevant: Iterable[int]) -> float:
+    """Mean of precision@rank over the ranks of relevant items (AP)."""
+    a_set = set(relevant)
+    if not a_set:
+        raise ValueError("relevant set is empty; AP undefined")
+    hits = 0
+    precisions = []
+    for rank, shape_id in enumerate(ranked_ids, start=1):
+        if shape_id in a_set:
+            hits += 1
+            precisions.append(hits / rank)
+    if not precisions:
+        return 0.0
+    return sum(precisions) / len(a_set)

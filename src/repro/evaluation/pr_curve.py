@@ -1,0 +1,136 @@
+"""Precision-recall curves (Figures 8-12 of the paper).
+
+A curve is traced by sweeping the similarity threshold of Eq. 4.4 from
+strict to permissive and evaluating precision and recall of each
+threshold query, exactly the protocol of Section 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..search.engine import SearchEngine
+from .metrics import PrecisionRecall, evaluate_retrieval
+
+DEFAULT_THRESHOLDS = tuple(np.round(np.linspace(0.0, 0.98, 50), 4))
+
+
+def adaptive_thresholds(
+    engine: SearchEngine, query_id: int, feature_name: str
+) -> List[float]:
+    """Thresholds that step through every retrieved-set size for a query.
+
+    Feature spaces with outliers concentrate most similarities near 1.0, so
+    a uniform threshold grid degenerates; sweeping the *observed*
+    similarity values (offset slightly below each) traces the full curve,
+    one point per possible |R|.
+    """
+    db = engine.database
+    measure = engine.measure(feature_name)
+    query_vec = db.get(query_id).feature(feature_name)
+    sims = []
+    for record in db:
+        if record.shape_id == query_id:
+            continue
+        sims.append(measure.similarity(query_vec, record.feature(feature_name)))
+    eps = 1e-9
+    return sorted({max(0.0, s - eps) for s in sims}, reverse=True)
+
+
+@dataclass
+class PRPoint:
+    """One threshold sample of a precision-recall curve."""
+
+    threshold: float
+    precision: float
+    recall: float
+    n_retrieved: int
+
+
+@dataclass
+class PRCurve:
+    """A full precision-recall curve for one (query, feature) pair."""
+
+    query_id: int
+    feature_name: str
+    points: List[PRPoint] = field(default_factory=list)
+
+    def recalls(self) -> np.ndarray:
+        return np.array([p.recall for p in self.points])
+
+    def precisions(self) -> np.ndarray:
+        return np.array([p.precision for p in self.points])
+
+    def is_degenerate(self, tol: float = 0.05) -> bool:
+        """Whether the curve lacks the usual inverse P/R relationship.
+
+        The paper observes that eigenvalue curves are flat: either recall
+        or precision barely changes over the sweep.  Flatness is measured
+        as the spread of each series over the non-empty part of the curve.
+        """
+        mask = np.array([p.n_retrieved > 0 for p in self.points])
+        if mask.sum() < 2:
+            return True
+        rec = self.recalls()[mask]
+        pre = self.precisions()[mask]
+        return bool(
+            (rec.max() - rec.min()) <= tol or (pre.max() - pre.min()) <= tol
+        )
+
+
+def precision_recall_curve(
+    engine: SearchEngine,
+    query_id: int,
+    feature_name: str,
+    thresholds: Optional[Sequence[float]] = None,
+) -> PRCurve:
+    """Sweep similarity thresholds for one query shape.
+
+    The query must belong to a classified group (its ground truth A is
+    taken from the database's classification map) and is excluded from
+    both A and R, following the paper.  With ``thresholds=None`` the sweep
+    adapts to the query's observed similarity values (one point per
+    possible retrieved-set size).
+    """
+    db = engine.database
+    relevant = db.relevant_to(query_id)
+    if not relevant:
+        raise ValueError(
+            f"query {query_id} has no group members; cannot draw a PR curve"
+        )
+    if thresholds is None:
+        thresholds = adaptive_thresholds(engine, query_id, feature_name)
+    curve = PRCurve(query_id=query_id, feature_name=feature_name)
+    for threshold in sorted(thresholds, reverse=True):
+        results = engine.search_threshold(
+            query_id, feature_name, threshold=float(threshold)
+        )
+        retrieved = [r.shape_id for r in results]
+        if retrieved:
+            pr: PrecisionRecall = evaluate_retrieval(retrieved, relevant)
+            precision, recall = pr.precision, pr.recall
+        else:
+            precision, recall = 1.0, 0.0  # strictest: nothing retrieved
+        curve.points.append(
+            PRPoint(
+                threshold=float(threshold),
+                precision=precision,
+                recall=recall,
+                n_retrieved=len(retrieved),
+            )
+        )
+    return curve
+
+
+def interpolated_precision(curve: PRCurve, recall_levels: Sequence[float]) -> np.ndarray:
+    """Max precision at recall >= level (standard 11-point interpolation)."""
+    rec = curve.recalls()
+    pre = curve.precisions()
+    out = []
+    for level in recall_levels:
+        eligible = pre[rec >= level - 1e-12]
+        out.append(float(eligible.max()) if len(eligible) else 0.0)
+    return np.asarray(out)

@@ -1,0 +1,81 @@
+"""One-shot reproduction report.
+
+Runs every paper experiment (and optionally the extension analyses) and
+writes a single Markdown report — the artifact EXPERIMENTS.md is curated
+from.  Exposed on the CLI as ``three-dess experiment all --output``.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import time
+from typing import Optional, Union
+
+from ..db.database import ShapeDatabase
+from ..search.engine import SearchEngine
+from . import experiments as exps
+
+
+def generate_report(
+    db: ShapeDatabase,
+    engine: Optional[SearchEngine] = None,
+    include_extensions: bool = True,
+) -> str:
+    """Run all experiments and return the Markdown report text."""
+    engine = engine if engine is not None else SearchEngine(db)
+    out = io.StringIO()
+    started = time.time()
+
+    out.write("# 3DESS reproduction report\n\n")
+    out.write(
+        f"Database: {len(db)} shapes, features: "
+        f"{', '.join(db.feature_names())}\n\n"
+    )
+
+    sections = [
+        ("Fig. 4 — group sizes", lambda: exps.exp_group_sizes(db)),
+        ("Fig. 7 — threshold query", lambda: exps.exp_threshold_example(db, engine)),
+        ("Figs. 8-12 — PR curves", lambda: exps.exp_pr_curves(db, engine)),
+        (
+            "Figs. 13/14 — multi-step example",
+            lambda: exps.exp_multistep_example(db, engine),
+        ),
+        ("Fig. 15 — average recall", lambda: exps.exp_average_recall(db, engine)),
+        (
+            "Fig. 16 — effectiveness at 10",
+            lambda: exps.exp_effectiveness_at_10(db, engine),
+        ),
+        ("R-tree efficiency", lambda: exps.exp_rtree_efficiency(db)),
+    ]
+    if include_extensions:
+        sections += [
+            (
+                "Extension — mean average precision",
+                lambda: exps.exp_mean_average_precision(db, engine),
+            ),
+            (
+                "Extension — per-group difficulty",
+                lambda: exps.exp_group_difficulty(db, engine),
+            ),
+        ]
+
+    for title, runner in sections:
+        out.write(f"## {title}\n\n```\n")
+        out.write(runner().format())
+        out.write("\n```\n\n")
+
+    out.write(f"_Generated in {time.time() - started:.1f}s._\n")
+    return out.getvalue()
+
+
+def write_report(
+    db: ShapeDatabase,
+    path: Union[str, os.PathLike],
+    engine: Optional[SearchEngine] = None,
+    include_extensions: bool = True,
+) -> None:
+    """Generate and save the report."""
+    text = generate_report(db, engine=engine, include_extensions=include_extensions)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

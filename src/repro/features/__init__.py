@@ -1,0 +1,49 @@
+"""Feature vectors (Section 3.5): extractors, registry, pipeline."""
+
+from .cache import CachingPipeline, mesh_content_key
+from .base import (
+    DEFAULT_VOXEL_RESOLUTION,
+    ExtractionContext,
+    FeatureError,
+    FeatureExtractor,
+)
+from .eigenvalues import EigenvaluesExtractor
+from .geometric_params import GeometricParamsExtractor
+from .moment_invariants import ExtendedInvariantsExtractor, MomentInvariantsExtractor
+from .pipeline import FeaturePipeline
+from .principal_moments import PrincipalMomentsExtractor
+from .registry import (
+    EIGENVALUES,
+    EXTENDED_INVARIANTS,
+    GEOMETRIC_PARAMS,
+    MOMENT_INVARIANTS,
+    PAPER_FEATURES,
+    PRINCIPAL_MOMENTS,
+    available_features,
+    create_extractor,
+    register_extractor,
+)
+
+__all__ = [
+    "FeatureExtractor",
+    "FeatureError",
+    "ExtractionContext",
+    "DEFAULT_VOXEL_RESOLUTION",
+    "FeaturePipeline",
+    "CachingPipeline",
+    "mesh_content_key",
+    "MomentInvariantsExtractor",
+    "ExtendedInvariantsExtractor",
+    "GeometricParamsExtractor",
+    "PrincipalMomentsExtractor",
+    "EigenvaluesExtractor",
+    "MOMENT_INVARIANTS",
+    "GEOMETRIC_PARAMS",
+    "PRINCIPAL_MOMENTS",
+    "EIGENVALUES",
+    "EXTENDED_INVARIANTS",
+    "PAPER_FEATURES",
+    "available_features",
+    "create_extractor",
+    "register_extractor",
+]

@@ -1,0 +1,125 @@
+"""Feature-extraction framework.
+
+Feature extractors turn a mesh into a fixed-length numeric vector (the
+paper's "numerical fingerprint").  The expensive intermediate
+representations (normalized mesh, voxel model, skeleton, skeletal graph)
+are shared between extractors through an :class:`ExtractionContext`, which
+mirrors the server-side flow of Fig. 2: normalization -> voxelization ->
+skeletonization -> feature collection.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.mesh import TriangleMesh
+from ..moments.normalization import (
+    DEFAULT_TARGET_VOLUME,
+    NormalizationResult,
+    normalize,
+)
+from ..skeleton.graph import SkeletalGraph, build_skeletal_graph
+from ..skeleton.thinning import thin
+from ..voxel.grid import VoxelGrid
+from ..voxel.voxelize import voxelize
+
+DEFAULT_VOXEL_RESOLUTION = 24
+
+
+class FeatureError(ValueError):
+    """Raised when a feature vector cannot be computed for a shape."""
+
+
+class ExtractionContext:
+    """Lazy cache of the per-shape intermediate representations.
+
+    All extractors operating on one shape share one context, so the voxel
+    model is built once even when several voxel-based features are
+    requested.
+    """
+
+    def __init__(
+        self,
+        mesh: TriangleMesh,
+        voxel_resolution: int = DEFAULT_VOXEL_RESOLUTION,
+        target_volume: float = DEFAULT_TARGET_VOLUME,
+        prune_spur_length: Optional[int] = None,
+    ) -> None:
+        self.mesh = mesh
+        self.voxel_resolution = int(voxel_resolution)
+        self.target_volume = float(target_volume)
+        self.prune_spur_length = prune_spur_length
+        self._normalization: Optional[NormalizationResult] = None
+        self._voxels: Optional[VoxelGrid] = None
+        self._skeleton: Optional[VoxelGrid] = None
+        self._skeletal_graph: Optional[SkeletalGraph] = None
+
+    @property
+    def normalization(self) -> NormalizationResult:
+        """Pose/scale normalization result (computed once)."""
+        if self._normalization is None:
+            self._normalization = normalize(
+                self.mesh, target_volume=self.target_volume
+            )
+        return self._normalization
+
+    @property
+    def voxels(self) -> VoxelGrid:
+        """Solid voxel model of the *normalized* mesh (computed once)."""
+        if self._voxels is None:
+            self._voxels = voxelize(
+                self.normalization.mesh, resolution=self.voxel_resolution
+            )
+        return self._voxels
+
+    @property
+    def skeleton(self) -> VoxelGrid:
+        """Thinned curve skeleton, optionally spur-pruned (computed once)."""
+        if self._skeleton is None:
+            skeleton = thin(self.voxels)
+            if self.prune_spur_length is not None:
+                from ..skeleton.prune import prune_spurs
+
+                skeleton = prune_spurs(skeleton, min_length=self.prune_spur_length)
+            self._skeleton = skeleton
+        return self._skeleton
+
+    @property
+    def skeletal_graph(self) -> SkeletalGraph:
+        """Entity-level skeletal graph (computed once)."""
+        if self._skeletal_graph is None:
+            self._skeletal_graph = build_skeletal_graph(self.skeleton)
+        return self._skeletal_graph
+
+
+class FeatureExtractor(abc.ABC):
+    """Base class for the paper's feature vectors.
+
+    Subclasses define ``name`` (the registry key), ``dim`` (vector length)
+    and :meth:`extract`.
+    """
+
+    #: Registry key, e.g. ``"moment_invariants"``.
+    name: str = ""
+    #: Fixed output dimensionality.
+    dim: int = 0
+
+    @abc.abstractmethod
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        """Compute the feature vector for the shape held by ``context``."""
+
+    def __call__(self, context: ExtractionContext) -> np.ndarray:
+        vec = np.asarray(self.extract(context), dtype=np.float64)
+        if vec.shape != (self.dim,):
+            raise FeatureError(
+                f"{self.name}: expected shape ({self.dim},), got {vec.shape}"
+            )
+        if not np.isfinite(vec).all():
+            raise FeatureError(f"{self.name}: non-finite feature values {vec}")
+        return vec
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} dim={self.dim}>"

@@ -1,0 +1,83 @@
+"""Feature-extraction cache keyed by mesh content.
+
+Inserting the same geometry twice (re-imports, copies under different
+names) repeats the most expensive stage of the system.  `CachingPipeline`
+wraps a :class:`FeaturePipeline` with a content-addressed cache: the key
+hashes the vertex/face buffers together with the pipeline parameters, so
+a cache hit is exact, not approximate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict
+
+import numpy as np
+
+from ..geometry.mesh import TriangleMesh
+from .pipeline import FeaturePipeline
+
+
+def mesh_content_key(mesh: TriangleMesh) -> str:
+    """Stable content hash of a mesh's geometry."""
+    digest = hashlib.sha256()
+    digest.update(mesh.vertices.tobytes())
+    digest.update(mesh.faces.tobytes())
+    return digest.hexdigest()
+
+
+class CachingPipeline:
+    """A FeaturePipeline with an LRU content cache.
+
+    Drop-in where a pipeline is expected (`extract`, `extract_one`,
+    `feature_names`, `dimensions` are forwarded); `hits`/`misses` expose
+    effectiveness.
+    """
+
+    def __init__(self, pipeline: FeaturePipeline, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.pipeline = pipeline
+        self.max_entries = int(max_entries)
+        self._cache: "OrderedDict[str, Dict[str, np.ndarray]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- pipeline interface -------------------------------------------
+    @property
+    def feature_names(self):
+        return self.pipeline.feature_names
+
+    def dimensions(self):
+        return self.pipeline.dimensions()
+
+    def _key(self, mesh: TriangleMesh) -> str:
+        params = (
+            f"{self.pipeline.voxel_resolution}|{self.pipeline.target_volume}"
+            f"|{self.pipeline.prune_spur_length}|{','.join(self.feature_names)}"
+        )
+        return f"{mesh_content_key(mesh)}|{params}"
+
+    def extract(self, mesh: TriangleMesh) -> Dict[str, np.ndarray]:
+        key = self._key(mesh)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._cache.move_to_end(key)
+            return {name: vec.copy() for name, vec in cached.items()}
+        self.misses += 1
+        features = self.pipeline.extract(mesh)
+        self._cache[key] = {name: vec.copy() for name, vec in features.items()}
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+        return features
+
+    def extract_one(self, mesh: TriangleMesh, name: str) -> np.ndarray:
+        return self.extract(mesh)[name]
+
+    def clear(self) -> None:
+        """Drop all cached entries and reset counters."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

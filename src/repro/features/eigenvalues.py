@@ -1,0 +1,27 @@
+"""Skeletal-graph eigenvalue feature vector (Section 3.5.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..skeleton.adjacency import DEFAULT_SPECTRUM_DIM, spectrum
+from .base import ExtractionContext, FeatureExtractor
+
+
+class EigenvaluesExtractor(FeatureExtractor):
+    """Eigenvalues of the typed adjacency matrix of the skeletal graph.
+
+    The spectrum is padded/truncated to a fixed dimension so it can be
+    stored in the multidimensional index.  As the paper observes, skeletal
+    graphs of engineering parts are small, so this FV has limited
+    selectivity on its own.
+    """
+
+    name = "eigenvalues"
+    dim = DEFAULT_SPECTRUM_DIM
+
+    def __init__(self, dim: int = DEFAULT_SPECTRUM_DIM) -> None:
+        self.dim = int(dim)
+
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        return spectrum(context.skeletal_graph, dim=self.dim)

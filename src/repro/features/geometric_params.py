@@ -1,0 +1,32 @@
+"""Geometric-parameter feature vector (Section 3.5.2).
+
+Five design-relevant parameters: two bounding-box aspect ratios, the
+surface-area-to-volume ratio, the scaling factor applied during
+normalization, and the overall volume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.properties import (
+    aspect_ratios,
+    surface_to_volume_ratio,
+    volume,
+)
+from .base import ExtractionContext, FeatureExtractor
+
+
+class GeometricParamsExtractor(FeatureExtractor):
+    """[aspect_1, aspect_2, surface/volume, scale_factor, volume]."""
+
+    name = "geometric_params"
+    dim = 5
+
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        mesh = context.mesh
+        r12, r23 = aspect_ratios(mesh)
+        sv = surface_to_volume_ratio(mesh)
+        scale_factor = context.normalization.scale_factor
+        vol = volume(mesh)
+        return np.array([r12, r23, sv, scale_factor, vol])

@@ -1,0 +1,34 @@
+"""Moment-invariant feature vector (Section 3.5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..moments.invariants import extended_moment_invariants, moment_invariants
+from .base import ExtractionContext, FeatureExtractor
+
+
+class MomentInvariantsExtractor(FeatureExtractor):
+    """[F1, F2, F3] of Eq. 3.7-3.9.
+
+    Computed from the raw mesh (no pose normalization required — the
+    invariants are translation/rotation/scale invariant by construction,
+    which is exactly the advantage Section 3.5.3 discusses).
+    """
+
+    name = "moment_invariants"
+    dim = 3
+
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        return moment_invariants(context.mesh)
+
+
+class ExtendedInvariantsExtractor(FeatureExtractor):
+    """[F1, F2, F3, G1, G2] — the paper's FV plus two third-order
+    invariants (the "higher order invariants" of Fig. 1)."""
+
+    name = "extended_invariants"
+    dim = 5
+
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        return extended_moment_invariants(context.mesh)

@@ -1,0 +1,78 @@
+"""Feature-extraction pipeline (the server's feature-extraction module).
+
+Given a mesh and a set of feature-vector names, the pipeline builds one
+:class:`ExtractionContext` and runs every requested extractor against it,
+so normalization / voxelization / skeletonization each happen at most once
+per shape — the flow chart of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..geometry.mesh import TriangleMesh
+from ..moments.normalization import DEFAULT_TARGET_VOLUME
+from .base import DEFAULT_VOXEL_RESOLUTION, ExtractionContext
+from .registry import PAPER_FEATURES, create_extractor
+
+
+class FeaturePipeline:
+    """Extract one or more named feature vectors from meshes.
+
+    Parameters
+    ----------
+    feature_names:
+        Which feature vectors to compute; defaults to the paper's four.
+    voxel_resolution:
+        Grid resolution N for the voxel/skeleton stages.
+    target_volume:
+        Normalization constant C (Eq. 3.3).
+    """
+
+    def __init__(
+        self,
+        feature_names: Optional[Iterable[str]] = None,
+        voxel_resolution: int = DEFAULT_VOXEL_RESOLUTION,
+        target_volume: float = DEFAULT_TARGET_VOLUME,
+        prune_spur_length: Optional[int] = None,
+    ) -> None:
+        names = list(feature_names) if feature_names is not None else list(PAPER_FEATURES)
+        if not names:
+            raise ValueError("pipeline needs at least one feature vector")
+        self.extractors = {name: create_extractor(name) for name in names}
+        self.voxel_resolution = int(voxel_resolution)
+        self.target_volume = float(target_volume)
+        self.prune_spur_length = prune_spur_length
+
+    @property
+    def feature_names(self) -> "list[str]":
+        """Names of the features this pipeline computes, in order."""
+        return list(self.extractors)
+
+    def dimensions(self) -> Dict[str, int]:
+        """Feature name -> vector length."""
+        return {name: ext.dim for name, ext in self.extractors.items()}
+
+    def make_context(self, mesh: TriangleMesh) -> ExtractionContext:
+        """Build a shared extraction context for one shape."""
+        return ExtractionContext(
+            mesh,
+            voxel_resolution=self.voxel_resolution,
+            target_volume=self.target_volume,
+            prune_spur_length=self.prune_spur_length,
+        )
+
+    def extract(self, mesh: TriangleMesh) -> Dict[str, np.ndarray]:
+        """All requested feature vectors for one mesh."""
+        context = self.make_context(mesh)
+        return {name: ext(context) for name, ext in self.extractors.items()}
+
+    def extract_one(self, mesh: TriangleMesh, name: str) -> np.ndarray:
+        """A single named feature vector for one mesh."""
+        if name not in self.extractors:
+            raise KeyError(
+                f"{name!r} not in this pipeline; have {self.feature_names}"
+            )
+        return self.extractors[name](self.make_context(mesh))

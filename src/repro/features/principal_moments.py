@@ -1,0 +1,26 @@
+"""Principal-moment feature vector (Section 3.5.3, Eq. 3.10)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..moments.mesh_moments import central_moments_up_to, second_moment_matrix
+from .base import ExtractionContext, FeatureExtractor
+
+
+class PrincipalMomentsExtractor(FeatureExtractor):
+    """Eigenvalues of the second-order central moment matrix of the
+    normalized model, sorted descending.
+
+    Using the normalized model removes the scale dependence the paper
+    notes; all three elements are of the same order, which is what makes
+    this FV friendly to relevance-feedback weighting.
+    """
+
+    name = "principal_moments"
+    dim = 3
+
+    def extract(self, context: ExtractionContext) -> np.ndarray:
+        central = central_moments_up_to(context.normalization.mesh, 2)
+        eigvals = np.linalg.eigvalsh(second_moment_matrix(central))
+        return np.sort(eigvals)[::-1]

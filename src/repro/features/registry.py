@@ -1,0 +1,71 @@
+"""Registry mapping feature-vector names to extractor factories.
+
+The interface tier lets a user pick which feature vector(s) drive a search
+(Section 2.1); this registry is the programmatic counterpart of that
+selection box.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import FeatureExtractor
+from .eigenvalues import EigenvaluesExtractor
+from .geometric_params import GeometricParamsExtractor
+from .moment_invariants import ExtendedInvariantsExtractor, MomentInvariantsExtractor
+from .principal_moments import PrincipalMomentsExtractor
+
+MOMENT_INVARIANTS = "moment_invariants"
+GEOMETRIC_PARAMS = "geometric_params"
+PRINCIPAL_MOMENTS = "principal_moments"
+EIGENVALUES = "eigenvalues"
+EXTENDED_INVARIANTS = "extended_invariants"
+
+#: The four feature vectors evaluated in the paper, in its reporting order.
+PAPER_FEATURES: List[str] = [
+    MOMENT_INVARIANTS,
+    GEOMETRIC_PARAMS,
+    PRINCIPAL_MOMENTS,
+    EIGENVALUES,
+]
+
+_FACTORIES: Dict[str, Callable[[], FeatureExtractor]] = {
+    MOMENT_INVARIANTS: MomentInvariantsExtractor,
+    GEOMETRIC_PARAMS: GeometricParamsExtractor,
+    PRINCIPAL_MOMENTS: PrincipalMomentsExtractor,
+    EIGENVALUES: EigenvaluesExtractor,
+    EXTENDED_INVARIANTS: ExtendedInvariantsExtractor,
+}
+
+
+def _register_extended_descriptors() -> None:
+    """Pull in the related-work descriptors (shape distributions, shape
+    histograms, Fourier) lazily to avoid an import cycle at module load."""
+    from ..descriptors.extractors import EXTENDED_DESCRIPTORS
+
+    for factory in EXTENDED_DESCRIPTORS:
+        _FACTORIES.setdefault(factory.name, factory)
+
+
+_register_extended_descriptors()
+
+
+def available_features() -> List[str]:
+    """All registered feature-vector names."""
+    return sorted(_FACTORIES)
+
+
+def create_extractor(name: str) -> FeatureExtractor:
+    """Instantiate the extractor registered under ``name``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown feature vector {name!r}; available: {available_features()}"
+        ) from exc
+    return factory()
+
+
+def register_extractor(name: str, factory: Callable[[], FeatureExtractor]) -> None:
+    """Register a custom extractor factory (overwrites existing names)."""
+    _FACTORIES[name] = factory

@@ -1,0 +1,129 @@
+"""Geometry substrate: triangle meshes, I/O, primitives, transforms.
+
+This package replaces the ACIS kernel + CAD files the paper's prototype
+consumed; see DESIGN.md section 2 for the substitution rationale.
+"""
+
+from .composite import Placement, assemble
+from .decimate import decimate
+from .io import load_mesh, save_mesh, supported_formats
+from .io_obj import load_obj, save_obj
+from .io_off import load_off, save_off
+from .io_ply import load_ply, save_ply
+from .io_stl import load_stl, save_stl
+from .mesh import MeshError, TriangleMesh
+from .polygon import (
+    PolygonError,
+    ensure_ccw,
+    polygon_area,
+    rectangle,
+    regular_polygon,
+    triangulate_polygon,
+)
+from .primitives import (
+    annular_prism,
+    box,
+    cone,
+    cylinder,
+    extrude_polygon,
+    frustum,
+    hex_nut,
+    plate_with_rect_hole,
+    prism,
+    torus,
+    tube,
+    uv_sphere,
+)
+from .perturb import jitter_vertices, vertex_normals
+from .revolve import pappus_volume, surface_of_revolution
+from .repair import (
+    MeshReport,
+    fix_orientation,
+    remove_degenerate_faces,
+    repair_mesh,
+    validate_mesh,
+)
+from .properties import (
+    aspect_ratios,
+    centroid,
+    signed_volume,
+    surface_area,
+    surface_centroid,
+    surface_to_volume_ratio,
+    volume,
+)
+from .transform import (
+    compose,
+    random_rotation,
+    rotate,
+    rotation_about_axis,
+    rotation_matrix4,
+    scale,
+    scale_matrix,
+    transform,
+    translate,
+    translation_matrix,
+)
+
+__all__ = [
+    "TriangleMesh",
+    "MeshError",
+    "PolygonError",
+    "Placement",
+    "assemble",
+    "decimate",
+    "repair_mesh",
+    "fix_orientation",
+    "remove_degenerate_faces",
+    "validate_mesh",
+    "MeshReport",
+    "surface_of_revolution",
+    "pappus_volume",
+    "jitter_vertices",
+    "vertex_normals",
+    "load_mesh",
+    "save_mesh",
+    "supported_formats",
+    "load_off",
+    "save_off",
+    "load_ply",
+    "save_ply",
+    "load_stl",
+    "save_stl",
+    "load_obj",
+    "save_obj",
+    "polygon_area",
+    "ensure_ccw",
+    "triangulate_polygon",
+    "regular_polygon",
+    "rectangle",
+    "box",
+    "extrude_polygon",
+    "prism",
+    "cylinder",
+    "frustum",
+    "cone",
+    "tube",
+    "annular_prism",
+    "hex_nut",
+    "plate_with_rect_hole",
+    "uv_sphere",
+    "torus",
+    "surface_area",
+    "volume",
+    "signed_volume",
+    "centroid",
+    "surface_centroid",
+    "aspect_ratios",
+    "surface_to_volume_ratio",
+    "translate",
+    "scale",
+    "rotate",
+    "transform",
+    "rotation_about_axis",
+    "random_rotation",
+    "compose",
+    "translation_matrix",
+    "scale_matrix",
+    "rotation_matrix4",
+]

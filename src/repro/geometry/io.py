@@ -1,0 +1,56 @@
+"""Format-dispatching mesh load/save (the system's "submit a CAD file" path).
+
+The paper's interface accepts files produced by independent modeling tools;
+this module is the equivalent entry point, dispatching on file extension.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Tuple, Union
+
+from .io_obj import load_obj, save_obj
+from .io_off import load_off, save_off
+from .io_ply import load_ply, save_ply
+from .io_stl import load_stl, save_stl
+from .mesh import MeshError, TriangleMesh
+
+_LOADERS: Dict[str, Callable] = {
+    ".off": load_off,
+    ".stl": load_stl,
+    ".obj": load_obj,
+    ".ply": load_ply,
+}
+_SAVERS: Dict[str, Callable] = {
+    ".off": save_off,
+    ".stl": save_stl,
+    ".obj": save_obj,
+    ".ply": save_ply,
+}
+
+
+def supported_formats() -> Tuple[str, ...]:
+    """Extensions the loader understands."""
+    return tuple(sorted(_LOADERS))
+
+
+def load_mesh(path: Union[str, os.PathLike]) -> TriangleMesh:
+    """Load a mesh, dispatching on the file extension."""
+    ext = os.path.splitext(os.fspath(path))[1].lower()
+    loader = _LOADERS.get(ext)
+    if loader is None:
+        raise MeshError(
+            f"unsupported mesh format {ext!r}; supported: {supported_formats()}"
+        )
+    return loader(path)
+
+
+def save_mesh(mesh: TriangleMesh, path: Union[str, os.PathLike]) -> None:
+    """Save a mesh, dispatching on the file extension."""
+    ext = os.path.splitext(os.fspath(path))[1].lower()
+    saver = _SAVERS.get(ext)
+    if saver is None:
+        raise MeshError(
+            f"unsupported mesh format {ext!r}; supported: {supported_formats()}"
+        )
+    saver(mesh, path)

@@ -1,0 +1,62 @@
+"""Wavefront OBJ reader/writer (geometry only).
+
+Texture/normal indices and non-geometry statements are ignored; polygon
+faces are fan triangulated.  Negative (relative) indices are supported.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Union
+
+import numpy as np
+
+from .mesh import MeshError, TriangleMesh
+
+
+def load_obj(path: Union[str, os.PathLike]) -> TriangleMesh:
+    """Load a mesh from an OBJ file."""
+    verts: List[List[float]] = []
+    faces: List[List[int]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            parts = line.split("#", 1)[0].split()
+            if not parts:
+                continue
+            tag = parts[0]
+            if tag == "v":
+                if len(parts) < 4:
+                    raise MeshError(f"{path}:{lineno}: vertex needs 3 coordinates")
+                verts.append([float(v) for v in parts[1:4]])
+            elif tag == "f":
+                idx = []
+                for token in parts[1:]:
+                    raw = token.split("/", 1)[0]
+                    value = int(raw)
+                    if value > 0:
+                        idx.append(value - 1)
+                    elif value < 0:
+                        idx.append(len(verts) + value)
+                    else:
+                        raise MeshError(f"{path}:{lineno}: face index 0 is invalid")
+                if len(idx) < 3:
+                    raise MeshError(f"{path}:{lineno}: face needs >=3 vertices")
+                for k in range(1, len(idx) - 1):
+                    faces.append([idx[0], idx[k], idx[k + 1]])
+    name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return TriangleMesh(
+        np.asarray(verts, dtype=np.float64).reshape(-1, 3),
+        np.asarray(faces, dtype=np.int64).reshape(-1, 3),
+        name=name,
+    )
+
+
+def save_obj(mesh: TriangleMesh, path: Union[str, os.PathLike]) -> None:
+    """Write the mesh to an OBJ file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if mesh.name:
+            handle.write(f"o {mesh.name}\n")
+        for x, y, z in mesh.vertices:
+            handle.write(f"v {float(x)!r} {float(y)!r} {float(z)!r}\n")
+        for a, b, c in mesh.faces:
+            handle.write(f"f {a + 1} {b + 1} {c + 1}\n")

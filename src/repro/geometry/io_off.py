@@ -1,0 +1,68 @@
+"""OFF (Object File Format) reader/writer.
+
+OFF is the simplest interchange format for the triangle meshes the search
+system stores; polygonal faces with more than three vertices are fan
+triangulated on load.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Union
+
+import numpy as np
+
+from .mesh import MeshError, TriangleMesh
+
+
+def _tokens(path: Union[str, os.PathLike]) -> List[str]:
+    out: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.split("#", 1)[0].strip()
+            if stripped:
+                out.extend(stripped.split())
+    return out
+
+
+def load_off(path: Union[str, os.PathLike]) -> TriangleMesh:
+    """Load a mesh from an OFF file (fan-triangulating polygon faces)."""
+    toks = _tokens(path)
+    if not toks:
+        raise MeshError(f"{path}: empty OFF file")
+    pos = 0
+    if toks[0].upper() == "OFF":
+        pos = 1
+    try:
+        n_verts = int(toks[pos])
+        n_faces = int(toks[pos + 1])
+        pos += 3  # skip edge count
+        flat = [float(t) for t in toks[pos : pos + 3 * n_verts]]
+        if len(flat) != 3 * n_verts:
+            raise MeshError(f"{path}: truncated vertex block")
+        verts = np.asarray(flat, dtype=np.float64).reshape(n_verts, 3)
+        pos += 3 * n_verts
+        faces: List[List[int]] = []
+        for _ in range(n_faces):
+            arity = int(toks[pos])
+            idx = [int(t) for t in toks[pos + 1 : pos + 1 + arity]]
+            if len(idx) != arity or arity < 3:
+                raise MeshError(f"{path}: malformed face record")
+            pos += 1 + arity
+            for k in range(1, arity - 1):
+                faces.append([idx[0], idx[k], idx[k + 1]])
+    except (ValueError, IndexError) as exc:
+        raise MeshError(f"{path}: malformed OFF file: {exc}") from exc
+    name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return TriangleMesh(verts, np.asarray(faces, dtype=np.int64), name=name)
+
+
+def save_off(mesh: TriangleMesh, path: Union[str, os.PathLike]) -> None:
+    """Write the mesh to an OFF file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("OFF\n")
+        handle.write(f"{mesh.n_vertices} {mesh.n_faces} 0\n")
+        for x, y, z in mesh.vertices:
+            handle.write(f"{float(x)!r} {float(y)!r} {float(z)!r}\n")
+        for a, b, c in mesh.faces:
+            handle.write(f"3 {a} {b} {c}\n")

@@ -1,0 +1,171 @@
+"""PLY (Stanford polygon format) reader/writer, ASCII and binary LE.
+
+Rounds out the CAD-exchange formats the interface accepts.  Only the
+vertex ``x``/``y``/``z`` properties and face vertex-index lists are
+interpreted; other per-element properties are skipped on load.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import List, Union
+
+import numpy as np
+
+from .mesh import MeshError, TriangleMesh
+
+_DTYPES = {
+    "char": ("b", 1), "int8": ("b", 1),
+    "uchar": ("B", 1), "uint8": ("B", 1),
+    "short": ("h", 2), "int16": ("h", 2),
+    "ushort": ("H", 2), "uint16": ("H", 2),
+    "int": ("i", 4), "int32": ("i", 4),
+    "uint": ("I", 4), "uint32": ("I", 4),
+    "float": ("f", 4), "float32": ("f", 4),
+    "double": ("d", 8), "float64": ("d", 8),
+}
+
+
+def _parse_header(blob: bytes):
+    lines = []
+    pos = 0
+    while True:
+        end = blob.index(b"\n", pos)
+        line = blob[pos:end].decode("ascii", errors="replace").strip()
+        pos = end + 1
+        lines.append(line)
+        if line == "end_header":
+            break
+        if pos > 65536:
+            raise MeshError("PLY header too large or unterminated")
+    if not lines or lines[0] != "ply":
+        raise MeshError("not a PLY file (missing 'ply' magic)")
+    fmt = None
+    elements = []  # (name, count, [(prop_kind, ...)...])
+    for line in lines[1:]:
+        parts = line.split()
+        if not parts or parts[0] == "comment":
+            continue
+        if parts[0] == "format":
+            fmt = parts[1]
+        elif parts[0] == "element":
+            elements.append((parts[1], int(parts[2]), []))
+        elif parts[0] == "property":
+            if not elements:
+                raise MeshError("PLY property before any element")
+            if parts[1] == "list":
+                elements[-1][2].append(("list", parts[2], parts[3], parts[4]))
+            else:
+                elements[-1][2].append(("scalar", parts[1], parts[2]))
+    if fmt not in ("ascii", "binary_little_endian"):
+        raise MeshError(f"unsupported PLY format {fmt!r}")
+    return fmt, elements, pos
+
+
+def load_ply(path: Union[str, os.PathLike]) -> TriangleMesh:
+    """Load a PLY mesh (ascii or binary little-endian)."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    fmt, elements, pos = _parse_header(blob)
+    name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+
+    vertices: List[List[float]] = []
+    faces: List[List[int]] = []
+
+    if fmt == "ascii":
+        tokens = blob[pos:].split()
+        ti = 0
+        for elem_name, count, props in elements:
+            for _ in range(count):
+                values = []
+                for prop in props:
+                    if prop[0] == "list":
+                        arity = int(float(tokens[ti])); ti += 1
+                        items = [int(float(tokens[ti + j])) for j in range(arity)]
+                        ti += arity
+                        values.append(items)
+                    else:
+                        values.append(float(tokens[ti])); ti += 1
+                _collect(elem_name, props, values, vertices, faces)
+    else:
+        offset = pos
+        for elem_name, count, props in elements:
+            for _ in range(count):
+                values = []
+                for prop in props:
+                    if prop[0] == "list":
+                        cfmt, csize = _DTYPES[prop[1]]
+                        (arity,) = struct.unpack_from("<" + cfmt, blob, offset)
+                        offset += csize
+                        ifmt, isize = _DTYPES[prop[2]]
+                        items = list(
+                            struct.unpack_from("<" + ifmt * arity, blob, offset)
+                        )
+                        offset += isize * arity
+                        values.append([int(v) for v in items])
+                    else:
+                        sfmt, ssize = _DTYPES[prop[1]]
+                        (val,) = struct.unpack_from("<" + sfmt, blob, offset)
+                        offset += ssize
+                        values.append(float(val))
+                _collect(elem_name, props, values, vertices, faces)
+
+    verts = np.asarray(vertices, dtype=np.float64).reshape(-1, 3)
+    tris: List[List[int]] = []
+    for idx in faces:
+        if len(idx) < 3:
+            raise MeshError(f"{path}: face with fewer than 3 vertices")
+        for k in range(1, len(idx) - 1):
+            tris.append([idx[0], idx[k], idx[k + 1]])
+    return TriangleMesh(
+        verts, np.asarray(tris, dtype=np.int64).reshape(-1, 3), name=name
+    )
+
+
+def _collect(elem_name, props, values, vertices, faces) -> None:
+    if elem_name == "vertex":
+        coords = {}
+        for prop, value in zip(props, values):
+            if prop[0] == "scalar" and prop[2] in ("x", "y", "z"):
+                coords[prop[2]] = value
+        if len(coords) != 3:
+            raise MeshError("PLY vertex element lacks x/y/z properties")
+        vertices.append([coords["x"], coords["y"], coords["z"]])
+    elif elem_name == "face":
+        for prop, value in zip(props, values):
+            if prop[0] == "list":
+                faces.append(value)
+                break
+
+
+def save_ply(
+    mesh: TriangleMesh, path: Union[str, os.PathLike], binary: bool = True
+) -> None:
+    """Write the mesh as PLY (binary little-endian by default)."""
+    header = [
+        "ply",
+        f"format {'binary_little_endian' if binary else 'ascii'} 1.0",
+        f"comment repro 3DESS export: {mesh.name or 'mesh'}",
+        f"element vertex {mesh.n_vertices}",
+        "property double x",
+        "property double y",
+        "property double z",
+        f"element face {mesh.n_faces}",
+        "property list uchar int vertex_indices",
+        "end_header",
+    ]
+    with open(path, "wb") as handle:
+        handle.write(("\n".join(header) + "\n").encode("ascii"))
+        if binary:
+            for x, y, z in mesh.vertices:
+                handle.write(struct.pack("<3d", x, y, z))
+            for a, b, c in mesh.faces:
+                handle.write(struct.pack("<B3i", 3, a, b, c))
+        else:
+            for x, y, z in mesh.vertices:
+                handle.write(
+                    f"{float(x)!r} {float(y)!r} {float(z)!r}\n".encode("ascii")
+                )
+            for a, b, c in mesh.faces:
+                handle.write(f"3 {a} {b} {c}\n".encode("ascii"))

@@ -1,0 +1,107 @@
+"""STL reader/writer (ASCII and binary).
+
+STL stores an unindexed triangle soup; loading welds coincident vertices so
+the topology-dependent stages (watertightness, skeletonization) behave as
+they do for indexed formats.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Union
+
+import numpy as np
+
+from .mesh import MeshError, TriangleMesh
+
+_BINARY_HEADER_LEN = 80
+_WELD_TOLERANCE = 1e-9
+
+
+def _soup_to_mesh(triangles: np.ndarray, name: str) -> TriangleMesh:
+    verts = triangles.reshape(-1, 3)
+    faces = np.arange(len(verts), dtype=np.int64).reshape(-1, 3)
+    return TriangleMesh(verts, faces, name=name).merge_duplicate_vertices(
+        tol=_WELD_TOLERANCE
+    )
+
+
+def _load_ascii(text: str, name: str) -> TriangleMesh:
+    coords = []
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) == 4 and parts[0].lower() == "vertex":
+            coords.append([float(v) for v in parts[1:4]])
+    if not coords or len(coords) % 3:
+        raise MeshError("ASCII STL has a non-multiple-of-3 vertex count")
+    return _soup_to_mesh(np.asarray(coords, dtype=np.float64).reshape(-1, 3, 3), name)
+
+
+def _load_binary(blob: bytes, name: str) -> TriangleMesh:
+    if len(blob) < _BINARY_HEADER_LEN + 4:
+        raise MeshError("binary STL truncated before triangle count")
+    (count,) = struct.unpack_from("<I", blob, _BINARY_HEADER_LEN)
+    expected = _BINARY_HEADER_LEN + 4 + count * 50
+    if len(blob) < expected:
+        raise MeshError(
+            f"binary STL truncated: expected {expected} bytes, got {len(blob)}"
+        )
+    records = np.frombuffer(
+        blob,
+        dtype=np.dtype(
+            [
+                ("normal", "<f4", 3),
+                ("v", "<f4", (3, 3)),
+                ("attr", "<u2"),
+            ]
+        ),
+        count=count,
+        offset=_BINARY_HEADER_LEN + 4,
+    )
+    return _soup_to_mesh(records["v"].astype(np.float64), name)
+
+
+def load_stl(path: Union[str, os.PathLike]) -> TriangleMesh:
+    """Load an STL file, auto-detecting ASCII vs binary."""
+    name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    head = blob[:512].lstrip()
+    if head.startswith(b"solid"):
+        # Could still be binary with a "solid" header; trust the structure.
+        try:
+            return _load_ascii(blob.decode("utf-8", errors="replace"), name)
+        except MeshError:
+            pass
+    return _load_binary(blob, name)
+
+
+def save_stl(
+    mesh: TriangleMesh, path: Union[str, os.PathLike], binary: bool = True
+) -> None:
+    """Write the mesh as STL (binary by default)."""
+    tri = mesh.triangles
+    normals = mesh.face_normals()
+    if binary:
+        with open(path, "wb") as handle:
+            handle.write(b"repro binary STL".ljust(_BINARY_HEADER_LEN, b"\0"))
+            handle.write(struct.pack("<I", mesh.n_faces))
+            for n, t in zip(normals, tri):
+                handle.write(struct.pack("<3f", *n))
+                for corner in t:
+                    handle.write(struct.pack("<3f", *corner))
+                handle.write(struct.pack("<H", 0))
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"solid {mesh.name or 'mesh'}\n")
+        for n, t in zip(normals, tri):
+            handle.write(f"  facet normal {float(n[0])!r} {float(n[1])!r} {float(n[2])!r}\n")
+            handle.write("    outer loop\n")
+            for corner in t:
+                handle.write(
+                    f"      vertex {float(corner[0])!r} {float(corner[1])!r} {float(corner[2])!r}\n"
+                )
+            handle.write("    endloop\n")
+            handle.write("  endfacet\n")
+        handle.write(f"endsolid {mesh.name or 'mesh'}\n")

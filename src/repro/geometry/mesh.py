@@ -1,0 +1,257 @@
+"""Triangle-mesh data structure used throughout the library.
+
+The paper's 3DESS prototype consumed CAD models through the ACIS kernel and
+triangulated them for display and feature extraction.  This module provides
+the equivalent substrate: an immutable-by-convention triangle soup with
+explicit vertex and face arrays, plus the bookkeeping queries (adjacency,
+edges, connected components) the rest of the pipeline relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class MeshError(ValueError):
+    """Raised for malformed mesh construction or query arguments."""
+
+
+class TriangleMesh:
+    """A triangle mesh defined by an (n, 3) float vertex array and an
+    (m, 3) int face array indexing into it.
+
+    Vertices are stored as ``float64`` and faces as ``int64``.  The class
+    performs validation at construction time so downstream geometry code can
+    assume well-formed input.
+
+    Parameters
+    ----------
+    vertices:
+        Sequence of 3D points, shape (n, 3).
+    faces:
+        Sequence of vertex-index triples, shape (m, 3).
+    name:
+        Optional human-readable label carried through the pipeline.
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[Sequence[float]],
+        faces: Iterable[Sequence[int]],
+        name: str = "",
+    ) -> None:
+        verts = np.asarray(vertices, dtype=np.float64)
+        tris = np.asarray(faces, dtype=np.int64)
+        if verts.size == 0:
+            verts = verts.reshape(0, 3)
+        if tris.size == 0:
+            tris = tris.reshape(0, 3)
+        if verts.ndim != 2 or verts.shape[1] != 3:
+            raise MeshError(f"vertices must have shape (n, 3), got {verts.shape}")
+        if tris.ndim != 2 or tris.shape[1] != 3:
+            raise MeshError(f"faces must have shape (m, 3), got {tris.shape}")
+        if not np.isfinite(verts).all():
+            raise MeshError("vertices contain NaN or infinite coordinates")
+        if tris.size and (tris.min() < 0 or tris.max() >= len(verts)):
+            raise MeshError(
+                f"face indices must lie in [0, {len(verts) - 1}], "
+                f"got range [{tris.min()}, {tris.max()}]"
+            )
+        self.vertices = verts
+        self.faces = tris
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self.vertices)
+
+    @property
+    def n_faces(self) -> int:
+        """Number of triangular faces."""
+        return len(self.faces)
+
+    @property
+    def triangles(self) -> np.ndarray:
+        """Face corner coordinates, shape (m, 3, 3)."""
+        return self.vertices[self.faces]
+
+    def copy(self) -> "TriangleMesh":
+        """Deep copy of the mesh."""
+        return TriangleMesh(self.vertices.copy(), self.faces.copy(), name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<TriangleMesh{label} vertices={self.n_vertices} "
+            f"faces={self.n_faces}>"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TriangleMesh):
+            return NotImplemented
+        return (
+            self.vertices.shape == other.vertices.shape
+            and self.faces.shape == other.faces.shape
+            and np.array_equal(self.vertices, other.vertices)
+            and np.array_equal(self.faces, other.faces)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.vertices.tobytes(), self.faces.tobytes()))
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    def face_normals(self, normalized: bool = True) -> np.ndarray:
+        """Per-face normals, shape (m, 3).
+
+        With ``normalized=False`` the raw cross products are returned, whose
+        magnitude is twice the triangle area.  Degenerate faces yield a zero
+        vector instead of NaN.
+        """
+        tri = self.triangles
+        raw = np.cross(tri[:, 1] - tri[:, 0], tri[:, 2] - tri[:, 0])
+        if not normalized:
+            return raw
+        norms = np.linalg.norm(raw, axis=1)
+        safe = np.where(norms > 0, norms, 1.0)
+        return raw / safe[:, None]
+
+    def face_areas(self) -> np.ndarray:
+        """Per-face areas, shape (m,)."""
+        return 0.5 * np.linalg.norm(self.face_normals(normalized=False), axis=1)
+
+    def face_centroids(self) -> np.ndarray:
+        """Per-face centroids, shape (m, 3)."""
+        return self.triangles.mean(axis=1)
+
+    def edges(self, unique: bool = True) -> np.ndarray:
+        """Edge list as vertex-index pairs.
+
+        With ``unique=True`` (default) each undirected edge appears once
+        (sorted low-high).  Otherwise all 3m directed half-edges are
+        returned in face order.
+        """
+        f = self.faces
+        halves = np.concatenate([f[:, [0, 1]], f[:, [1, 2]], f[:, [2, 0]]])
+        if not unique:
+            return halves
+        ordered = np.sort(halves, axis=1)
+        return np.unique(ordered, axis=0)
+
+    def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned bounding box as ``(min_corner, max_corner)``."""
+        if self.n_vertices == 0:
+            raise MeshError("empty mesh has no bounding box")
+        return self.vertices.min(axis=0), self.vertices.max(axis=0)
+
+    def extents(self) -> np.ndarray:
+        """Bounding-box edge lengths, shape (3,)."""
+        lo, hi = self.bounds()
+        return hi - lo
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def is_watertight(self) -> bool:
+        """True when every undirected edge borders exactly two faces."""
+        if self.n_faces == 0:
+            return False
+        halves = np.sort(self.edges(unique=False), axis=1)
+        _, counts = np.unique(halves, axis=0, return_counts=True)
+        return bool((counts == 2).all())
+
+    def euler_characteristic(self) -> int:
+        """V - E + F of the referenced sub-complex."""
+        used = np.unique(self.faces)
+        return int(len(used) - len(self.edges(unique=True)) + self.n_faces)
+
+    def vertex_components(self) -> np.ndarray:
+        """Connected-component label per vertex (edge connectivity).
+
+        Isolated vertices each get their own label.
+        """
+        n = self.n_vertices
+        parent = np.arange(n)
+
+        def find(a: int) -> int:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        for u, v in self.edges(unique=True):
+            ru, rv = find(int(u)), find(int(v))
+            if ru != rv:
+                parent[rv] = ru
+        roots = np.fromiter((find(i) for i in range(n)), dtype=np.int64, count=n)
+        _, labels = np.unique(roots, return_inverse=True)
+        return labels
+
+    def n_components(self) -> int:
+        """Number of edge-connected components."""
+        if self.n_vertices == 0:
+            return 0
+        return int(self.vertex_components().max()) + 1
+
+    # ------------------------------------------------------------------
+    # Cleanup / construction helpers
+    # ------------------------------------------------------------------
+    def remove_unused_vertices(self) -> "TriangleMesh":
+        """Return a mesh keeping only vertices referenced by faces."""
+        used = np.unique(self.faces)
+        remap = np.full(self.n_vertices, -1, dtype=np.int64)
+        remap[used] = np.arange(len(used))
+        return TriangleMesh(self.vertices[used], remap[self.faces], name=self.name)
+
+    def merge_duplicate_vertices(self, tol: float = 1e-9) -> "TriangleMesh":
+        """Weld vertices closer than ``tol`` (grid quantization) and drop
+        the degenerate faces produced by welding."""
+        if self.n_vertices == 0:
+            return self.copy()
+        quant = np.round(self.vertices / tol).astype(np.int64)
+        _, first_idx, inverse = np.unique(
+            quant, axis=0, return_index=True, return_inverse=True
+        )
+        new_faces = inverse[self.faces]
+        ok = (
+            (new_faces[:, 0] != new_faces[:, 1])
+            & (new_faces[:, 1] != new_faces[:, 2])
+            & (new_faces[:, 2] != new_faces[:, 0])
+        )
+        mesh = TriangleMesh(
+            self.vertices[first_idx], new_faces[ok], name=self.name
+        )
+        return mesh.remove_unused_vertices()
+
+    def flipped(self) -> "TriangleMesh":
+        """Mesh with reversed face orientation."""
+        return TriangleMesh(
+            self.vertices.copy(), self.faces[:, [0, 2, 1]].copy(), name=self.name
+        )
+
+    @staticmethod
+    def concatenate(
+        meshes: Sequence["TriangleMesh"], name: Optional[str] = None
+    ) -> "TriangleMesh":
+        """Concatenate several meshes into one (no welding or CSG)."""
+        if not meshes:
+            return TriangleMesh(np.zeros((0, 3)), np.zeros((0, 3), dtype=np.int64))
+        verts = []
+        faces = []
+        offset = 0
+        for mesh in meshes:
+            verts.append(mesh.vertices)
+            faces.append(mesh.faces + offset)
+            offset += mesh.n_vertices
+        return TriangleMesh(
+            np.concatenate(verts),
+            np.concatenate(faces),
+            name=name if name is not None else meshes[0].name,
+        )

@@ -1,0 +1,145 @@
+"""2D polygon utilities: area, orientation, and ear-clipping triangulation.
+
+Engineering cross-sections (L, U, T, H, cross, C, comb profiles) are
+described as simple 2D polygons and extruded into solids; ear clipping
+turns any simple polygon into triangles for the prism caps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+class PolygonError(ValueError):
+    """Raised for degenerate or non-simple polygon input."""
+
+
+def polygon_area(points: Sequence[Sequence[float]]) -> float:
+    """Signed area via the shoelace formula (positive for CCW)."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2 or len(pts) < 3:
+        raise PolygonError(f"polygon needs (n>=3, 2) points, got {pts.shape}")
+    x, y = pts[:, 0], pts[:, 1]
+    return float(
+        0.5 * np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y)
+    )
+
+
+def ensure_ccw(points: Sequence[Sequence[float]]) -> np.ndarray:
+    """Return the polygon with counter-clockwise winding."""
+    pts = np.asarray(points, dtype=np.float64)
+    if polygon_area(pts) < 0:
+        return pts[::-1].copy()
+    return pts.copy()
+
+
+def _cross2(o: np.ndarray, a: np.ndarray, b: np.ndarray) -> float:
+    return float((a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0]))
+
+
+def _point_in_triangle(
+    p: np.ndarray, a: np.ndarray, b: np.ndarray, c: np.ndarray, eps: float = 0.0
+) -> bool:
+    """Closed-triangle containment.
+
+    ``eps`` widens the boundary band: a point within ``eps`` of an edge
+    counts as inside.  Ear clipping needs this because polygon vertices
+    that lie *exactly* on a candidate diagonal (staircase corners) must
+    block the ear, and raw float crosses wobble around zero there.
+    """
+    d1 = _cross2(a, b, p)
+    d2 = _cross2(b, c, p)
+    d3 = _cross2(c, a, p)
+    has_neg = (d1 < -eps) or (d2 < -eps) or (d3 < -eps)
+    has_pos = (d1 > eps) or (d2 > eps) or (d3 > eps)
+    return not (has_neg and has_pos)
+
+
+def triangulate_polygon(points: Sequence[Sequence[float]]) -> List[Tuple[int, int, int]]:
+    """Ear-clipping triangulation of a simple polygon.
+
+    Returns index triples into the *input* point order (before any winding
+    fix), each triple wound counter-clockwise.
+
+    Raises
+    ------
+    PolygonError
+        If the polygon is degenerate or no ear can be clipped (typically a
+        self-intersecting input).
+    """
+    pts_in = np.asarray(points, dtype=np.float64)
+    if pts_in.ndim != 2 or pts_in.shape[1] != 2 or len(pts_in) < 3:
+        raise PolygonError(f"polygon needs (n>=3, 2) points, got {pts_in.shape}")
+    reversed_input = polygon_area(pts_in) < 0
+    pts = pts_in[::-1] if reversed_input else pts_in
+
+    n = len(pts)
+    indices = list(range(n))
+    triangles: List[Tuple[int, int, int]] = []
+    eps = 1e-12 * max(1.0, float(np.abs(pts).max()) ** 2)
+
+    guard = 0
+    while len(indices) > 3:
+        guard += 1
+        if guard > 2 * n * n:
+            raise PolygonError("ear clipping failed; polygon may self-intersect")
+        clipped = False
+        for k in range(len(indices)):
+            i_prev = indices[k - 1]
+            i_curr = indices[k]
+            i_next = indices[(k + 1) % len(indices)]
+            a, b, c = pts[i_prev], pts[i_curr], pts[i_next]
+            if _cross2(a, b, c) <= eps:
+                continue  # reflex or collinear vertex; not an ear
+            ear = True
+            for j in indices:
+                if j in (i_prev, i_curr, i_next):
+                    continue
+                if _point_in_triangle(pts[j], a, b, c, eps=eps):
+                    ear = False
+                    break
+            if ear:
+                triangles.append((i_prev, i_curr, i_next))
+                indices.pop(k)
+                clipped = True
+                break
+        if not clipped:
+            # Collinear chains (e.g. staircase corners) can leave a
+            # zero-area remainder once all real ears are clipped.  It is
+            # fan-triangulated into degenerate triangles: they enclose no
+            # area but keep every polygon edge paired, so prism caps stay
+            # watertight.
+            remainder = abs(polygon_area(pts[indices]))
+            if remainder <= 1e-9 * max(1.0, float(np.abs(pts).max()) ** 2):
+                for k in range(1, len(indices) - 1):
+                    triangles.append((indices[0], indices[k], indices[k + 1]))
+                indices = []
+                break
+            raise PolygonError("no ear found; polygon may self-intersect")
+    if len(indices) == 3:
+        triangles.append((indices[0], indices[1], indices[2]))
+
+    if reversed_input:
+        last = n - 1
+        triangles = [(last - a, last - b, last - c) for a, b, c in triangles]
+    return triangles
+
+
+def regular_polygon(n_sides: int, radius: float, phase: float = 0.0) -> np.ndarray:
+    """Vertices of a regular n-gon (CCW), shape (n, 2)."""
+    if n_sides < 3:
+        raise PolygonError(f"need at least 3 sides, got {n_sides}")
+    if radius <= 0:
+        raise PolygonError(f"radius must be positive, got {radius}")
+    angles = phase + 2.0 * np.pi * np.arange(n_sides) / n_sides
+    return np.column_stack([radius * np.cos(angles), radius * np.sin(angles)])
+
+
+def rectangle(width: float, height: float) -> np.ndarray:
+    """Axis-aligned CCW rectangle centered at the origin, shape (4, 2)."""
+    if width <= 0 or height <= 0:
+        raise PolygonError("rectangle extents must be positive")
+    w, h = width / 2.0, height / 2.0
+    return np.array([[-w, -h], [w, -h], [w, h], [-w, h]])

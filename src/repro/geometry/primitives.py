@@ -1,0 +1,324 @@
+"""Closed, outward-oriented parametric primitives.
+
+These are the building blocks of the synthetic engineering corpus
+(`repro.datasets`).  Every generator returns a watertight
+:class:`~repro.geometry.mesh.TriangleMesh` whose enclosed volume matches the
+analytic value, so exact moment computation (Section 3 of the paper) holds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .mesh import MeshError, TriangleMesh
+from .polygon import ensure_ccw, polygon_area, regular_polygon, triangulate_polygon
+
+
+def box(extents: Sequence[float] = (1.0, 1.0, 1.0), center: Sequence[float] = (0.0, 0.0, 0.0)) -> TriangleMesh:
+    """Axis-aligned rectangular box."""
+    ext = np.asarray(extents, dtype=np.float64)
+    ctr = np.asarray(center, dtype=np.float64)
+    if ext.shape != (3,) or (ext <= 0).any():
+        raise MeshError(f"box extents must be 3 positive numbers, got {extents}")
+    half = ext / 2.0
+    signs = np.array(
+        [[sx, sy, sz] for sx in (-1, 1) for sy in (-1, 1) for sz in (-1, 1)],
+        dtype=np.float64,
+    )
+    verts = ctr + signs * half
+    # Outward-oriented faces of the unit cube with the vertex order above
+    # (index = 4*x + 2*y + z with bits in {0,1}).
+    faces = np.array(
+        [
+            [0, 1, 3], [0, 3, 2],  # -x
+            [4, 6, 7], [4, 7, 5],  # +x
+            [0, 4, 5], [0, 5, 1],  # -y
+            [2, 3, 7], [2, 7, 6],  # +y
+            [0, 2, 6], [0, 6, 4],  # -z
+            [1, 5, 7], [1, 7, 3],  # +z
+        ],
+        dtype=np.int64,
+    )
+    return TriangleMesh(verts, faces, name="box")
+
+
+def extrude_polygon(
+    profile: Sequence[Sequence[float]], height: float, name: str = "prism"
+) -> TriangleMesh:
+    """Extrude a simple 2D polygon along +Z from z=0 to z=height.
+
+    The profile may be given in either winding; it is normalized to CCW so
+    the resulting prism is outward-oriented.
+    """
+    if height <= 0:
+        raise MeshError(f"extrusion height must be positive, got {height}")
+    poly = ensure_ccw(profile)
+    n = len(poly)
+    tris = triangulate_polygon(poly)
+
+    bottom = np.column_stack([poly, np.zeros(n)])
+    top = np.column_stack([poly, np.full(n, float(height))])
+    verts = np.vstack([bottom, top])
+
+    faces = []
+    for a, b, c in tris:
+        faces.append([a, c, b])          # bottom cap faces -z
+        faces.append([n + a, n + b, n + c])  # top cap faces +z
+    for i in range(n):
+        j = (i + 1) % n
+        # Side quad (i, j, j+n, i+n), outward for CCW profiles.
+        faces.append([i, j, n + j])
+        faces.append([i, n + j, n + i])
+    return TriangleMesh(verts, np.asarray(faces, dtype=np.int64), name=name)
+
+
+def prism(n_sides: int, radius: float, height: float, phase: float = 0.0) -> TriangleMesh:
+    """Regular n-gonal prism centered on the Z axis, base at z=0."""
+    mesh = extrude_polygon(regular_polygon(n_sides, radius, phase), height, name=f"prism{n_sides}")
+    return mesh
+
+
+def cylinder(radius: float, height: float, segments: int = 32) -> TriangleMesh:
+    """Closed circular cylinder (approximated by a regular prism)."""
+    if segments < 3:
+        raise MeshError(f"cylinder needs >=3 segments, got {segments}")
+    mesh = prism(segments, radius, height)
+    mesh.name = "cylinder"
+    return mesh
+
+
+def frustum(
+    radius_bottom: float, radius_top: float, height: float, segments: int = 32
+) -> TriangleMesh:
+    """Conical frustum on the Z axis; ``radius_top=0`` yields a cone."""
+    if radius_bottom <= 0 or radius_top < 0:
+        raise MeshError("frustum radii must be positive (top may be zero)")
+    if height <= 0:
+        raise MeshError(f"height must be positive, got {height}")
+    if segments < 3:
+        raise MeshError(f"need >=3 segments, got {segments}")
+
+    bottom = regular_polygon(segments, radius_bottom)
+    verts = [np.column_stack([bottom, np.zeros(segments)])]
+    faces = []
+    tris = triangulate_polygon(bottom)
+    for a, b, c in tris:
+        faces.append([a, c, b])  # bottom cap faces -z
+
+    if radius_top > 0:
+        top = regular_polygon(segments, radius_top)
+        verts.append(np.column_stack([top, np.full(segments, float(height))]))
+        for a, b, c in tris:
+            faces.append([segments + a, segments + b, segments + c])
+        for i in range(segments):
+            j = (i + 1) % segments
+            faces.append([i, j, segments + j])
+            faces.append([i, segments + j, segments + i])
+        name = "frustum"
+    else:
+        apex = segments
+        verts.append(np.array([[0.0, 0.0, float(height)]]))
+        for i in range(segments):
+            j = (i + 1) % segments
+            faces.append([i, j, apex])
+        name = "cone"
+    mesh = TriangleMesh(np.vstack(verts), np.asarray(faces, dtype=np.int64), name=name)
+    return mesh
+
+
+def cone(radius: float, height: float, segments: int = 32) -> TriangleMesh:
+    """Closed cone with apex on +Z."""
+    return frustum(radius, 0.0, height, segments)
+
+
+def annular_prism(
+    outer_profile: Sequence[Sequence[float]],
+    inner_profile: Sequence[Sequence[float]],
+    height: float,
+    name: str = "annular_prism",
+) -> TriangleMesh:
+    """Extrude the region between two nested simple polygons.
+
+    Both profiles must have the same vertex count and be "radially matched"
+    (vertex i of the inner ring lies between the spokes of vertices i and
+    i+1 of the outer ring, as with concentric regular polygons or
+    concentric rectangles).  The inner wall is wound so its normals face the
+    hole, keeping the solid outward-oriented.
+    """
+    outer = ensure_ccw(outer_profile)
+    inner = ensure_ccw(inner_profile)
+    if len(outer) != len(inner):
+        raise MeshError(
+            f"profiles must match in length, got {len(outer)} and {len(inner)}"
+        )
+    if height <= 0:
+        raise MeshError(f"height must be positive, got {height}")
+    n = len(outer)
+    # Vertex layout: outer-bottom [0,n), inner-bottom [n,2n),
+    # outer-top [2n,3n), inner-top [3n,4n).
+    verts = np.vstack(
+        [
+            np.column_stack([outer, np.zeros(n)]),
+            np.column_stack([inner, np.zeros(n)]),
+            np.column_stack([outer, np.full(n, float(height))]),
+            np.column_stack([inner, np.full(n, float(height))]),
+        ]
+    )
+    faces = []
+    for i in range(n):
+        j = (i + 1) % n
+        # Outer wall, outward.
+        faces.append([i, j, 2 * n + j])
+        faces.append([i, 2 * n + j, 2 * n + i])
+        # Inner wall, facing the hole.
+        faces.append([n + i, 3 * n + j, n + j])
+        faces.append([n + i, 3 * n + i, 3 * n + j])
+        # Bottom annulus, facing -z.
+        faces.append([i, n + j, j])
+        faces.append([i, n + i, n + j])
+        # Top annulus, facing +z.
+        faces.append([2 * n + i, 2 * n + j, 3 * n + j])
+        faces.append([2 * n + i, 3 * n + j, 3 * n + i])
+    return TriangleMesh(verts, np.asarray(faces, dtype=np.int64), name=name)
+
+
+def tube(
+    radius_outer: float, radius_inner: float, height: float, segments: int = 32
+) -> TriangleMesh:
+    """Annular cylinder (washer/bushing) with a genuine through-hole.
+
+    Enclosed volume is pi*(ro^2 - ri^2)*h in the polygonal approximation.
+    """
+    if not 0 < radius_inner < radius_outer:
+        raise MeshError(
+            f"need 0 < inner < outer radius, got {radius_inner}, {radius_outer}"
+        )
+    if segments < 3:
+        raise MeshError(f"need >=3 segments, got {segments}")
+    return annular_prism(
+        regular_polygon(segments, radius_outer),
+        regular_polygon(segments, radius_inner),
+        height,
+        name="tube",
+    )
+
+
+def hex_nut(
+    across_flats: float, bore_radius: float, height: float, bore_segments: int = 6
+) -> TriangleMesh:
+    """Hexagonal nut: hex prism outer profile with a round (polygonal) bore.
+
+    ``bore_segments`` must equal 6 or a multiple of 6 is resampled down to 6
+    spokes to stay radially matched with the hex outline; the default bore
+    is hexagonal, which suffices for moment/skeleton features.
+    """
+    if across_flats <= 0:
+        raise MeshError("across_flats must be positive")
+    circum_radius = across_flats / np.sqrt(3.0)
+    if not 0 < bore_radius < across_flats / 2.0:
+        raise MeshError("bore must fit strictly inside the hex flats")
+    outer = regular_polygon(6, circum_radius)
+    inner = regular_polygon(6, bore_radius)
+    return annular_prism(outer, inner, height, name="hex_nut")
+
+
+def uv_sphere(radius: float, n_lat: int = 16, n_lon: int = 32) -> TriangleMesh:
+    """UV sphere centered at the origin."""
+    if radius <= 0:
+        raise MeshError(f"radius must be positive, got {radius}")
+    if n_lat < 2 or n_lon < 3:
+        raise MeshError("need n_lat >= 2 and n_lon >= 3")
+    verts = [np.array([0.0, 0.0, radius])]
+    for i in range(1, n_lat):
+        theta = np.pi * i / n_lat
+        z = radius * np.cos(theta)
+        r = radius * np.sin(theta)
+        for j in range(n_lon):
+            phi = 2.0 * np.pi * j / n_lon
+            verts.append(np.array([r * np.cos(phi), r * np.sin(phi), z]))
+    verts.append(np.array([0.0, 0.0, -radius]))
+    verts = np.vstack(verts)
+
+    faces = []
+    south = len(verts) - 1
+
+    def ring_index(ring: int, j: int) -> int:
+        return 1 + ring * n_lon + (j % n_lon)
+
+    for j in range(n_lon):  # north cap
+        faces.append([0, ring_index(0, j), ring_index(0, j + 1)])
+    for ring in range(n_lat - 2):  # body quads
+        for j in range(n_lon):
+            a = ring_index(ring, j)
+            b = ring_index(ring, j + 1)
+            c = ring_index(ring + 1, j + 1)
+            d = ring_index(ring + 1, j)
+            faces.append([a, d, c])
+            faces.append([a, c, b])
+    for j in range(n_lon):  # south cap
+        faces.append([south, ring_index(n_lat - 2, j + 1), ring_index(n_lat - 2, j)])
+    return TriangleMesh(verts, np.asarray(faces, dtype=np.int64), name="sphere")
+
+
+def torus(
+    radius_major: float, radius_minor: float, n_major: int = 32, n_minor: int = 16
+) -> TriangleMesh:
+    """Torus around the Z axis (tube center circle radius ``radius_major``)."""
+    if not 0 < radius_minor < radius_major:
+        raise MeshError(
+            f"need 0 < minor < major radius, got {radius_minor}, {radius_major}"
+        )
+    if n_major < 3 or n_minor < 3:
+        raise MeshError("need >=3 segments on both circles")
+    verts = np.empty((n_major * n_minor, 3))
+    for i in range(n_major):
+        phi = 2.0 * np.pi * i / n_major
+        center = np.array([radius_major * np.cos(phi), radius_major * np.sin(phi), 0.0])
+        radial = np.array([np.cos(phi), np.sin(phi), 0.0])
+        for j in range(n_minor):
+            psi = 2.0 * np.pi * j / n_minor
+            verts[i * n_minor + j] = (
+                center
+                + radius_minor * np.cos(psi) * radial
+                + np.array([0.0, 0.0, radius_minor * np.sin(psi)])
+            )
+    faces = []
+    for i in range(n_major):
+        i2 = (i + 1) % n_major
+        for j in range(n_minor):
+            j2 = (j + 1) % n_minor
+            a = i * n_minor + j
+            b = i2 * n_minor + j
+            c = i2 * n_minor + j2
+            d = i * n_minor + j2
+            faces.append([a, b, c])
+            faces.append([a, c, d])
+    return TriangleMesh(verts, np.asarray(faces, dtype=np.int64), name="torus")
+
+
+def plate_with_rect_hole(
+    width: float, depth: float, thickness: float, hole_width: float, hole_depth: float
+) -> TriangleMesh:
+    """Rectangular plate with a centered rectangular through-hole.
+
+    Realized as an annular prism between two concentric rectangles, which
+    keeps the solid watertight with a genuine through-hole.
+    """
+    if not (0 < hole_width < width and 0 < hole_depth < depth):
+        raise MeshError("hole must be strictly inside the plate")
+    from .polygon import rectangle
+
+    mesh = annular_prism(
+        rectangle(width, depth),
+        rectangle(hole_width, hole_depth),
+        thickness,
+        name="plate_with_hole",
+    )
+    return mesh
+
+
+def expected_prism_volume(profile: Sequence[Sequence[float]], height: float) -> float:
+    """Analytic volume of an extruded profile (for tests)."""
+    return abs(polygon_area(profile)) * float(height)

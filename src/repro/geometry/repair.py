@@ -1,0 +1,197 @@
+"""Mesh repair: orientation fixing, degeneracy removal, validation.
+
+Real CAD exports arrive with inconsistent winding, duplicate vertices, or
+sliver faces; moment extraction assumes consistently outward-oriented
+closed meshes.  This module provides the standard repairs:
+
+* :func:`remove_degenerate_faces` — drop zero-area faces,
+* :func:`fix_orientation` — propagate a consistent winding over each
+  connected component and flip components whose signed volume is negative
+  (so closed shells end up outward),
+* :func:`validate_mesh` — a structured health report.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .mesh import MeshError, TriangleMesh
+
+
+def remove_degenerate_faces(mesh: TriangleMesh, area_tol: float = 1e-12) -> TriangleMesh:
+    """Drop faces whose area is at or below ``area_tol``."""
+    if mesh.n_faces == 0:
+        return mesh.copy()
+    keep = mesh.face_areas() > area_tol
+    return TriangleMesh(mesh.vertices.copy(), mesh.faces[keep], name=mesh.name)
+
+
+def _edge_key(a: int, b: int) -> Tuple[int, int]:
+    return (a, b) if a < b else (b, a)
+
+
+def fix_orientation(mesh: TriangleMesh) -> TriangleMesh:
+    """Make face windings consistent and outward where closed.
+
+    Winding consistency is propagated by BFS over edge-adjacent faces:
+    two faces sharing an edge are consistently wound when they traverse
+    the shared edge in opposite directions.  After propagation, any
+    connected component that encloses negative signed volume is flipped
+    wholesale.  Non-manifold edges (more than two incident faces) make
+    global consistency impossible; those extra adjacencies are ignored
+    rather than fought.
+    """
+    if mesh.n_faces == 0:
+        return mesh.copy()
+    faces = mesh.faces.copy()
+
+    edge_faces: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+    for fi, face in enumerate(faces):
+        for k in range(3):
+            edge_faces[_edge_key(int(face[k]), int(face[(k + 1) % 3]))].append(fi)
+
+    def traverses(face: np.ndarray, a: int, b: int) -> bool:
+        """Whether the face contains directed edge a->b."""
+        for k in range(3):
+            if face[k] == a and face[(k + 1) % 3] == b:
+                return True
+        return False
+
+    visited = np.zeros(len(faces), dtype=bool)
+    component_of = np.full(len(faces), -1, dtype=np.int64)
+    n_components = 0
+    for seed in range(len(faces)):
+        if visited[seed]:
+            continue
+        component = n_components
+        n_components += 1
+        visited[seed] = True
+        component_of[seed] = component
+        queue = deque([seed])
+        while queue:
+            cur = queue.popleft()
+            face = faces[cur]
+            for k in range(3):
+                a, b = int(face[k]), int(face[(k + 1) % 3])
+                incident = edge_faces[_edge_key(a, b)]
+                if len(incident) != 2:
+                    continue  # boundary or non-manifold: skip
+                other = incident[0] if incident[1] == cur else incident[1]
+                if visited[other]:
+                    continue
+                # Consistent orientation: the neighbor must traverse the
+                # shared edge in the opposite direction (b -> a).
+                if traverses(faces[other], a, b):
+                    faces[other] = faces[other][::-1]
+                visited[other] = True
+                component_of[other] = component
+                queue.append(other)
+
+    out = TriangleMesh(mesh.vertices.copy(), faces, name=mesh.name)
+    # Flip whole components that are inward-oriented (negative volume).
+    tri = out.triangles
+    cross = np.cross(tri[:, 1], tri[:, 2])
+    contrib = np.einsum("ij,ij->i", tri[:, 0], cross) / 6.0
+    for component in range(n_components):
+        members = component_of == component
+        if contrib[members].sum() < 0:
+            flipped = faces[members][:, ::-1]
+            faces[members] = flipped
+    return TriangleMesh(mesh.vertices.copy(), faces, name=mesh.name)
+
+
+@dataclass
+class MeshReport:
+    """Structured mesh-health summary."""
+
+    n_vertices: int
+    n_faces: int
+    n_components: int
+    n_degenerate_faces: int
+    n_boundary_edges: int
+    n_nonmanifold_edges: int
+    n_inconsistent_edges: int
+    is_watertight: bool
+    is_outward: bool
+    euler_characteristic: int
+
+    @property
+    def is_clean(self) -> bool:
+        """Ready for exact moment extraction without repair."""
+        return (
+            self.is_watertight
+            and self.is_outward
+            and self.n_degenerate_faces == 0
+            and self.n_nonmanifold_edges == 0
+            and self.n_inconsistent_edges == 0
+        )
+
+    def format(self) -> str:
+        flags = []
+        if not self.is_watertight:
+            flags.append(f"{self.n_boundary_edges} boundary edges")
+        if self.n_nonmanifold_edges:
+            flags.append(f"{self.n_nonmanifold_edges} non-manifold edges")
+        if self.n_inconsistent_edges:
+            flags.append(f"{self.n_inconsistent_edges} inconsistently wound edges")
+        if self.n_degenerate_faces:
+            flags.append(f"{self.n_degenerate_faces} degenerate faces")
+        if not self.is_outward:
+            flags.append("inward orientation")
+        status = "clean" if self.is_clean else "; ".join(flags)
+        return (
+            f"mesh: {self.n_vertices} vertices, {self.n_faces} faces, "
+            f"{self.n_components} components, chi={self.euler_characteristic} "
+            f"[{status}]"
+        )
+
+
+def validate_mesh(mesh: TriangleMesh, area_tol: float = 1e-12) -> MeshReport:
+    """Inspect a mesh without modifying it."""
+    if mesh.n_faces == 0:
+        raise MeshError("cannot validate an empty mesh")
+    directed = mesh.edges(unique=False)
+    halves = np.sort(directed, axis=1)
+    unique_edges, inverse, counts = np.unique(
+        halves, axis=0, return_inverse=True, return_counts=True
+    )
+    boundary = int((counts == 1).sum())
+    nonmanifold = int((counts > 2).sum())
+    # A consistently wound manifold edge is traversed once in each
+    # direction; two same-direction traversals flag a winding flip.
+    inconsistent = 0
+    forward = directed[:, 0] < directed[:, 1]
+    forward_count = np.zeros(len(unique_edges), dtype=np.int64)
+    np.add.at(forward_count, inverse, forward.astype(np.int64))
+    both = counts == 2
+    inconsistent = int((forward_count[both] != 1).sum())
+    degenerate = int((mesh.face_areas() <= area_tol).sum())
+    watertight = boundary == 0 and nonmanifold == 0
+    from .properties import signed_volume
+
+    outward = signed_volume(mesh) >= 0
+    return MeshReport(
+        n_vertices=mesh.n_vertices,
+        n_faces=mesh.n_faces,
+        n_components=mesh.n_components(),
+        n_degenerate_faces=degenerate,
+        n_boundary_edges=boundary,
+        n_nonmanifold_edges=nonmanifold,
+        n_inconsistent_edges=inconsistent,
+        is_watertight=watertight,
+        is_outward=outward,
+        euler_characteristic=mesh.euler_characteristic(),
+    )
+
+
+def repair_mesh(mesh: TriangleMesh, weld_tol: float = 1e-9) -> TriangleMesh:
+    """Standard repair pipeline: weld, drop degenerates, fix orientation."""
+    out = mesh.merge_duplicate_vertices(tol=weld_tol)
+    out = remove_degenerate_faces(out)
+    if out.n_faces == 0:
+        raise MeshError("mesh has no non-degenerate faces after cleanup")
+    return fix_orientation(out)

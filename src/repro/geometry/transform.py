@@ -1,0 +1,127 @@
+"""Rigid and affine transforms on triangle meshes.
+
+Normalization (Section 3.1 of the paper) is a composition of translation,
+rotation, and uniform scaling; this module provides those building blocks
+plus general 4x4 homogeneous transforms and deterministic random rotations
+for the invariance test suites.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .mesh import MeshError, TriangleMesh
+
+
+def translate(mesh: TriangleMesh, offset: Sequence[float]) -> TriangleMesh:
+    """Translate by ``offset`` (length-3)."""
+    off = np.asarray(offset, dtype=np.float64)
+    if off.shape != (3,):
+        raise MeshError(f"offset must have shape (3,), got {off.shape}")
+    return TriangleMesh(mesh.vertices + off, mesh.faces, name=mesh.name)
+
+
+def scale(mesh: TriangleMesh, factor: float) -> TriangleMesh:
+    """Uniformly scale about the origin by ``factor`` (> 0)."""
+    if factor <= 0:
+        raise MeshError(f"scale factor must be positive, got {factor}")
+    return TriangleMesh(mesh.vertices * float(factor), mesh.faces, name=mesh.name)
+
+
+def rotate(mesh: TriangleMesh, rotation: np.ndarray) -> TriangleMesh:
+    """Apply a 3x3 rotation matrix (rows act on column vectors).
+
+    The matrix is validated to be orthonormal with determinant +-1; an
+    improper rotation (det = -1) also flips face orientation so that the
+    transformed mesh stays outward-oriented.
+    """
+    rot = np.asarray(rotation, dtype=np.float64)
+    if rot.shape != (3, 3):
+        raise MeshError(f"rotation must be 3x3, got {rot.shape}")
+    if not np.allclose(rot @ rot.T, np.eye(3), atol=1e-8):
+        raise MeshError("rotation matrix is not orthonormal")
+    out = TriangleMesh(mesh.vertices @ rot.T, mesh.faces, name=mesh.name)
+    if np.linalg.det(rot) < 0:
+        out = out.flipped()
+    return out
+
+
+def transform(mesh: TriangleMesh, matrix: np.ndarray) -> TriangleMesh:
+    """Apply a 4x4 homogeneous transform.
+
+    Face orientation is flipped when the linear part has negative
+    determinant, keeping closed meshes outward-oriented.
+    """
+    mat = np.asarray(matrix, dtype=np.float64)
+    if mat.shape != (4, 4):
+        raise MeshError(f"matrix must be 4x4, got {mat.shape}")
+    homo = np.hstack([mesh.vertices, np.ones((mesh.n_vertices, 1))])
+    moved = homo @ mat.T
+    w = moved[:, 3:]
+    if np.any(np.abs(w) < 1e-15):
+        raise MeshError("transform produced a point at infinity")
+    out = TriangleMesh(moved[:, :3] / w, mesh.faces, name=mesh.name)
+    if np.linalg.det(mat[:3, :3]) < 0:
+        out = out.flipped()
+    return out
+
+
+def rotation_about_axis(axis: Sequence[float], angle: float) -> np.ndarray:
+    """Rodrigues rotation matrix about ``axis`` by ``angle`` radians."""
+    ax = np.asarray(axis, dtype=np.float64)
+    norm = np.linalg.norm(ax)
+    if norm < 1e-15:
+        raise MeshError("rotation axis must be non-zero")
+    x, y, z = ax / norm
+    k = np.array([[0.0, -z, y], [z, 0.0, -x], [-y, x, 0.0]])
+    return np.eye(3) + np.sin(angle) * k + (1.0 - np.cos(angle)) * (k @ k)
+
+
+def random_rotation(rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Uniformly distributed random rotation matrix (via QR of a Gaussian).
+
+    Deterministic when given a seeded ``numpy.random.Generator``.
+    """
+    gen = rng if rng is not None else np.random.default_rng()
+    gauss = gen.normal(size=(3, 3))
+    q, r = np.linalg.qr(gauss)
+    q = q * np.sign(np.diag(r))
+    if np.linalg.det(q) < 0:
+        q[:, 0] = -q[:, 0]
+    return q
+
+
+def compose(*matrices: np.ndarray) -> np.ndarray:
+    """Compose 4x4 transforms left to right (first argument applied first)."""
+    out = np.eye(4)
+    for mat in matrices:
+        out = np.asarray(mat, dtype=np.float64) @ out
+    return out
+
+
+def translation_matrix(offset: Sequence[float]) -> np.ndarray:
+    """4x4 translation matrix."""
+    mat = np.eye(4)
+    mat[:3, 3] = np.asarray(offset, dtype=np.float64)
+    return mat
+
+
+def scale_matrix(factor: float) -> np.ndarray:
+    """4x4 uniform scale matrix."""
+    if factor <= 0:
+        raise MeshError(f"scale factor must be positive, got {factor}")
+    mat = np.eye(4)
+    mat[0, 0] = mat[1, 1] = mat[2, 2] = float(factor)
+    return mat
+
+
+def rotation_matrix4(rotation: np.ndarray) -> np.ndarray:
+    """Embed a 3x3 rotation into a 4x4 homogeneous matrix."""
+    rot = np.asarray(rotation, dtype=np.float64)
+    if rot.shape != (3, 3):
+        raise MeshError(f"rotation must be 3x3, got {rot.shape}")
+    mat = np.eye(4)
+    mat[:3, :3] = rot
+    return mat

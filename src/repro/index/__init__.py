@@ -1,0 +1,13 @@
+"""Multidimensional indexing: R-tree and linear-scan baseline."""
+
+from .bruteforce import LinearScanIndex
+from .rect import Rect, bounding_rect
+from .rtree import DEFAULT_MAX_ENTRIES, RTree
+
+__all__ = [
+    "Rect",
+    "bounding_rect",
+    "RTree",
+    "LinearScanIndex",
+    "DEFAULT_MAX_ENTRIES",
+]

@@ -1,0 +1,102 @@
+"""Linear-scan index: the correctness oracle and efficiency baseline.
+
+Implements the same query surface as :class:`~repro.index.rtree.RTree`
+without any pruning, so benchmark comparisons and property tests can
+measure the R-tree against ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .rect import Rect
+
+
+class LinearScanIndex:
+    """Flat array of points scanned in full for every query."""
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError(f"dimension must be >= 1, got {dim}")
+        self.dim = int(dim)
+        self._points: List[np.ndarray] = []
+        self._ids: List[Hashable] = []
+        self.point_accesses = 0
+
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero the access counter."""
+        self.point_accesses = 0
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def insert(self, point: Sequence[float], record_id: Hashable) -> None:
+        """Add one point."""
+        pt = np.asarray(list(point), dtype=np.float64)
+        if pt.shape != (self.dim,):
+            raise ValueError(f"expected dimension {self.dim}, got {pt.shape}")
+        self._points.append(pt)
+        self._ids.append(record_id)
+
+    def delete(self, point: Sequence[float], record_id: Hashable) -> bool:
+        """Remove one matching (point, id) entry; True when found."""
+        pt = np.asarray(list(point), dtype=np.float64)
+        for k, (p, rid) in enumerate(zip(self._points, self._ids)):
+            if rid == record_id and np.array_equal(p, pt):
+                del self._points[k]
+                del self._ids[k]
+                return True
+        return False
+
+    def _matrix(self) -> np.ndarray:
+        if not self._points:
+            return np.zeros((0, self.dim))
+        return np.vstack(self._points)
+
+    def _distances(
+        self, point: Sequence[float], weights: Optional[np.ndarray]
+    ) -> np.ndarray:
+        pts = self._matrix()
+        self.point_accesses += len(pts)
+        diff = pts - np.asarray(list(point), dtype=np.float64)
+        if weights is not None:
+            return np.sqrt((np.asarray(weights) * diff**2).sum(axis=1))
+        return np.sqrt((diff**2).sum(axis=1))
+
+    # ------------------------------------------------------------------
+    def range_search(self, rect: Rect) -> List[Hashable]:
+        """Ids of points inside the box."""
+        pts = self._matrix()
+        self.point_accesses += len(pts)
+        inside = ((pts >= rect.mins) & (pts <= rect.maxs)).all(axis=1)
+        return [rid for rid, ok in zip(self._ids, inside) if ok]
+
+    def radius_search(
+        self,
+        point: Sequence[float],
+        radius: float,
+        weights: Optional[np.ndarray] = None,
+    ) -> List[Tuple[Hashable, float]]:
+        """(id, distance) pairs within the (weighted) radius, ascending."""
+        dists = self._distances(point, weights)
+        hits = [
+            (rid, float(d)) for rid, d in zip(self._ids, dists) if d <= radius
+        ]
+        hits.sort(key=lambda pair: pair[1])
+        return hits
+
+    def nearest(
+        self,
+        point: Sequence[float],
+        k: int = 1,
+        weights: Optional[np.ndarray] = None,
+    ) -> List[Tuple[Hashable, float]]:
+        """k nearest (id, distance) pairs, ascending distance."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        dists = self._distances(point, weights)
+        order = np.argsort(dists, kind="stable")[:k]
+        return [(self._ids[i], float(dists[i])) for i in order]

@@ -1,0 +1,109 @@
+"""Axis-aligned hyper-rectangles (the R-tree's bounding boxes).
+
+A bounding hyper-rectangle is stored as its two diagonal corners, exactly
+as Section 2.3 of the paper describes; MINDIST to a query point supports
+the branch-and-bound k-NN search of Roussopoulos et al.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+class Rect:
+    """Closed axis-aligned box ``[mins, maxs]`` in d dimensions."""
+
+    __slots__ = ("mins", "maxs")
+
+    def __init__(self, mins: Iterable[float], maxs: Iterable[float]) -> None:
+        self.mins = np.asarray(list(mins), dtype=np.float64)
+        self.maxs = np.asarray(list(maxs), dtype=np.float64)
+        if self.mins.shape != self.maxs.shape or self.mins.ndim != 1:
+            raise ValueError("mins and maxs must be 1D arrays of equal length")
+        if (self.mins > self.maxs).any():
+            raise ValueError(f"invalid rect: mins {self.mins} exceed maxs {self.maxs}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_point(cls, point: Iterable[float]) -> "Rect":
+        """Degenerate rect covering a single point."""
+        pt = np.asarray(list(point), dtype=np.float64)
+        return cls(pt, pt.copy())
+
+    @property
+    def dim(self) -> int:
+        return len(self.mins)
+
+    def copy(self) -> "Rect":
+        return Rect(self.mins.copy(), self.maxs.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Rect({self.mins.tolist()}, {self.maxs.tolist()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return np.array_equal(self.mins, other.mins) and np.array_equal(
+            self.maxs, other.maxs
+        )
+
+    # ------------------------------------------------------------------
+    def area(self) -> float:
+        """Hyper-volume of the box."""
+        return float(np.prod(self.maxs - self.mins))
+
+    def margin(self) -> float:
+        """Sum of edge lengths (perimeter generalization)."""
+        return float((self.maxs - self.mins).sum())
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rect covering both."""
+        return Rect(
+            np.minimum(self.mins, other.mins), np.maximum(self.maxs, other.maxs)
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to also cover ``other``."""
+        return self.union(other).area() - self.area()
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the closed boxes overlap."""
+        return bool(
+            (self.mins <= other.maxs).all() and (other.mins <= self.maxs).all()
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Whether ``other`` lies entirely inside this box."""
+        return bool(
+            (self.mins <= other.mins).all() and (other.maxs <= self.maxs).all()
+        )
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        """Whether the point lies inside the closed box."""
+        pt = np.asarray(point, dtype=np.float64)
+        return bool((self.mins <= pt).all() and (pt <= self.maxs).all())
+
+    def min_dist(self, point: np.ndarray, weights: Optional[np.ndarray] = None) -> float:
+        """(Weighted) Euclidean MINDIST from a point to the box.
+
+        Zero when the point is inside.  With per-dimension weights w the
+        distance is sqrt(sum w_i * d_i^2), matching the weighted distance
+        of Eq. 4.3 so index pruning stays admissible.
+        """
+        pt = np.asarray(point, dtype=np.float64)
+        delta = np.maximum(0.0, np.maximum(self.mins - pt, pt - self.maxs))
+        if weights is not None:
+            return float(np.sqrt((np.asarray(weights) * delta**2).sum()))
+        return float(np.sqrt((delta**2).sum()))
+
+
+def bounding_rect(rects: Iterable[Rect]) -> Rect:
+    """Smallest rect covering all inputs (at least one required)."""
+    items = list(rects)
+    if not items:
+        raise ValueError("bounding_rect of an empty collection")
+    mins = np.minimum.reduce([r.mins for r in items])
+    maxs = np.maximum.reduce([r.maxs for r in items])
+    return Rect(mins, maxs)

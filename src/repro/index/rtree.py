@@ -1,0 +1,572 @@
+"""R-tree multidimensional index (Guttman 1984) with best-first k-NN.
+
+This is the paper's database-tier index (Section 2.3): feature-space
+points are grouped under tight bounding hyper-rectangles; a query point is
+compared against the boxes to prune whole subtrees.  Supported operations:
+
+* dynamic ``insert`` with quadratic-split node overflow handling,
+* ``delete`` with orphan reinsertion (condense tree),
+* Sort-Tile-Recursive ``bulk_load`` for building from a full dataset,
+* ``range_search`` (box), ``radius_search`` (ball), and
+* ``nearest`` — best-first branch-and-bound k-NN with (weighted) MINDIST
+  pruning in the spirit of Roussopoulos et al. [19].
+
+``node_accesses`` counts nodes touched since the last ``reset_stats`` call,
+which drives the index-efficiency benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .rect import Rect, bounding_rect
+
+DEFAULT_MAX_ENTRIES = 8
+
+QUADRATIC_SPLIT = "quadratic"
+LINEAR_SPLIT = "linear"
+RSTAR_SPLIT = "rstar"
+SPLIT_STRATEGIES = (QUADRATIC_SPLIT, LINEAR_SPLIT, RSTAR_SPLIT)
+
+
+class _Entry:
+    """Either a leaf entry (rect + record id) or a child pointer."""
+
+    __slots__ = ("rect", "record_id", "child")
+
+    def __init__(
+        self,
+        rect: Rect,
+        record_id: Optional[Hashable] = None,
+        child: Optional["_Node"] = None,
+    ) -> None:
+        self.rect = rect
+        self.record_id = record_id
+        self.child = child
+
+
+class _Node:
+    __slots__ = ("leaf", "entries", "parent")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        self.entries: List[_Entry] = []
+        self.parent: Optional[_Node] = None
+
+    def rect(self) -> Rect:
+        return bounding_rect(e.rect for e in self.entries)
+
+
+class RTree:
+    """Dynamic R-tree over d-dimensional points or boxes.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the indexed space.
+    max_entries:
+        Node capacity M; nodes split when they exceed it.
+    min_entries:
+        Minimum fill m (default ``ceil(0.4 * M)``).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        min_entries: Optional[int] = None,
+        split: str = QUADRATIC_SPLIT,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dimension must be >= 1, got {dim}")
+        if max_entries < 2:
+            raise ValueError(f"max_entries must be >= 2, got {max_entries}")
+        if split not in SPLIT_STRATEGIES:
+            raise ValueError(
+                f"unknown split strategy {split!r}; choose from {SPLIT_STRATEGIES}"
+            )
+        self.dim = int(dim)
+        self.split = split
+        self.max_entries = int(max_entries)
+        self.min_entries = (
+            int(min_entries)
+            if min_entries is not None
+            else max(1, int(np.ceil(0.4 * max_entries)))
+        )
+        if not 1 <= self.min_entries <= self.max_entries // 2:
+            raise ValueError(
+                f"min_entries must be in [1, {self.max_entries // 2}], "
+                f"got {self.min_entries}"
+            )
+        self.root = _Node(leaf=True)
+        self.size = 0
+        self.node_accesses = 0
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero the node-access counter."""
+        self.node_accesses = 0
+
+    def _touch(self, node: _Node) -> None:
+        self.node_accesses += 1
+
+    def height(self) -> int:
+        """Tree height (1 for a single leaf root)."""
+        h, node = 1, self.root
+        while not node.leaf:
+            node = node.entries[0].child  # type: ignore[assignment]
+            h += 1
+        return h
+
+    def __len__(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, point_or_rect, record_id: Hashable) -> None:
+        """Insert a point (length-d sequence) or a :class:`Rect`."""
+        rect = self._as_rect(point_or_rect)
+        self._insert_entry(_Entry(rect, record_id=record_id))
+        self.size += 1
+
+    def _as_rect(self, point_or_rect) -> Rect:
+        if isinstance(point_or_rect, Rect):
+            rect = point_or_rect
+        else:
+            rect = Rect.from_point(point_or_rect)
+        if rect.dim != self.dim:
+            raise ValueError(f"expected dimension {self.dim}, got {rect.dim}")
+        return rect
+
+    def _choose_leaf(self, rect: Rect) -> _Node:
+        node = self.root
+        while not node.leaf:
+            self._touch(node)
+            best = min(
+                node.entries,
+                key=lambda e: (e.rect.enlargement(rect), e.rect.area()),
+            )
+            node = best.child  # type: ignore[assignment]
+        self._touch(node)
+        return node
+
+    def _insert_entry(self, entry: _Entry) -> None:
+        leaf = self._choose_leaf(entry.rect)
+        leaf.entries.append(entry)
+        if entry.child is not None:
+            entry.child.parent = leaf
+        self._refresh_parent_rects(leaf)
+        self._handle_overflow(leaf)
+
+    def _handle_overflow(self, node: _Node) -> None:
+        while node is not None and len(node.entries) > self.max_entries:
+            sibling = self._split(node)
+            parent = node.parent
+            if parent is None:
+                new_root = _Node(leaf=False)
+                for child in (node, sibling):
+                    entry = _Entry(child.rect(), child=child)
+                    child.parent = new_root
+                    new_root.entries.append(entry)
+                self.root = new_root
+                return
+            parent.entries.append(_Entry(sibling.rect(), child=sibling))
+            sibling.parent = parent
+            self._refresh_parent_rects(node)
+            node = parent
+
+    def _split(self, node: _Node) -> _Node:
+        """Split an overfull node; ``node`` keeps one group, the returned
+        sibling gets the other.  Strategy set at construction time."""
+        if self.split == LINEAR_SPLIT:
+            return self._split_linear(node)
+        if self.split == RSTAR_SPLIT:
+            return self._split_rstar(node)
+        return self._split_quadratic(node)
+
+    def _make_sibling(self, node: _Node, group_a: List[_Entry], group_b: List[_Entry]) -> _Node:
+        node.entries = group_a
+        sibling = _Node(leaf=node.leaf)
+        sibling.entries = group_b
+        for e in group_b:
+            if e.child is not None:
+                e.child.parent = sibling
+        return sibling
+
+    def _split_linear(self, node: _Node) -> _Node:
+        """Guttman linear split: seeds by greatest normalized separation,
+        remaining entries assigned in order by least enlargement."""
+        entries = node.entries
+        lows = np.array([e.rect.mins for e in entries])
+        highs = np.array([e.rect.maxs for e in entries])
+        width = np.maximum(highs.max(axis=0) - lows.min(axis=0), 1e-300)
+        # Per axis: entry with the highest low and the one with lowest high.
+        hi_low = lows.argmax(axis=0)
+        lo_high = highs.argmin(axis=0)
+        separation = (lows[hi_low, range(self.dim)] - highs[lo_high, range(self.dim)]) / width
+        axis = int(separation.argmax())
+        s1, s2 = int(hi_low[axis]), int(lo_high[axis])
+        if s1 == s2:
+            s2 = (s1 + 1) % len(entries)
+        group_a = [entries[s1]]
+        group_b = [entries[s2]]
+        rect_a = entries[s1].rect.copy()
+        rect_b = entries[s2].rect.copy()
+        rest = [e for k, e in enumerate(entries) if k not in (s1, s2)]
+        for k, e in enumerate(rest):
+            remaining = len(rest) - k
+            if len(group_a) + remaining == self.min_entries:
+                group_a.append(e)
+                rect_a = rect_a.union(e.rect)
+                continue
+            if len(group_b) + remaining == self.min_entries:
+                group_b.append(e)
+                rect_b = rect_b.union(e.rect)
+                continue
+            if rect_a.enlargement(e.rect) <= rect_b.enlargement(e.rect):
+                group_a.append(e)
+                rect_a = rect_a.union(e.rect)
+            else:
+                group_b.append(e)
+                rect_b = rect_b.union(e.rect)
+        return self._make_sibling(node, group_a, group_b)
+
+    def _split_rstar(self, node: _Node) -> _Node:
+        """R*-tree topological split: choose the axis minimizing the margin
+        sum over candidate distributions, then the distribution with the
+        least overlap (area as tie-break)."""
+        entries = node.entries
+        m = self.min_entries
+        best = None  # (overlap, area, group_a, group_b)
+        for axis in range(self.dim):
+            for key in (
+                lambda e: (float(e.rect.mins[axis]), float(e.rect.maxs[axis])),
+                lambda e: (float(e.rect.maxs[axis]), float(e.rect.mins[axis])),
+            ):
+                ordered = sorted(entries, key=key)
+                margin_sum = 0.0
+                candidates = []
+                for split_at in range(m, len(ordered) - m + 1):
+                    ga, gb = ordered[:split_at], ordered[split_at:]
+                    ra = bounding_rect(e.rect for e in ga)
+                    rb = bounding_rect(e.rect for e in gb)
+                    margin_sum += ra.margin() + rb.margin()
+                    overlap_box_mins = np.maximum(ra.mins, rb.mins)
+                    overlap_box_maxs = np.minimum(ra.maxs, rb.maxs)
+                    overlap = float(
+                        np.prod(np.maximum(0.0, overlap_box_maxs - overlap_box_mins))
+                    )
+                    candidates.append((overlap, ra.area() + rb.area(), ga, gb))
+                if best is None or margin_sum < best[0]:
+                    chosen = min(candidates, key=lambda c: (c[0], c[1]))
+                    best = (margin_sum, chosen)
+        assert best is not None
+        _, (_, _, group_a, group_b) = best
+        return self._make_sibling(node, list(group_a), list(group_b))
+
+    def _split_quadratic(self, node: _Node) -> _Node:
+        """Guttman quadratic split."""
+        entries = node.entries
+        # Pick the pair wasting the most area as seeds.
+        worst, seeds = -np.inf, (0, 1)
+        for i, j in itertools.combinations(range(len(entries)), 2):
+            waste = (
+                entries[i].rect.union(entries[j].rect).area()
+                - entries[i].rect.area()
+                - entries[j].rect.area()
+            )
+            if waste > worst:
+                worst, seeds = waste, (i, j)
+        group_a = [entries[seeds[0]]]
+        group_b = [entries[seeds[1]]]
+        rect_a = entries[seeds[0]].rect.copy()
+        rect_b = entries[seeds[1]].rect.copy()
+        rest = [e for k, e in enumerate(entries) if k not in seeds]
+
+        while rest:
+            # Force-assign when one group must absorb all remaining entries
+            # to reach minimum fill.
+            if len(group_a) + len(rest) == self.min_entries:
+                group_a.extend(rest)
+                rest = []
+                break
+            if len(group_b) + len(rest) == self.min_entries:
+                group_b.extend(rest)
+                rest = []
+                break
+            # Pick the entry with the strongest preference.
+            best_idx, best_diff, prefer_a = 0, -np.inf, True
+            for k, e in enumerate(rest):
+                da = rect_a.enlargement(e.rect)
+                db = rect_b.enlargement(e.rect)
+                diff = abs(da - db)
+                if diff > best_diff:
+                    best_idx, best_diff, prefer_a = k, diff, da < db
+            chosen = rest.pop(best_idx)
+            if prefer_a:
+                group_a.append(chosen)
+                rect_a = rect_a.union(chosen.rect)
+            else:
+                group_b.append(chosen)
+                rect_b = rect_b.union(chosen.rect)
+
+        node.entries = group_a
+        sibling = _Node(leaf=node.leaf)
+        sibling.entries = group_b
+        for e in group_b:
+            if e.child is not None:
+                e.child.parent = sibling
+        return sibling
+
+    def _refresh_parent_rects(self, node: _Node) -> None:
+        current = node
+        while current.parent is not None:
+            parent = current.parent
+            for e in parent.entries:
+                if e.child is current:
+                    e.rect = current.rect()
+                    break
+            current = parent
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def delete(self, point_or_rect, record_id: Hashable) -> bool:
+        """Remove one entry matching (rect, id); returns True if found."""
+        rect = self._as_rect(point_or_rect)
+        leaf = self._find_leaf(self.root, rect, record_id)
+        if leaf is None:
+            return False
+        leaf.entries = [
+            e for e in leaf.entries if not (e.record_id == record_id and e.rect == rect)
+        ]
+        self.size -= 1
+        self._condense(leaf)
+        # Shrink the root when it has a single child.
+        while not self.root.leaf and len(self.root.entries) == 1:
+            self.root = self.root.entries[0].child  # type: ignore[assignment]
+            self.root.parent = None
+        return True
+
+    def _find_leaf(
+        self, node: _Node, rect: Rect, record_id: Hashable
+    ) -> Optional[_Node]:
+        self._touch(node)
+        if node.leaf:
+            for e in node.entries:
+                if e.record_id == record_id and e.rect == rect:
+                    return node
+            return None
+        for e in node.entries:
+            if e.rect.contains_rect(rect):
+                found = self._find_leaf(e.child, rect, record_id)  # type: ignore[arg-type]
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, node: _Node) -> None:
+        orphans: List[_Entry] = []
+        current = node
+        while current.parent is not None:
+            parent = current.parent
+            if len(current.entries) < self.min_entries:
+                parent.entries = [e for e in parent.entries if e.child is not current]
+                orphans.extend(self._collect_leaf_entries(current))
+            else:
+                self._refresh_parent_rects(current)
+            current = parent
+        for entry in orphans:
+            self._insert_entry(entry)
+
+    def _collect_leaf_entries(self, node: _Node) -> List[_Entry]:
+        if node.leaf:
+            return list(node.entries)
+        out: List[_Entry] = []
+        for e in node.entries:
+            out.extend(self._collect_leaf_entries(e.child))  # type: ignore[arg-type]
+        return out
+
+    # ------------------------------------------------------------------
+    # Bulk loading (Sort-Tile-Recursive)
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        points: np.ndarray,
+        record_ids: Sequence[Hashable],
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        min_entries: Optional[int] = None,
+    ) -> "RTree":
+        """Build an R-tree from all points at once with STR packing."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError(f"points must be 2D (n, d), got shape {pts.shape}")
+        if len(pts) != len(record_ids):
+            raise ValueError("points and record_ids must have equal length")
+        tree = cls(pts.shape[1], max_entries=max_entries, min_entries=min_entries)
+        if len(pts) == 0:
+            return tree
+        entries = [
+            _Entry(Rect.from_point(p), record_id=rid)
+            for p, rid in zip(pts, record_ids)
+        ]
+        level = tree._str_pack(entries, leaf=True)
+        while len(level) > 1:
+            parents = tree._str_pack(
+                [_Entry(n.rect(), child=n) for n in level], leaf=False
+            )
+            level = parents
+        tree.root = level[0]
+        tree.root.parent = None
+        tree.size = len(pts)
+        return tree
+
+    def _str_pack(self, entries: List[_Entry], leaf: bool) -> List[_Node]:
+        """Pack entries into nodes using Sort-Tile-Recursive ordering."""
+        cap = self.max_entries
+
+        def recurse(block: List[_Entry], axis: int) -> List[List[_Entry]]:
+            if len(block) <= cap:
+                return [block]
+            block = sorted(block, key=lambda e: float(e.rect.mins[axis]))
+            n_nodes = int(np.ceil(len(block) / cap))
+            n_slabs = max(1, int(np.ceil(n_nodes ** (1.0 / (self.dim - axis))))) if axis < self.dim - 1 else n_nodes
+            slab_size = int(np.ceil(len(block) / n_slabs))
+            out: List[List[_Entry]] = []
+            for s in range(0, len(block), slab_size):
+                slab = block[s : s + slab_size]
+                if axis + 1 < self.dim:
+                    out.extend(recurse(slab, axis + 1))
+                else:
+                    for t in range(0, len(slab), cap):
+                        out.append(slab[t : t + cap])
+            return out
+
+        nodes = []
+        for group in recurse(entries, 0):
+            node = _Node(leaf=leaf)
+            node.entries = group
+            for e in group:
+                if e.child is not None:
+                    e.child.parent = node
+            nodes.append(node)
+        return nodes
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_search(self, rect: Rect) -> List[Hashable]:
+        """Record ids whose rects intersect the query box."""
+        if rect.dim != self.dim:
+            raise ValueError(f"expected dimension {self.dim}, got {rect.dim}")
+        out: List[Hashable] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self._touch(node)
+            for e in node.entries:
+                if e.rect.intersects(rect):
+                    if node.leaf:
+                        out.append(e.record_id)
+                    else:
+                        stack.append(e.child)  # type: ignore[arg-type]
+        return out
+
+    def radius_search(
+        self,
+        point: Sequence[float],
+        radius: float,
+        weights: Optional[np.ndarray] = None,
+    ) -> List[Tuple[Hashable, float]]:
+        """(id, distance) pairs within a (weighted) Euclidean radius."""
+        pt = np.asarray(list(point), dtype=np.float64)
+        if pt.shape != (self.dim,):
+            raise ValueError(f"query point must have dimension {self.dim}")
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        out: List[Tuple[Hashable, float]] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self._touch(node)
+            for e in node.entries:
+                dist = e.rect.min_dist(pt, weights=weights)
+                if dist <= radius:
+                    if node.leaf:
+                        out.append((e.record_id, dist))
+                    else:
+                        stack.append(e.child)  # type: ignore[arg-type]
+        out.sort(key=lambda pair: pair[1])
+        return out
+
+    def nearest(
+        self,
+        point: Sequence[float],
+        k: int = 1,
+        weights: Optional[np.ndarray] = None,
+    ) -> List[Tuple[Hashable, float]]:
+        """Best-first k-nearest-neighbor search.
+
+        Returns up to k (id, distance) pairs sorted by ascending distance;
+        admissible with per-dimension weights (weighted MINDIST lower
+        bounds the weighted point distance).
+        """
+        pt = np.asarray(list(point), dtype=np.float64)
+        if pt.shape != (self.dim,):
+            raise ValueError(f"query point must have dimension {self.dim}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        counter = itertools.count()
+        heap: List[Tuple[float, int, bool, object]] = [
+            (0.0, next(counter), False, self.root)
+        ]
+        out: List[Tuple[Hashable, float]] = []
+        while heap and len(out) < k:
+            dist, _, is_record, payload = heapq.heappop(heap)
+            if is_record:
+                out.append((payload, dist))  # type: ignore[arg-type]
+                continue
+            node: _Node = payload  # type: ignore[assignment]
+            self._touch(node)
+            for e in node.entries:
+                d = e.rect.min_dist(pt, weights=weights)
+                if node.leaf:
+                    heapq.heappush(heap, (d, next(counter), True, e.record_id))
+                else:
+                    heapq.heappush(heap, (d, next(counter), False, e.child))
+        return out
+
+    # ------------------------------------------------------------------
+    # Integrity checks (used by the test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Validate structural invariants; raises AssertionError on damage."""
+        depths = set()
+
+        def visit(node: _Node, depth: int) -> None:
+            if node is not self.root:
+                assert (
+                    self.min_entries <= len(node.entries) <= self.max_entries
+                ), f"node fill {len(node.entries)} outside bounds"
+            else:
+                assert len(node.entries) <= self.max_entries or self.size == 0
+            if node.leaf:
+                depths.add(depth)
+                return
+            for e in node.entries:
+                assert e.child is not None, "internal entry without child"
+                assert e.child.parent is node, "broken parent pointer"
+                assert e.rect.contains_rect(e.child.rect()), "MBR not covering child"
+                visit(e.child, depth + 1)
+
+        visit(self.root, 0)
+        assert len(depths) <= 1, f"leaves at different depths: {depths}"
+        count = len(self._collect_leaf_entries(self.root))
+        assert count == self.size, f"size mismatch: {count} != {self.size}"

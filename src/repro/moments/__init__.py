@@ -1,0 +1,47 @@
+"""Moment computation, pose normalization, and moment-based descriptors."""
+
+from .invariants import (
+    extended_moment_invariants,
+    higher_order_invariants,
+    invariants_from_matrix,
+    moment_invariants,
+    scale_normalized_second_moments,
+)
+from .mesh_moments import (
+    central_moments_up_to,
+    mesh_moment,
+    mesh_moments,
+    mesh_moments_up_to,
+    moment_keys_up_to,
+    second_moment_matrix,
+)
+from .normalization import (
+    DEFAULT_TARGET_VOLUME,
+    NormalizationResult,
+    normalize,
+    principal_axes,
+)
+from .principal import principal_moments
+from .voxel_moments import voxel_centroid, voxel_moment, voxel_moments_up_to
+
+__all__ = [
+    "mesh_moment",
+    "mesh_moments",
+    "mesh_moments_up_to",
+    "moment_keys_up_to",
+    "central_moments_up_to",
+    "second_moment_matrix",
+    "voxel_moment",
+    "voxel_moments_up_to",
+    "voxel_centroid",
+    "normalize",
+    "NormalizationResult",
+    "principal_axes",
+    "DEFAULT_TARGET_VOLUME",
+    "moment_invariants",
+    "invariants_from_matrix",
+    "scale_normalized_second_moments",
+    "higher_order_invariants",
+    "extended_moment_invariants",
+    "principal_moments",
+]

@@ -1,0 +1,103 @@
+"""Moment invariants (Section 3.5.1, Eq. 3.6-3.9) and higher-order
+extensions.
+
+The three second-order invariants F1, F2, F3 are the coefficients of the
+characteristic polynomial of the scale-normalized central moment matrix
+``I_lmn = mu_lmn / mu_000^(5/3)`` — i.e. the elementary symmetric functions
+of its eigenvalues — so they are invariant to translation, scaling, and
+rotation without any pose normalization.
+
+The architecture diagram (Fig. 1) lists "higher order invariants" as a
+further option; we provide two third-order invariants built from full
+tensor contractions of the symmetric third-order moment tensor, which are
+likewise rotation invariant (orthogonal transforms preserve tensor norms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..geometry.mesh import TriangleMesh
+from .mesh_moments import central_moments_up_to, second_moment_matrix
+
+MomentKey = Tuple[int, int, int]
+
+_SCALE_EXPONENT_SECOND = 5.0 / 3.0  # mu_lmn scales as s^(order+3); order 2 -> s^5
+
+
+def scale_normalized_second_moments(
+    central: Dict[MomentKey, float]
+) -> np.ndarray:
+    """The matrix of I_lmn values of Eq. 3.6."""
+    m000 = central[(0, 0, 0)]
+    if abs(m000) < 1e-15:
+        raise ValueError("zero-volume model has no scale-normalized moments")
+    return second_moment_matrix(central) / (abs(m000) ** _SCALE_EXPONENT_SECOND)
+
+
+def invariants_from_matrix(matrix: np.ndarray) -> np.ndarray:
+    """F1, F2, F3 (Eq. 3.7-3.9) from the normalized moment matrix."""
+    mat = np.asarray(matrix, dtype=np.float64)
+    if mat.shape != (3, 3):
+        raise ValueError(f"expected a 3x3 matrix, got {mat.shape}")
+    f1 = float(np.trace(mat))
+    # Sum of principal 2x2 minors.
+    f2 = float(
+        mat[1, 1] * mat[2, 2]
+        - mat[1, 2] * mat[2, 1]
+        + mat[0, 0] * mat[2, 2]
+        - mat[0, 2] * mat[2, 0]
+        + mat[0, 0] * mat[1, 1]
+        - mat[0, 1] * mat[1, 0]
+    )
+    f3 = float(np.linalg.det(mat))
+    return np.array([f1, f2, f3])
+
+
+def moment_invariants(mesh: TriangleMesh) -> np.ndarray:
+    """The paper's moment-invariant feature vector [F1, F2, F3]."""
+    central = central_moments_up_to(mesh, 2)
+    return invariants_from_matrix(scale_normalized_second_moments(central))
+
+
+def _third_order_tensor(central: Dict[MomentKey, float]) -> np.ndarray:
+    """Symmetric 3x3x3 tensor T[i,j,k] = mu with one subscript per axis."""
+    tensor = np.zeros((3, 3, 3))
+    for i in range(3):
+        for j in range(3):
+            for k in range(3):
+                key = [0, 0, 0]
+                key[i] += 1
+                key[j] += 1
+                key[k] += 1
+                tensor[i, j, k] = central[tuple(key)]
+    return tensor
+
+
+def higher_order_invariants(mesh: TriangleMesh) -> np.ndarray:
+    """Two rotation/translation/scale-invariant third-order descriptors.
+
+    * ``G1`` — full contraction ``sum T_ijk^2`` (Frobenius norm squared of
+      the third-order moment tensor).
+    * ``G2`` — squared norm of the vector ``v_i = T_ijj`` (single trace).
+
+    Third-order central moments scale as ``s^6``, so both are divided by
+    ``mu_000^4`` (G1, G2 quadratic in moments: (s^6)^2 / (s^3)^4 = 1).
+    """
+    central = central_moments_up_to(mesh, 3)
+    m000 = central[(0, 0, 0)]
+    if abs(m000) < 1e-15:
+        raise ValueError("zero-volume model has no invariants")
+    tensor = _third_order_tensor(central)
+    norm = abs(m000) ** 4
+    g1 = float((tensor**2).sum()) / norm
+    vec = np.einsum("ijj->i", tensor)
+    g2 = float((vec**2).sum()) / norm
+    return np.array([g1, g2])
+
+
+def extended_moment_invariants(mesh: TriangleMesh) -> np.ndarray:
+    """[F1, F2, F3, G1, G2] — the paper's FV plus the higher-order pair."""
+    return np.concatenate([moment_invariants(mesh), higher_order_invariants(mesh)])

@@ -1,0 +1,144 @@
+"""Pose normalization (Section 3.1 of the paper).
+
+A model is transformed into its canonical form by imposing the paper's
+normalization criteria on its moments:
+
+* Eq. 3.2 — translation: first-order moments vanish (centroid at origin).
+* Eq. 3.4 — orientation: mixed second moments vanish (principal axes align
+  with the coordinate axes), ordered so that mu_xx >= mu_yy >= mu_zz.
+* Eq. 3.3 — scale: the volume m000 equals a chosen constant.
+
+Two tie-break rules from the paper resolve the remaining ambiguity: axes
+are ordered by descending principal moment, and each axis sign is chosen so
+the maximum extent lies in the positive half-space.  The sign rule may
+produce a reflection; pass ``allow_reflection=False`` to restore a proper
+rotation by re-flipping the axis with the least extent asymmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.mesh import TriangleMesh
+from .mesh_moments import central_moments_up_to, second_moment_matrix
+
+DEFAULT_TARGET_VOLUME = 1.0
+
+
+@dataclass
+class NormalizationResult:
+    """Canonical mesh plus the parameters of the normalizing transform.
+
+    ``mesh_out = scale * R @ (mesh_in - translation)`` where R's rows are
+    the (possibly sign-flipped) principal axes.
+    """
+
+    mesh: TriangleMesh
+    translation: np.ndarray
+    rotation: np.ndarray
+    scale_factor: float
+    principal_moments: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    reflected: bool = False
+
+
+def principal_axes(mesh: TriangleMesh) -> "tuple[np.ndarray, np.ndarray]":
+    """Eigen-decomposition of the second-order central moment matrix.
+
+    Returns ``(eigenvalues, axes)`` with eigenvalues sorted descending and
+    ``axes`` as a 3x3 matrix whose *rows* are the matching unit axes.
+    """
+    central = central_moments_up_to(mesh, 2)
+    matrix = second_moment_matrix(central)
+    eigvals, eigvecs = np.linalg.eigh(matrix)
+    order = np.argsort(eigvals)[::-1]
+    return eigvals[order], eigvecs[:, order].T
+
+
+def _sign_disambiguate(
+    vertices: np.ndarray, allow_reflection: bool
+) -> "tuple[np.ndarray, bool]":
+    """Per-axis signs making the maximum extent positive (paper rule 2)."""
+    pos = vertices.max(axis=0)
+    neg = -vertices.min(axis=0)
+    signs = np.where(pos >= neg, 1.0, -1.0)
+    reflected = False
+    if np.prod(signs) < 0:
+        if allow_reflection:
+            reflected = True
+        else:
+            # Undo the flip on the axis where the asymmetry is weakest so
+            # the overall transform stays a proper rotation.
+            asym = np.abs(pos - neg)
+            flipped = np.flatnonzero(signs < 0)
+            weakest = flipped[np.argmin(asym[flipped])]
+            signs[weakest] = 1.0
+    return signs, reflected
+
+
+def normalize(
+    mesh: TriangleMesh,
+    target_volume: float = DEFAULT_TARGET_VOLUME,
+    allow_reflection: bool = True,
+) -> NormalizationResult:
+    """Normalize a mesh to the paper's canonical pose and size.
+
+    Parameters
+    ----------
+    mesh:
+        Closed input mesh (must enclose non-zero volume).
+    target_volume:
+        The constant C of Eq. 3.3 that m000 is scaled to.
+    allow_reflection:
+        Whether the sign tie-break may mirror the model (paper behaviour).
+    """
+    if target_volume <= 0:
+        raise ValueError(f"target volume must be positive, got {target_volume}")
+
+    central = central_moments_up_to(mesh, 2)
+    m000 = central[(0, 0, 0)]
+    if abs(m000) < 1e-14:
+        raise ValueError("cannot normalize a mesh that encloses zero volume")
+
+    raw1 = TriangleMesh(mesh.vertices, mesh.faces, name=mesh.name)
+    # Translation: centroid to origin.
+    from ..geometry.properties import centroid as mesh_centroid
+
+    translation = mesh_centroid(raw1)
+    centered = mesh.vertices - translation
+
+    # Orientation: principal axes, descending moments.
+    matrix = second_moment_matrix(central)
+    eigvals, eigvecs = np.linalg.eigh(matrix)
+    order = np.argsort(eigvals)[::-1]
+    axes = eigvecs[:, order].T  # rows
+    if np.linalg.det(axes) < 0:
+        # Start from a proper rotation; the sign tie-break below is then
+        # the only possible source of reflection.
+        axes[2] = -axes[2]
+    rotated = centered @ axes.T
+
+    # Sign tie-break.
+    signs, reflected = _sign_disambiguate(rotated, allow_reflection)
+    axes = axes * signs[:, None]
+    rotated = rotated * signs
+
+    # Scale: volume to target.
+    scale_factor = float((target_volume / abs(m000)) ** (1.0 / 3.0))
+    final_vertices = rotated * scale_factor
+
+    out = TriangleMesh(final_vertices, mesh.faces, name=mesh.name)
+    det = np.linalg.det(axes)
+    if det < 0:
+        out = out.flipped()
+
+    principal = np.sort(np.abs(eigvals))[::-1] * scale_factor**5
+    return NormalizationResult(
+        mesh=out,
+        translation=np.asarray(translation),
+        rotation=axes,
+        scale_factor=scale_factor,
+        principal_moments=principal,
+        reflected=reflected,
+    )

@@ -1,0 +1,98 @@
+"""Moments of a binary voxel model (the paper's discrete density, Eq. 3.5).
+
+The voxel pipeline treats each occupied voxel as a point mass at its center
+scaled by the voxel volume; this is the discrete counterpart of the exact
+mesh moments and is what a system working purely from voxelized CAD data
+would compute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+MomentKey = Tuple[int, int, int]
+
+
+def voxel_moment(
+    occupancy: np.ndarray,
+    p: int,
+    q: int,
+    r: int,
+    origin: Iterable[float] = (0.0, 0.0, 0.0),
+    spacing: float = 1.0,
+) -> float:
+    """Moment m_pqr of an occupancy grid.
+
+    Parameters
+    ----------
+    occupancy:
+        Boolean/0-1 array of shape (N, N, N) (any 3D shape accepted).
+    origin:
+        World coordinate of the (0,0,0) voxel's minimum corner.
+    spacing:
+        Voxel edge length.
+    """
+    occ = np.asarray(occupancy)
+    if occ.ndim != 3:
+        raise ValueError(f"occupancy must be 3D, got shape {occ.shape}")
+    if p < 0 or q < 0 or r < 0:
+        raise ValueError("moment exponents must be non-negative")
+    idx = np.argwhere(occ)
+    if len(idx) == 0:
+        return 0.0
+    org = np.asarray(list(origin), dtype=np.float64)
+    centers = org + (idx + 0.5) * float(spacing)
+    weights = float(spacing) ** 3
+    return float(
+        (centers[:, 0] ** p * centers[:, 1] ** q * centers[:, 2] ** r).sum() * weights
+    )
+
+
+def voxel_moments_up_to(
+    occupancy: np.ndarray,
+    order: int,
+    origin: Iterable[float] = (0.0, 0.0, 0.0),
+    spacing: float = 1.0,
+) -> Dict[MomentKey, float]:
+    """All voxel moments with p+q+r <= order."""
+    occ = np.asarray(occupancy)
+    idx = np.argwhere(occ)
+    org = np.asarray(list(origin), dtype=np.float64)
+    out: Dict[MomentKey, float] = {}
+    if len(idx) == 0:
+        for p in range(order + 1):
+            for q in range(order + 1 - p):
+                for r in range(order + 1 - p - q):
+                    out[(p, q, r)] = 0.0
+        return out
+    centers = org + (idx + 0.5) * float(spacing)
+    weights = float(spacing) ** 3
+    xs = [np.ones(len(idx))]
+    ys = [np.ones(len(idx))]
+    zs = [np.ones(len(idx))]
+    for _ in range(order):
+        xs.append(xs[-1] * centers[:, 0])
+        ys.append(ys[-1] * centers[:, 1])
+        zs.append(zs[-1] * centers[:, 2])
+    for p in range(order + 1):
+        for q in range(order + 1 - p):
+            for r in range(order + 1 - p - q):
+                out[(p, q, r)] = float((xs[p] * ys[q] * zs[r]).sum() * weights)
+    return out
+
+
+def voxel_centroid(
+    occupancy: np.ndarray,
+    origin: Iterable[float] = (0.0, 0.0, 0.0),
+    spacing: float = 1.0,
+) -> np.ndarray:
+    """Centroid of the occupied voxels in world coordinates."""
+    moments = voxel_moments_up_to(occupancy, 1, origin=origin, spacing=spacing)
+    m000 = moments[(0, 0, 0)]
+    if m000 <= 0:
+        raise ValueError("empty occupancy grid has no centroid")
+    return np.array(
+        [moments[(1, 0, 0)], moments[(0, 1, 0)], moments[(0, 0, 1)]]
+    ) / m000

@@ -1,0 +1,52 @@
+"""Search tier: similarity, query engine, multi-step, relevance feedback."""
+
+from .batch import BatchScorer
+from .combined import (
+    CombinedFeedbackSession,
+    CombinedSimilarity,
+    combined_search,
+    reconfigure_feature_weights,
+)
+from .engine import SearchEngine, SearchResult
+from .feedback import (
+    RelevanceFeedbackSession,
+    reconfigure_weights,
+    reconstruct_query,
+)
+from .multistep import (
+    PAPER_POOL_SIZE,
+    PAPER_PRESENT,
+    MultiStepPlan,
+    multi_step_search,
+    one_shot_search,
+)
+from .similarity import (
+    RANGE_WEIGHTS,
+    UNIFORM_WEIGHTS,
+    SimilarityMeasure,
+    range_weights,
+    weighted_distance,
+)
+
+__all__ = [
+    "SearchEngine",
+    "CombinedSimilarity",
+    "combined_search",
+    "reconfigure_feature_weights",
+    "CombinedFeedbackSession",
+    "BatchScorer",
+    "SearchResult",
+    "SimilarityMeasure",
+    "weighted_distance",
+    "range_weights",
+    "RANGE_WEIGHTS",
+    "UNIFORM_WEIGHTS",
+    "MultiStepPlan",
+    "multi_step_search",
+    "one_shot_search",
+    "PAPER_POOL_SIZE",
+    "PAPER_PRESENT",
+    "reconstruct_query",
+    "reconfigure_weights",
+    "RelevanceFeedbackSession",
+]

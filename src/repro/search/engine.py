@@ -1,0 +1,206 @@
+"""Query processing (Section 2.4, Fig. 2).
+
+The engine resolves a query (a shape already in the database, a fresh
+mesh, or a raw feature vector), fetches or extracts the requested feature
+vector, searches the multidimensional index, and returns ranked results
+with both the raw distance and the normalized similarity of Eq. 4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..db.database import ShapeDatabase
+from ..geometry.mesh import TriangleMesh
+from .similarity import RANGE_WEIGHTS, SimilarityMeasure
+
+Query = Union[int, TriangleMesh, np.ndarray]
+
+
+@dataclass
+class SearchResult:
+    """One retrieved shape."""
+
+    shape_id: int
+    distance: float
+    similarity: float
+    rank: int
+    name: str = ""
+    group: Optional[str] = None
+
+
+class SearchEngine:
+    """Content-based search over a :class:`ShapeDatabase`.
+
+    Parameters
+    ----------
+    database:
+        The shape database (must contain at least one shape per feature
+        space queried).
+    weighting:
+        Weighting scheme handed to :class:`SimilarityMeasure` — ``"range"``
+        (default), ``"uniform"``, or an explicit array per call-site.
+    """
+
+    def __init__(self, database: ShapeDatabase, weighting=RANGE_WEIGHTS) -> None:
+        self.database = database
+        self.weighting = weighting
+        self._measures: Dict[str, SimilarityMeasure] = {}
+
+    # ------------------------------------------------------------------
+    def measure(self, feature_name: str) -> SimilarityMeasure:
+        """Similarity measure of one feature space (cached).
+
+        Call :meth:`invalidate` after bulk inserts to refresh d_max and
+        the default weights.
+        """
+        cached = self._measures.get(feature_name)
+        if cached is None:
+            matrix, _ = self.database.feature_matrix(feature_name)
+            cached = SimilarityMeasure(matrix, weighting=self.weighting)
+            self._measures[feature_name] = cached
+        return cached
+
+    def invalidate(self) -> None:
+        """Drop cached similarity measures (after inserts/deletes)."""
+        self._measures = {}
+
+    # ------------------------------------------------------------------
+    def resolve_query_vector(self, query: Query, feature_name: str) -> np.ndarray:
+        """Fig. 2's "shape in DB?" branch.
+
+        * ``int`` — a database ID: the stored vector is fetched.
+        * ``TriangleMesh`` — a new shape: the pipeline extracts the vector.
+        * ``ndarray`` — used as-is.
+        """
+        if isinstance(query, (int, np.integer)):
+            return self.database.get(int(query)).feature(feature_name)
+        if isinstance(query, TriangleMesh):
+            if self.database.pipeline is None:
+                raise RuntimeError(
+                    "database has no pipeline; cannot extract features "
+                    "from a query mesh"
+                )
+            return self.database.pipeline.extract_one(query, feature_name)
+        vec = np.asarray(query, dtype=np.float64)
+        if vec.ndim != 1:
+            raise ValueError(f"query vector must be 1D, got shape {vec.shape}")
+        return vec
+
+    def _build_results(
+        self,
+        pairs: List,
+        feature_name: str,
+        exclude: Optional[int],
+    ) -> List[SearchResult]:
+        measure = self.measure(feature_name)
+        out: List[SearchResult] = []
+        for shape_id, dist in pairs:
+            if exclude is not None and shape_id == exclude:
+                continue
+            record = self.database.get(shape_id)
+            out.append(
+                SearchResult(
+                    shape_id=shape_id,
+                    distance=float(dist),
+                    similarity=measure.similarity_from_distance(float(dist)),
+                    rank=len(out) + 1,
+                    name=record.name,
+                    group=record.group,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def search_knn(
+        self,
+        query: Query,
+        feature_name: str,
+        k: int = 10,
+        exclude_query: bool = True,
+    ) -> List[SearchResult]:
+        """k most similar shapes under one feature vector.
+
+        When the query is a database ID and ``exclude_query`` is set, the
+        query shape itself is dropped from the ranking (the paper never
+        counts it — it is guaranteed to be retrieved).
+        """
+        vec = self.resolve_query_vector(query, feature_name)
+        exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
+        extra = 1 if exclude is not None else 0
+        pairs = self.database.nearest(
+            feature_name, vec, k=k + extra, weights=self.measure(feature_name).weights
+        )
+        return self._build_results(pairs, feature_name, exclude)[:k]
+
+    def search_threshold(
+        self,
+        query: Query,
+        feature_name: str,
+        threshold: float,
+        exclude_query: bool = True,
+    ) -> List[SearchResult]:
+        """All shapes whose similarity exceeds ``threshold`` (Eq. 4.4)."""
+        vec = self.resolve_query_vector(query, feature_name)
+        measure = self.measure(feature_name)
+        radius = measure.radius_for_threshold(threshold)
+        exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
+        pairs = self.database.within_radius(
+            feature_name, vec, radius, weights=measure.weights
+        )
+        return self._build_results(pairs, feature_name, exclude)
+
+    def explain(
+        self,
+        query: Query,
+        shape_id: int,
+        feature_name: str,
+    ) -> List[Tuple[int, float, float]]:
+        """Per-dimension breakdown of one query-result distance.
+
+        Returns ``(dimension, weighted_squared_term, fraction)`` tuples
+        sorted by descending contribution — which feature dimensions made
+        this shape near or far.  Useful for engineering users judging why
+        the system called two parts similar.
+        """
+        vec = self.resolve_query_vector(query, feature_name)
+        stored = self.database.get(shape_id).feature(feature_name)
+        measure = self.measure(feature_name)
+        diff2 = (vec - stored) ** 2
+        if measure.weights is not None:
+            terms = measure.weights * diff2
+        else:
+            terms = diff2
+        total = float(terms.sum())
+        out = []
+        for dim in np.argsort(-terms):
+            term = float(terms[dim])
+            fraction = term / total if total > 0 else 0.0
+            out.append((int(dim), term, fraction))
+        return out
+
+    def rerank(
+        self,
+        candidate_ids: List[int],
+        query: Query,
+        feature_name: str,
+        exclude_query: bool = True,
+    ) -> List[SearchResult]:
+        """Re-order an explicit candidate set under another feature vector.
+
+        This is the filter step of the multi-step strategy (Section 4.2):
+        distances are computed directly against the candidates, no index
+        involved.
+        """
+        vec = self.resolve_query_vector(query, feature_name)
+        measure = self.measure(feature_name)
+        exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
+        pairs = []
+        for shape_id in candidate_ids:
+            stored = self.database.get(shape_id).feature(feature_name)
+            pairs.append((shape_id, measure.distance(vec, stored)))
+        pairs.sort(key=lambda p: (p[1], p[0]))
+        return self._build_results(pairs, feature_name, exclude)

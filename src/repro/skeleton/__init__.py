@@ -1,0 +1,46 @@
+"""Skeletonization substrate: thinning, skeletal graphs, spectra."""
+
+from .adjacency import (
+    CONNECTION_WEIGHTS,
+    DEFAULT_SPECTRUM_DIM,
+    NODE_WEIGHTS,
+    adjacency_matrix,
+    connection_weight,
+    spectrum,
+)
+from .graph_distance import graph_edit_distance, graph_similarity
+from .graph import (
+    CURVE,
+    LINE,
+    LOOP,
+    SkeletalGraph,
+    SkeletalSegment,
+    build_skeletal_graph,
+)
+from .prune import DEFAULT_MIN_SPUR_LENGTH, prune_spurs
+from .simple_point import is_simple, is_simple_mask, pack_neighborhood
+from .thinning import skeletonize, thin
+
+__all__ = [
+    "thin",
+    "prune_spurs",
+    "graph_edit_distance",
+    "graph_similarity",
+    "DEFAULT_MIN_SPUR_LENGTH",
+    "skeletonize",
+    "is_simple",
+    "is_simple_mask",
+    "pack_neighborhood",
+    "SkeletalGraph",
+    "SkeletalSegment",
+    "build_skeletal_graph",
+    "LINE",
+    "CURVE",
+    "LOOP",
+    "adjacency_matrix",
+    "spectrum",
+    "connection_weight",
+    "NODE_WEIGHTS",
+    "CONNECTION_WEIGHTS",
+    "DEFAULT_SPECTRUM_DIM",
+]

@@ -1,0 +1,82 @@
+"""Typed adjacency matrix of the skeletal graph and its eigenvalues
+(Section 3.5.4 of the paper).
+
+Each matrix element encodes the *type* of the relationship it represents:
+diagonal entries encode the entity type (line / curve / loop) and
+off-diagonal entries encode the connection type (e.g. a loop-to-loop
+connection weighs more than a line-to-line connection).  The eigenvalue
+spectrum of this symmetric matrix is the searchable fingerprint; it is
+sorted descending and padded (or truncated) to a fixed dimension so it can
+be indexed in the R-tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .graph import CURVE, LINE, LOOP, SkeletalGraph
+
+# Node self-weights.
+NODE_WEIGHTS: Dict[str, float] = {LINE: 1.0, CURVE: 2.0, LOOP: 3.0}
+
+# Connection weights by unordered node-type pair.
+CONNECTION_WEIGHTS: Dict[Tuple[str, str], float] = {
+    (LINE, LINE): 1.0,
+    (CURVE, LINE): 1.5,
+    (CURVE, CURVE): 2.0,
+    (LINE, LOOP): 2.5,
+    (CURVE, LOOP): 3.0,
+    (LOOP, LOOP): 3.5,
+}
+
+DEFAULT_SPECTRUM_DIM = 10
+
+
+def connection_weight(kind_a: str, kind_b: str) -> float:
+    """Weight of a connection between two entity types."""
+    key = tuple(sorted((kind_a, kind_b)))
+    try:
+        return CONNECTION_WEIGHTS[key]  # type: ignore[index]
+    except KeyError as exc:
+        raise ValueError(f"unknown entity types {kind_a!r}, {kind_b!r}") from exc
+
+
+def adjacency_matrix(skeletal: SkeletalGraph) -> np.ndarray:
+    """Typed (symmetric) adjacency matrix of the skeletal graph."""
+    n = skeletal.n_nodes
+    matrix = np.zeros((n, n))
+    for seg in skeletal.segments:
+        if seg.kind not in NODE_WEIGHTS:
+            raise ValueError(f"unknown entity type {seg.kind!r}")
+        matrix[seg.index, seg.index] = NODE_WEIGHTS[seg.kind]
+    for a, b in skeletal.graph.edges():
+        weight = connection_weight(
+            skeletal.segments[a].kind, skeletal.segments[b].kind
+        )
+        matrix[a, b] = weight
+        matrix[b, a] = weight
+    return matrix
+
+
+def spectrum(
+    skeletal: SkeletalGraph, dim: int = DEFAULT_SPECTRUM_DIM
+) -> np.ndarray:
+    """Eigenvalues of the typed adjacency matrix as a fixed-length vector.
+
+    Sorted by descending magnitude (signed values kept); padded with zeros
+    or truncated to ``dim`` entries.
+    """
+    if dim < 1:
+        raise ValueError(f"spectrum dimension must be >= 1, got {dim}")
+    matrix = adjacency_matrix(skeletal)
+    if matrix.size == 0:
+        return np.zeros(dim)
+    eigvals = np.linalg.eigvalsh(matrix)
+    order = np.argsort(-np.abs(eigvals))
+    ordered = eigvals[order]
+    out = np.zeros(dim)
+    k = min(dim, len(ordered))
+    out[:k] = ordered[:k]
+    return out

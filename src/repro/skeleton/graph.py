@@ -1,0 +1,260 @@
+"""Skeletal-graph construction (Section 3.4 of the paper).
+
+The skeleton voxels are segmented into *entities* — the paper's three node
+types:
+
+* **line** — an open, straight chain of voxels,
+* **curve** — an open but bent chain,
+* **loop**  — a closed chain (both ends at the same junction, or a
+  standalone cycle such as a torus skeleton).
+
+Entities become the nodes of the skeletal graph; edges record which
+entities meet at a junction.  The graph is held as a
+:class:`networkx.Graph`, from which the typed adjacency matrix and its
+eigenvalues (Section 3.5.4) are derived.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..voxel.grid import VoxelGrid
+
+Voxel = Tuple[int, int, int]
+
+LINE = "line"
+CURVE = "curve"
+LOOP = "loop"
+
+# Maximum perpendicular deviation (in voxel units) for a chain to count as
+# straight.  One voxel of wiggle is inherent to discrete lines.
+_STRAIGHTNESS_TOLERANCE = 1.2
+
+
+@dataclass
+class SkeletalSegment:
+    """One entity (node) of the skeletal graph."""
+
+    index: int
+    kind: str
+    voxels: List[Voxel]
+    endpoints: Tuple[Optional[int], Optional[int]]  # junction-cluster ids
+    closed: bool = False
+
+    @property
+    def length(self) -> int:
+        """Number of voxels in the segment."""
+        return len(self.voxels)
+
+
+@dataclass
+class SkeletalGraph:
+    """Entity-level skeletal graph of one shape."""
+
+    segments: List[SkeletalSegment] = field(default_factory=list)
+    graph: nx.Graph = field(default_factory=nx.Graph)
+    n_junctions: int = 0
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.segments)
+
+    def type_counts(self) -> Dict[str, int]:
+        """Number of segments per node type."""
+        counts = {LINE: 0, CURVE: 0, LOOP: 0}
+        for seg in self.segments:
+            counts[seg.kind] += 1
+        return counts
+
+
+def _neighbors26(voxel: Voxel, occupied: Set[Voxel]) -> List[Voxel]:
+    x, y, z = voxel
+    out = []
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dz in (-1, 0, 1):
+                if dx == dy == dz == 0:
+                    continue
+                cand = (x + dx, y + dy, z + dz)
+                if cand in occupied:
+                    out.append(cand)
+    return out
+
+
+def _cluster(voxels: Sequence[Voxel]) -> List[Set[Voxel]]:
+    """26-connected clusters of the given voxel set."""
+    pending = set(voxels)
+    clusters: List[Set[Voxel]] = []
+    while pending:
+        seed = pending.pop()
+        group = {seed}
+        stack = [seed]
+        while stack:
+            cur = stack.pop()
+            for nxt in _neighbors26(cur, pending):
+                pending.discard(nxt)
+                group.add(nxt)
+                stack.append(nxt)
+        clusters.append(group)
+    return clusters
+
+
+def _is_straight(voxels: Sequence[Voxel]) -> bool:
+    """Whether a voxel chain deviates less than the tolerance from the
+    least-squares line through it."""
+    pts = np.asarray(voxels, dtype=np.float64)
+    if len(pts) <= 2:
+        return True
+    center = pts.mean(axis=0)
+    diff = pts - center
+    _, _, vt = np.linalg.svd(diff, full_matrices=False)
+    axis = vt[0]
+    proj = np.outer(diff @ axis, axis)
+    deviation = np.linalg.norm(diff - proj, axis=1)
+    return bool(deviation.max() <= _STRAIGHTNESS_TOLERANCE)
+
+
+def _classify_open(voxels: Sequence[Voxel]) -> str:
+    return LINE if _is_straight(voxels) else CURVE
+
+
+def build_skeletal_graph(skeleton: VoxelGrid) -> SkeletalGraph:
+    """Segment a thinned voxel skeleton into a typed entity graph.
+
+    Handles arbitrary skeleton topology: isolated voxels (degenerate line
+    entities), open chains, junction trees, and standalone cycles.
+    """
+    occupied: Set[Voxel] = {tuple(v) for v in skeleton.occupied_indices()}
+    result = SkeletalGraph()
+    if not occupied:
+        return result
+
+    degree = {v: len(_neighbors26(v, occupied)) for v in occupied}
+    junction_voxels = [v for v, d in degree.items() if d >= 3]
+    clusters = _cluster(junction_voxels)
+    cluster_of: Dict[Voxel, int] = {}
+    for cid, group in enumerate(clusters):
+        for v in group:
+            cluster_of[v] = cid
+    result.n_junctions = len(clusters)
+
+    visited: Set[Voxel] = set(junction_voxels)
+    segments: List[SkeletalSegment] = []
+
+    def add_segment(
+        voxels: List[Voxel],
+        start_cluster: Optional[int],
+        end_cluster: Optional[int],
+        closed: bool,
+    ) -> None:
+        if closed:
+            kind = LOOP
+        elif start_cluster is not None and start_cluster == end_cluster:
+            kind = LOOP  # both ends at the same junction => closed walk
+        else:
+            kind = _classify_open(voxels)
+        segments.append(
+            SkeletalSegment(
+                index=len(segments),
+                kind=kind,
+                voxels=voxels,
+                endpoints=(start_cluster, end_cluster),
+                closed=closed or kind == LOOP,
+            )
+        )
+
+    def trace(start: Voxel, first: Voxel, start_cluster: Optional[int]) -> None:
+        """Walk a chain of non-junction voxels starting with ``first``."""
+        chain = [start] if start_cluster is None else []
+        prev, cur = start, first
+        while True:
+            if cur in cluster_of:
+                add_segment(chain, start_cluster, cluster_of[cur], closed=False)
+                return
+            chain.append(cur)
+            visited.add(cur)
+            nxts = [
+                v
+                for v in _neighbors26(cur, occupied)
+                if v != prev and not (v in chain and v != start)
+            ]
+            # Prefer unvisited non-junction continuation; the start voxel
+            # is allowed back in once the chain is long enough to close a
+            # genuine cycle (avoids 2-voxel "loops" from diagonal contact).
+            cont = [
+                v
+                for v in nxts
+                if v not in visited
+                or v in cluster_of
+                or (v == start and start_cluster is None and len(chain) >= 3)
+            ]
+            if not cont:
+                add_segment(chain, start_cluster, None, closed=False)
+                return
+            # Deterministic choice: face neighbors first, then lexicographic.
+            cont.sort(key=lambda v: (
+                abs(v[0] - cur[0]) + abs(v[1] - cur[1]) + abs(v[2] - cur[2]),
+                v,
+            ))
+            nxt = cont[0]
+            if nxt == start and start_cluster is None:
+                add_segment(chain, None, None, closed=True)
+                return
+            prev, cur = cur, nxt
+
+    # 1. Chains hanging off junction clusters.
+    for cid, group in enumerate(clusters):
+        for jv in sorted(group):
+            for nb in sorted(_neighbors26(jv, occupied)):
+                if nb in cluster_of or nb in visited:
+                    continue
+                trace(jv, nb, cid)
+
+    # 2. Open chains between endpoints (no junction involved).
+    endpoints = sorted(v for v, d in degree.items() if d <= 1 and v not in visited)
+    for ep in endpoints:
+        if ep in visited:
+            continue
+        visited.add(ep)
+        nbs = [v for v in _neighbors26(ep, occupied) if v not in visited]
+        if not nbs:
+            add_segment([ep], None, None, closed=False)  # isolated voxel
+            continue
+        trace(ep, sorted(nbs)[0], None)
+
+    # 3. Remaining voxels form standalone cycles.
+    remaining = sorted(occupied - visited)
+    for seed in remaining:
+        if seed in visited:
+            continue
+        visited.add(seed)
+        nbs = [v for v in _neighbors26(seed, occupied) if v not in visited]
+        if not nbs:
+            add_segment([seed], None, None, closed=False)
+            continue
+        trace(seed, sorted(nbs)[0], None)
+
+    # Build the entity graph: connect segments sharing a junction cluster.
+    graph = nx.Graph()
+    for seg in segments:
+        graph.add_node(seg.index, kind=seg.kind, length=seg.length)
+    at_cluster: Dict[int, List[int]] = defaultdict(list)
+    for seg in segments:
+        for cid in seg.endpoints:
+            if cid is not None:
+                at_cluster[cid].append(seg.index)
+    for cid, members in at_cluster.items():
+        unique = sorted(set(members))
+        for i, a in enumerate(unique):
+            for b in unique[i + 1 :]:
+                graph.add_edge(a, b, junction=cid)
+        # A segment meeting the same cluster twice is already a loop node.
+
+    result.segments = segments
+    result.graph = graph
+    return result

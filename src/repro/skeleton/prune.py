@@ -1,0 +1,120 @@
+"""Skeleton cleanup: pruning short terminal spurs.
+
+Discrete thinning leaves short side branches ("spurs") wherever the
+boundary was locally rough; they inflate the skeletal graph with spurious
+line entities and dilute the eigenvalue descriptor.  Pruning removes
+terminal branches shorter than a threshold while never touching cycles or
+the last remaining entity, so topology is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+import numpy as np
+
+from ..voxel.grid import VoxelGrid
+from .graph import _neighbors26
+
+Voxel = Tuple[int, int, int]
+
+DEFAULT_MIN_SPUR_LENGTH = 3
+
+
+def _remove_bumps(occupied: Set[Voxel], candidates: Set[Voxel]) -> bool:
+    """Remove redundant junction stubs left behind by spur pruning.
+
+    Only voxels in ``candidates`` (junctions whose spur was just removed)
+    are considered; a stub is removed when it is a simple point and all of
+    its neighbors keep at least two other connections, so chains and loops
+    are never broken.
+    """
+    from .simple_point import is_simple_mask, neighborhood_mask
+
+    removed = False
+    grid = _as_array(occupied)
+    for voxel in sorted(candidates & occupied):
+        neighbors = _neighbors26(voxel, occupied)
+        if len(neighbors) < 2:
+            continue
+        if not all(
+            len([n for n in _neighbors26(nb, occupied) if n != voxel]) >= 2
+            for nb in neighbors
+        ):
+            continue
+        mask = neighborhood_mask(grid, *voxel)
+        if is_simple_mask(mask):
+            occupied.discard(voxel)
+            grid[voxel] = False
+            removed = True
+    return removed
+
+
+def _as_array(occupied: Set[Voxel]) -> np.ndarray:
+    if not occupied:
+        return np.zeros((1, 1, 1), dtype=bool)
+    maxs = np.max(list(occupied), axis=0) + 2
+    grid = np.zeros(tuple(maxs), dtype=bool)
+    for v in occupied:
+        grid[v] = True
+    return grid
+
+
+def prune_spurs(
+    skeleton: VoxelGrid,
+    min_length: int = DEFAULT_MIN_SPUR_LENGTH,
+    max_passes: int = 10,
+    remove_bumps: bool = True,
+) -> VoxelGrid:
+    """Remove terminal branches shorter than ``min_length`` voxels.
+
+    A spur is a chain starting at an endpoint (one 26-neighbor) and ending
+    at a junction (three or more neighbors); chains ending at another
+    endpoint are whole components and are kept.  Pruning repeats until no
+    short spur remains or ``max_passes`` is hit (each pass can expose new
+    endpoints at former junctions).
+    """
+    if min_length < 1:
+        raise ValueError(f"min_length must be >= 1, got {min_length}")
+    occupied: Set[Voxel] = {tuple(v) for v in skeleton.occupied_indices()}
+
+    for _ in range(max_passes):
+        removed_any = False
+        stub_candidates: Set[Voxel] = set()
+        endpoints = [v for v in occupied if len(_neighbors26(v, occupied)) == 1]
+        for endpoint in sorted(endpoints):
+            if endpoint not in occupied:
+                continue  # consumed by an earlier prune this pass
+            chain = [endpoint]
+            prev, cur = None, endpoint
+            while True:
+                neighbors = [
+                    v for v in _neighbors26(cur, occupied) if v != prev
+                ]
+                if len(neighbors) != 1:
+                    break  # junction (>=2) or dead end (0)
+                nxt = neighbors[0]
+                if len(_neighbors26(nxt, occupied)) >= 3:
+                    # Reached a junction: chain is a spur candidate.
+                    if len(chain) < min_length:
+                        occupied.difference_update(chain)
+                        stub_candidates.add(nxt)
+                        removed_any = True
+                    chain = None
+                    break
+                chain.append(nxt)
+                prev, cur = cur, nxt
+                if len(chain) >= min_length:
+                    chain = None
+                    break  # long enough: keep
+            # Chains that end at another endpoint are whole components and
+            # are never pruned (chain left non-None but untouched).
+        if remove_bumps and stub_candidates:
+            removed_any |= _remove_bumps(occupied, stub_candidates)
+        if not removed_any:
+            break
+
+    out = np.zeros(skeleton.shape, dtype=bool)
+    for x, y, z in occupied:
+        out[x, y, z] = True
+    return VoxelGrid(out, origin=skeleton.origin.copy(), spacing=skeleton.spacing)

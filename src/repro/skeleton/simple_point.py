@@ -1,0 +1,133 @@
+"""Simple-point test for topology-preserving 3D thinning.
+
+A voxel is *simple* when deleting it does not change the topology of the
+object or the background.  We use the classical characterization
+(Malandain & Bertrand / Bertrand & Couprie) for (26, 6) connectivity:
+
+* exactly one 26-connected component of object voxels in the punctured
+  3x3x3 neighborhood, and
+* exactly one 6-connected component of background voxels in the
+  18-neighborhood that touches a face neighbor of the center.
+
+Results are memoized on the packed 26-bit neighborhood mask, which makes
+the thinning loop fast enough for the grid resolutions the pipeline uses.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+import numpy as np
+
+# Offsets of the 26 neighbors in a fixed order used for bit packing.
+NEIGHBOR_OFFSETS: Tuple[Tuple[int, int, int], ...] = tuple(
+    (dx, dy, dz)
+    for dx in (-1, 0, 1)
+    for dy in (-1, 0, 1)
+    for dz in (-1, 0, 1)
+    if (dx, dy, dz) != (0, 0, 0)
+)
+_OFFSET_INDEX = {off: i for i, off in enumerate(NEIGHBOR_OFFSETS)}
+
+_FACE_OFFSETS = tuple(
+    off for off in NEIGHBOR_OFFSETS if sum(abs(v) for v in off) == 1
+)
+_N18_OFFSETS = tuple(
+    off for off in NEIGHBOR_OFFSETS if sum(abs(v) for v in off) <= 2
+)
+
+# Precompute, for every neighbor position, which other neighbor positions
+# are 26-adjacent to it (for the object component count).
+_ADJ26: List[List[int]] = []
+for a in NEIGHBOR_OFFSETS:
+    row = []
+    for b in NEIGHBOR_OFFSETS:
+        if a != b and max(abs(a[0] - b[0]), abs(a[1] - b[1]), abs(a[2] - b[2])) == 1:
+            row.append(_OFFSET_INDEX[b])
+    _ADJ26.append(row)
+
+# 6-adjacency restricted to the 18-neighborhood (for the background count).
+_N18_INDEX = [_OFFSET_INDEX[off] for off in _N18_OFFSETS]
+_IS_N18 = [sum(abs(v) for v in off) <= 2 for off in NEIGHBOR_OFFSETS]
+_ADJ6_N18: List[List[int]] = []
+for a in NEIGHBOR_OFFSETS:
+    row = []
+    if sum(abs(v) for v in a) <= 2:
+        for b in NEIGHBOR_OFFSETS:
+            if (
+                sum(abs(v) for v in b) <= 2
+                and abs(a[0] - b[0]) + abs(a[1] - b[1]) + abs(a[2] - b[2]) == 1
+            ):
+                row.append(_OFFSET_INDEX[b])
+    _ADJ6_N18.append(row)
+
+_FACE_INDICES = [_OFFSET_INDEX[off] for off in _FACE_OFFSETS]
+
+
+def pack_neighborhood(neighborhood: np.ndarray) -> int:
+    """Pack a 3x3x3 boolean block (center ignored) into a 26-bit mask."""
+    block = np.asarray(neighborhood).astype(bool)
+    if block.shape != (3, 3, 3):
+        raise ValueError(f"neighborhood must be 3x3x3, got {block.shape}")
+    mask = 0
+    for i, (dx, dy, dz) in enumerate(NEIGHBOR_OFFSETS):
+        if block[dx + 1, dy + 1, dz + 1]:
+            mask |= 1 << i
+    return mask
+
+
+@lru_cache(maxsize=1 << 20)
+def is_simple_mask(mask: int) -> bool:
+    """Simple-point test on a packed 26-bit neighborhood mask."""
+    # --- Condition 1: one 26-component of object neighbors. -------------
+    object_bits = [i for i in range(26) if mask >> i & 1]
+    if not object_bits:
+        return False  # isolated voxel: deletion removes a component
+    seen = 1 << object_bits[0]
+    stack = [object_bits[0]]
+    while stack:
+        cur = stack.pop()
+        for nxt in _ADJ26[cur]:
+            if mask >> nxt & 1 and not seen >> nxt & 1:
+                seen |= 1 << nxt
+                stack.append(nxt)
+    if any(not seen >> i & 1 for i in object_bits):
+        return False
+
+    # --- Condition 2: one 6-component of background in N18 touching a
+    # face neighbor of the center. ---------------------------------------
+    bg_faces = [i for i in _FACE_INDICES if not mask >> i & 1]
+    if not bg_faces:
+        return False  # center is interior: deletion creates a cavity
+    seen_bg = 1 << bg_faces[0]
+    stack = [bg_faces[0]]
+    while stack:
+        cur = stack.pop()
+        for nxt in _ADJ6_N18[cur]:
+            if not mask >> nxt & 1 and not seen_bg >> nxt & 1:
+                seen_bg |= 1 << nxt
+                stack.append(nxt)
+    return all(seen_bg >> i & 1 for i in bg_faces)
+
+
+def is_simple(neighborhood: np.ndarray) -> bool:
+    """Simple-point test on a 3x3x3 boolean neighborhood block."""
+    return is_simple_mask(pack_neighborhood(neighborhood))
+
+
+def neighborhood_mask(occ: np.ndarray, x: int, y: int, z: int) -> int:
+    """Packed 26-bit mask around (x, y, z); out-of-grid counts as empty."""
+    mask = 0
+    shape = occ.shape
+    for i, (dx, dy, dz) in enumerate(NEIGHBOR_OFFSETS):
+        nx, ny, nz = x + dx, y + dy, z + dz
+        if 0 <= nx < shape[0] and 0 <= ny < shape[1] and 0 <= nz < shape[2]:
+            if occ[nx, ny, nz]:
+                mask |= 1 << i
+    return mask
+
+
+def count_object_neighbors(mask: int) -> int:
+    """Number of 26-neighbors set in a packed mask."""
+    return bin(mask).count("1")

@@ -1,0 +1,19 @@
+"""Viewer tier substitute: headless mesh rendering to PPM/SVG."""
+
+from .render import (
+    DEFAULT_VIEW,
+    load_ppm,
+    render_mesh,
+    render_results_strip,
+    render_to_svg,
+    save_ppm,
+)
+
+__all__ = [
+    "render_mesh",
+    "render_to_svg",
+    "render_results_strip",
+    "save_ppm",
+    "load_ppm",
+    "DEFAULT_VIEW",
+]

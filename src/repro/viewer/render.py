@@ -1,0 +1,165 @@
+"""Software mesh renderer: the 3D-view-generation substitute.
+
+The paper presents search results in a Java3D viewer driven by the ACIS
+kernel.  Headless reproduction needs no interactivity, but the server
+module that "generates a triangulated view of the original model" is part
+of the system, so this module renders meshes to images with a pure-numpy
+pipeline: orthographic projection, painter's-algorithm depth ordering,
+Lambertian flat shading.  Output formats: PPM (binary P6) and SVG.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..geometry.mesh import MeshError, TriangleMesh
+from ..geometry.transform import rotation_about_axis
+
+DEFAULT_SIZE = 256
+_BACKGROUND = np.array([24, 26, 30], dtype=np.uint8)
+_BASE_COLOR = np.array([140, 170, 210], dtype=np.float64)
+
+#: A pleasant default view direction (isometric-ish).
+DEFAULT_VIEW = (
+    rotation_about_axis([1, 0, 0], -np.pi / 5)
+    @ rotation_about_axis([0, 0, 1], np.pi / 6)
+)
+
+
+def _project(mesh: TriangleMesh, view: np.ndarray, size: int, margin: float):
+    verts = mesh.vertices @ view.T
+    xy = verts[:, :2]
+    lo = xy.min(axis=0)
+    hi = xy.max(axis=0)
+    span = float(max((hi - lo).max(), 1e-12))
+    scale = (1.0 - 2.0 * margin) * size / span
+    offset = (np.array([size, size]) - scale * (hi - lo)) / 2.0
+    screen = (xy - lo) * scale + offset
+    screen[:, 1] = size - screen[:, 1]  # y grows downward in images
+    return screen, verts[:, 2]
+
+
+def _shade(mesh: TriangleMesh, view: np.ndarray) -> np.ndarray:
+    normals = mesh.face_normals() @ view.T
+    light = np.array([0.3, 0.4, 0.86])
+    lambert = np.clip(normals @ light, 0.0, 1.0)
+    intensity = 0.25 + 0.75 * lambert
+    return np.clip(_BASE_COLOR[None, :] * intensity[:, None], 0, 255).astype(np.uint8)
+
+
+def render_mesh(
+    mesh: TriangleMesh,
+    size: int = DEFAULT_SIZE,
+    view: Optional[np.ndarray] = None,
+    margin: float = 0.08,
+) -> np.ndarray:
+    """Render to an (size, size, 3) uint8 image.
+
+    Faces are filled back to front (painter's algorithm) with flat
+    Lambertian shading; adequate for the thumbnail views the search
+    interface shows.
+    """
+    if size < 8:
+        raise ValueError(f"size must be >= 8, got {size}")
+    if mesh.n_faces == 0:
+        raise MeshError("cannot render an empty mesh")
+    view_mat = np.asarray(view) if view is not None else DEFAULT_VIEW
+
+    screen, depth = _project(mesh, view_mat, size, margin)
+    colors = _shade(mesh, view_mat)
+    face_depth = depth[mesh.faces].mean(axis=1)
+    order = np.argsort(face_depth)  # far first
+
+    image = np.tile(_BACKGROUND, (size, size, 1)).copy()
+    for fi in order:
+        a, b, c = screen[mesh.faces[fi]]
+        xmin = max(int(np.floor(min(a[0], b[0], c[0]))), 0)
+        xmax = min(int(np.ceil(max(a[0], b[0], c[0]))), size - 1)
+        ymin = max(int(np.floor(min(a[1], b[1], c[1]))), 0)
+        ymax = min(int(np.ceil(max(a[1], b[1], c[1]))), size - 1)
+        if xmin > xmax or ymin > ymax:
+            continue
+        xs, ys = np.meshgrid(
+            np.arange(xmin, xmax + 1) + 0.5, np.arange(ymin, ymax + 1) + 0.5
+        )
+        d = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+        if abs(d) < 1e-12:
+            continue
+        w0 = ((b[0] - xs) * (c[1] - ys) - (b[1] - ys) * (c[0] - xs)) / d
+        w1 = ((c[0] - xs) * (a[1] - ys) - (c[1] - ys) * (a[0] - xs)) / d
+        w2 = 1.0 - w0 - w1
+        inside = (w0 >= -1e-9) & (w1 >= -1e-9) & (w2 >= -1e-9)
+        if inside.any():
+            yy, xx = np.nonzero(inside)
+            image[ymin + yy, xmin + xx] = colors[fi]
+    return image
+
+
+def save_ppm(image: np.ndarray, path: Union[str, os.PathLike]) -> None:
+    """Write an (h, w, 3) uint8 image as binary PPM (P6)."""
+    img = np.asarray(image, dtype=np.uint8)
+    if img.ndim != 3 or img.shape[2] != 3:
+        raise ValueError(f"image must be (h, w, 3), got {img.shape}")
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{img.shape[1]} {img.shape[0]}\n255\n".encode("ascii"))
+        handle.write(img.tobytes())
+
+
+def load_ppm(path: Union[str, os.PathLike]) -> np.ndarray:
+    """Read a binary P6 PPM written by :func:`save_ppm`."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    parts = blob.split(b"\n", 3)
+    if parts[0] != b"P6" or len(parts) < 4:
+        raise ValueError(f"{path}: not a binary PPM file")
+    width, height = (int(v) for v in parts[1].split())
+    data = np.frombuffer(parts[3], dtype=np.uint8, count=width * height * 3)
+    return data.reshape(height, width, 3).copy()
+
+
+def render_to_svg(
+    mesh: TriangleMesh,
+    path: Union[str, os.PathLike],
+    size: int = DEFAULT_SIZE,
+    view: Optional[np.ndarray] = None,
+    margin: float = 0.08,
+) -> None:
+    """Render the mesh as a flat-shaded SVG (vector thumbnail)."""
+    if mesh.n_faces == 0:
+        raise MeshError("cannot render an empty mesh")
+    view_mat = np.asarray(view) if view is not None else DEFAULT_VIEW
+    screen, depth = _project(mesh, view_mat, size, margin)
+    colors = _shade(mesh, view_mat)
+    order = np.argsort(depth[mesh.faces].mean(axis=1))
+
+    lines = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}" viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="rgb(24,26,30)"/>',
+    ]
+    for fi in order:
+        pts = screen[mesh.faces[fi]]
+        r, g, b = (int(v) for v in colors[fi])
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in pts)
+        lines.append(f'<polygon points="{coords}" fill="rgb({r},{g},{b})"/>')
+    lines.append("</svg>")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
+
+
+def render_results_strip(
+    meshes: Sequence[TriangleMesh],
+    path: Union[str, os.PathLike],
+    thumb: int = 128,
+) -> np.ndarray:
+    """Render several result shapes side by side into one PPM (the
+    "search results row" view)."""
+    if not meshes:
+        raise ValueError("need at least one mesh to render")
+    thumbs = [render_mesh(m, size=thumb) for m in meshes]
+    strip = np.concatenate(thumbs, axis=1)
+    save_ppm(strip, path)
+    return strip

@@ -1,0 +1,26 @@
+"""Voxelization substrate: grids, morphology, mesh rasterization."""
+
+from .grid import VoxelGrid
+from .morphology import (
+    FACE_NEIGHBORS,
+    dilate,
+    erode,
+    exterior_mask,
+    fill_interior,
+    label_components,
+    surface_voxels,
+)
+from .voxelize import voxelize, voxelize_surface
+
+__all__ = [
+    "VoxelGrid",
+    "voxelize",
+    "voxelize_surface",
+    "label_components",
+    "exterior_mask",
+    "fill_interior",
+    "dilate",
+    "erode",
+    "surface_voxels",
+    "FACE_NEIGHBORS",
+]

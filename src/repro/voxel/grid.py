@@ -1,0 +1,102 @@
+"""Voxel grid container (the discrete density function of Eq. 3.5).
+
+A :class:`VoxelGrid` couples a boolean occupancy array with its placement
+in world space (origin + uniform spacing), so voxel-level moments and the
+skeleton can be mapped back to model coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+
+class VoxelGrid:
+    """Uniform boolean occupancy grid.
+
+    Parameters
+    ----------
+    occupancy:
+        3D boolean array; copied and cast to ``bool``.
+    origin:
+        World coordinates of the minimum corner of voxel (0, 0, 0).
+    spacing:
+        Edge length of each cubic voxel (> 0).
+    """
+
+    def __init__(
+        self,
+        occupancy: np.ndarray,
+        origin: Iterable[float] = (0.0, 0.0, 0.0),
+        spacing: float = 1.0,
+    ) -> None:
+        occ = np.asarray(occupancy)
+        if occ.ndim != 3:
+            raise ValueError(f"occupancy must be 3D, got shape {occ.shape}")
+        if spacing <= 0:
+            raise ValueError(f"spacing must be positive, got {spacing}")
+        self.occupancy = occ.astype(bool)
+        self.origin = np.asarray(list(origin), dtype=np.float64)
+        if self.origin.shape != (3,):
+            raise ValueError(f"origin must be length 3, got {self.origin.shape}")
+        self.spacing = float(spacing)
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Grid dimensions (nx, ny, nz)."""
+        return self.occupancy.shape  # type: ignore[return-value]
+
+    @property
+    def n_occupied(self) -> int:
+        """Number of occupied voxels."""
+        return int(self.occupancy.sum())
+
+    def volume(self) -> float:
+        """Total occupied volume in world units."""
+        return self.n_occupied * self.spacing**3
+
+    def occupied_indices(self) -> np.ndarray:
+        """Indices of occupied voxels, shape (k, 3)."""
+        return np.argwhere(self.occupancy)
+
+    def voxel_centers(self) -> np.ndarray:
+        """World coordinates of the centers of occupied voxels."""
+        return self.origin + (self.occupied_indices() + 0.5) * self.spacing
+
+    def world_to_index(self, points: np.ndarray) -> np.ndarray:
+        """Map world points to voxel indices (floor); may fall outside."""
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return np.floor((pts - self.origin) / self.spacing).astype(np.int64)
+
+    def index_to_world(self, indices: np.ndarray) -> np.ndarray:
+        """Map voxel indices to the world coordinates of voxel centers."""
+        idx = np.atleast_2d(np.asarray(indices, dtype=np.float64))
+        return self.origin + (idx + 0.5) * self.spacing
+
+    def contains_index(self, indices: np.ndarray) -> np.ndarray:
+        """Boolean mask of which index triples fall inside the grid."""
+        idx = np.atleast_2d(np.asarray(indices, dtype=np.int64))
+        shape = np.asarray(self.shape)
+        return ((idx >= 0) & (idx < shape)).all(axis=1)
+
+    def copy(self) -> "VoxelGrid":
+        """Deep copy."""
+        return VoxelGrid(self.occupancy.copy(), self.origin.copy(), self.spacing)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VoxelGrid):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and self.spacing == other.spacing
+            and np.allclose(self.origin, other.origin)
+            and np.array_equal(self.occupancy, other.occupancy)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<VoxelGrid shape={self.shape} occupied={self.n_occupied} "
+            f"spacing={self.spacing:.4g}>"
+        )

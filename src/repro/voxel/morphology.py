@@ -1,0 +1,141 @@
+"""Binary morphology on 3D occupancy arrays.
+
+Connected components, exterior flood fill, and hole filling are implemented
+directly (BFS over face neighbors) so the voxel pipeline has no hidden
+dependencies; they are cross-checked against ``scipy.ndimage`` in the test
+suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Tuple
+
+import numpy as np
+
+FACE_NEIGHBORS: Tuple[Tuple[int, int, int], ...] = (
+    (1, 0, 0),
+    (-1, 0, 0),
+    (0, 1, 0),
+    (0, -1, 0),
+    (0, 0, 1),
+    (0, 0, -1),
+)
+
+
+def _require_3d(mask: np.ndarray) -> np.ndarray:
+    arr = np.asarray(mask).astype(bool)
+    if arr.ndim != 3:
+        raise ValueError(f"mask must be 3D, got shape {arr.shape}")
+    return arr
+
+
+def label_components(mask: np.ndarray) -> Tuple[np.ndarray, int]:
+    """6-connected component labelling.
+
+    Returns ``(labels, count)`` where labels are 1..count inside the mask
+    and 0 outside (matching ``scipy.ndimage.label`` conventions).
+    """
+    arr = _require_3d(mask)
+    labels = np.zeros(arr.shape, dtype=np.int32)
+    count = 0
+    for seed in np.argwhere(arr):
+        seed = tuple(seed)
+        if labels[seed]:
+            continue
+        count += 1
+        labels[seed] = count
+        queue = deque([seed])
+        while queue:
+            x, y, z = queue.popleft()
+            for dx, dy, dz in FACE_NEIGHBORS:
+                nx, ny, nz = x + dx, y + dy, z + dz
+                if (
+                    0 <= nx < arr.shape[0]
+                    and 0 <= ny < arr.shape[1]
+                    and 0 <= nz < arr.shape[2]
+                    and arr[nx, ny, nz]
+                    and not labels[nx, ny, nz]
+                ):
+                    labels[nx, ny, nz] = count
+                    queue.append((nx, ny, nz))
+    return labels, count
+
+
+def exterior_mask(occupied: np.ndarray) -> np.ndarray:
+    """Background voxels 6-connected to the grid boundary.
+
+    Uses a vectorized frontier sweep (whole-array dilation per round) which
+    converges in O(diameter) rounds.
+    """
+    occ = _require_3d(occupied)
+    free = ~occ
+    exterior = np.zeros_like(free)
+    # Seed with all boundary free voxels.
+    exterior[0, :, :] = free[0, :, :]
+    exterior[-1, :, :] = free[-1, :, :]
+    exterior[:, 0, :] = free[:, 0, :]
+    exterior[:, -1, :] = free[:, -1, :]
+    exterior[:, :, 0] = free[:, :, 0]
+    exterior[:, :, -1] = free[:, :, -1]
+    while True:
+        grown = exterior.copy()
+        grown[1:, :, :] |= exterior[:-1, :, :]
+        grown[:-1, :, :] |= exterior[1:, :, :]
+        grown[:, 1:, :] |= exterior[:, :-1, :]
+        grown[:, :-1, :] |= exterior[:, 1:, :]
+        grown[:, :, 1:] |= exterior[:, :, :-1]
+        grown[:, :, :-1] |= exterior[:, :, 1:]
+        grown &= free
+        if (grown == exterior).all():
+            return exterior
+        exterior = grown
+
+
+def fill_interior(surface: np.ndarray) -> np.ndarray:
+    """Solid occupancy from a (closed) surface shell: surface plus every
+    background voxel not reachable from the grid boundary."""
+    surf = _require_3d(surface)
+    return surf | ~(surf | exterior_mask(surf))
+
+
+def dilate(mask: np.ndarray, iterations: int = 1) -> np.ndarray:
+    """6-connected binary dilation."""
+    out = _require_3d(mask).copy()
+    for _ in range(max(0, iterations)):
+        grown = out.copy()
+        grown[1:, :, :] |= out[:-1, :, :]
+        grown[:-1, :, :] |= out[1:, :, :]
+        grown[:, 1:, :] |= out[:, :-1, :]
+        grown[:, :-1, :] |= out[:, 1:, :]
+        grown[:, :, 1:] |= out[:, :, :-1]
+        grown[:, :, :-1] |= out[:, :, 1:]
+        out = grown
+    return out
+
+
+def erode(mask: np.ndarray, iterations: int = 1) -> np.ndarray:
+    """6-connected binary erosion (voxels outside the grid count as empty)."""
+    out = _require_3d(mask).copy()
+    for _ in range(max(0, iterations)):
+        shrunk = out.copy()
+        shrunk[1:, :, :] &= out[:-1, :, :]
+        shrunk[:-1, :, :] &= out[1:, :, :]
+        shrunk[:, 1:, :] &= out[:, :-1, :]
+        shrunk[:, :-1, :] &= out[:, 1:, :]
+        shrunk[:, :, 1:] &= out[:, :, :-1]
+        shrunk[:, :, :-1] &= out[:, :, 1:]
+        shrunk[0, :, :] = False
+        shrunk[-1, :, :] = False
+        shrunk[:, 0, :] = False
+        shrunk[:, -1, :] = False
+        shrunk[:, :, 0] = False
+        shrunk[:, :, -1] = False
+        out = shrunk
+    return out
+
+
+def surface_voxels(solid: np.ndarray) -> np.ndarray:
+    """Occupied voxels with at least one empty face neighbor."""
+    occ = _require_3d(solid)
+    return occ & ~erode(occ, 1)

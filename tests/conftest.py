@@ -1,0 +1,63 @@
+"""Shared fixtures: small meshes and the cached evaluation database."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.generator import load_or_build_database
+from repro.geometry import box, cylinder, extrude_polygon, torus, tube, uv_sphere
+from repro.search import SearchEngine
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def unit_box():
+    return box((1.0, 1.0, 1.0))
+
+
+@pytest.fixture
+def asym_box():
+    return box((2.0, 4.0, 6.0))
+
+
+@pytest.fixture
+def small_cylinder():
+    return cylinder(1.0, 3.0, 24)
+
+
+@pytest.fixture
+def small_torus():
+    return torus(3.0, 0.8, 32, 12)
+
+
+@pytest.fixture
+def small_tube():
+    return tube(2.0, 1.0, 1.5, 24)
+
+
+@pytest.fixture
+def small_sphere():
+    return uv_sphere(1.0, 12, 24)
+
+
+@pytest.fixture
+def l_bracket():
+    return extrude_polygon(
+        [[0, 0], [6, 0], [6, 1], [1, 1], [1, 6], [0, 6]], 1.0, name="l_bracket"
+    )
+
+
+@pytest.fixture(scope="session")
+def eval_db():
+    """The cached 113-shape evaluation database (built once per machine)."""
+    return load_or_build_database()
+
+
+@pytest.fixture(scope="session")
+def eval_engine(eval_db):
+    return SearchEngine(eval_db)

@@ -1,0 +1,123 @@
+"""Agglomerative clustering and cluster-quality measures."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    AVERAGE,
+    COMPLETE,
+    LINKAGES,
+    SINGLE,
+    agglomerative,
+    agglomerative_labels,
+    cluster_sizes,
+    purity,
+    silhouette_score,
+)
+
+
+@pytest.fixture
+def blobs(rng):
+    centers = np.array([[0, 0], [8, 0], [4, 8]], dtype=float)
+    data = np.vstack([rng.normal(loc=c, scale=0.4, size=(10, 2)) for c in centers])
+    truth = ["a"] * 10 + ["b"] * 10 + ["c"] * 10
+    return data, truth
+
+
+class TestDendrogram:
+    def test_merge_count(self, blobs):
+        data, _ = blobs
+        dendro = agglomerative(data)
+        assert dendro.n_points == 30
+        assert len(dendro.merges) == 29
+
+    def test_single_point(self):
+        dendro = agglomerative(np.zeros((1, 3)))
+        assert dendro.merges == []
+        assert dendro.cut(1).tolist() == [0]
+
+    @pytest.mark.parametrize("linkage", LINKAGES)
+    def test_cut_sizes(self, blobs, linkage):
+        data, _ = blobs
+        dendro = agglomerative(data, linkage=linkage)
+        for k in (1, 3, 7, 30):
+            labels = dendro.cut(k)
+            assert len(np.unique(labels)) == k
+
+    def test_cut_validation(self, blobs):
+        data, _ = blobs
+        dendro = agglomerative(data)
+        with pytest.raises(ValueError):
+            dendro.cut(0)
+        with pytest.raises(ValueError):
+            dendro.cut(31)
+
+    def test_average_linkage_merge_distances_grow_for_blobs(self, blobs):
+        data, _ = blobs
+        dendro = agglomerative(data, linkage=AVERAGE)
+        dists = [m.distance for m in dendro.merges]
+        # The final (cross-blob) merges dwarf the early in-blob merges.
+        assert max(dists[:20]) < min(dists[-2:])
+
+    @pytest.mark.parametrize("linkage", LINKAGES)
+    def test_blob_separation(self, blobs, linkage):
+        data, truth = blobs
+        labels = agglomerative_labels(data, 3, linkage=linkage)
+        assert purity(labels, truth) == 1.0
+
+    def test_unknown_linkage(self, blobs):
+        data, _ = blobs
+        with pytest.raises(ValueError):
+            agglomerative(data, linkage="ward")
+
+    def test_empty_data(self):
+        with pytest.raises(ValueError):
+            agglomerative(np.zeros((0, 2)))
+
+
+class TestQualityMeasures:
+    def test_silhouette_high_for_separated(self, blobs):
+        data, _ = blobs
+        labels = agglomerative_labels(data, 3)
+        assert silhouette_score(data, labels) > 0.7
+
+    def test_silhouette_low_for_random_labels(self, blobs, rng):
+        data, _ = blobs
+        random_labels = rng.integers(3, size=len(data))
+        good = silhouette_score(data, agglomerative_labels(data, 3))
+        bad = silhouette_score(data, random_labels)
+        assert bad < good
+
+    def test_silhouette_validation(self, blobs):
+        data, _ = blobs
+        with pytest.raises(ValueError):
+            silhouette_score(data, np.zeros(len(data)))
+        with pytest.raises(ValueError):
+            silhouette_score(data, np.zeros(len(data) - 1))
+
+    def test_purity_ignores_none(self):
+        labels = np.array([0, 0, 1, 1])
+        truth = ["a", "a", "b", None]
+        assert purity(labels, truth) == 1.0
+
+    def test_purity_mixed_cluster(self):
+        labels = np.array([0, 0, 0, 0])
+        truth = ["a", "a", "b", "b"]
+        assert purity(labels, truth) == 0.5
+
+    def test_purity_validation(self):
+        with pytest.raises(ValueError):
+            purity(np.array([0]), [None])
+
+    def test_cluster_sizes(self):
+        assert cluster_sizes(np.array([2, 2, 0, 1, 1, 1])) == {0: 1, 1: 3, 2: 2}
+
+
+class TestOnCorpus:
+    def test_agglomerative_groups_corpus_families(self, eval_db):
+        matrix, ids = eval_db.feature_matrix("principal_moments")
+        truth = [eval_db.group_of(i) for i in ids]
+        labels = agglomerative_labels(matrix, 26, linkage=AVERAGE)
+        # Clustering the real descriptor space is noisy; require clearly
+        # better-than-chance purity.
+        assert purity(labels, truth) > 0.5

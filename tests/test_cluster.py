@@ -1,0 +1,167 @@
+"""Clustering algorithms and the browse hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    SelfOrganizingMap,
+    build_hierarchy,
+    ga_cluster,
+    inertia_of,
+    kmeans,
+)
+
+
+@pytest.fixture
+def blobs(rng):
+    centers = np.array([[0, 0, 0], [6, 6, 6], [0, 6, 0]], dtype=float)
+    data = np.vstack(
+        [rng.normal(loc=c, scale=0.4, size=(15, 3)) for c in centers]
+    )
+    labels = np.repeat([0, 1, 2], 15)
+    return data, labels
+
+
+def cluster_purity(found, truth):
+    """Fraction of points whose cluster is the majority cluster of their
+    true group (permutation-free agreement measure)."""
+    correct = 0
+    for g in np.unique(truth):
+        members = found[truth == g]
+        values, counts = np.unique(members, return_counts=True)
+        correct += counts.max()
+    return correct / len(truth)
+
+
+class TestKMeans:
+    def test_separates_blobs(self, blobs, rng):
+        data, truth = blobs
+        result = kmeans(data, 3, rng=rng)
+        assert cluster_purity(result.labels, truth) == 1.0
+
+    def test_inertia_matches_helper(self, blobs, rng):
+        data, _ = blobs
+        result = kmeans(data, 3, rng=rng)
+        assert result.inertia == pytest.approx(inertia_of(data, result.labels))
+
+    def test_k_equals_one(self, blobs, rng):
+        data, _ = blobs
+        result = kmeans(data, 1, rng=rng)
+        assert len(np.unique(result.labels)) == 1
+
+    def test_k_equals_n(self, rng):
+        data = rng.normal(size=(5, 2))
+        result = kmeans(data, 5, rng=rng)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_under_seed(self, blobs):
+        data, _ = blobs
+        a = kmeans(data, 3, rng=np.random.default_rng(1))
+        b = kmeans(data, 3, rng=np.random.default_rng(1))
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 2)), 1)
+        with pytest.raises(ValueError):
+            kmeans(rng.normal(size=(5, 2)), 6)
+
+    def test_duplicate_points_handled(self, rng):
+        data = np.zeros((10, 3))
+        result = kmeans(data, 2, rng=rng)
+        assert result.inertia == pytest.approx(0.0)
+
+
+class TestSOM:
+    def test_separates_blobs(self, blobs, rng):
+        data, truth = blobs
+        som = SelfOrganizingMap((2, 2), n_epochs=20)
+        result = som.fit(data, rng=rng)
+        assert cluster_purity(result.labels, truth) >= 0.9
+
+    def test_weights_shape(self, blobs, rng):
+        data, _ = blobs
+        result = SelfOrganizingMap((3, 2), n_epochs=5).fit(data, rng=rng)
+        assert result.weights.shape == (3, 2, 3)
+        assert result.n_clusters() <= 6
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            SelfOrganizingMap((0, 2))
+        with pytest.raises(ValueError):
+            SelfOrganizingMap((2, 2)).fit(np.zeros((0, 3)), rng=rng)
+
+
+class TestGA:
+    def test_separates_blobs(self, blobs, rng):
+        data, truth = blobs
+        result = ga_cluster(data, 3, rng=rng, generations=15)
+        assert cluster_purity(result.labels, truth) == 1.0
+
+    def test_close_to_kmeans_quality(self, blobs, rng):
+        data, _ = blobs
+        km = kmeans(data, 3, rng=np.random.default_rng(0))
+        ga = ga_cluster(data, 3, rng=np.random.default_rng(0), generations=15)
+        assert ga.inertia <= km.inertia * 1.5
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ga_cluster(np.zeros((0, 2)), 1)
+        with pytest.raises(ValueError):
+            ga_cluster(rng.normal(size=(4, 2)), 9)
+
+
+class TestHierarchy:
+    def test_partition_property(self, blobs, rng):
+        data, _ = blobs
+        ids = list(range(100, 145))
+        root = build_hierarchy(data, ids, branching=3, leaf_size=6, rng=rng)
+        assert sorted(root.member_ids) == sorted(ids)
+        # Children partition the parent everywhere in the tree.
+        for node in root.walk():
+            if node.children:
+                combined = sorted(
+                    i for child in node.children for i in child.member_ids
+                )
+                assert combined == sorted(node.member_ids)
+
+    def test_leaves_cover_everything(self, blobs, rng):
+        data, _ = blobs
+        ids = list(range(45))
+        root = build_hierarchy(data, ids, leaf_size=5, rng=rng)
+        leaf_ids = sorted(i for leaf in root.leaves() for i in leaf.member_ids)
+        assert leaf_ids == ids
+
+    def test_representative_is_member(self, blobs, rng):
+        data, _ = blobs
+        root = build_hierarchy(data, list(range(45)), rng=rng)
+        for node in root.walk():
+            assert node.representative_id in node.member_ids
+
+    def test_leaf_size_respected_on_separable_data(self, blobs, rng):
+        data, _ = blobs
+        root = build_hierarchy(
+            data, list(range(45)), leaf_size=6, max_depth=12, rng=rng
+        )
+        index_of = {sid: row for row, sid in enumerate(range(45))}
+        for leaf in root.leaves():
+            rows = data[[index_of[i] for i in leaf.member_ids]]
+            distinct = len(np.unique(rows, axis=0))
+            assert leaf.size <= 6 or leaf.depth == 12 or distinct < 2
+
+    def test_single_point(self, rng):
+        root = build_hierarchy(np.zeros((1, 3)), [7], rng=rng)
+        assert root.is_leaf
+        assert root.representative_id == 7
+
+    def test_identical_points_terminate(self, rng):
+        root = build_hierarchy(np.zeros((20, 3)), list(range(20)), leaf_size=2, rng=rng)
+        assert root.is_leaf  # indivisible: all points coincide
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            build_hierarchy(np.zeros((3, 2)), [1, 2], rng=rng)
+        with pytest.raises(ValueError):
+            build_hierarchy(np.zeros((0, 2)), [], rng=rng)
+        with pytest.raises(ValueError):
+            build_hierarchy(np.zeros((3, 2)), [1, 2, 3], branching=1, rng=rng)

@@ -1,0 +1,128 @@
+"""The synthetic 113-shape corpus (Fig. 4 profile)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FAMILIES,
+    GROUP_SIZES,
+    N_NOISE,
+    build_corpus,
+    group_size_profile,
+    make_noise_shapes,
+)
+from repro.geometry import volume
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(seed=42)
+
+
+class TestProfile:
+    def test_total_shapes(self, corpus):
+        assert len(corpus) == 113
+
+    def test_group_structure(self, corpus):
+        groups = {}
+        for shape in corpus:
+            groups.setdefault(shape.group, []).append(shape)
+        noise = groups.pop(None)
+        assert len(noise) == 27
+        assert len(groups) == 26
+        assert sum(len(v) for v in groups.values()) == 86
+
+    def test_sizes_match_declaration(self, corpus):
+        counts = {}
+        for shape in corpus:
+            if shape.group:
+                counts[shape.group] = counts.get(shape.group, 0) + 1
+        assert counts == GROUP_SIZES
+
+    def test_size_profile_range(self):
+        profile = group_size_profile()
+        assert profile[0] == 2
+        assert profile[-1] == 8
+        assert sum(profile) == 86
+        assert len(profile) == 26
+
+    def test_26_families_registered(self):
+        assert len(FAMILIES) == 26
+        assert set(GROUP_SIZES) == set(FAMILIES)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self, corpus):
+        again = build_corpus(seed=42)
+        for a, b in zip(corpus, again):
+            assert a.name == b.name
+            assert np.array_equal(a.mesh.vertices, b.mesh.vertices)
+
+    def test_different_seed_differs(self, corpus):
+        other = build_corpus(seed=43)
+        same = all(
+            np.array_equal(a.mesh.vertices, b.mesh.vertices)
+            for a, b in zip(corpus, other)
+        )
+        assert not same
+
+
+class TestShapeQuality:
+    def test_all_volumes_positive(self, corpus):
+        for shape in corpus:
+            assert volume(shape.mesh) > 1e-6, shape.name
+
+    def test_names_unique(self, corpus):
+        names = [s.name for s in corpus]
+        assert len(set(names)) == len(names)
+
+    def test_group_members_share_volume_scale(self, corpus):
+        by_group = {}
+        for shape in corpus:
+            if shape.group:
+                by_group.setdefault(shape.group, []).append(volume(shape.mesh))
+        for group, vols in by_group.items():
+            vols = np.asarray(vols)
+            assert vols.max() / vols.min() < 1.5, group
+
+    def test_every_family_generates_valid_mesh(self, rng):
+        for name, maker in FAMILIES.items():
+            mesh = maker(rng)
+            assert mesh.n_faces > 0, name
+            assert volume(mesh) > 1e-6, name
+
+    def test_noise_shape_count_and_validity(self, rng):
+        shapes = make_noise_shapes(rng, N_NOISE)
+        assert len(shapes) == N_NOISE
+        for mesh in shapes:
+            assert volume(mesh) > 1e-6, mesh.name
+
+    def test_noise_count_parameter(self, rng):
+        assert len(make_noise_shapes(rng, 5)) == 5
+
+
+class TestEvalDatabase:
+    def test_cached_database_complete(self, eval_db):
+        assert len(eval_db) == 113
+        assert set(eval_db.feature_names()) == {
+            "moment_invariants",
+            "geometric_params",
+            "principal_moments",
+            "eigenvalues",
+        }
+
+    def test_feature_dimensions(self, eval_db):
+        rec = eval_db.get(eval_db.ids()[0])
+        assert rec.feature("moment_invariants").shape == (3,)
+        assert rec.feature("geometric_params").shape == (5,)
+        assert rec.feature("principal_moments").shape == (3,)
+        assert rec.feature("eigenvalues").shape == (10,)
+
+    def test_all_features_finite(self, eval_db):
+        for rec in eval_db:
+            for name, vec in rec.features.items():
+                assert np.isfinite(vec).all(), (rec.name, name)
+
+    def test_classification_map_matches_profile(self, eval_db):
+        cmap = eval_db.classification_map()
+        assert sorted(len(v) for v in cmap.values()) == group_size_profile()

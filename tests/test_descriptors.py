@@ -1,0 +1,192 @@
+"""Extended descriptors: sampling, distributions, histograms, Fourier."""
+
+import numpy as np
+import pytest
+
+from repro.descriptors import (
+    A3,
+    COMBINED,
+    D1,
+    D2,
+    D3,
+    SECTOR,
+    SHELL,
+    distribution_samples,
+    fourier_descriptor,
+    sample_surface_points,
+    shape_distribution,
+    shape_histogram,
+)
+from repro.geometry import (
+    MeshError,
+    TriangleMesh,
+    box,
+    random_rotation,
+    rotate,
+    scale,
+    translate,
+    uv_sphere,
+)
+from repro.voxel import voxelize
+
+
+class TestSampling:
+    def test_count_and_shape(self, unit_box, rng):
+        pts = sample_surface_points(unit_box, 500, rng=rng)
+        assert pts.shape == (500, 3)
+
+    def test_points_lie_on_surface(self, unit_box, rng):
+        pts = sample_surface_points(unit_box, 300, rng=rng)
+        # For the unit cube, every surface point has some |coord| = 0.5.
+        on_face = (np.abs(np.abs(pts) - 0.5) < 1e-9).any(axis=1)
+        assert on_face.all()
+
+    def test_area_weighting(self, rng):
+        # A slab: the two big faces carry almost all the area.
+        slab = box((10, 10, 0.1))
+        pts = sample_surface_points(slab, 2000, rng=rng)
+        on_big_faces = np.abs(np.abs(pts[:, 2]) - 0.05) < 1e-9
+        assert on_big_faces.mean() > 0.9
+
+    def test_deterministic_with_seed(self, unit_box):
+        a = sample_surface_points(unit_box, 100, rng=np.random.default_rng(1))
+        b = sample_surface_points(unit_box, 100, rng=np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_validation(self, unit_box):
+        with pytest.raises(ValueError):
+            sample_surface_points(unit_box, 0)
+        with pytest.raises(MeshError):
+            sample_surface_points(TriangleMesh([], []), 10)
+
+
+class TestShapeDistribution:
+    @pytest.mark.parametrize("kind", [D1, D2, D3, A3])
+    def test_histogram_is_pmf(self, l_bracket, kind):
+        hist = shape_distribution(l_bracket, kind=kind)
+        assert hist.sum() == pytest.approx(1.0)
+        assert (hist >= 0).all()
+
+    @pytest.mark.parametrize("kind", [D1, D2, A3])
+    def test_invariance_under_rigid_and_scale(self, l_bracket, kind, rng):
+        base = shape_distribution(l_bracket, kind=kind)
+        moved = translate(
+            scale(rotate(l_bracket, random_rotation(rng)), 2.5), [7, -3, 4]
+        )
+        got = shape_distribution(moved, kind=kind)
+        assert np.abs(got - base).sum() < 0.05
+
+    def test_distinguishes_sphere_from_rod(self, rng):
+        sphere = uv_sphere(1.0, 12, 24)
+        rod = box((10, 0.5, 0.5))
+        d_sphere = shape_distribution(sphere, kind=D2)
+        d_rod = shape_distribution(rod, kind=D2)
+        assert np.abs(d_sphere - d_rod).sum() > 0.3
+
+    def test_matches_same_family(self, rng):
+        a = shape_distribution(box((4, 3, 1)), kind=D2)
+        b = shape_distribution(box((4.2, 2.9, 1.05)), kind=D2)
+        c = shape_distribution(uv_sphere(1.5, 12, 24), kind=D2)
+        assert np.abs(a - b).sum() < np.abs(a - c).sum()
+
+    def test_unknown_kind(self, unit_box):
+        with pytest.raises(ValueError):
+            shape_distribution(unit_box, kind="d9")
+        with pytest.raises(ValueError):
+            shape_distribution(unit_box, bins=1)
+
+    def test_raw_samples_ranges(self, unit_box):
+        angles = distribution_samples(unit_box, A3, n_samples=300)
+        assert ((angles >= 0) & (angles <= np.pi)).all()
+        dists = distribution_samples(unit_box, D2, n_samples=300)
+        assert (dists >= 0).all()
+        assert dists.max() <= np.sqrt(3) + 1e-9  # cube diameter
+
+
+class TestShapeHistogram:
+    @pytest.mark.parametrize("model", [SHELL, SECTOR, COMBINED])
+    def test_histogram_is_pmf(self, l_bracket, model):
+        hist = shape_histogram(l_bracket, model=model)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_dimensions(self, unit_box):
+        assert shape_histogram(unit_box, model=SHELL, n_shells=8).shape == (8,)
+        assert shape_histogram(unit_box, model=SECTOR).shape == (6,)
+        assert shape_histogram(unit_box, model=COMBINED, n_shells=4).shape == (24,)
+
+    def test_shell_rotation_invariance(self, l_bracket, rng):
+        base = shape_histogram(l_bracket, model=SHELL)
+        got = shape_histogram(rotate(l_bracket, random_rotation(rng)), model=SHELL)
+        assert np.abs(got - base).sum() < 0.05
+
+    def test_sphere_concentrates_outer_shells(self):
+        hist = shape_histogram(uv_sphere(1.0, 16, 32), model=SHELL, n_shells=8)
+        assert hist[-1] > 0.5  # all surface samples at max radius
+
+    def test_unknown_model(self, unit_box):
+        with pytest.raises(ValueError):
+            shape_histogram(unit_box, model="cone")
+        with pytest.raises(ValueError):
+            shape_histogram(unit_box, n_shells=0)
+
+
+class TestFourier:
+    def test_dimension_and_dc(self, unit_box):
+        grid = voxelize(unit_box, resolution=16)
+        vec = fourier_descriptor(grid, cutoff=1)
+        assert vec.shape == (27,)
+        assert vec[0] == pytest.approx(1.0)  # DC-normalized
+        assert (vec >= 0).all()
+
+    def test_occupancy_scale_cancels(self, unit_box):
+        grid = voxelize(unit_box, resolution=16)
+        doubled = voxelize(scale(unit_box, 2.0), resolution=16)
+        a = fourier_descriptor(grid, cutoff=1)
+        b = fourier_descriptor(doubled, cutoff=1)
+        assert np.allclose(a, b, atol=0.05)
+
+    def test_distinguishes_shapes(self, unit_box):
+        a = fourier_descriptor(voxelize(unit_box, resolution=16))
+        b = fourier_descriptor(voxelize(box((4, 1, 1)), resolution=16))
+        assert not np.allclose(a, b, atol=1e-3)
+
+    def test_validation(self, unit_box):
+        grid = voxelize(unit_box, resolution=16)
+        with pytest.raises(ValueError):
+            fourier_descriptor(grid, cutoff=0)
+        from repro.voxel import VoxelGrid
+
+        tiny = VoxelGrid(np.ones((2, 2, 2), dtype=bool))
+        with pytest.raises(ValueError):
+            fourier_descriptor(tiny, cutoff=3)
+
+
+class TestExtractorIntegration:
+    def test_extended_descriptors_via_pipeline(self, l_bracket):
+        from repro.features import FeaturePipeline
+
+        names = [
+            "d2_distribution",
+            "shell_histogram",
+            "sector_histogram",
+            "combined_histogram",
+            "fourier3d",
+        ]
+        pipe = FeaturePipeline(feature_names=names, voxel_resolution=16)
+        fv = pipe.extract(l_bracket)
+        assert set(fv) == set(names)
+        for vec in fv.values():
+            assert np.isfinite(vec).all()
+
+    def test_registered_in_registry(self):
+        from repro.features import available_features
+
+        for name in ("d1_distribution", "a3_distribution", "fourier3d"):
+            assert name in available_features()
+
+    def test_extended_database_loads(self, rng):
+        from repro.datasets import ALL_DESCRIPTOR_FEATURES, load_or_build_extended_database
+
+        db = load_or_build_extended_database()
+        assert set(db.feature_names()) == set(ALL_DESCRIPTOR_FEATURES)
+        assert len(db) == 113

@@ -1,0 +1,169 @@
+"""Integration tests: the paper's experiments on the evaluation corpus.
+
+These are the headline reproduction checks — the *shape* of the paper's
+results must hold: feature-vector ordering, multi-step superiority,
+degenerate eigenvalue curves, index efficiency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    FEATURE_ORDER,
+    exp_average_recall,
+    exp_effectiveness_at_10,
+    exp_group_sizes,
+    exp_multistep_example,
+    exp_pr_curves,
+    exp_rtree_efficiency,
+    exp_threshold_example,
+    one_query_per_group,
+)
+
+
+@pytest.fixture(scope="module")
+def fig15(eval_db, eval_engine):
+    return exp_average_recall(eval_db, eval_engine)
+
+
+class TestFig4:
+    def test_profile(self, eval_db):
+        result = exp_group_sizes(eval_db)
+        assert result.n_groups == 26
+        assert result.n_grouped_shapes == 86
+        assert result.n_noise == 27
+        assert result.sizes_ascending[0] == 2
+        assert result.sizes_ascending[-1] == 8
+        assert "FIG4" in result.format()
+
+
+class TestFig7:
+    def test_calibrated_example(self, eval_db, eval_engine):
+        result = exp_threshold_example(eval_db, eval_engine)
+        assert result.calibrated
+        assert len(result.retrieved) >= 1
+        assert 0.0 < result.threshold < 1.0
+        assert result.precision > 0.0
+
+    def test_explicit_threshold(self, eval_db, eval_engine):
+        result = exp_threshold_example(eval_db, eval_engine, threshold=0.5)
+        assert not result.calibrated
+        assert result.threshold == 0.5
+
+
+class TestFig8to12:
+    def test_all_twenty_curves_present(self, eval_db, eval_engine):
+        result = exp_pr_curves(eval_db, eval_engine)
+        assert len(result.queries) == 5
+        assert len(result.curves) == 20
+        assert len(set(result.query_groups)) == 5
+
+    def test_eigenvalues_weakest_descriptor(self, eval_db, eval_engine):
+        from repro.evaluation.pr_curve import interpolated_precision
+
+        result = exp_pr_curves(eval_db, eval_engine)
+        levels = np.linspace(0, 1, 11)
+
+        def mean_ap(fname):
+            return np.mean(
+                [
+                    interpolated_precision(result.curves[(q, fname)], levels).mean()
+                    for q in result.queries
+                ]
+            )
+
+        assert mean_ap("eigenvalues") <= mean_ap("principal_moments")
+
+
+class TestFig13_14:
+    def test_example_shows_multistep_win(self, eval_db, eval_engine):
+        result = exp_multistep_example(eval_db, eval_engine)
+        assert result.multistep_recall > result.one_shot_recall
+        assert "multi-step" in result.format()
+
+
+class TestFig15:
+    def test_paper_feature_ordering(self, fig15):
+        assert fig15.ordering("group_size") == [
+            "principal_moments",
+            "moment_invariants",
+            "geometric_params",
+            "eigenvalues",
+        ]
+
+    def test_ordering_consistent_at_10(self, fig15):
+        assert fig15.ordering("at_10") == fig15.ordering("group_size")
+
+    def test_multistep_beats_every_one_shot(self, fig15):
+        best = max(fig15.recall_at_group_size.values())
+        assert fig15.multistep_user_guided[0] > best
+        assert fig15.multistep_fixed[0] >= best
+
+    def test_multistep_gain_positive(self, fig15):
+        fixed_gain, guided_gain = fig15.multistep_gain_over_best()
+        assert fixed_gain >= 0.0
+        assert guided_gain > 0.25  # paper reports +51%
+
+    def test_recalls_in_unit_interval(self, fig15):
+        for series in (fig15.recall_at_group_size, fig15.recall_at_10):
+            for value in series.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_all_26_queries_used(self, fig15, eval_db):
+        assert fig15.n_queries == 26
+        assert len(one_query_per_group(eval_db)) == 26
+
+    def test_format_mentions_paper_statistic(self, fig15):
+        assert "51%" in fig15.format()
+
+
+class TestFig16:
+    def test_precision_scaled_from_recall(self, eval_db, eval_engine):
+        """The paper notes precisions at |R|=10 look like scaled recalls
+        because group sizes are below 10."""
+        result = exp_effectiveness_at_10(eval_db, eval_engine)
+        for fname in FEATURE_ORDER:
+            assert result.precision[fname] < result.recall[fname]
+        ordering_p = sorted(result.precision, key=result.precision.get)
+        ordering_r = sorted(result.recall, key=result.recall.get)
+        assert ordering_p == ordering_r
+
+    def test_multistep_among_best(self, eval_db, eval_engine):
+        result = exp_effectiveness_at_10(eval_db, eval_engine)
+        best_recall = max(result.recall.values())
+        assert result.multistep_recall >= 0.9 * best_recall
+
+
+class TestRTreeEfficiency:
+    def test_speedup_grows_with_size(self, eval_db):
+        result = exp_rtree_efficiency(
+            eval_db, synthetic_sizes=(500, 4000), n_queries=5
+        )
+        speedups = [row.speedup for row in result.rows]
+        assert speedups[-1] > speedups[1] > 0.5
+        assert result.rows[0].label.startswith("real")
+
+    def test_rows_capture_sizes(self, eval_db):
+        result = exp_rtree_efficiency(eval_db, synthetic_sizes=(300,), n_queries=3)
+        assert [row.n_points for row in result.rows] == [113, 300]
+
+
+class TestGroupDifficulty:
+    def test_covers_all_groups(self, eval_db, eval_engine):
+        from repro.evaluation import exp_group_difficulty
+
+        result = exp_group_difficulty(eval_db, eval_engine)
+        assert len(result.recall) == 26
+        for per_feature in result.recall.values():
+            assert set(per_feature) == set(FEATURE_ORDER)
+            for value in per_feature.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_hardest_groups_sorted(self, eval_db, eval_engine):
+        from repro.evaluation import exp_group_difficulty
+
+        result = exp_group_difficulty(eval_db, eval_engine)
+        hardest = result.hardest_groups("principal_moments", n=3)
+        values = [result.recall[g]["principal_moments"] for g in hardest]
+        assert values == sorted(values)
+        assert "EXT-GROUPS" in result.format()

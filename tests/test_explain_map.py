@@ -1,0 +1,66 @@
+"""Search explanation API and the mAP experiment driver."""
+
+import numpy as np
+import pytest
+
+from repro.db import ShapeDatabase
+from repro.features import FeaturePipeline
+from repro.geometry import box, cylinder
+from repro.search import SearchEngine
+
+
+@pytest.fixture
+def engine():
+    db = ShapeDatabase(FeaturePipeline(voxel_resolution=12))
+    db.insert_mesh(box((2, 3, 4)), group="boxes")
+    db.insert_mesh(box((2.1, 3.1, 3.9)), group="boxes")
+    db.insert_mesh(cylinder(1, 4, 16), group="cyls")
+    return SearchEngine(db)
+
+
+class TestExplain:
+    def test_fractions_sum_to_one(self, engine):
+        rows = engine.explain(1, 2, "geometric_params")
+        assert len(rows) == 5
+        assert sum(f for _, _, f in rows) == pytest.approx(1.0)
+
+    def test_sorted_by_contribution(self, engine):
+        rows = engine.explain(1, 3, "geometric_params")
+        terms = [t for _, t, _ in rows]
+        assert terms == sorted(terms, reverse=True)
+
+    def test_terms_reconstruct_distance(self, engine):
+        rows = engine.explain(1, 3, "principal_moments")
+        measure = engine.measure("principal_moments")
+        q = engine.database.get(1).feature("principal_moments")
+        x = engine.database.get(3).feature("principal_moments")
+        assert np.sqrt(sum(t for _, t, _ in rows)) == pytest.approx(
+            measure.distance(q, x)
+        )
+
+    def test_identical_shapes_zero_total(self, engine):
+        rows = engine.explain(1, 1, "principal_moments")
+        assert all(t == pytest.approx(0.0) for _, t, _ in rows)
+
+
+class TestMeanAP:
+    def test_on_eval_corpus(self, eval_db, eval_engine):
+        from repro.evaluation import exp_mean_average_precision
+
+        result = exp_mean_average_precision(
+            eval_db, eval_engine, features=["principal_moments", "eigenvalues"]
+        )
+        assert result.n_queries == 86
+        assert (
+            result.mean_ap["principal_moments"] > result.mean_ap["eigenvalues"]
+        )
+        assert "EXT-MAP" in result.format()
+
+    def test_ordering_matches_values(self, eval_db, eval_engine):
+        from repro.evaluation import exp_mean_average_precision
+
+        result = exp_mean_average_precision(
+            eval_db, eval_engine, features=["principal_moments", "eigenvalues"]
+        )
+        order = result.ordering()
+        assert result.mean_ap[order[0]] >= result.mean_ap[order[-1]]

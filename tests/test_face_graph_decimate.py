@@ -1,0 +1,122 @@
+"""Face-adjacency graphs and mesh decimation."""
+
+import numpy as np
+import pytest
+
+from repro.descriptors import face_graph_descriptor, segment_faces
+from repro.geometry import (
+    MeshError,
+    TriangleMesh,
+    box,
+    cylinder,
+    decimate,
+    extrude_polygon,
+    random_rotation,
+    rotate,
+    uv_sphere,
+    volume,
+)
+
+
+class TestSegmentation:
+    def test_box_has_six_patches(self, unit_box):
+        graph = segment_faces(unit_box)
+        assert graph.n_patches == 6
+        assert len(graph.contacts) == 12  # cube face adjacencies
+        assert all(p.is_planar for p in graph.patches)
+
+    def test_l_profile_has_eight_patches(self, l_bracket):
+        graph = segment_faces(l_bracket)
+        assert graph.n_patches == 8
+
+    def test_cylinder_wall_merges_with_loose_tolerance(self):
+        mesh = cylinder(1.0, 3.0, 48)
+        tight = segment_faces(mesh, angle_tolerance=np.deg2rad(4))
+        loose = segment_faces(mesh, angle_tolerance=np.deg2rad(40))
+        assert loose.n_patches < tight.n_patches
+
+    def test_patch_areas_sum_to_surface(self, unit_box):
+        graph = segment_faces(unit_box)
+        assert sum(p.area for p in graph.patches) == pytest.approx(6.0)
+
+    def test_adjacency_matrix_symmetric(self, l_bracket):
+        mat = segment_faces(l_bracket).adjacency_matrix()
+        assert np.allclose(mat, mat.T)
+        assert np.trace(mat) == pytest.approx(1.0)  # area fractions
+
+    def test_empty_mesh_rejected(self):
+        with pytest.raises(MeshError):
+            segment_faces(TriangleMesh([], []))
+        with pytest.raises(ValueError):
+            segment_faces(box((1, 1, 1)), angle_tolerance=0.0)
+
+
+class TestFaceGraphDescriptor:
+    def test_fixed_length_finite(self, l_bracket):
+        vec = face_graph_descriptor(l_bracket)
+        assert vec.shape == (12,)
+        assert np.isfinite(vec).all()
+
+    def test_distinguishes_topologies(self):
+        a = face_graph_descriptor(box((2, 2, 2)))
+        b = face_graph_descriptor(cylinder(1, 2, 32))
+        assert not np.allclose(a, b, atol=1e-3)
+
+    def test_similar_boxes_close(self):
+        a = face_graph_descriptor(box((2, 3, 4)))
+        b = face_graph_descriptor(box((2.1, 3.1, 3.9)))
+        c = face_graph_descriptor(uv_sphere(1.5, 12, 24))
+        assert np.linalg.norm(a - b) < np.linalg.norm(a - c)
+
+    def test_dim_validation(self, unit_box):
+        with pytest.raises(ValueError):
+            face_graph_descriptor(unit_box, dim=3)
+
+    def test_registered_extractor(self, l_bracket):
+        from repro.features import FeaturePipeline
+
+        pipe = FeaturePipeline(feature_names=["face_graph"], voxel_resolution=12)
+        vec = pipe.extract_one(l_bracket, "face_graph")
+        assert vec.shape == (12,)
+
+
+class TestDecimate:
+    def test_reduces_face_count(self):
+        dense = uv_sphere(1.0, 32, 64)
+        slim = decimate(dense, grid=12)
+        assert slim.n_faces < dense.n_faces / 3
+
+    def test_volume_approximately_preserved(self):
+        dense = uv_sphere(1.0, 32, 64)
+        slim = decimate(dense, grid=16)
+        assert volume(slim) == pytest.approx(volume(dense), rel=0.05)
+
+    def test_stays_watertight_for_reasonable_cells(self):
+        dense = uv_sphere(1.0, 24, 48)
+        assert decimate(dense, grid=12).is_watertight()
+
+    def test_explicit_cell_size(self, asym_box):
+        out = decimate(asym_box, cell_size=10.0)  # one cell: degenerate
+        assert out.n_faces == 0
+
+    def test_coarse_box_unchanged_vertices(self, unit_box):
+        out = decimate(unit_box, grid=8)
+        assert out.n_vertices == unit_box.n_vertices  # corners in own cells
+        assert volume(out) == pytest.approx(1.0)
+
+    def test_validation(self, unit_box):
+        with pytest.raises(ValueError):
+            decimate(unit_box, cell_size=-1.0)
+        with pytest.raises(ValueError):
+            decimate(unit_box, grid=1)
+        with pytest.raises(MeshError):
+            decimate(TriangleMesh([], []))
+
+    def test_feature_stability_after_decimation(self, rng):
+        from repro.moments import moment_invariants
+
+        dense = rotate(uv_sphere(1.0, 32, 64), random_rotation(rng))
+        slim = decimate(dense, grid=20)
+        assert np.allclose(
+            moment_invariants(slim), moment_invariants(dense), rtol=0.05
+        )

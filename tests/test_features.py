@@ -1,0 +1,146 @@
+"""Feature extractors, registry, and the shared-context pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    EIGENVALUES,
+    GEOMETRIC_PARAMS,
+    MOMENT_INVARIANTS,
+    PAPER_FEATURES,
+    PRINCIPAL_MOMENTS,
+    EigenvaluesExtractor,
+    ExtractionContext,
+    FeatureError,
+    FeaturePipeline,
+    available_features,
+    create_extractor,
+    register_extractor,
+)
+from repro.geometry import box, extrude_polygon, random_rotation, rotate, translate
+
+
+@pytest.fixture
+def bracket():
+    return extrude_polygon(
+        [[0, 0], [6, 0], [6, 1], [1, 1], [1, 4], [0, 4]], 1.2, name="bracket"
+    )
+
+
+class TestRegistry:
+    def test_paper_features_present(self):
+        assert set(PAPER_FEATURES) <= set(available_features())
+        assert len(PAPER_FEATURES) == 4
+
+    def test_create_each(self):
+        for name in available_features():
+            ext = create_extractor(name)
+            assert ext.name == name
+            assert ext.dim >= 1
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            create_extractor("fourier")
+
+    def test_register_custom(self, bracket):
+        class Dummy(EigenvaluesExtractor):
+            name = "dummy_spec"
+
+        register_extractor("dummy_spec", Dummy)
+        pipe = FeaturePipeline(feature_names=["dummy_spec"], voxel_resolution=10)
+        vec = pipe.extract_one(bracket, "dummy_spec")
+        assert vec.shape == (10,)
+
+
+class TestPipeline:
+    def test_extracts_all_paper_features(self, bracket):
+        pipe = FeaturePipeline(voxel_resolution=12)
+        fv = pipe.extract(bracket)
+        assert set(fv) == set(PAPER_FEATURES)
+        assert fv[MOMENT_INVARIANTS].shape == (3,)
+        assert fv[GEOMETRIC_PARAMS].shape == (5,)
+        assert fv[PRINCIPAL_MOMENTS].shape == (3,)
+        assert fv[EIGENVALUES].shape == (10,)
+
+    def test_dimensions_table(self):
+        pipe = FeaturePipeline(voxel_resolution=12)
+        dims = pipe.dimensions()
+        assert dims[GEOMETRIC_PARAMS] == 5
+
+    def test_subset_of_features(self, bracket):
+        pipe = FeaturePipeline(feature_names=[PRINCIPAL_MOMENTS])
+        fv = pipe.extract(bracket)
+        assert list(fv) == [PRINCIPAL_MOMENTS]
+
+    def test_extract_one_unknown(self, bracket):
+        pipe = FeaturePipeline(feature_names=[PRINCIPAL_MOMENTS])
+        with pytest.raises(KeyError):
+            pipe.extract_one(bracket, EIGENVALUES)
+
+    def test_empty_feature_list_rejected(self):
+        with pytest.raises(ValueError):
+            FeaturePipeline(feature_names=[])
+
+    def test_context_caches_intermediates(self, bracket):
+        ctx = ExtractionContext(bracket, voxel_resolution=12)
+        assert ctx.normalization is ctx.normalization
+        assert ctx.voxels is ctx.voxels
+        assert ctx.skeleton is ctx.skeleton
+        assert ctx.skeletal_graph is ctx.skeletal_graph
+
+    def test_all_features_finite(self, bracket):
+        pipe = FeaturePipeline(voxel_resolution=12)
+        for vec in pipe.extract(bracket).values():
+            assert np.isfinite(vec).all()
+
+
+class TestInvarianceOfStoredFeatures:
+    @pytest.mark.parametrize("name", [MOMENT_INVARIANTS, PRINCIPAL_MOMENTS])
+    def test_rigid_invariance(self, bracket, rng, name):
+        pipe = FeaturePipeline(feature_names=[name], voxel_resolution=12)
+        base = pipe.extract_one(bracket, name)
+        moved = translate(rotate(bracket, random_rotation(rng)), [3, -2, 5])
+        got = pipe.extract_one(moved, name)
+        assert np.allclose(got, base, rtol=1e-6, atol=1e-10)
+
+    def test_geometric_params_translation_invariance(self, bracket):
+        pipe = FeaturePipeline(feature_names=[GEOMETRIC_PARAMS], voxel_resolution=12)
+        base = pipe.extract_one(bracket, GEOMETRIC_PARAMS)
+        moved = translate(bracket, [10, 10, 10])
+        assert np.allclose(pipe.extract_one(moved, GEOMETRIC_PARAMS), base)
+
+    def test_eigenvalues_roughly_pose_stable(self, bracket, rng):
+        # Thinning is not perfectly rotation invariant (paper, Sec. 3.3);
+        # the graph spectrum should still usually match for a rigid move.
+        pipe = FeaturePipeline(feature_names=[EIGENVALUES], voxel_resolution=16)
+        base = pipe.extract_one(bracket, EIGENVALUES)
+        moved = translate(bracket, [5, 5, 5])
+        assert np.allclose(pipe.extract_one(moved, EIGENVALUES), base, atol=1e-8)
+
+
+class TestValidationWrapper:
+    def test_dim_mismatch_caught(self, bracket):
+        class Broken(EigenvaluesExtractor):
+            name = "broken"
+
+            def extract(self, context):
+                return np.zeros(3)  # wrong length
+
+        ext = Broken(dim=10)
+        ctx = ExtractionContext(bracket, voxel_resolution=10)
+        with pytest.raises(FeatureError, match="expected shape"):
+            ext(ctx)
+
+    def test_nonfinite_caught(self, bracket):
+        class Nan(EigenvaluesExtractor):
+            name = "nan"
+
+            def extract(self, context):
+                out = np.zeros(self.dim)
+                out[0] = np.nan
+                return out
+
+        ext = Nan(dim=4)
+        ctx = ExtractionContext(bracket, voxel_resolution=10)
+        with pytest.raises(FeatureError, match="non-finite"):
+            ext(ctx)

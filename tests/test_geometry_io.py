@@ -1,0 +1,216 @@
+"""Mesh I/O: OFF, STL (ascii + binary), OBJ, format dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    MeshError,
+    box,
+    load_mesh,
+    load_obj,
+    load_off,
+    load_stl,
+    save_mesh,
+    save_obj,
+    save_off,
+    save_stl,
+    supported_formats,
+    volume,
+)
+
+
+@pytest.fixture
+def sample(asym_box):
+    return asym_box
+
+
+class TestOFF:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "m.off"
+        save_off(sample, path)
+        back = load_off(path)
+        assert back.n_vertices == sample.n_vertices
+        assert volume(back) == pytest.approx(volume(sample))
+        assert back.is_watertight()
+
+    def test_name_from_filename(self, sample, tmp_path):
+        path = tmp_path / "widget.off"
+        save_off(sample, path)
+        assert load_off(path).name == "widget"
+
+    def test_polygon_faces_fan_triangulated(self, tmp_path):
+        path = tmp_path / "quad.off"
+        path.write_text(
+            "OFF\n4 1 0\n0 0 0\n1 0 0\n1 1 0\n0 1 0\n4 0 1 2 3\n"
+        )
+        mesh = load_off(path)
+        assert mesh.n_faces == 2
+
+    def test_comments_and_missing_header(self, tmp_path):
+        path = tmp_path / "bare.off"
+        path.write_text("# comment\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 2\n")
+        assert load_off(path).n_faces == 1
+
+    def test_truncated_raises(self, tmp_path):
+        path = tmp_path / "bad.off"
+        path.write_text("OFF\n3 1 0\n0 0 0\n1 0 0\n")
+        with pytest.raises(MeshError):
+            load_off(path)
+
+    def test_empty_raises(self, tmp_path):
+        path = tmp_path / "empty.off"
+        path.write_text("")
+        with pytest.raises(MeshError):
+            load_off(path)
+
+
+class TestSTL:
+    def test_binary_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "m.stl"
+        save_stl(sample, path, binary=True)
+        back = load_stl(path)
+        assert volume(back) == pytest.approx(volume(sample), rel=1e-5)
+        assert back.is_watertight()  # welding restores topology
+
+    def test_ascii_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "m.stl"
+        save_stl(sample, path, binary=False)
+        back = load_stl(path)
+        assert volume(back) == pytest.approx(volume(sample))
+
+    def test_ascii_detected_by_header(self, sample, tmp_path):
+        path = tmp_path / "m.stl"
+        save_stl(sample, path, binary=False)
+        assert path.read_bytes().startswith(b"solid")
+        assert load_stl(path).n_faces == sample.n_faces
+
+    def test_truncated_binary_raises(self, tmp_path):
+        path = tmp_path / "bad.stl"
+        path.write_bytes(b"\0" * 60)
+        with pytest.raises(MeshError):
+            load_stl(path)
+
+    def test_bad_ascii_vertex_count(self, tmp_path):
+        path = tmp_path / "bad.stl"
+        path.write_text("solid x\nvertex 0 0 0\nvertex 1 0 0\nendsolid x\n")
+        with pytest.raises(MeshError):
+            load_stl(path)
+
+
+class TestOBJ:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "m.obj"
+        save_obj(sample, path)
+        back = load_obj(path)
+        assert volume(back) == pytest.approx(volume(sample))
+
+    def test_polygon_faces(self, tmp_path):
+        path = tmp_path / "quad.obj"
+        path.write_text("v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\nf 1 2 3 4\n")
+        assert load_obj(path).n_faces == 2
+
+    def test_negative_indices(self, tmp_path):
+        path = tmp_path / "neg.obj"
+        path.write_text("v 0 0 0\nv 1 0 0\nv 0 1 0\nf -3 -2 -1\n")
+        mesh = load_obj(path)
+        assert mesh.faces.tolist() == [[0, 1, 2]]
+
+    def test_slash_indices(self, tmp_path):
+        path = tmp_path / "tex.obj"
+        path.write_text("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1/1 2/2 3/3\n")
+        assert load_obj(path).n_faces == 1
+
+    def test_zero_index_raises(self, tmp_path):
+        path = tmp_path / "zero.obj"
+        path.write_text("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 0 1 2\n")
+        with pytest.raises(MeshError):
+            load_obj(path)
+
+    def test_short_face_raises(self, tmp_path):
+        path = tmp_path / "short.obj"
+        path.write_text("v 0 0 0\nv 1 0 0\nf 1 2\n")
+        with pytest.raises(MeshError):
+            load_obj(path)
+
+
+class TestDispatch:
+    def test_supported_formats(self):
+        assert set(supported_formats()) == {".off", ".stl", ".obj", ".ply"}
+
+    @pytest.mark.parametrize("ext", [".off", ".stl", ".obj", ".ply"])
+    def test_save_load_roundtrip(self, sample, tmp_path, ext):
+        path = tmp_path / f"m{ext}"
+        save_mesh(sample, path)
+        assert volume(load_mesh(path)) == pytest.approx(volume(sample), rel=1e-5)
+
+    def test_unknown_extension(self, sample, tmp_path):
+        with pytest.raises(MeshError, match="unsupported"):
+            save_mesh(sample, tmp_path / "m.step")
+        with pytest.raises(MeshError, match="unsupported"):
+            load_mesh(tmp_path / "m.step")
+
+    def test_case_insensitive_extension(self, sample, tmp_path):
+        path = tmp_path / "m.OFF"
+        save_mesh(sample, path)
+        assert load_mesh(path).n_faces == sample.n_faces
+
+
+class TestPLY:
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_roundtrip(self, sample, tmp_path, binary):
+        from repro.geometry import load_ply, save_ply
+
+        path = tmp_path / "m.ply"
+        save_ply(sample, path, binary=binary)
+        back = load_ply(path)
+        assert back.n_vertices == sample.n_vertices
+        assert volume(back) == pytest.approx(volume(sample))
+        assert back.is_watertight()
+
+    def test_quad_faces_triangulated(self, tmp_path):
+        from repro.geometry import load_ply
+
+        path = tmp_path / "quad.ply"
+        path.write_text(
+            "ply\nformat ascii 1.0\nelement vertex 4\n"
+            "property float x\nproperty float y\nproperty float z\n"
+            "element face 1\nproperty list uchar int vertex_indices\n"
+            "end_header\n0 0 0\n1 0 0\n1 1 0\n0 1 0\n4 0 1 2 3\n"
+        )
+        assert load_ply(path).n_faces == 2
+
+    def test_extra_vertex_properties_skipped(self, tmp_path):
+        from repro.geometry import load_ply
+
+        path = tmp_path / "extra.ply"
+        path.write_text(
+            "ply\nformat ascii 1.0\nelement vertex 3\n"
+            "property float x\nproperty float y\nproperty float z\n"
+            "property uchar red\n"
+            "element face 1\nproperty list uchar int vertex_indices\n"
+            "end_header\n0 0 0 255\n1 0 0 255\n0 1 0 255\n3 0 1 2\n"
+        )
+        mesh = load_ply(path)
+        assert mesh.n_vertices == 3
+        assert mesh.n_faces == 1
+
+    def test_bad_magic_rejected(self, tmp_path):
+        from repro.geometry import load_ply
+
+        path = tmp_path / "bad.ply"
+        path.write_bytes(b"nope\nend_header\n")
+        with pytest.raises(MeshError):
+            load_ply(path)
+
+    def test_big_endian_rejected(self, tmp_path):
+        from repro.geometry import load_ply
+
+        path = tmp_path / "be.ply"
+        path.write_bytes(
+            b"ply\nformat binary_big_endian 1.0\nelement vertex 0\n"
+            b"property float x\nproperty float y\nproperty float z\n"
+            b"element face 0\nproperty list uchar int vertex_indices\n"
+            b"end_header\n"
+        )
+        with pytest.raises(MeshError):
+            load_ply(path)

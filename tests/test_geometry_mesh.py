@@ -1,0 +1,161 @@
+"""Unit tests for the TriangleMesh core."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import MeshError, TriangleMesh, box
+
+
+class TestConstruction:
+    def test_basic(self):
+        mesh = TriangleMesh([[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, 2]])
+        assert mesh.n_vertices == 3
+        assert mesh.n_faces == 1
+
+    def test_empty(self):
+        mesh = TriangleMesh([], [])
+        assert mesh.n_vertices == 0
+        assert mesh.n_faces == 0
+
+    def test_bad_vertex_shape(self):
+        with pytest.raises(MeshError, match="shape"):
+            TriangleMesh([[0, 0], [1, 1]], [])
+
+    def test_bad_face_shape(self):
+        with pytest.raises(MeshError, match="shape"):
+            TriangleMesh([[0, 0, 0]], [[0, 0]])
+
+    def test_out_of_range_index(self):
+        with pytest.raises(MeshError, match="indices"):
+            TriangleMesh([[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, 3]])
+
+    def test_negative_index(self):
+        with pytest.raises(MeshError, match="indices"):
+            TriangleMesh([[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, -1]])
+
+    def test_nan_vertices_rejected(self):
+        with pytest.raises(MeshError, match="NaN|finite"):
+            TriangleMesh([[0, 0, np.nan], [1, 0, 0], [0, 1, 0]], [[0, 1, 2]])
+
+    def test_dtype_coercion(self):
+        mesh = TriangleMesh(np.array([[0, 0, 0]], dtype=np.float32), np.zeros((0, 3)))
+        assert mesh.vertices.dtype == np.float64
+        assert mesh.faces.dtype == np.int64
+
+
+class TestDerived:
+    def test_face_normals_unit_length(self, unit_box):
+        norms = np.linalg.norm(unit_box.face_normals(), axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_face_normals_raw_magnitude_is_twice_area(self, unit_box):
+        raw = unit_box.face_normals(normalized=False)
+        assert np.allclose(
+            0.5 * np.linalg.norm(raw, axis=1), unit_box.face_areas()
+        )
+
+    def test_degenerate_face_normal_is_zero(self):
+        mesh = TriangleMesh([[0, 0, 0], [1, 0, 0], [2, 0, 0]], [[0, 1, 2]])
+        assert np.allclose(mesh.face_normals(), 0.0)
+
+    def test_face_areas_of_unit_box(self, unit_box):
+        assert unit_box.face_areas().sum() == pytest.approx(6.0)
+
+    def test_face_centroids(self):
+        mesh = TriangleMesh([[0, 0, 0], [3, 0, 0], [0, 3, 0]], [[0, 1, 2]])
+        assert np.allclose(mesh.face_centroids(), [[1, 1, 0]])
+
+    def test_unique_edges_of_box(self, unit_box):
+        assert len(unit_box.edges()) == 18  # 12 cube edges + 6 face diagonals
+
+    def test_directed_edges_count(self, unit_box):
+        assert len(unit_box.edges(unique=False)) == 3 * unit_box.n_faces
+
+    def test_bounds_and_extents(self, asym_box):
+        lo, hi = asym_box.bounds()
+        assert np.allclose(lo, [-1, -2, -3])
+        assert np.allclose(hi, [1, 2, 3])
+        assert np.allclose(asym_box.extents(), [2, 4, 6])
+
+    def test_empty_bounds_raises(self):
+        with pytest.raises(MeshError):
+            TriangleMesh([], []).bounds()
+
+
+class TestTopology:
+    def test_box_watertight(self, unit_box):
+        assert unit_box.is_watertight()
+
+    def test_open_mesh_not_watertight(self):
+        mesh = TriangleMesh([[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, 2]])
+        assert not mesh.is_watertight()
+
+    def test_empty_not_watertight(self):
+        assert not TriangleMesh([], []).is_watertight()
+
+    def test_euler_characteristic_sphere_topology(self, unit_box, small_sphere):
+        assert unit_box.euler_characteristic() == 2
+        assert small_sphere.euler_characteristic() == 2
+
+    def test_euler_characteristic_torus(self, small_torus):
+        assert small_torus.euler_characteristic() == 0
+
+    def test_components_single(self, unit_box):
+        assert unit_box.n_components() == 1
+
+    def test_components_concatenated(self, unit_box):
+        two = TriangleMesh.concatenate([unit_box, box((1, 1, 1), center=(5, 0, 0))])
+        assert two.n_components() == 2
+
+
+class TestEditing:
+    def test_copy_is_deep(self, unit_box):
+        clone = unit_box.copy()
+        clone.vertices[0, 0] = 99.0
+        assert unit_box.vertices[0, 0] != 99.0
+
+    def test_equality_and_hash(self, unit_box):
+        clone = unit_box.copy()
+        assert clone == unit_box
+        assert hash(clone) == hash(unit_box)
+        other = box((2, 1, 1))
+        assert other != unit_box
+
+    def test_flipped_reverses_volume_sign(self, unit_box):
+        from repro.geometry import signed_volume
+
+        assert signed_volume(unit_box.flipped()) == pytest.approx(
+            -signed_volume(unit_box)
+        )
+
+    def test_remove_unused_vertices(self):
+        mesh = TriangleMesh(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [9, 9, 9]], [[0, 1, 2]]
+        )
+        cleaned = mesh.remove_unused_vertices()
+        assert cleaned.n_vertices == 3
+        assert cleaned.n_faces == 1
+
+    def test_merge_duplicate_vertices(self):
+        mesh = TriangleMesh(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1e-12]],
+            [[0, 1, 2], [3, 1, 2]],
+        )
+        merged = mesh.merge_duplicate_vertices(tol=1e-9)
+        assert merged.n_vertices == 3
+
+    def test_merge_drops_degenerate_faces(self):
+        mesh = TriangleMesh(
+            [[0, 0, 0], [0, 0, 1e-12], [1, 0, 0]], [[0, 1, 2]]
+        )
+        merged = mesh.merge_duplicate_vertices(tol=1e-9)
+        assert merged.n_faces == 0
+
+    def test_concatenate_empty_list(self):
+        mesh = TriangleMesh.concatenate([])
+        assert mesh.n_vertices == 0
+
+    def test_concatenate_offsets_faces(self, unit_box):
+        two = TriangleMesh.concatenate([unit_box, unit_box])
+        assert two.n_vertices == 2 * unit_box.n_vertices
+        assert two.faces.max() == 2 * unit_box.n_vertices - 1

@@ -1,0 +1,134 @@
+"""Unit tests for 2D polygon utilities and ear clipping."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import (
+    PolygonError,
+    ensure_ccw,
+    polygon_area,
+    rectangle,
+    regular_polygon,
+    triangulate_polygon,
+)
+
+
+def _triangulation_area(points, triangles):
+    pts = np.asarray(points, dtype=np.float64)
+    total = 0.0
+    for a, b, c in triangles:
+        total += 0.5 * abs(
+            (pts[b][0] - pts[a][0]) * (pts[c][1] - pts[a][1])
+            - (pts[b][1] - pts[a][1]) * (pts[c][0] - pts[a][0])
+        )
+    return total
+
+
+class TestArea:
+    def test_unit_square_ccw(self):
+        assert polygon_area([[0, 0], [1, 0], [1, 1], [0, 1]]) == pytest.approx(1.0)
+
+    def test_unit_square_cw_negative(self):
+        assert polygon_area([[0, 0], [0, 1], [1, 1], [1, 0]]) == pytest.approx(-1.0)
+
+    def test_triangle(self):
+        assert polygon_area([[0, 0], [2, 0], [0, 2]]) == pytest.approx(2.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(PolygonError):
+            polygon_area([[0, 0], [1, 1]])
+
+    def test_ensure_ccw_flips_cw(self):
+        cw = [[0, 0], [0, 1], [1, 1], [1, 0]]
+        assert polygon_area(ensure_ccw(cw)) > 0
+
+    def test_ensure_ccw_keeps_ccw(self):
+        ccw = np.array([[0.0, 0], [1, 0], [1, 1], [0, 1]])
+        assert np.array_equal(ensure_ccw(ccw), ccw)
+
+
+class TestTriangulation:
+    def test_triangle_passthrough(self):
+        tris = triangulate_polygon([[0, 0], [1, 0], [0, 1]])
+        assert tris == [(0, 1, 2)]
+
+    def test_square(self):
+        pts = [[0, 0], [1, 0], [1, 1], [0, 1]]
+        tris = triangulate_polygon(pts)
+        assert len(tris) == 2
+        assert _triangulation_area(pts, tris) == pytest.approx(1.0)
+
+    def test_l_shape(self):
+        pts = [[0, 0], [3, 0], [3, 1], [1, 1], [1, 3], [0, 3]]
+        tris = triangulate_polygon(pts)
+        assert _triangulation_area(pts, tris) == pytest.approx(abs(polygon_area(pts)))
+
+    def test_reversed_winding_covers_same_area(self):
+        pts = [[0, 0], [3, 0], [3, 1], [1, 1], [1, 3], [0, 3]]
+        rev = pts[::-1]
+        tris = triangulate_polygon(rev)
+        assert _triangulation_area(rev, tris) == pytest.approx(abs(polygon_area(pts)))
+
+    def test_collinear_staircase_remainder(self):
+        """Staircase corners are collinear; the zero-area remainder is
+        fan-triangulated so the total covered area is still exact."""
+        pts = [[0, 0], [6, 0], [6, 1.5], [4, 1.5], [4, 3], [2, 3], [2, 4.5], [0, 4.5]]
+        tris = triangulate_polygon(pts)
+        assert _triangulation_area(pts, tris) == pytest.approx(abs(polygon_area(pts)))
+
+    def test_concave_comb(self):
+        pts = [
+            [0, 0], [7, 0], [7, 4], [6, 4], [6, 1], [5, 1], [5, 4],
+            [4, 4], [4, 1], [3, 1], [3, 4], [0, 4],
+        ]
+        tris = triangulate_polygon(pts)
+        assert _triangulation_area(pts, tris) == pytest.approx(abs(polygon_area(pts)))
+
+    def test_all_triangles_ccw(self):
+        pts = np.array([[0, 0], [3, 0], [3, 1], [1, 1], [1, 3], [0, 3]], dtype=float)
+        for a, b, c in triangulate_polygon(pts):
+            cross = (pts[b][0] - pts[a][0]) * (pts[c][1] - pts[a][1]) - (
+                pts[b][1] - pts[a][1]
+            ) * (pts[c][0] - pts[a][0])
+            assert cross > 0
+
+    def test_self_intersecting_does_not_crash(self):
+        # Ear clipping does not validate simplicity; crossing input yields
+        # some triangulation (garbage in, garbage out) rather than a hang.
+        bowtie = [[0, 0], [2, 2], [2, 0], [0, 2]]
+        tris = triangulate_polygon(bowtie)
+        assert 1 <= len(tris) <= len(bowtie) - 2
+
+    def test_too_few_points(self):
+        with pytest.raises(PolygonError):
+            triangulate_polygon([[0, 0], [1, 0]])
+
+
+class TestGenerators:
+    def test_regular_polygon_vertex_count(self):
+        assert regular_polygon(6, 2.0).shape == (6, 2)
+
+    def test_regular_polygon_radius(self):
+        pts = regular_polygon(8, 3.0)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 3.0)
+
+    def test_regular_polygon_is_ccw(self):
+        assert polygon_area(regular_polygon(5, 1.0)) > 0
+
+    def test_regular_polygon_phase(self):
+        pts = regular_polygon(4, 1.0, phase=np.pi / 4)
+        assert pts[0] == pytest.approx([np.sqrt(2) / 2, np.sqrt(2) / 2])
+
+    def test_regular_polygon_errors(self):
+        with pytest.raises(PolygonError):
+            regular_polygon(2, 1.0)
+        with pytest.raises(PolygonError):
+            regular_polygon(4, -1.0)
+
+    def test_rectangle(self):
+        pts = rectangle(4.0, 2.0)
+        assert polygon_area(pts) == pytest.approx(8.0)
+
+    def test_rectangle_errors(self):
+        with pytest.raises(PolygonError):
+            rectangle(0.0, 1.0)

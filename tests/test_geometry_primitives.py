@@ -1,0 +1,182 @@
+"""Primitives: analytic volumes, watertightness, validation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    MeshError,
+    annular_prism,
+    box,
+    cone,
+    cylinder,
+    extrude_polygon,
+    frustum,
+    hex_nut,
+    plate_with_rect_hole,
+    prism,
+    surface_area,
+    torus,
+    tube,
+    uv_sphere,
+    volume,
+)
+from repro.geometry.polygon import rectangle, regular_polygon
+
+
+def polygon_prism_volume(n, radius, height):
+    """Analytic volume of a regular n-gon prism."""
+    return n * 0.5 * radius**2 * np.sin(2 * np.pi / n) * height
+
+
+class TestBox:
+    def test_volume_and_area(self):
+        b = box((2, 3, 4))
+        assert volume(b) == pytest.approx(24.0)
+        assert surface_area(b) == pytest.approx(2 * (6 + 8 + 12))
+
+    def test_centered(self):
+        b = box((2, 2, 2), center=(5, 6, 7))
+        lo, hi = b.bounds()
+        assert np.allclose((lo + hi) / 2, [5, 6, 7])
+
+    def test_watertight(self):
+        assert box((1, 2, 3)).is_watertight()
+
+    def test_invalid_extents(self):
+        with pytest.raises(MeshError):
+            box((0, 1, 1))
+        with pytest.raises(MeshError):
+            box((1, 1))
+
+
+class TestExtrusion:
+    def test_l_profile_volume(self):
+        profile = [[0, 0], [3, 0], [3, 1], [1, 1], [1, 4], [0, 4]]
+        mesh = extrude_polygon(profile, 0.5)
+        assert volume(mesh) == pytest.approx(6 * 0.5)
+        assert mesh.is_watertight()
+
+    def test_cw_profile_same_volume(self):
+        profile = [[0, 0], [3, 0], [3, 1], [1, 1], [1, 4], [0, 4]]
+        cw = profile[::-1]
+        assert volume(extrude_polygon(cw, 0.5)) == pytest.approx(3.0)
+
+    def test_zero_height_rejected(self):
+        with pytest.raises(MeshError):
+            extrude_polygon([[0, 0], [1, 0], [0, 1]], 0.0)
+
+    def test_prism_volume(self):
+        mesh = prism(6, 2.0, 3.0)
+        assert volume(mesh) == pytest.approx(polygon_prism_volume(6, 2.0, 3.0))
+
+
+class TestCylinderFamily:
+    def test_cylinder_volume(self):
+        assert volume(cylinder(1.0, 2.0, 64)) == pytest.approx(
+            polygon_prism_volume(64, 1.0, 2.0)
+        )
+
+    def test_cylinder_approaches_pi(self):
+        assert volume(cylinder(1.0, 1.0, 256)) == pytest.approx(np.pi, rel=2e-3)
+
+    def test_cylinder_watertight(self):
+        assert cylinder(1.0, 2.0, 16).is_watertight()
+
+    def test_cylinder_min_segments(self):
+        with pytest.raises(MeshError):
+            cylinder(1.0, 1.0, 2)
+
+    def test_cone_volume(self):
+        # Polygonal cone volume = (1/3) * base area * height.
+        base_area = 32 * 0.5 * np.sin(2 * np.pi / 32)
+        assert volume(cone(1.0, 3.0, 32)) == pytest.approx(base_area)
+
+    def test_cone_watertight(self):
+        assert cone(1.0, 2.0, 16).is_watertight()
+
+    def test_frustum_volume_between_cone_and_cylinder(self):
+        fr = volume(frustum(2.0, 1.0, 3.0, 64))
+        assert volume(cone(2.0, 3.0 * 2, 64)) / 2 < fr < volume(cylinder(2.0, 3.0, 64))
+
+    def test_frustum_watertight(self):
+        assert frustum(2.0, 1.0, 3.0, 24).is_watertight()
+
+    def test_frustum_validation(self):
+        with pytest.raises(MeshError):
+            frustum(-1.0, 1.0, 1.0)
+        with pytest.raises(MeshError):
+            frustum(1.0, 1.0, -2.0)
+
+
+class TestHollow:
+    def test_tube_volume(self):
+        got = volume(tube(2.0, 1.0, 1.5, 64))
+        expected = polygon_prism_volume(64, 2.0, 1.5) - polygon_prism_volume(64, 1.0, 1.5)
+        assert got == pytest.approx(expected)
+
+    def test_tube_watertight(self):
+        assert tube(2.0, 1.0, 1.0, 24).is_watertight()
+
+    def test_tube_genus_one(self):
+        assert tube(2.0, 1.0, 1.0, 24).euler_characteristic() == 0
+
+    def test_tube_validation(self):
+        with pytest.raises(MeshError):
+            tube(1.0, 2.0, 1.0)  # inner > outer
+
+    def test_plate_with_hole_volume(self):
+        mesh = plate_with_rect_hole(4, 3, 0.5, 1, 1)
+        assert volume(mesh) == pytest.approx((12 - 1) * 0.5)
+        assert mesh.is_watertight()
+
+    def test_plate_hole_must_fit(self):
+        with pytest.raises(MeshError):
+            plate_with_rect_hole(4, 3, 0.5, 5, 1)
+
+    def test_hex_nut_volume_less_than_solid_prism(self):
+        af = 4.0
+        nut = hex_nut(af, 0.8, 1.0)
+        solid = prism(6, af / np.sqrt(3), 1.0)
+        assert 0 < volume(nut) < volume(solid)
+        assert nut.is_watertight()
+
+    def test_hex_nut_validation(self):
+        with pytest.raises(MeshError):
+            hex_nut(2.0, 1.5, 1.0)  # bore too big
+
+    def test_annular_prism_mismatched_profiles(self):
+        with pytest.raises(MeshError):
+            annular_prism(regular_polygon(6, 2.0), regular_polygon(8, 1.0), 1.0)
+
+    def test_annular_prism_rectangles(self):
+        mesh = annular_prism(rectangle(4, 4), rectangle(2, 2), 1.0)
+        assert volume(mesh) == pytest.approx(16 - 4)
+
+
+class TestRound:
+    def test_sphere_volume_converges(self):
+        got = volume(uv_sphere(1.0, 32, 64))
+        assert got == pytest.approx(4.0 / 3.0 * np.pi, rel=5e-3)
+
+    def test_sphere_watertight(self):
+        assert uv_sphere(1.0, 8, 12).is_watertight()
+
+    def test_sphere_validation(self):
+        with pytest.raises(MeshError):
+            uv_sphere(-1.0)
+        with pytest.raises(MeshError):
+            uv_sphere(1.0, 1, 12)
+
+    def test_torus_volume_converges(self):
+        got = volume(torus(3.0, 1.0, 64, 32))
+        assert got == pytest.approx(2 * np.pi**2 * 3.0, rel=1e-2)
+
+    def test_torus_watertight(self):
+        assert torus(2.0, 0.5, 16, 8).is_watertight()
+
+    def test_torus_euler_zero(self):
+        assert torus(2.0, 0.5, 16, 8).euler_characteristic() == 0
+
+    def test_torus_validation(self):
+        with pytest.raises(MeshError):
+            torus(1.0, 2.0)

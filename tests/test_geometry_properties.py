@@ -1,0 +1,101 @@
+"""Integral properties: area, volume, centroid, design ratios."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    MeshError,
+    TriangleMesh,
+    aspect_ratios,
+    box,
+    centroid,
+    signed_volume,
+    surface_area,
+    surface_centroid,
+    surface_to_volume_ratio,
+    translate,
+    volume,
+)
+
+
+class TestVolume:
+    def test_box(self):
+        assert volume(box((2, 3, 4))) == pytest.approx(24.0)
+
+    def test_signed_volume_positive_for_outward(self, unit_box):
+        assert signed_volume(unit_box) > 0
+
+    def test_signed_volume_negative_for_inward(self, unit_box):
+        assert signed_volume(unit_box.flipped()) < 0
+
+    def test_translation_invariant(self, asym_box):
+        moved = translate(asym_box, [10, -20, 30])
+        assert volume(moved) == pytest.approx(volume(asym_box))
+
+    def test_open_mesh_near_zero(self):
+        tri = TriangleMesh([[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, 2]])
+        assert volume(tri) == pytest.approx(0.0)
+
+
+class TestCentroid:
+    def test_centered_box(self, asym_box):
+        assert np.allclose(centroid(asym_box), 0.0, atol=1e-12)
+
+    def test_translated_box(self, asym_box):
+        moved = translate(asym_box, [1, 2, 3])
+        assert np.allclose(centroid(moved), [1, 2, 3])
+
+    def test_zero_volume_raises(self):
+        tri = TriangleMesh([[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, 2]])
+        with pytest.raises(MeshError):
+            centroid(tri)
+
+    def test_surface_centroid_of_box(self, unit_box):
+        assert np.allclose(surface_centroid(unit_box), 0.0, atol=1e-12)
+
+    def test_surface_centroid_open_mesh_ok(self):
+        tri = TriangleMesh([[0, 0, 0], [3, 0, 0], [0, 3, 0]], [[0, 1, 2]])
+        assert np.allclose(surface_centroid(tri), [1, 1, 0])
+
+    def test_surface_centroid_empty_raises(self):
+        with pytest.raises(MeshError):
+            surface_centroid(TriangleMesh([[0, 0, 0]], np.zeros((0, 3))))
+
+
+class TestDesignRatios:
+    def test_aspect_ratios_of_box(self):
+        r12, r23 = aspect_ratios(box((8, 4, 2)))
+        assert r12 == pytest.approx(2.0)
+        assert r23 == pytest.approx(2.0)
+
+    def test_aspect_ratios_of_cube(self, unit_box):
+        assert aspect_ratios(unit_box) == pytest.approx((1.0, 1.0))
+
+    def test_aspect_ratio_flat_mesh_guarded(self):
+        flat = TriangleMesh(
+            [[0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0]], [[0, 1, 2], [0, 2, 3]]
+        )
+        r12, r23 = aspect_ratios(flat)
+        assert np.isfinite(r23)
+
+    def test_surface_to_volume_box(self):
+        assert surface_to_volume_ratio(box((2, 2, 2))) == pytest.approx(24 / 8)
+
+    def test_shell_like_has_larger_ratio(self):
+        thin = surface_to_volume_ratio(box((10, 10, 0.1)))
+        chunky = surface_to_volume_ratio(box((10, 10, 10)))
+        assert thin > chunky * 10
+
+    def test_surface_to_volume_zero_volume_raises(self):
+        tri = TriangleMesh([[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, 2]])
+        with pytest.raises(MeshError):
+            surface_to_volume_ratio(tri)
+
+
+class TestArea:
+    def test_box_area(self):
+        assert surface_area(box((1, 2, 3))) == pytest.approx(2 * (2 + 3 + 6))
+
+    def test_single_triangle(self):
+        tri = TriangleMesh([[0, 0, 0], [2, 0, 0], [0, 2, 0]], [[0, 1, 2]])
+        assert surface_area(tri) == pytest.approx(2.0)

@@ -1,0 +1,113 @@
+"""Transforms: rigid motions, scaling, homogeneous matrices."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    MeshError,
+    box,
+    compose,
+    random_rotation,
+    rotate,
+    rotation_about_axis,
+    rotation_matrix4,
+    scale,
+    scale_matrix,
+    signed_volume,
+    transform,
+    translate,
+    translation_matrix,
+    volume,
+)
+
+
+class TestTranslate:
+    def test_moves_vertices(self, unit_box):
+        moved = translate(unit_box, [1, 2, 3])
+        assert np.allclose(moved.vertices, unit_box.vertices + [1, 2, 3])
+
+    def test_bad_offset(self, unit_box):
+        with pytest.raises(MeshError):
+            translate(unit_box, [1, 2])
+
+
+class TestScale:
+    def test_volume_scales_cubically(self, unit_box):
+        assert volume(scale(unit_box, 2.0)) == pytest.approx(8.0)
+
+    def test_rejects_nonpositive(self, unit_box):
+        with pytest.raises(MeshError):
+            scale(unit_box, 0.0)
+        with pytest.raises(MeshError):
+            scale(unit_box, -1.0)
+
+
+class TestRotate:
+    def test_volume_preserved(self, asym_box, rng):
+        rot = random_rotation(rng)
+        assert volume(rotate(asym_box, rot)) == pytest.approx(volume(asym_box))
+
+    def test_rotation_about_axis_90deg(self):
+        rot = rotation_about_axis([0, 0, 1], np.pi / 2)
+        assert np.allclose(rot @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+    def test_rotation_about_zero_axis_raises(self):
+        with pytest.raises(MeshError):
+            rotation_about_axis([0, 0, 0], 1.0)
+
+    def test_non_orthonormal_rejected(self, unit_box):
+        with pytest.raises(MeshError):
+            rotate(unit_box, np.eye(3) * 2.0)
+
+    def test_improper_rotation_keeps_outward_orientation(self, unit_box):
+        mirror = np.diag([-1.0, 1.0, 1.0])
+        out = rotate(unit_box, mirror)
+        assert signed_volume(out) > 0
+
+    def test_random_rotation_is_special_orthogonal(self, rng):
+        for _ in range(10):
+            rot = random_rotation(rng)
+            assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-10)
+            assert np.linalg.det(rot) == pytest.approx(1.0)
+
+    def test_random_rotation_deterministic_with_seed(self):
+        a = random_rotation(np.random.default_rng(5))
+        b = random_rotation(np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestHomogeneous:
+    def test_transform_translation(self, unit_box):
+        out = transform(unit_box, translation_matrix([1, 0, 0]))
+        assert np.allclose(out.vertices, unit_box.vertices + [1, 0, 0])
+
+    def test_transform_scale(self, unit_box):
+        out = transform(unit_box, scale_matrix(3.0))
+        assert volume(out) == pytest.approx(27.0)
+
+    def test_compose_order(self, unit_box):
+        # compose applies left-to-right: scale first, then translate.
+        mat = compose(scale_matrix(2.0), translation_matrix([5, 0, 0]))
+        out = transform(unit_box, mat)
+        lo, hi = out.bounds()
+        assert np.allclose((lo + hi) / 2, [5, 0, 0])
+
+    def test_rotation_matrix4_embedding(self, rng):
+        rot = random_rotation(rng)
+        mat = rotation_matrix4(rot)
+        assert np.allclose(mat[:3, :3], rot)
+        assert np.allclose(mat[3], [0, 0, 0, 1])
+
+    def test_negative_determinant_flips_faces(self, unit_box):
+        mirror = np.eye(4)
+        mirror[0, 0] = -1.0
+        out = transform(unit_box, mirror)
+        assert signed_volume(out) > 0
+
+    def test_bad_matrix_shape(self, unit_box):
+        with pytest.raises(MeshError):
+            transform(unit_box, np.eye(3))
+
+    def test_scale_matrix_rejects_nonpositive(self):
+        with pytest.raises(MeshError):
+            scale_matrix(-2.0)

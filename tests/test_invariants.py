@@ -1,0 +1,122 @@
+"""Moment invariants F1-F3 and the higher-order extension."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    box,
+    cone,
+    extrude_polygon,
+    random_rotation,
+    rotate,
+    scale,
+    translate,
+    uv_sphere,
+)
+from repro.moments import (
+    extended_moment_invariants,
+    higher_order_invariants,
+    invariants_from_matrix,
+    moment_invariants,
+    principal_moments,
+)
+
+
+@pytest.fixture
+def asym_part():
+    # Deliberately asymmetric so third-order invariants are non-trivial.
+    return extrude_polygon(
+        [[0, 0], [5, 0], [5, 1], [1, 1], [1, 2], [3, 2], [3, 3], [0, 3]], 0.8
+    )
+
+
+class TestSecondOrderInvariants:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rigid_and_scale_invariance(self, asym_part, seed):
+        rng = np.random.default_rng(seed)
+        base = moment_invariants(asym_part)
+        moved = translate(
+            scale(rotate(asym_part, random_rotation(rng)), rng.uniform(0.3, 4.0)),
+            rng.uniform(-20, 20, 3),
+        )
+        assert np.allclose(moment_invariants(moved), base, rtol=1e-7)
+
+    def test_known_values_for_cube(self):
+        # For a cube, I200 = I020 = I002 = (1/12) V^(5/3) / V^(5/3) ... the
+        # normalized matrix is (1/12) I, so F1 = 1/4, F2 = 3/144, F3 = 1/1728.
+        vals = moment_invariants(box((2, 2, 2)))
+        assert vals[0] == pytest.approx(3 / 12)
+        assert vals[1] == pytest.approx(3 / 144)
+        assert vals[2] == pytest.approx(1 / 1728)
+
+    def test_characteristic_coefficients_match_eigenvalues(self, asym_part):
+        from repro.moments import central_moments_up_to, second_moment_matrix
+        from repro.moments.invariants import scale_normalized_second_moments
+
+        central = central_moments_up_to(asym_part, 2)
+        mat = scale_normalized_second_moments(central)
+        eig = np.linalg.eigvalsh(mat)
+        f1, f2, f3 = invariants_from_matrix(mat)
+        assert f1 == pytest.approx(eig.sum())
+        assert f2 == pytest.approx(eig[0] * eig[1] + eig[0] * eig[2] + eig[1] * eig[2])
+        assert f3 == pytest.approx(np.prod(eig))
+
+    def test_matrix_shape_validation(self):
+        with pytest.raises(ValueError):
+            invariants_from_matrix(np.eye(2))
+
+    def test_distinguishes_shapes(self):
+        a = moment_invariants(box((1, 1, 1)))
+        b = moment_invariants(box((4, 1, 1)))
+        c = moment_invariants(cone(1.0, 2.0, 32))
+        assert not np.allclose(a, b)
+        assert not np.allclose(a, c)
+
+
+class TestHigherOrderInvariants:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rigid_and_scale_invariance(self, asym_part, seed):
+        rng = np.random.default_rng(seed)
+        base = higher_order_invariants(asym_part)
+        assert base.max() > 1e-8  # non-trivial for an asymmetric part
+        moved = translate(
+            scale(rotate(asym_part, random_rotation(rng)), rng.uniform(0.5, 2.0)),
+            rng.uniform(-5, 5, 3),
+        )
+        got = higher_order_invariants(moved)
+        assert np.allclose(got, base, rtol=1e-5, atol=1e-12)
+
+    def test_vanishes_for_centro_symmetric(self):
+        # All odd-order central moments of a box vanish.
+        vals = higher_order_invariants(box((2, 3, 4)))
+        assert np.allclose(vals, 0.0, atol=1e-12)
+
+    def test_extended_vector_concatenation(self, asym_part):
+        ext = extended_moment_invariants(asym_part)
+        assert ext.shape == (5,)
+        assert np.allclose(ext[:3], moment_invariants(asym_part))
+
+
+class TestPrincipalMoments:
+    def test_sorted_descending(self, asym_part):
+        pm = principal_moments(asym_part)
+        assert pm[0] >= pm[1] >= pm[2] > 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_invariance_when_normalized(self, asym_part, seed):
+        rng = np.random.default_rng(seed)
+        base = principal_moments(asym_part)
+        moved = translate(
+            scale(rotate(asym_part, random_rotation(rng)), rng.uniform(0.5, 2.0)),
+            rng.uniform(-5, 5, 3),
+        )
+        assert np.allclose(principal_moments(moved), base, rtol=1e-6)
+
+    def test_unnormalized_depends_on_scale(self, asym_part):
+        base = principal_moments(asym_part, normalized=False)
+        bigger = principal_moments(scale(asym_part, 2.0), normalized=False)
+        assert not np.allclose(base, bigger)
+
+    def test_sphere_isotropic(self):
+        pm = principal_moments(uv_sphere(1.0, 24, 48))
+        assert pm[0] == pytest.approx(pm[2], rel=1e-2)

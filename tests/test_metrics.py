@@ -1,0 +1,76 @@
+"""Precision/recall metrics (Eq. 4.1-4.2) and ranked variants."""
+
+import pytest
+
+from repro.evaluation import (
+    average_precision,
+    evaluate_retrieval,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+class TestEvaluateRetrieval:
+    def test_perfect_retrieval(self):
+        pr = evaluate_retrieval([1, 2, 3], [1, 2, 3])
+        assert pr.precision == 1.0
+        assert pr.recall == 1.0
+
+    def test_partial(self):
+        pr = evaluate_retrieval([1, 2, 9, 8], [1, 2, 3])
+        assert pr.precision == pytest.approx(0.5)
+        assert pr.recall == pytest.approx(2 / 3)
+        assert pr.n_hits == 2
+
+    def test_empty_retrieval(self):
+        pr = evaluate_retrieval([], [1, 2])
+        assert pr.precision == 0.0
+        assert pr.recall == 0.0
+
+    def test_duplicates_collapse(self):
+        pr = evaluate_retrieval([1, 1, 1], [1, 2])
+        assert pr.n_retrieved == 1
+        assert pr.precision == 1.0
+
+    def test_empty_relevant_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_retrieval([1], [])
+
+    def test_inverse_relationship_example(self):
+        # Paper Sec. 4.1: loose threshold -> recall 1 but low precision.
+        loose = evaluate_retrieval(range(100), [5, 6])
+        assert loose.recall == 1.0
+        assert loose.precision == pytest.approx(0.02)
+
+
+class TestRankedMetrics:
+    def test_precision_at_k(self):
+        ranked = [1, 9, 2, 8, 3]
+        assert precision_at_k(ranked, [1, 2, 3], 1) == 1.0
+        assert precision_at_k(ranked, [1, 2, 3], 2) == 0.5
+        assert precision_at_k(ranked, [1, 2, 3], 5) == pytest.approx(0.6)
+
+    def test_recall_at_k(self):
+        ranked = [1, 9, 2, 8, 3]
+        assert recall_at_k(ranked, [1, 2, 3], 1) == pytest.approx(1 / 3)
+        assert recall_at_k(ranked, [1, 2, 3], 5) == 1.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], [1], 0)
+        with pytest.raises(ValueError):
+            recall_at_k([1], [], 1)
+
+    def test_average_precision_perfect(self):
+        assert average_precision([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_average_precision_interleaved(self):
+        # Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+        assert average_precision([1, 9, 2], [1, 2]) == pytest.approx((1 + 2 / 3) / 2)
+
+    def test_average_precision_none_found(self):
+        assert average_precision([7, 8], [1, 2]) == 0.0
+
+    def test_average_precision_requires_relevant(self):
+        with pytest.raises(ValueError):
+            average_precision([1], [])

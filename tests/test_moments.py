@@ -1,0 +1,142 @@
+"""Exact mesh moments and voxel moments against analytic values."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import box, cylinder, translate, uv_sphere
+from repro.moments import (
+    central_moments_up_to,
+    mesh_moment,
+    mesh_moments,
+    mesh_moments_up_to,
+    moment_keys_up_to,
+    second_moment_matrix,
+    voxel_centroid,
+    voxel_moment,
+    voxel_moments_up_to,
+)
+
+
+class TestMeshMoments:
+    def test_volume_is_m000(self, asym_box):
+        assert mesh_moment(asym_box, 0, 0, 0) == pytest.approx(48.0)
+
+    def test_first_moments_vanish_when_centered(self, asym_box):
+        m = mesh_moments(asym_box, [(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        for v in m.values():
+            assert v == pytest.approx(0.0, abs=1e-10)
+
+    def test_first_moment_of_translated_box(self, asym_box):
+        moved = translate(asym_box, [2, 0, 0])
+        assert mesh_moment(moved, 1, 0, 0) == pytest.approx(2 * 48.0)
+
+    def test_second_moments_of_box(self):
+        # Box w x h x d centered at origin: m200 = V w^2 / 12.
+        b = box((2.0, 4.0, 6.0))
+        m = mesh_moments_up_to(b, 2)
+        vol = 48.0
+        assert m[(2, 0, 0)] == pytest.approx(vol * 4 / 12)
+        assert m[(0, 2, 0)] == pytest.approx(vol * 16 / 12)
+        assert m[(0, 0, 2)] == pytest.approx(vol * 36 / 12)
+        assert m[(1, 1, 0)] == pytest.approx(0.0, abs=1e-10)
+
+    def test_fourth_order_moment_of_box(self):
+        # m400 of box: V * w^4 / 80.
+        b = box((2.0, 2.0, 2.0))
+        assert mesh_moment(b, 4, 0, 0) == pytest.approx(8.0 * 16 / 80)
+
+    def test_mixed_third_order_translated(self):
+        # m111 of a unit cube with corner at origin: integral over [0,1]^3
+        # of xyz = 1/8.
+        b = box((1.0, 1.0, 1.0), center=(0.5, 0.5, 0.5))
+        assert mesh_moment(b, 1, 1, 1) == pytest.approx(1.0 / 8.0)
+
+    def test_sphere_second_moment(self):
+        # m200 of a ball of radius R: (4/15) pi R^5; coarse mesh -> loose tol.
+        s = uv_sphere(1.0, 32, 64)
+        assert mesh_moment(s, 2, 0, 0) == pytest.approx(4 * np.pi / 15, rel=1e-2)
+
+    def test_cylinder_axial_moment(self):
+        # m002 for cylinder base at z=0, height h: V h^2 / 3.
+        c = cylinder(1.0, 2.0, 128)
+        vol = mesh_moment(c, 0, 0, 0)
+        assert mesh_moment(c, 0, 0, 2) == pytest.approx(vol * 4 / 3, rel=1e-6)
+
+    def test_negative_key_rejected(self, unit_box):
+        with pytest.raises(ValueError):
+            mesh_moments(unit_box, [(-1, 0, 0)])
+
+    def test_moment_keys_up_to_counts(self):
+        assert len(moment_keys_up_to(0)) == 1
+        assert len(moment_keys_up_to(1)) == 4
+        assert len(moment_keys_up_to(2)) == 10
+        assert len(moment_keys_up_to(3)) == 20
+
+    def test_up_to_negative_order_rejected(self, unit_box):
+        with pytest.raises(ValueError):
+            mesh_moments_up_to(unit_box, -1)
+
+
+class TestCentralMoments:
+    def test_translation_invariance(self, asym_box):
+        base = central_moments_up_to(asym_box, 2)
+        moved = central_moments_up_to(translate(asym_box, [5, -3, 2]), 2)
+        for key in base:
+            assert moved[key] == pytest.approx(base[key], abs=1e-8)
+
+    def test_zero_volume_rejected(self):
+        from repro.geometry import TriangleMesh
+
+        tri = TriangleMesh([[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, 2]])
+        with pytest.raises(ValueError):
+            central_moments_up_to(tri, 2)
+
+    def test_second_moment_matrix_symmetry(self, asym_box):
+        mat = second_moment_matrix(central_moments_up_to(asym_box, 2))
+        assert np.allclose(mat, mat.T)
+        assert np.all(np.linalg.eigvalsh(mat) > 0)
+
+
+class TestVoxelMoments:
+    def test_m000_counts_voxels(self):
+        occ = np.zeros((4, 4, 4), dtype=bool)
+        occ[1:3, 1:3, 1:3] = True
+        assert voxel_moment(occ, 0, 0, 0) == pytest.approx(8.0)
+
+    def test_spacing_scales_volume(self):
+        occ = np.ones((2, 2, 2), dtype=bool)
+        assert voxel_moment(occ, 0, 0, 0, spacing=0.5) == pytest.approx(1.0)
+
+    def test_centroid(self):
+        occ = np.zeros((5, 5, 5), dtype=bool)
+        occ[0, 0, 0] = True
+        assert np.allclose(voxel_centroid(occ), [0.5, 0.5, 0.5])
+
+    def test_centroid_with_origin(self):
+        occ = np.ones((2, 2, 2), dtype=bool)
+        c = voxel_centroid(occ, origin=(10, 0, 0))
+        assert np.allclose(c, [11, 1, 1])
+
+    def test_empty_grid_moments_zero(self):
+        occ = np.zeros((3, 3, 3), dtype=bool)
+        m = voxel_moments_up_to(occ, 2)
+        assert all(v == 0.0 for v in m.values())
+
+    def test_empty_grid_centroid_raises(self):
+        with pytest.raises(ValueError):
+            voxel_centroid(np.zeros((2, 2, 2), dtype=bool))
+
+    def test_matches_mesh_moments_coarsely(self, asym_box):
+        from repro.voxel import voxelize
+
+        grid = voxelize(asym_box, resolution=32)
+        got = voxel_moment(grid.occupancy, 0, 0, 0, origin=grid.origin, spacing=grid.spacing)
+        assert got == pytest.approx(48.0, rel=0.25)
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError):
+            voxel_moment(np.ones((2, 2)), 0, 0, 0)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            voxel_moment(np.ones((2, 2, 2)), -1, 0, 0)

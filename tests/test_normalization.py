@@ -1,0 +1,113 @@
+"""Pose normalization against the paper's criteria (Eq. 3.2-3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    box,
+    extrude_polygon,
+    random_rotation,
+    rotate,
+    scale,
+    translate,
+    volume,
+)
+from repro.moments import central_moments_up_to, normalize, principal_axes
+
+
+@pytest.fixture
+def bracket():
+    return extrude_polygon(
+        [[0, 0], [6, 0], [6, 1], [1, 1], [1, 4], [0, 4]], 1.2, name="bracket"
+    )
+
+
+class TestCriteria:
+    def test_translation_criterion(self, bracket):
+        res = normalize(bracket)
+        central = central_moments_up_to(res.mesh, 1)
+        for key in [(1, 0, 0), (0, 1, 0), (0, 0, 1)]:
+            assert central[key] == pytest.approx(0.0, abs=1e-9)
+
+    def test_scale_criterion(self, bracket):
+        res = normalize(bracket, target_volume=2.5)
+        assert volume(res.mesh) == pytest.approx(2.5)
+
+    def test_orientation_criterion(self, bracket):
+        res = normalize(bracket)
+        central = central_moments_up_to(res.mesh, 2)
+        for key in [(1, 1, 0), (1, 0, 1), (0, 1, 1)]:
+            assert central[key] == pytest.approx(0.0, abs=1e-9)
+
+    def test_principal_moment_ordering(self, bracket):
+        res = normalize(bracket)
+        central = central_moments_up_to(res.mesh, 2)
+        assert central[(2, 0, 0)] >= central[(0, 2, 0)] >= central[(0, 0, 2)]
+
+    def test_positive_half_space_rule(self, bracket):
+        res = normalize(bracket)
+        verts = res.mesh.vertices
+        assert (verts.max(axis=0) >= -verts.min(axis=0) - 1e-9).all()
+
+
+class TestInvariance:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_canonical_form_invariant_to_rigid_motion(self, bracket, seed):
+        rng = np.random.default_rng(seed)
+        res_base = normalize(bracket)
+        moved = translate(
+            scale(rotate(bracket, random_rotation(rng)), rng.uniform(0.5, 3.0)),
+            rng.uniform(-10, 10, 3),
+        )
+        res_moved = normalize(moved)
+        # Canonical second moments must agree.
+        a = central_moments_up_to(res_base.mesh, 2)
+        b = central_moments_up_to(res_moved.mesh, 2)
+        for key in [(2, 0, 0), (0, 2, 0), (0, 0, 2)]:
+            assert b[key] == pytest.approx(a[key], rel=1e-6, abs=1e-12)
+
+    def test_scale_factor_tracks_volume(self, bracket):
+        res = normalize(bracket, target_volume=1.0)
+        assert res.scale_factor == pytest.approx(
+            (1.0 / volume(bracket)) ** (1 / 3)
+        )
+
+    def test_rotation_matrix_is_orthonormal(self, bracket):
+        res = normalize(bracket)
+        assert np.allclose(res.rotation @ res.rotation.T, np.eye(3), atol=1e-9)
+
+    def test_translation_matches_centroid(self, bracket):
+        from repro.geometry import centroid
+
+        res = normalize(bracket)
+        assert np.allclose(res.translation, centroid(bracket))
+
+
+class TestOptions:
+    def test_no_reflection_keeps_proper_rotation(self, bracket):
+        res = normalize(bracket, allow_reflection=False)
+        assert np.linalg.det(res.rotation) == pytest.approx(1.0)
+        assert not res.reflected
+
+    def test_bad_target_volume(self, bracket):
+        with pytest.raises(ValueError):
+            normalize(bracket, target_volume=0.0)
+
+    def test_zero_volume_rejected(self):
+        from repro.geometry import TriangleMesh
+
+        tri = TriangleMesh([[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, 2]])
+        with pytest.raises(ValueError):
+            normalize(tri)
+
+    def test_principal_axes_descending(self, bracket):
+        eigvals, axes = principal_axes(bracket)
+        assert eigvals[0] >= eigvals[1] >= eigvals[2]
+        assert np.allclose(axes @ axes.T, np.eye(3), atol=1e-9)
+
+    def test_normalized_mesh_outward_oriented(self, bracket, rng):
+        from repro.geometry import signed_volume
+
+        moved = rotate(bracket, random_rotation(rng))
+        res = normalize(moved)
+        assert signed_volume(res.mesh) > 0

@@ -1,0 +1,142 @@
+"""Vertex perturbation, graph edit distance, and composite placement."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    MeshError,
+    Placement,
+    assemble,
+    box,
+    cylinder,
+    extrude_polygon,
+    jitter_vertices,
+    rotation_about_axis,
+    torus,
+    vertex_normals,
+    volume,
+)
+from repro.skeleton import (
+    build_skeletal_graph,
+    graph_edit_distance,
+    graph_similarity,
+    thin,
+)
+from repro.voxel import voxelize
+
+
+class TestJitter:
+    def test_zero_amplitude_identity(self, unit_box):
+        out = jitter_vertices(unit_box, 0.0, rng=np.random.default_rng(0))
+        assert np.allclose(out.vertices, unit_box.vertices)
+
+    def test_volume_drift_scales_with_amplitude(self, asym_box):
+        rng = np.random.default_rng(1)
+        small = jitter_vertices(asym_box, 0.005, rng=rng)
+        big = jitter_vertices(asym_box, 0.05, rng=np.random.default_rng(1))
+        drift_small = abs(volume(small) - 48) / 48
+        drift_big = abs(volume(big) - 48) / 48
+        assert drift_small < 0.05
+        assert drift_small < drift_big + 0.05
+
+    def test_deterministic_under_seed(self, unit_box):
+        a = jitter_vertices(unit_box, 0.01, rng=np.random.default_rng(3))
+        b = jitter_vertices(unit_box, 0.01, rng=np.random.default_rng(3))
+        assert np.array_equal(a.vertices, b.vertices)
+
+    def test_isotropic_mode(self, unit_box):
+        out = jitter_vertices(
+            unit_box, 0.01, rng=np.random.default_rng(2), along_normals=False
+        )
+        assert not np.allclose(out.vertices, unit_box.vertices)
+
+    def test_validation(self, unit_box):
+        from repro.geometry import TriangleMesh
+
+        with pytest.raises(ValueError):
+            jitter_vertices(unit_box, -0.1)
+        with pytest.raises(MeshError):
+            jitter_vertices(TriangleMesh([], []), 0.1)
+
+    def test_vertex_normals_point_outward_on_box(self, unit_box):
+        normals = vertex_normals(unit_box)
+        # Each corner normal should point away from the center.
+        dots = np.einsum("ij,ij->i", normals, unit_box.vertices)
+        assert (dots > 0).all()
+
+
+def sg(mesh, res=20):
+    return build_skeletal_graph(thin(voxelize(mesh, resolution=res)))
+
+
+class TestGraphEditDistance:
+    def test_identical_graphs_zero(self):
+        rod = sg(box((10, 1, 1)))
+        assert graph_edit_distance(rod, rod) == 0.0
+
+    def test_same_topology_zero(self):
+        a = sg(box((10, 1, 1)))
+        b = sg(box((9, 1.2, 1.1)))
+        assert graph_edit_distance(a, b) == 0.0
+
+    def test_line_vs_loop_positive(self):
+        rod = sg(box((10, 1, 1)))
+        ring = sg(torus(3, 0.8, 32, 12), res=24)
+        assert graph_edit_distance(rod, ring) > 0
+
+    def test_symmetry(self):
+        rod = sg(box((10, 1, 1)))
+        cross = sg(
+            extrude_polygon(
+                [[-4, -1], [-1, -1], [-1, -4], [1, -4], [1, -1], [4, -1],
+                 [4, 1], [1, 1], [1, 4], [-1, 4], [-1, 1], [-4, 1]], 1.5
+            )
+        )
+        assert graph_edit_distance(rod, cross) == pytest.approx(
+            graph_edit_distance(cross, rod)
+        )
+
+    def test_empty_graphs(self):
+        from repro.skeleton.graph import SkeletalGraph
+
+        empty = SkeletalGraph()
+        assert graph_edit_distance(empty, empty) == 0.0
+        rod = sg(box((10, 1, 1)))
+        assert graph_edit_distance(empty, rod) > 0
+
+    def test_similarity_bounds(self):
+        rod = sg(box((10, 1, 1)))
+        ring = sg(torus(3, 0.8, 32, 12), res=24)
+        s = graph_similarity(rod, ring)
+        assert 0.0 < s < 1.0
+        assert graph_similarity(rod, rod) == 1.0
+
+
+class TestComposite:
+    def test_placement_translation(self, unit_box):
+        placed = Placement(unit_box, offset=(5, 0, 0)).realize()
+        lo, hi = placed.bounds()
+        assert np.allclose((lo + hi) / 2, [5, 0, 0])
+
+    def test_placement_rotation_then_translation(self):
+        rod = box((4, 1, 1))
+        rot = rotation_about_axis([0, 0, 1], np.pi / 2)
+        placed = Placement(rod, offset=(0, 0, 3), rotation=rot).realize()
+        exts = placed.extents()
+        assert exts[1] == pytest.approx(4.0)  # long axis now along Y
+        lo, hi = placed.bounds()
+        assert np.allclose((lo + hi) / 2, [0, 0, 3], atol=1e-9)
+
+    def test_assemble_volume_additive_when_disjoint(self):
+        parts = [
+            Placement(box((1, 1, 1))),
+            Placement(cylinder(0.5, 1, 16), offset=(3, 0, 0)),
+        ]
+        total = assemble(parts, name="pair")
+        expected = 1.0 + volume(cylinder(0.5, 1, 16))
+        assert volume(total) == pytest.approx(expected)
+        assert total.name == "pair"
+
+    def test_assemble_preserves_component_count(self):
+        parts = [Placement(box((1, 1, 1)), offset=(i * 3, 0, 0)) for i in range(3)]
+        assert assemble(parts).n_components() == 3

@@ -1,0 +1,71 @@
+"""PR curve construction on the evaluation database."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import interpolated_precision, precision_recall_curve
+from repro.evaluation.pr_curve import adaptive_thresholds
+
+
+@pytest.fixture(scope="module")
+def curve(eval_engine, eval_db):
+    query = sorted(eval_db.classification_map()["l_bracket"])[0]
+    return precision_recall_curve(eval_engine, query, "principal_moments")
+
+
+class TestCurveShape:
+    def test_recall_monotone_as_threshold_drops(self, curve):
+        thresholds = [p.threshold for p in curve.points]
+        recalls = [p.recall for p in curve.points]
+        assert thresholds == sorted(thresholds, reverse=True)
+        assert all(b >= a - 1e-12 for a, b in zip(recalls, recalls[1:]))
+
+    def test_retrieved_counts_monotone(self, curve):
+        counts = [p.n_retrieved for p in curve.points]
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+    def test_reaches_full_recall(self, curve):
+        assert curve.points[-1].recall == pytest.approx(1.0)
+
+    def test_precision_in_unit_interval(self, curve):
+        for p in curve.points:
+            assert 0.0 <= p.precision <= 1.0
+            assert 0.0 <= p.recall <= 1.0
+
+    def test_adaptive_thresholds_cover_all_sizes(self, eval_engine, eval_db):
+        query = sorted(eval_db.classification_map()["l_bracket"])[0]
+        ths = adaptive_thresholds(eval_engine, query, "principal_moments")
+        assert len(ths) >= 100  # near one threshold per database shape
+        assert ths == sorted(ths, reverse=True)
+
+    def test_noise_query_rejected(self, eval_engine, eval_db):
+        noise_id = next(r.shape_id for r in eval_db if r.group is None)
+        with pytest.raises(ValueError):
+            precision_recall_curve(eval_engine, noise_id, "principal_moments")
+
+
+class TestInterpolation:
+    def test_interpolated_precision_monotone_decreasing(self, curve):
+        levels = np.linspace(0, 1, 11)
+        interp = interpolated_precision(curve, levels)
+        assert all(b <= a + 1e-12 for a, b in zip(interp, interp[1:]))
+
+    def test_interpolated_at_zero_is_max_precision(self, curve):
+        interp = interpolated_precision(curve, [0.0])
+        assert interp[0] == pytest.approx(max(p.precision for p in curve.points))
+
+
+class TestDegeneracyDetection:
+    def test_eigenvalue_curves_flag_more_degenerate(self, eval_engine, eval_db):
+        from repro.evaluation import exp_pr_curves
+
+        result = exp_pr_curves(eval_db, eval_engine)
+        eig = result.degenerate_count("eigenvalues")
+        pm = result.degenerate_count("principal_moments")
+        assert eig >= pm  # the paper's observation
+
+    def test_single_point_curve_is_degenerate(self, curve):
+        from repro.evaluation.pr_curve import PRCurve
+
+        stub = PRCurve(query_id=0, feature_name="x", points=curve.points[:1])
+        assert stub.is_degenerate()

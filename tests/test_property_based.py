@@ -1,0 +1,321 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.evaluation import evaluate_retrieval
+from repro.geometry import (
+    box,
+    random_rotation,
+    rotate,
+    scale,
+    translate,
+    volume,
+)
+from repro.geometry.polygon import polygon_area, triangulate_polygon
+from repro.index import LinearScanIndex, Rect, RTree
+from repro.moments import mesh_moment, moment_invariants
+from repro.search import SimilarityMeasure, weighted_distance
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+positive_floats = st.floats(min_value=0.1, max_value=50.0)
+
+
+class TestGeometryProperties:
+    @given(
+        extents=st.tuples(positive_floats, positive_floats, positive_floats),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_volume_invariant_under_rigid_motion(self, extents, seed):
+        rng = np.random.default_rng(seed)
+        mesh = box(extents)
+        moved = translate(rotate(mesh, random_rotation(rng)), rng.uniform(-9, 9, 3))
+        assert volume(moved) == pytest.approx(np.prod(extents), rel=1e-9)
+
+    @given(
+        extents=st.tuples(positive_floats, positive_floats, positive_floats),
+        factor=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_volume_scales_cubically(self, extents, factor):
+        mesh = box(extents)
+        assert volume(scale(mesh, factor)) == pytest.approx(
+            np.prod(extents) * factor**3, rel=1e-9
+        )
+
+    @given(
+        extents=st.tuples(positive_floats, positive_floats, positive_floats),
+        seed=st.integers(0, 2**31 - 1),
+        factor=st.floats(min_value=0.2, max_value=5.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_moment_invariants_invariant(self, extents, seed, factor):
+        assume(max(extents) / min(extents) < 50)
+        rng = np.random.default_rng(seed)
+        mesh = box(extents)
+        base = moment_invariants(mesh)
+        moved = translate(
+            scale(rotate(mesh, random_rotation(rng)), factor), rng.uniform(-9, 9, 3)
+        )
+        assert np.allclose(moment_invariants(moved), base, rtol=1e-6, atol=1e-12)
+
+    @given(
+        extents=st.tuples(positive_floats, positive_floats, positive_floats),
+        center=st.tuples(finite_floats, finite_floats, finite_floats),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_first_moment_is_volume_times_centroid(self, extents, center):
+        mesh = box(extents, center=center)
+        vol = np.prod(extents)
+        assert mesh_moment(mesh, 1, 0, 0) == pytest.approx(
+            vol * center[0], rel=1e-9, abs=1e-7
+        )
+
+
+class TestPolygonProperties:
+    @given(
+        n=st.integers(min_value=3, max_value=12),
+        radius=st.floats(min_value=0.5, max_value=20.0),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_triangulation_preserves_area_for_star_shaped(self, n, radius, seed):
+        rng = np.random.default_rng(seed)
+        # Star-shaped about the origin (angles cover the full circle with
+        # one vertex per sector), which guarantees a simple polygon.
+        radii = radius * rng.uniform(0.5, 1.0, n)
+        angles = 2 * np.pi * (np.arange(n) + rng.uniform(0.05, 0.95, n)) / n
+        pts = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+        tris = triangulate_polygon(pts)
+        covered = sum(
+            0.5
+            * abs(
+                (pts[b][0] - pts[a][0]) * (pts[c][1] - pts[a][1])
+                - (pts[b][1] - pts[a][1]) * (pts[c][0] - pts[a][0])
+            )
+            for a, b, c in tris
+        )
+        assert covered == pytest.approx(abs(polygon_area(pts)), rel=1e-9)
+
+
+class TestIndexProperties:
+    @given(
+        data=arrays(
+            np.float64,
+            st.tuples(st.integers(5, 60), st.just(3)),
+            elements=finite_floats,
+        ),
+        k=st.integers(1, 8),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rtree_knn_matches_linear_scan(self, data, k, seed):
+        tree = RTree(3, max_entries=5)
+        lin = LinearScanIndex(3)
+        for i, p in enumerate(data):
+            tree.insert(p, i)
+            lin.insert(p, i)
+        tree.check_invariants()
+        q = np.random.default_rng(seed).uniform(-100, 100, 3)
+        a = tree.nearest(q, k=k)
+        b = lin.nearest(q, k=k)
+        assert np.allclose([d for _, d in a], [d for _, d in b])
+
+    @given(
+        data=arrays(
+            np.float64,
+            st.tuples(st.integers(5, 60), st.just(2)),
+            elements=finite_floats,
+        ),
+        radius=st.floats(min_value=0.0, max_value=50.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rtree_radius_matches_linear_scan(self, data, radius):
+        tree = RTree(2, max_entries=4)
+        lin = LinearScanIndex(2)
+        for i, p in enumerate(data):
+            tree.insert(p, i)
+            lin.insert(p, i)
+        q = data[0]
+        a = sorted(i for i, _ in tree.radius_search(q, radius))
+        b = sorted(i for i, _ in lin.radius_search(q, radius))
+        assert a == b
+
+    @given(
+        mins=st.tuples(finite_floats, finite_floats),
+        spans=st.tuples(positive_floats, positive_floats),
+        point=st.tuples(finite_floats, finite_floats),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mindist_lower_bounds_inner_points(self, mins, spans, point):
+        rect = Rect(np.array(mins), np.array(mins) + np.array(spans))
+        inner = (rect.mins + rect.maxs) / 2
+        p = np.asarray(point)
+        assert rect.min_dist(p) <= np.linalg.norm(p - inner) + 1e-9
+
+
+class TestSimilarityProperties:
+    @given(
+        data=arrays(
+            np.float64,
+            st.tuples(st.integers(2, 40), st.integers(1, 6)),
+            elements=finite_floats,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_similarity_bounded_for_stored_pairs(self, data):
+        measure = SimilarityMeasure(data, weighting="uniform")
+        for i in range(0, len(data), 7):
+            s = measure.similarity(data[0], data[i])
+            assert 0.0 <= s <= 1.0
+        assert measure.similarity(data[0], data[0]) == 1.0
+
+    @given(
+        a=arrays(np.float64, 4, elements=finite_floats),
+        b=arrays(np.float64, 4, elements=finite_floats),
+        c=arrays(np.float64, 4, elements=finite_floats),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_weighted_distance_triangle_inequality(self, a, b, c):
+        w = np.array([1.0, 2.0, 0.5, 3.0])
+        ab = weighted_distance(a, b, w)
+        bc = weighted_distance(b, c, w)
+        ac = weighted_distance(a, c, w)
+        assert ac <= ab + bc + 1e-7
+
+    @given(
+        a=arrays(np.float64, 3, elements=finite_floats),
+        b=arrays(np.float64, 3, elements=finite_floats),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_weighted_distance_symmetry(self, a, b):
+        w = np.array([0.5, 1.5, 2.0])
+        assert weighted_distance(a, b, w) == pytest.approx(
+            weighted_distance(b, a, w)
+        )
+
+
+class TestMetricProperties:
+    @given(
+        retrieved=st.lists(st.integers(0, 30), max_size=25),
+        relevant=st.lists(st.integers(0, 30), min_size=1, max_size=25),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_precision_recall_bounds(self, retrieved, relevant):
+        pr = evaluate_retrieval(retrieved, relevant)
+        assert 0.0 <= pr.precision <= 1.0
+        assert 0.0 <= pr.recall <= 1.0
+        assert pr.n_hits <= min(pr.n_retrieved, pr.n_relevant)
+
+    @given(relevant=st.lists(st.integers(0, 30), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_retrieving_everything_gives_full_recall(self, relevant):
+        pr = evaluate_retrieval(list(range(31)), relevant)
+        assert pr.recall == 1.0
+
+
+class TestHuMomentProperties:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        shift=st.tuples(st.integers(0, 10), st.integers(0, 10)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_hu_translation_invariance(self, seed, shift):
+        from repro.descriptors import hu_moments
+
+        rng = np.random.default_rng(seed)
+        blob = np.zeros((64, 64), dtype=bool)
+        blob[12:30, 10:40] = rng.random((18, 30)) < 0.7
+        assume(blob.sum() > 20)
+        moved = np.zeros_like(blob)
+        dy, dx = shift
+        moved[12 + dy : 30 + dy, 10 + dx : 40 + dx] = blob[12:30, 10:40]
+        assert np.allclose(hu_moments(moved), hu_moments(blob), atol=1e-6)
+
+    @given(seed=st.integers(0, 2**31 - 1), k=st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_hu_rot90_invariance(self, seed, k):
+        from repro.descriptors import hu_moments
+
+        rng = np.random.default_rng(seed)
+        blob = rng.random((48, 48)) < 0.3
+        assume(blob.sum() > 20)
+        assert np.allclose(hu_moments(np.rot90(blob, k)), hu_moments(blob), atol=1e-6)
+
+
+class TestDecimateProperties:
+    @given(
+        extents=st.tuples(positive_floats, positive_floats, positive_floats),
+        grid=st.integers(4, 24),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_decimate_never_grows(self, extents, grid):
+        from repro.geometry import box as make_box
+        from repro.geometry import decimate
+
+        mesh = make_box(extents)
+        out = decimate(mesh, grid=grid)
+        assert out.n_faces <= mesh.n_faces
+        assert out.n_vertices <= mesh.n_vertices
+
+    @given(grid=st.integers(8, 32))
+    @settings(max_examples=15, deadline=None)
+    def test_decimated_sphere_volume_bounded(self, grid):
+        from repro.geometry import decimate, uv_sphere, volume
+
+        dense = uv_sphere(1.0, 24, 48)
+        out = decimate(dense, grid=grid)
+        if out.n_faces:
+            assert volume(out) <= volume(dense) * 1.2
+
+
+class TestCombinedWeightProperties:
+    @given(
+        raw=st.lists(
+            st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=6
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weights_always_normalized(self, raw):
+        from repro.search import CombinedSimilarity
+
+        combo = CombinedSimilarity(
+            weights={f"f{i}": w for i, w in enumerate(raw)}
+        )
+        assert sum(combo.weights.values()) == pytest.approx(1.0)
+        assert all(w >= 0 for w in combo.weights.values())
+
+
+class TestDendrogramProperties:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(2, 25),
+        k=st.integers(1, 10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cut_always_partitions(self, seed, n, k):
+        from repro.cluster import agglomerative
+
+        assume(k <= n)
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(n, 3))
+        labels = agglomerative(data).cut(k)
+        assert len(labels) == n
+        assert len(np.unique(labels)) == k
+
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(2, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_single_linkage_merge_distances_monotone(self, seed, n):
+        from repro.cluster import agglomerative
+
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(n, 3))
+        dendro = agglomerative(data, linkage="single")
+        dists = [m.distance for m in dendro.merges]
+        assert all(b >= a - 1e-9 for a, b in zip(dists, dists[1:]))

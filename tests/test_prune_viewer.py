@@ -1,0 +1,128 @@
+"""Skeleton spur pruning and the software renderer."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import MeshError, TriangleMesh, box, cylinder, torus
+from repro.skeleton import build_skeletal_graph, prune_spurs, thin
+from repro.viewer import (
+    load_ppm,
+    render_mesh,
+    render_results_strip,
+    render_to_svg,
+    save_ppm,
+)
+from repro.voxel import VoxelGrid, voxelize
+
+
+def line_with_spur(spur_len: int) -> VoxelGrid:
+    occ = np.zeros((15, 15, 3), dtype=bool)
+    occ[1:13, 7, 1] = True
+    if spur_len:
+        occ[6, 8 : 8 + spur_len, 1] = True
+    return VoxelGrid(occ)
+
+
+class TestPruneSpurs:
+    def test_short_spur_removed(self):
+        pruned = prune_spurs(line_with_spur(2), min_length=3)
+        sg = build_skeletal_graph(pruned)
+        assert sg.n_nodes == 1
+        assert sg.type_counts()["line"] == 1
+
+    def test_long_branch_kept(self):
+        grid = line_with_spur(5)
+        pruned = prune_spurs(grid, min_length=3)
+        assert pruned.n_occupied == grid.n_occupied
+
+    def test_loop_never_pruned(self):
+        occ = np.zeros((11, 11, 3), dtype=bool)
+        for x in range(11):
+            for y in range(11):
+                if abs(x - 5) + abs(y - 5) == 4:
+                    occ[x, y, 1] = True
+        grid = VoxelGrid(occ)
+        pruned = prune_spurs(grid, min_length=6)
+        assert pruned.n_occupied == grid.n_occupied
+
+    def test_isolated_chain_kept(self):
+        occ = np.zeros((10, 5, 3), dtype=bool)
+        occ[2:5, 2, 1] = True  # 3-voxel free-standing chain
+        pruned = prune_spurs(VoxelGrid(occ), min_length=5)
+        assert pruned.n_occupied == 3
+
+    def test_metadata_preserved(self):
+        grid = VoxelGrid(
+            line_with_spur(2).occupancy, origin=(1, 2, 3), spacing=0.5
+        )
+        pruned = prune_spurs(grid)
+        assert pruned.spacing == 0.5
+        assert np.allclose(pruned.origin, [1, 2, 3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prune_spurs(line_with_spur(1), min_length=0)
+
+    def test_pipeline_option(self):
+        from repro.features import FeaturePipeline
+
+        pipe = FeaturePipeline(
+            feature_names=["eigenvalues"],
+            voxel_resolution=16,
+            prune_spur_length=3,
+        )
+        vec = pipe.extract_one(box((6, 2, 2)), "eigenvalues")
+        assert np.isfinite(vec).all()
+
+    def test_real_skeleton_not_enlarged(self):
+        grid = voxelize(box((8, 2, 2)), resolution=16)
+        skel = thin(grid)
+        pruned = prune_spurs(skel, min_length=3)
+        assert pruned.n_occupied <= skel.n_occupied
+
+
+class TestRenderer:
+    def test_image_shape_and_content(self, unit_box):
+        img = render_mesh(unit_box, size=64)
+        assert img.shape == (64, 64, 3)
+        assert img.dtype == np.uint8
+        background = np.array([24, 26, 30], dtype=np.uint8)
+        silhouette = (img != background).any(axis=2)
+        assert 0.05 < silhouette.mean() < 0.95
+
+    def test_ppm_roundtrip(self, unit_box, tmp_path):
+        img = render_mesh(unit_box, size=48)
+        path = tmp_path / "thumb.ppm"
+        save_ppm(img, path)
+        assert np.array_equal(load_ppm(path), img)
+
+    def test_svg_output(self, tmp_path):
+        path = tmp_path / "thumb.svg"
+        render_to_svg(torus(2.0, 0.5, 16, 8), path, size=96)
+        text = path.read_text()
+        assert text.startswith("<svg")
+        assert "<polygon" in text
+
+    def test_results_strip(self, tmp_path):
+        path = tmp_path / "strip.ppm"
+        strip = render_results_strip(
+            [box((1, 2, 3)), cylinder(1, 3, 12)], path, thumb=32
+        )
+        assert strip.shape == (32, 64, 3)
+        assert path.exists()
+
+    def test_empty_mesh_rejected(self):
+        with pytest.raises(MeshError):
+            render_mesh(TriangleMesh([], []))
+        with pytest.raises(ValueError):
+            render_mesh(box((1, 1, 1)), size=4)
+
+    def test_bad_ppm_rejected(self, tmp_path):
+        path = tmp_path / "bad.ppm"
+        path.write_bytes(b"P3\n1 1\n255\n0 0 0\n")
+        with pytest.raises(ValueError):
+            load_ppm(path)
+
+    def test_strip_needs_meshes(self, tmp_path):
+        with pytest.raises(ValueError):
+            render_results_strip([], tmp_path / "x.ppm")

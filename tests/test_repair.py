@@ -1,0 +1,133 @@
+"""Mesh repair: orientation fixing, degeneracy removal, validation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    MeshError,
+    TriangleMesh,
+    box,
+    fix_orientation,
+    remove_degenerate_faces,
+    repair_mesh,
+    signed_volume,
+    uv_sphere,
+    validate_mesh,
+    volume,
+)
+
+
+def scrambled_box(seed=0):
+    rng = np.random.default_rng(seed)
+    mesh = box((2, 3, 4))
+    faces = mesh.faces.copy()
+    flip = rng.random(len(faces)) < 0.5
+    faces[flip] = faces[flip][:, ::-1]
+    return TriangleMesh(mesh.vertices, faces)
+
+
+class TestValidate:
+    def test_clean_box(self, unit_box):
+        report = validate_mesh(unit_box)
+        assert report.is_clean
+        assert report.n_boundary_edges == 0
+        assert report.euler_characteristic == 2
+        assert "clean" in report.format()
+
+    def test_detects_inconsistent_winding(self):
+        report = validate_mesh(scrambled_box())
+        assert report.n_inconsistent_edges > 0
+        assert not report.is_clean
+        assert "inconsistently" in report.format()
+
+    def test_detects_boundary(self):
+        tri = TriangleMesh([[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, 2]])
+        report = validate_mesh(tri)
+        assert report.n_boundary_edges == 3
+        assert not report.is_watertight
+
+    def test_detects_inward_orientation(self, unit_box):
+        report = validate_mesh(unit_box.flipped())
+        assert not report.is_outward
+
+    def test_detects_degenerate_faces(self):
+        mesh = TriangleMesh(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [2, 0, 0]],
+            [[0, 1, 2], [0, 1, 3]],  # second face is collinear
+        )
+        assert validate_mesh(mesh).n_degenerate_faces == 1
+
+    def test_detects_nonmanifold(self):
+        mesh = TriangleMesh(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1], [0, -1, 0]],
+            [[0, 1, 2], [0, 1, 3], [0, 1, 4]],
+        )
+        assert validate_mesh(mesh).n_nonmanifold_edges == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeshError):
+            validate_mesh(TriangleMesh([], []))
+
+
+class TestFixOrientation:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_restores_scrambled_box(self, seed):
+        fixed = fix_orientation(scrambled_box(seed))
+        assert signed_volume(fixed) == pytest.approx(24.0)
+        assert validate_mesh(fixed).is_clean
+
+    def test_flips_inward_sphere(self):
+        fixed = fix_orientation(uv_sphere(1.0, 8, 12).flipped())
+        assert signed_volume(fixed) > 0
+
+    def test_handles_multiple_components(self):
+        a = scrambled_box(3)
+        b = box((1, 1, 1), center=(10, 0, 0)).flipped()
+        combined = TriangleMesh.concatenate([a, b])
+        fixed = fix_orientation(combined)
+        assert signed_volume(fixed) == pytest.approx(24.0 + 1.0)
+
+    def test_idempotent_on_clean_mesh(self, unit_box):
+        fixed = fix_orientation(unit_box)
+        assert np.array_equal(fixed.faces, unit_box.faces)
+
+    def test_empty_mesh_passthrough(self):
+        assert fix_orientation(TriangleMesh([], [])).n_faces == 0
+
+
+class TestRemoveDegenerate:
+    def test_drops_zero_area(self):
+        mesh = TriangleMesh(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [2, 0, 0]],
+            [[0, 1, 2], [0, 1, 3]],
+        )
+        out = remove_degenerate_faces(mesh)
+        assert out.n_faces == 1
+
+    def test_keeps_real_faces(self, unit_box):
+        assert remove_degenerate_faces(unit_box).n_faces == unit_box.n_faces
+
+
+class TestRepairPipeline:
+    def test_full_repair(self):
+        bad = scrambled_box(5)
+        fixed = repair_mesh(bad)
+        report = validate_mesh(fixed)
+        assert report.is_clean
+        assert volume(fixed) == pytest.approx(24.0)
+
+    def test_repair_rejects_all_degenerate(self):
+        mesh = TriangleMesh(
+            [[0, 0, 0], [1, 0, 0], [2, 0, 0]], [[0, 1, 2]]
+        )
+        with pytest.raises(MeshError):
+            repair_mesh(mesh)
+
+    def test_features_equal_after_repair(self):
+        from repro.moments import moment_invariants
+
+        clean = box((2, 3, 4))
+        repaired = repair_mesh(scrambled_box(2))
+        assert np.allclose(
+            moment_invariants(repaired), moment_invariants(clean), rtol=1e-9
+        )

@@ -1,0 +1,62 @@
+"""Report generator and ASCII PR plots."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import ascii_pr_plot, generate_report, write_report
+from repro.evaluation.pr_curve import PRCurve, PRPoint
+
+
+def stub_curve(points):
+    return PRCurve(
+        query_id=1,
+        feature_name="stub",
+        points=[
+            PRPoint(threshold=t, precision=p, recall=r, n_retrieved=5)
+            for t, p, r in points
+        ],
+    )
+
+
+class TestAsciiPlot:
+    def test_renders_curve_markers(self):
+        curve = stub_curve([(0.9, 1.0, 0.2), (0.5, 0.5, 0.6), (0.1, 0.1, 1.0)])
+        text = ascii_pr_plot({"demo": curve})
+        assert "o demo" in text
+        assert "recall 1" in text
+        assert text.count("o") >= 3  # marker + legend
+
+    def test_multiple_curves_distinct_markers(self):
+        a = stub_curve([(0.9, 1.0, 0.1)])
+        b = stub_curve([(0.9, 0.2, 0.9)])
+        text = ascii_pr_plot({"a": a, "b": b})
+        assert "o a" in text
+        assert "+ b" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_pr_plot({})
+        with pytest.raises(ValueError):
+            ascii_pr_plot({"x": stub_curve([(0.5, 1, 1)])}, width=5)
+
+
+class TestReport:
+    def test_full_report_structure(self, eval_db, eval_engine):
+        text = generate_report(eval_db, eval_engine, include_extensions=False)
+        assert text.startswith("# 3DESS reproduction report")
+        for heading in (
+            "Fig. 4", "Fig. 7", "Figs. 8-12", "Figs. 13/14",
+            "Fig. 15", "Fig. 16", "R-tree",
+        ):
+            assert heading in text
+        assert "FIG15" in text
+
+    def test_extensions_included_by_default(self, eval_db, eval_engine):
+        text = generate_report(eval_db, eval_engine)
+        assert "mean average precision" in text
+        assert "EXT-GROUPS" in text
+
+    def test_write_report(self, eval_db, eval_engine, tmp_path):
+        path = tmp_path / "report.md"
+        write_report(eval_db, path, engine=eval_engine, include_extensions=False)
+        assert path.read_text().startswith("# 3DESS reproduction report")

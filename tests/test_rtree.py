@@ -1,0 +1,240 @@
+"""R-tree: structure invariants and equivalence to linear scan."""
+
+import numpy as np
+import pytest
+
+from repro.index import LinearScanIndex, Rect, RTree, bounding_rect
+
+
+@pytest.fixture
+def pair(rng):
+    """An R-tree and a linear scan loaded with the same 300 points."""
+    pts = rng.normal(size=(300, 4))
+    tree = RTree(4, max_entries=6)
+    lin = LinearScanIndex(4)
+    for i, p in enumerate(pts):
+        tree.insert(p, i)
+        lin.insert(p, i)
+    return tree, lin, pts
+
+
+class TestRect:
+    def test_area_margin(self):
+        r = Rect([0, 0], [2, 3])
+        assert r.area() == 6.0
+        assert r.margin() == 5.0
+
+    def test_union_enlargement(self):
+        a = Rect([0, 0], [1, 1])
+        b = Rect([2, 2], [3, 3])
+        u = a.union(b)
+        assert u.area() == 9.0
+        assert a.enlargement(b) == pytest.approx(8.0)
+
+    def test_intersects_and_contains(self):
+        a = Rect([0, 0], [2, 2])
+        assert a.intersects(Rect([1, 1], [3, 3]))
+        assert not a.intersects(Rect([3, 3], [4, 4]))
+        assert a.contains_rect(Rect([0.5, 0.5], [1.5, 1.5]))
+        assert a.contains_point(np.array([1.0, 1.0]))
+        assert not a.contains_point(np.array([3.0, 0.0]))
+
+    def test_touching_rects_intersect(self):
+        assert Rect([0, 0], [1, 1]).intersects(Rect([1, 1], [2, 2]))
+
+    def test_min_dist(self):
+        r = Rect([0, 0], [1, 1])
+        assert r.min_dist(np.array([0.5, 0.5])) == 0.0
+        assert r.min_dist(np.array([2.0, 1.0])) == pytest.approx(1.0)
+        assert r.min_dist(np.array([2.0, 2.0])) == pytest.approx(np.sqrt(2))
+
+    def test_weighted_min_dist(self):
+        r = Rect([0, 0], [1, 1])
+        w = np.array([4.0, 1.0])
+        assert r.min_dist(np.array([2.0, 0.5]), weights=w) == pytest.approx(2.0)
+
+    def test_from_point_degenerate(self):
+        r = Rect.from_point([1, 2, 3])
+        assert r.area() == 0.0
+        assert r.contains_point(np.array([1.0, 2.0, 3.0]))
+
+    def test_invalid_rect(self):
+        with pytest.raises(ValueError):
+            Rect([1, 0], [0, 1])
+
+    def test_bounding_rect(self):
+        r = bounding_rect([Rect([0, 0], [1, 1]), Rect([2, -1], [3, 0])])
+        assert np.allclose(r.mins, [0, -1])
+        assert np.allclose(r.maxs, [3, 1])
+        with pytest.raises(ValueError):
+            bounding_rect([])
+
+
+class TestStructure:
+    def test_invariants_after_inserts(self, pair):
+        tree, _, _ = pair
+        tree.check_invariants()
+        assert len(tree) == 300
+
+    def test_height_grows_logarithmically(self, pair):
+        tree, _, _ = pair
+        assert 2 <= tree.height() <= 6
+
+    def test_invariants_after_deletes(self, pair):
+        tree, _, pts = pair
+        for i in range(0, 150):
+            assert tree.delete(pts[i], i)
+        tree.check_invariants()
+        assert len(tree) == 150
+
+    def test_delete_missing_returns_false(self, pair):
+        tree, _, pts = pair
+        assert not tree.delete(pts[0] + 100.0, 0)
+
+    def test_delete_to_empty(self, rng):
+        pts = rng.normal(size=(40, 2))
+        tree = RTree(2, max_entries=4)
+        for i, p in enumerate(pts):
+            tree.insert(p, i)
+        for i, p in enumerate(pts):
+            assert tree.delete(p, i)
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RTree(0)
+        with pytest.raises(ValueError):
+            RTree(2, max_entries=1)
+        with pytest.raises(ValueError):
+            RTree(2, max_entries=4, min_entries=3)
+
+    def test_dimension_mismatch(self):
+        tree = RTree(3)
+        with pytest.raises(ValueError):
+            tree.insert([1.0, 2.0], 0)
+
+    def test_bulk_load_invariants(self, rng):
+        pts = rng.normal(size=(500, 3))
+        tree = RTree.bulk_load(pts, list(range(500)), max_entries=10)
+        tree.check_invariants()
+        assert len(tree) == 500
+
+    def test_bulk_load_empty(self):
+        tree = RTree.bulk_load(np.zeros((0, 3)), [])
+        assert len(tree) == 0
+
+    def test_bulk_load_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            RTree.bulk_load(rng.normal(size=(5, 2)), [1, 2])
+
+
+class TestQueriesMatchLinearScan:
+    def test_knn(self, pair, rng):
+        tree, lin, _ = pair
+        for _ in range(20):
+            q = rng.normal(size=4)
+            a = tree.nearest(q, k=7)
+            b = lin.nearest(q, k=7)
+            assert [x[0] for x in a] == [x[0] for x in b]
+            assert np.allclose([x[1] for x in a], [x[1] for x in b])
+
+    def test_weighted_knn(self, pair, rng):
+        tree, lin, _ = pair
+        w = np.array([1.0, 5.0, 0.2, 2.0])
+        for _ in range(10):
+            q = rng.normal(size=4)
+            a = tree.nearest(q, k=5, weights=w)
+            b = lin.nearest(q, k=5, weights=w)
+            assert [x[0] for x in a] == [x[0] for x in b]
+
+    def test_radius(self, pair, rng):
+        tree, lin, _ = pair
+        for radius in (0.5, 1.0, 2.0):
+            q = rng.normal(size=4)
+            a = tree.radius_search(q, radius)
+            b = lin.radius_search(q, radius)
+            assert sorted(x[0] for x in a) == sorted(x[0] for x in b)
+
+    def test_range(self, pair, rng):
+        tree, lin, _ = pair
+        q = rng.normal(size=4)
+        rect = Rect(q - 0.8, q + 0.8)
+        assert sorted(tree.range_search(rect)) == sorted(lin.range_search(rect))
+
+    def test_knn_after_deletes(self, pair, rng):
+        tree, _, pts = pair
+        keep = list(range(100, 300))
+        for i in range(100):
+            tree.delete(pts[i], i)
+        lin = LinearScanIndex(4)
+        for i in keep:
+            lin.insert(pts[i], i)
+        q = rng.normal(size=4)
+        assert [x[0] for x in tree.nearest(q, 9)] == [x[0] for x in lin.nearest(q, 9)]
+
+    def test_bulk_load_matches_incremental(self, rng):
+        pts = rng.normal(size=(200, 3))
+        bulk = RTree.bulk_load(pts, list(range(200)))
+        lin = LinearScanIndex(3)
+        for i, p in enumerate(pts):
+            lin.insert(p, i)
+        q = rng.normal(size=3)
+        assert [x[0] for x in bulk.nearest(q, 10)] == [
+            x[0] for x in lin.nearest(q, 10)
+        ]
+
+    def test_k_larger_than_size(self, rng):
+        tree = RTree(2)
+        tree.insert([0.0, 0.0], 1)
+        tree.insert([1.0, 1.0], 2)
+        assert len(tree.nearest([0.0, 0.0], k=10)) == 2
+
+    def test_knn_validation(self, pair):
+        tree, _, _ = pair
+        with pytest.raises(ValueError):
+            tree.nearest([0.0] * 4, k=0)
+        with pytest.raises(ValueError):
+            tree.nearest([0.0, 0.0], k=1)
+        with pytest.raises(ValueError):
+            tree.radius_search([0.0] * 4, -1.0)
+
+
+class TestStats:
+    def test_node_accesses_fewer_than_scan(self, rng):
+        pts = rng.normal(size=(2000, 3))
+        tree = RTree.bulk_load(pts, list(range(2000)))
+        lin = LinearScanIndex(3)
+        for i, p in enumerate(pts):
+            lin.insert(p, i)
+        tree.reset_stats()
+        lin.reset_stats()
+        q = rng.normal(size=3)
+        tree.nearest(q, 10)
+        lin.nearest(q, 10)
+        assert tree.node_accesses * tree.max_entries < lin.point_accesses
+
+    def test_reset(self, pair, rng):
+        tree, _, _ = pair
+        tree.nearest(rng.normal(size=4), 3)
+        assert tree.node_accesses > 0
+        tree.reset_stats()
+        assert tree.node_accesses == 0
+
+
+class TestLinearScan:
+    def test_delete(self, rng):
+        lin = LinearScanIndex(2)
+        lin.insert([1.0, 2.0], 7)
+        assert lin.delete([1.0, 2.0], 7)
+        assert not lin.delete([1.0, 2.0], 7)
+        assert len(lin) == 0
+
+    def test_validation(self):
+        lin = LinearScanIndex(2)
+        with pytest.raises(ValueError):
+            lin.insert([1.0], 0)
+        with pytest.raises(ValueError):
+            lin.nearest([0.0, 0.0], k=0)
+        with pytest.raises(ValueError):
+            LinearScanIndex(0)

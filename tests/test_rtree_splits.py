@@ -1,0 +1,71 @@
+"""R-tree split strategies: linear, quadratic, R*."""
+
+import numpy as np
+import pytest
+
+from repro.index import LinearScanIndex, RTree
+from repro.index.rtree import LINEAR_SPLIT, QUADRATIC_SPLIT, RSTAR_SPLIT, SPLIT_STRATEGIES
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(17)
+    centers = rng.uniform(-10, 10, size=(12, 3))
+    assign = rng.integers(12, size=600)
+    return centers[assign] + rng.normal(scale=0.4, size=(600, 3))
+
+
+@pytest.fixture(scope="module")
+def oracle(points):
+    lin = LinearScanIndex(3)
+    for i, p in enumerate(points):
+        lin.insert(p, i)
+    return lin
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strategy", SPLIT_STRATEGIES)
+    def test_knn_matches_oracle(self, points, oracle, strategy):
+        tree = RTree(3, max_entries=8, split=strategy)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        tree.check_invariants()
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            q = rng.uniform(-10, 10, 3)
+            a = [d for _, d in tree.nearest(q, 8)]
+            b = [d for _, d in oracle.nearest(q, 8)]
+            assert np.allclose(a, b)
+
+    @pytest.mark.parametrize("strategy", SPLIT_STRATEGIES)
+    def test_deletes_keep_invariants(self, points, strategy):
+        tree = RTree(3, max_entries=6, split=strategy)
+        for i, p in enumerate(points[:200]):
+            tree.insert(p, i)
+        for i in range(0, 100):
+            assert tree.delete(points[i], i)
+        tree.check_invariants()
+        assert len(tree) == 100
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            RTree(3, split="zorder")
+
+
+class TestQuality:
+    def test_rstar_not_worse_than_linear(self, points):
+        accesses = {}
+        rng = np.random.default_rng(9)
+        queries = rng.uniform(-10, 10, size=(30, 3))
+        for strategy in SPLIT_STRATEGIES:
+            tree = RTree(3, max_entries=8, split=strategy)
+            for i, p in enumerate(points):
+                tree.insert(p, i)
+            tree.reset_stats()
+            for q in queries:
+                tree.nearest(q, 10)
+            accesses[strategy] = tree.node_accesses
+        assert accesses[RSTAR_SPLIT] <= accesses[LINEAR_SPLIT]
+        # Quadratic sits between the cheap and careful strategies on
+        # clustered data (allow slack for tie configurations).
+        assert accesses[QUADRATIC_SPLIT] <= accesses[LINEAR_SPLIT] * 1.2

@@ -1,0 +1,61 @@
+"""Stateful property test: the R-tree tracks a linear-scan oracle through
+arbitrary interleavings of inserts, deletes, and queries."""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.index import LinearScanIndex, RTree
+
+coord = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+point = st.tuples(coord, coord, coord)
+
+
+class RTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = RTree(3, max_entries=4)
+        self.oracle = LinearScanIndex(3)
+        self.live = {}  # id -> point
+        self.next_id = 0
+
+    @rule(p=point)
+    def insert(self, p):
+        vec = np.asarray(p)
+        self.tree.insert(vec, self.next_id)
+        self.oracle.insert(vec, self.next_id)
+        self.live[self.next_id] = vec
+        self.next_id += 1
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def delete(self, data):
+        victim = data.draw(st.sampled_from(sorted(self.live)))
+        vec = self.live.pop(victim)
+        assert self.tree.delete(vec, victim)
+        assert self.oracle.delete(vec, victim)
+
+    @precondition(lambda self: self.live)
+    @rule(q=point, k=st.integers(1, 6))
+    def knn_matches(self, q, k):
+        got = [d for _, d in self.tree.nearest(np.asarray(q), k=k)]
+        want = [d for _, d in self.oracle.nearest(np.asarray(q), k=k)]
+        assert np.allclose(got, want)
+
+    @rule(q=point, radius=st.floats(min_value=0.0, max_value=60.0))
+    def radius_matches(self, q, radius):
+        got = sorted(i for i, _ in self.tree.radius_search(np.asarray(q), radius))
+        want = sorted(i for i, _ in self.oracle.radius_search(np.asarray(q), radius))
+        assert got == want
+
+    @invariant()
+    def structure_is_valid(self):
+        self.tree.check_invariants()
+        assert len(self.tree) == len(self.live)
+
+
+TestRTreeStateful = RTreeMachine.TestCase
+TestRTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

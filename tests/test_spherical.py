@@ -1,0 +1,76 @@
+"""Spherical-harmonics descriptor."""
+
+import numpy as np
+import pytest
+
+from repro.descriptors import (
+    shell_harmonic_energies,
+    spherical_harmonics_descriptor,
+)
+from repro.geometry import box, cylinder, random_rotation, rotate, uv_sphere
+from repro.moments import normalize
+from repro.voxel import VoxelGrid, voxelize
+
+
+@pytest.fixture(scope="module")
+def box_grid():
+    return voxelize(box((2, 3, 4)), resolution=20)
+
+
+class TestEnergies:
+    def test_shape(self, box_grid):
+        energies = shell_harmonic_energies(box_grid, n_shells=5, max_degree=4)
+        assert energies.shape == (5, 5)
+        assert (energies >= 0).all()
+
+    def test_empty_grid_zero(self):
+        grid = VoxelGrid(np.zeros((4, 4, 4), dtype=bool))
+        assert shell_harmonic_energies(grid).sum() == 0.0
+
+    def test_single_voxel(self):
+        occ = np.zeros((5, 5, 5), dtype=bool)
+        occ[2, 2, 2] = True
+        energies = shell_harmonic_energies(VoxelGrid(occ))
+        assert energies[0, 0] == pytest.approx(1.0)
+
+    def test_validation(self, box_grid):
+        with pytest.raises(ValueError):
+            shell_harmonic_energies(box_grid, n_shells=0)
+        with pytest.raises(ValueError):
+            shell_harmonic_energies(box_grid, max_degree=-1)
+
+    def test_sphere_energy_concentrates_at_degree_zero(self):
+        grid = voxelize(uv_sphere(1.0, 16, 32), resolution=20)
+        energies = shell_harmonic_energies(grid, n_shells=4, max_degree=4)
+        per_degree = energies.sum(axis=0)
+        assert per_degree[0] > per_degree[1:].sum()
+
+
+class TestDescriptor:
+    def test_normalized(self, box_grid):
+        vec = spherical_harmonics_descriptor(box_grid)
+        assert vec.shape == (36,)
+        assert vec.sum() == pytest.approx(1.0)
+
+    def test_rotation_robustness(self, rng):
+        mesh = normalize(box((2, 3, 5))).mesh
+        base = spherical_harmonics_descriptor(voxelize(mesh, resolution=20))
+        moved = spherical_harmonics_descriptor(
+            voxelize(rotate(mesh, random_rotation(rng)), resolution=20)
+        )
+        other = spherical_harmonics_descriptor(
+            voxelize(cylinder(1, 2, 24), resolution=20)
+        )
+        drift = np.abs(base - moved).sum()
+        contrast = np.abs(base - other).sum()
+        assert drift < contrast / 2
+
+    def test_registered_extractor(self, l_bracket):
+        from repro.features import FeaturePipeline
+
+        pipe = FeaturePipeline(
+            feature_names=["spherical_harmonics"], voxel_resolution=16
+        )
+        vec = pipe.extract_one(l_bracket, "spherical_harmonics")
+        assert vec.shape == (36,)
+        assert np.isfinite(vec).all()

@@ -1,0 +1,87 @@
+"""Failure injection for the persistence layer."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.db import ShapeDatabase, ShapeRecord, StorageError, load_records, save_records
+from repro.features import FeaturePipeline
+from repro.geometry import box
+
+
+@pytest.fixture
+def store(tmp_path):
+    db = ShapeDatabase(FeaturePipeline(voxel_resolution=10))
+    db.insert_mesh(box((2, 3, 4)), name="a", group="g")
+    db.insert_mesh(box((1, 1, 1)), name="b")
+    path = tmp_path / "db"
+    db.save(path)
+    return path
+
+
+class TestCorruption:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(StorageError, match="manifest"):
+            load_records(tmp_path)
+
+    def test_bad_version(self, store):
+        manifest_path = store / "manifest.json"
+        data = json.loads(manifest_path.read_text())
+        data["version"] = 999
+        manifest_path.write_text(json.dumps(data))
+        with pytest.raises(StorageError, match="version"):
+            load_records(store)
+
+    def test_missing_feature_array(self, store):
+        manifest_path = store / "manifest.json"
+        data = json.loads(manifest_path.read_text())
+        data["records"][0]["features"].append("ghost_feature")
+        manifest_path.write_text(json.dumps(data))
+        with pytest.raises(StorageError, match="missing feature"):
+            load_records(store)
+
+    def test_missing_mesh_file(self, store):
+        os.unlink(store / "meshes" / "1.off")
+        with pytest.raises(StorageError, match="missing mesh"):
+            load_records(store)
+
+    def test_missing_mesh_tolerated_without_meshes(self, store):
+        os.unlink(store / "meshes" / "1.off")
+        records = load_records(store, load_meshes=False)
+        assert len(records) == 2
+
+    def test_corrupt_manifest_json(self, store):
+        (store / "manifest.json").write_text("{ not json")
+        with pytest.raises(json.JSONDecodeError):
+            load_records(store)
+
+
+class TestAtomicity:
+    def test_no_tmp_files_left_after_save(self, store):
+        leftovers = [f for f in os.listdir(store) if f.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_resave_overwrites_consistently(self, store):
+        records = load_records(store)
+        save_records(records, store)
+        again = load_records(store)
+        assert len(again) == len(records)
+        assert np.allclose(
+            again[0].features["principal_moments"],
+            records[0].features["principal_moments"],
+        )
+
+    def test_feature_only_records(self, tmp_path):
+        rec = ShapeRecord(
+            shape_id=5, name="vecs-only", features={"f": np.arange(3.0)}
+        )
+        save_records([rec], tmp_path / "s")
+        back = load_records(tmp_path / "s")
+        assert back[0].mesh is None
+        assert np.array_equal(back[0].features["f"], np.arange(3.0))
+
+    def test_empty_database_roundtrip(self, tmp_path):
+        save_records([], tmp_path / "empty")
+        assert load_records(tmp_path / "empty") == []

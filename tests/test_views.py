@@ -1,0 +1,126 @@
+"""View-based descriptor: silhouettes, Hu moments, query-by-drawing."""
+
+import numpy as np
+import pytest
+
+from repro.descriptors import (
+    PRINCIPAL_VIEWS,
+    hu_moments,
+    match_drawing,
+    silhouette_mask,
+    view_based_descriptor,
+    view_signatures,
+)
+from repro.geometry import MeshError, TriangleMesh, box, cylinder, extrude_polygon
+
+
+@pytest.fixture
+def bracket():
+    return extrude_polygon(
+        [[0, 0], [6, 0], [6, 1], [1, 1], [1, 4], [0, 4]], 1.2, name="bracket"
+    )
+
+
+class TestSilhouette:
+    def test_mask_shape_and_fill(self, unit_box):
+        mask = silhouette_mask(unit_box, (0, 1), size=64)
+        assert mask.shape == (64, 64)
+        assert 0.3 < mask.mean() < 1.0  # square fills most of the frame
+
+    def test_views_differ_for_anisotropic_shape(self, bracket):
+        xy = silhouette_mask(bracket, (0, 1), size=64)
+        xz = silhouette_mask(bracket, (0, 2), size=64)
+        assert xy.mean() != pytest.approx(xz.mean(), abs=1e-3)
+
+    def test_empty_mesh_rejected(self):
+        with pytest.raises(MeshError):
+            silhouette_mask(TriangleMesh([], []))
+        with pytest.raises(ValueError):
+            silhouette_mask(box((1, 1, 1)), size=4)
+
+
+class TestHuMoments:
+    def test_length_and_finiteness(self, bracket):
+        hu = hu_moments(silhouette_mask(bracket, (0, 1)))
+        assert hu.shape == (7,)
+        assert np.isfinite(hu).all()
+
+    def test_rotation_invariance(self, bracket):
+        mask = silhouette_mask(bracket, (0, 1), size=96)
+        base = hu_moments(mask)
+        for k in (1, 2, 3):
+            assert np.allclose(hu_moments(np.rot90(mask, k)), base, atol=1e-6)
+
+    def test_translation_invariance(self, bracket):
+        mask = silhouette_mask(bracket, (0, 1), size=96)
+        shifted = np.zeros_like(mask)
+        shifted[5:, 3:] = mask[:-5, :-3]
+        assert np.allclose(hu_moments(shifted), hu_moments(mask), atol=1e-6)
+
+    def test_scale_invariance_approximate(self):
+        small = np.zeros((64, 64), dtype=bool)
+        small[24:40, 20:44] = True  # 16 x 24 rectangle
+        big = np.zeros((64, 64), dtype=bool)
+        big[8:40, 8:56] = True  # 32 x 48 rectangle (same aspect)
+        assert np.allclose(hu_moments(big)[:4], hu_moments(small)[:4], atol=0.05)
+
+    def test_empty_image_is_zero(self):
+        assert np.allclose(hu_moments(np.zeros((16, 16))), 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hu_moments(np.zeros((4, 4, 4)))
+
+    def test_raw_values_without_log(self, bracket):
+        raw = hu_moments(silhouette_mask(bracket, (0, 1)), log_scale=False)
+        assert raw[0] > 0  # h1 is a positive second-moment sum
+
+
+class TestViewDescriptor:
+    def test_shape(self, bracket):
+        assert view_signatures(bracket).shape == (3, 7)
+        assert view_based_descriptor(bracket).shape == (21,)
+
+    def test_distinguishes_shapes(self):
+        a = view_based_descriptor(box((4, 1, 1)))
+        b = view_based_descriptor(cylinder(1, 4, 24))
+        assert not np.allclose(a, b, atol=1e-2)
+
+    def test_registered_extractor(self, bracket):
+        from repro.features import FeaturePipeline
+
+        pipe = FeaturePipeline(feature_names=["view_hu"], voxel_resolution=12)
+        vec = pipe.extract_one(bracket, "view_hu")
+        assert vec.shape == (21,)
+        assert np.isfinite(vec).all()
+
+
+class TestQueryByDrawing:
+    @pytest.fixture
+    def engine(self):
+        from repro.db import ShapeDatabase
+        from repro.features import FeaturePipeline
+        from repro.search import SearchEngine
+
+        db = ShapeDatabase(
+            FeaturePipeline(feature_names=["view_hu"], voxel_resolution=12)
+        )
+        db.insert_mesh(box((4, 3, 1)), name="plate", group="plates")
+        db.insert_mesh(box((4.2, 2.9, 1.1)), name="plate2", group="plates")
+        db.insert_mesh(cylinder(1, 5, 24), name="rod", group="rods")
+        db.insert_mesh(cylinder(1.1, 5.2, 24), name="rod2", group="rods")
+        return SearchEngine(db)
+
+    def test_rect_drawing_finds_plates(self, engine):
+        drawing = np.zeros((96, 96), dtype=bool)
+        drawing[28:68, 18:78] = True  # a rectangle sketch
+        hits = match_drawing(engine, drawing, k=2)
+        assert {h.group for h in hits} == {"plates"}
+
+    def test_results_ranked(self, engine):
+        drawing = np.zeros((96, 96), dtype=bool)
+        drawing[28:68, 18:78] = True
+        hits = match_drawing(engine, drawing, k=4)
+        dists = [h.distance for h in hits]
+        assert dists == sorted(dists)
+        assert [h.rank for h in hits] == [1, 2, 3, 4]

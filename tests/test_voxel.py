@@ -1,0 +1,162 @@
+"""Voxel grids, rasterization, solid fill, morphology."""
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.geometry import box, torus, tube
+from repro.voxel import (
+    VoxelGrid,
+    dilate,
+    erode,
+    exterior_mask,
+    fill_interior,
+    label_components,
+    surface_voxels,
+    voxelize,
+    voxelize_surface,
+)
+
+
+class TestVoxelGrid:
+    def test_basic_properties(self):
+        occ = np.zeros((3, 4, 5), dtype=bool)
+        occ[1, 2, 3] = True
+        grid = VoxelGrid(occ, origin=(1, 1, 1), spacing=0.5)
+        assert grid.shape == (3, 4, 5)
+        assert grid.n_occupied == 1
+        assert grid.volume() == pytest.approx(0.125)
+
+    def test_world_index_roundtrip(self):
+        grid = VoxelGrid(np.ones((4, 4, 4), dtype=bool), origin=(0, 0, 0), spacing=0.25)
+        centers = grid.index_to_world([[0, 0, 0], [3, 3, 3]])
+        idx = grid.world_to_index(centers)
+        assert idx.tolist() == [[0, 0, 0], [3, 3, 3]]
+
+    def test_contains_index(self):
+        grid = VoxelGrid(np.ones((2, 2, 2), dtype=bool))
+        assert grid.contains_index([[0, 0, 0], [1, 1, 1], [2, 0, 0]]).tolist() == [
+            True,
+            True,
+            False,
+        ]
+
+    def test_voxel_centers_match_occupancy(self):
+        occ = np.zeros((3, 3, 3), dtype=bool)
+        occ[1, 1, 1] = True
+        grid = VoxelGrid(occ, spacing=2.0)
+        assert np.allclose(grid.voxel_centers(), [[3, 3, 3]])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VoxelGrid(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            VoxelGrid(np.ones((2, 2, 2)), spacing=0.0)
+        with pytest.raises(ValueError):
+            VoxelGrid(np.ones((2, 2, 2)), origin=(0, 0))
+
+    def test_equality_and_copy(self):
+        grid = VoxelGrid(np.ones((2, 2, 2), dtype=bool))
+        clone = grid.copy()
+        assert clone == grid
+        clone.occupancy[0, 0, 0] = False
+        assert clone != grid
+
+
+class TestVoxelize:
+    def test_box_volume_within_shell_error(self, asym_box):
+        grid = voxelize(asym_box, resolution=32)
+        assert grid.volume() == pytest.approx(48.0, rel=0.2)
+        assert grid.volume() >= 48.0  # occupancy overestimates
+
+    def test_resolution_improves_accuracy(self, unit_box):
+        coarse = voxelize(unit_box, resolution=8).volume()
+        fine = voxelize(unit_box, resolution=48).volume()
+        assert abs(fine - 1.0) < abs(coarse - 1.0)
+
+    def test_surface_only_is_hollow(self, asym_box):
+        surf = voxelize_surface(asym_box, resolution=24)
+        solid = voxelize(asym_box, resolution=24)
+        assert surf.n_occupied < solid.n_occupied
+
+    def test_tube_hole_is_preserved(self):
+        grid = voxelize(tube(2.0, 1.0, 1.0, 32), resolution=32)
+        # The voxel column through the hole center must be empty.
+        center = grid.world_to_index([[0.0, 0.0, 0.5]])[0]
+        assert not grid.occupancy[center[0], center[1], center[2]]
+
+    def test_padding_keeps_boundary_clear(self, unit_box):
+        grid = voxelize(unit_box, resolution=16, padding=2)
+        occ = grid.occupancy
+        assert not occ[0].any() and not occ[-1].any()
+        assert not occ[:, 0].any() and not occ[:, -1].any()
+
+    def test_validation(self, unit_box):
+        from repro.geometry import TriangleMesh
+
+        with pytest.raises(ValueError):
+            voxelize(unit_box, resolution=1)
+        with pytest.raises(ValueError):
+            voxelize(TriangleMesh([], []), resolution=8)
+
+
+class TestMorphology:
+    def test_label_components_matches_scipy(self, rng):
+        mask = rng.random((12, 12, 12)) < 0.3
+        ours, n_ours = label_components(mask)
+        theirs, n_theirs = ndimage.label(mask)
+        assert n_ours == n_theirs
+        # Label ids may differ; compare partition structure.
+        for lab in range(1, n_ours + 1):
+            where = ours == lab
+            scipy_labels = np.unique(theirs[where])
+            assert len(scipy_labels) == 1
+
+    def test_exterior_mask_excludes_cavity(self):
+        shell = np.zeros((7, 7, 7), dtype=bool)
+        shell[1:6, 1:6, 1:6] = True
+        shell[2:5, 2:5, 2:5] = False  # hollow cavity
+        ext = exterior_mask(shell)
+        assert not ext[3, 3, 3]  # cavity is not exterior
+        assert ext[0, 0, 0]
+
+    def test_fill_interior_fills_cavity(self):
+        shell = np.zeros((7, 7, 7), dtype=bool)
+        shell[1:6, 1:6, 1:6] = True
+        shell[2:5, 2:5, 2:5] = False
+        solid = fill_interior(shell)
+        assert solid[3, 3, 3]
+        assert solid.sum() == 125  # the full 5^3 block
+
+    def test_fill_interior_matches_scipy(self, rng):
+        from repro.geometry import uv_sphere
+        from repro.voxel import voxelize_surface
+
+        surf = voxelize_surface(uv_sphere(1.0, 16, 32), resolution=20).occupancy
+        ours = fill_interior(surf)
+        theirs = ndimage.binary_fill_holes(surf)
+        assert np.array_equal(ours, theirs)
+
+    def test_erode_dilate_opening_is_subset(self):
+        block = np.zeros((9, 9, 9), dtype=bool)
+        block[2:7, 2:7, 2:7] = True
+        opened = dilate(erode(block))
+        assert (opened <= block).all()  # opening never grows the set
+        assert opened[4, 4, 4]  # and keeps the core
+        # 6-connected dilation does not restore cube corners.
+        assert not opened[2, 2, 2]
+
+    def test_erode_boundary_voxels_removed(self):
+        full = np.ones((4, 4, 4), dtype=bool)
+        eroded = erode(full)
+        assert eroded.sum() == 8  # inner 2^3
+
+    def test_surface_voxels_of_block(self):
+        block = np.zeros((8, 8, 8), dtype=bool)
+        block[1:7, 1:7, 1:7] = True
+        surf = surface_voxels(block)
+        assert surf.sum() == 6**3 - 4**3
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError):
+            label_components(np.ones((3, 3)))
