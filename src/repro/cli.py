@@ -6,8 +6,11 @@ Subcommands::
     three-dess query DIR MESH        query-by-example against a saved DB
     three-dess browse DIR            print the drill-down hierarchy
     three-dess experiment NAME       run one (or "all") paper experiments
+    three-dess stats                 profile a self-contained insert+query run
 
 Experiments print exactly the rows/series the benchmark harness checks.
+``build-db``, ``query``, and ``experiment`` accept ``--profile`` to print
+the per-stage metrics table (see ``docs/OBSERVABILITY.md``) after the run.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import obs
 from .core.system import ThreeDESS
 from .datasets.generator import build_database, load_or_build_database
 from .evaluation import experiments as exps
@@ -101,6 +105,31 @@ def _cmd_sketch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """A self-contained profiling run: insert a few parts (one duplicated,
+    so the feature cache records a hit), query by example, print the
+    per-stage metrics table."""
+    from .core.config import SystemConfig
+    from .geometry.primitives import box, cylinder, tube
+
+    registry = obs.get_registry()
+    registry.enable()
+    registry.reset()
+
+    system = ThreeDESS(
+        SystemConfig(voxel_resolution=args.resolution, feature_cache=True)
+    )
+    system.insert(box((40, 30, 10)), name="base_plate", group="plates")
+    system.insert(box((40, 30, 10)), name="base_plate_copy", group="plates")
+    system.insert(cylinder(8, 40), name="spacer_rod", group="rods")
+    system.insert(tube(12, 8, 10), name="bushing")
+    system.query_by_example(box((41, 29, 10.5)), k=args.k)
+
+    print("profiled 4 inserts (1 cache hit) + 1 query-by-example\n")
+    print(system.stats_table())
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     db = load_or_build_database(seed=args.seed, voxel_resolution=args.resolution)
     engine = SearchEngine(db)
@@ -151,13 +180,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_build = sub.add_parser("build-db", help="build and persist the evaluation corpus")
+    profiled = argparse.ArgumentParser(add_help=False)
+    profiled.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage metrics table after the run",
+    )
+
+    p_build = sub.add_parser(
+        "build-db",
+        help="build and persist the evaluation corpus",
+        parents=[profiled],
+    )
     p_build.add_argument("directory")
     p_build.add_argument("--seed", type=int, default=42)
     p_build.add_argument("--resolution", type=int, default=24)
     p_build.set_defaults(func=_cmd_build_db)
 
-    p_query = sub.add_parser("query", help="query-by-example against a saved database")
+    p_query = sub.add_parser(
+        "query",
+        help="query-by-example against a saved database",
+        parents=[profiled],
+    )
     p_query.add_argument("directory")
     p_query.add_argument("mesh", help="OFF/STL/OBJ file to use as the example")
     p_query.add_argument("--feature", default="principal_moments")
@@ -191,7 +235,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sketch.set_defaults(func=_cmd_sketch)
 
-    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp = sub.add_parser(
+        "experiment", help="run a paper experiment", parents=[profiled]
+    )
     p_exp.add_argument("name", choices=EXPERIMENT_NAMES + ["all"])
     p_exp.add_argument("--seed", type=int, default=42)
     p_exp.add_argument("--resolution", type=int, default=24)
@@ -200,6 +246,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.set_defaults(func=_cmd_experiment)
 
+    p_stats = sub.add_parser(
+        "stats",
+        help="profile a self-contained insert+query run and print the "
+        "per-stage metrics table",
+    )
+    p_stats.add_argument("--resolution", type=int, default=24)
+    p_stats.add_argument("-k", type=int, default=3)
+    p_stats.set_defaults(func=_cmd_stats)
+
     return parser
 
 
@@ -207,7 +262,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    profile = getattr(args, "profile", False)
+    if profile:
+        obs.get_registry().enable()
+        obs.reset()
+    code = args.func(args)
+    if profile:
+        print()
+        print(obs.render_table())
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

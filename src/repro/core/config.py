@@ -44,6 +44,10 @@ class SystemConfig:
     #: geometry, e.g. re-imported CAD files).
     feature_cache: bool = False
     feature_cache_entries: int = 1024
+    #: Metrics recording on the process-wide ``repro.obs`` registry:
+    #: True/False enable/disable it when the system is constructed;
+    #: None (default) leaves the registry's current state untouched.
+    metrics_enabled: Optional[bool] = None
 
     def validate(self) -> None:
         """Raise ValueError on inconsistent settings."""

@@ -22,6 +22,7 @@ from ..db.database import ShapeDatabase
 from ..features.pipeline import FeaturePipeline
 from ..geometry.io import load_mesh
 from ..geometry.mesh import TriangleMesh
+from ..obs import get_registry
 from ..search.engine import Query, SearchEngine, SearchResult
 from ..search.feedback import RelevanceFeedbackSession
 from ..search.multistep import MultiStepPlan, multi_step_search
@@ -47,6 +48,11 @@ class ThreeDESS:
     ) -> None:
         self.config = config if config is not None else SystemConfig()
         self.config.validate()
+        if self.config.metrics_enabled is not None:
+            if self.config.metrics_enabled:
+                get_registry().enable()
+            else:
+                get_registry().disable()
         pipeline = FeaturePipeline(
             feature_names=self.config.feature_names,
             voxel_resolution=self.config.voxel_resolution,
@@ -78,9 +84,10 @@ class ThreeDESS:
         group: Optional[str] = None,
     ) -> int:
         """Insert a shape: extract all feature vectors and index them."""
-        shape_id = self.database.insert_mesh(mesh, name=name, group=group)
-        self.engine.invalidate()
-        self._hierarchies = {}
+        with get_registry().timed("system.insert"):
+            shape_id = self.database.insert_mesh(mesh, name=name, group=group)
+            self.engine.invalidate()
+            self._hierarchies = {}
         return shape_id
 
     def insert_file(self, path: Union[str, os.PathLike], group: Optional[str] = None) -> int:
@@ -94,7 +101,8 @@ class ThreeDESS:
         k: int = 10,
     ) -> List[SearchResult]:
         """k-NN query-by-example under one feature vector."""
-        return self.engine.search_knn(query, feature_name, k=k)
+        with get_registry().timed("system.query"):
+            return self.engine.search_knn(query, feature_name, k=k)
 
     def query_by_threshold(
         self,
@@ -103,7 +111,10 @@ class ThreeDESS:
         threshold: float = 0.9,
     ) -> List[SearchResult]:
         """Similarity-threshold query (Eq. 4.4)."""
-        return self.engine.search_threshold(query, feature_name, threshold=threshold)
+        with get_registry().timed("system.query"):
+            return self.engine.search_threshold(
+                query, feature_name, threshold=threshold
+            )
 
     def multi_step(
         self,
@@ -112,7 +123,8 @@ class ThreeDESS:
     ) -> List[SearchResult]:
         """Multi-step search (Section 4.2); default plan is the paper's."""
         plan = MultiStepPlan(list(steps)) if steps is not None else None
-        return multi_step_search(self.engine, query, plan)
+        with get_registry().timed("system.query"):
+            return multi_step_search(self.engine, query, plan)
 
     def feedback_session(
         self, query: Query, feature_name: str = "principal_moments", k: int = 10
@@ -149,6 +161,29 @@ class ThreeDESS:
         if root.is_leaf:
             return [root.representative_id]
         return [child.representative_id for child in root.children]
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Snapshot of the process-wide metrics registry.
+
+        Covers per-stage extraction timings, cache hit/miss counters,
+        query latencies, and index node accesses recorded since the last
+        :meth:`reset_stats` (see ``docs/OBSERVABILITY.md`` for the metric
+        catalog).  Metrics are process-local: concurrent systems in one
+        process share the registry.
+        """
+        return get_registry().snapshot()
+
+    def stats_table(self) -> str:
+        """The metrics snapshot rendered as the per-stage table of
+        ``three-dess stats``."""
+        return get_registry().render_table()
+
+    def reset_stats(self) -> None:
+        """Zero every metric on the process-wide registry."""
+        get_registry().reset()
 
     # ------------------------------------------------------------------
     # Persistence

@@ -21,6 +21,7 @@ from ..moments.normalization import (
     NormalizationResult,
     normalize,
 )
+from ..obs import get_registry
 from ..skeleton.graph import SkeletalGraph, build_skeletal_graph
 from ..skeleton.thinning import thin
 from ..voxel.grid import VoxelGrid
@@ -61,29 +62,32 @@ class ExtractionContext:
     def normalization(self) -> NormalizationResult:
         """Pose/scale normalization result (computed once)."""
         if self._normalization is None:
-            self._normalization = normalize(
-                self.mesh, target_volume=self.target_volume
-            )
+            with get_registry().timed("pipeline.normalize"):
+                self._normalization = normalize(
+                    self.mesh, target_volume=self.target_volume
+                )
         return self._normalization
 
     @property
     def voxels(self) -> VoxelGrid:
         """Solid voxel model of the *normalized* mesh (computed once)."""
         if self._voxels is None:
-            self._voxels = voxelize(
-                self.normalization.mesh, resolution=self.voxel_resolution
-            )
+            mesh = self.normalization.mesh
+            with get_registry().timed("pipeline.voxelize"):
+                self._voxels = voxelize(mesh, resolution=self.voxel_resolution)
         return self._voxels
 
     @property
     def skeleton(self) -> VoxelGrid:
         """Thinned curve skeleton, optionally spur-pruned (computed once)."""
         if self._skeleton is None:
-            skeleton = thin(self.voxels)
-            if self.prune_spur_length is not None:
-                from ..skeleton.prune import prune_spurs
+            voxels = self.voxels
+            with get_registry().timed("pipeline.skeletonize"):
+                skeleton = thin(voxels)
+                if self.prune_spur_length is not None:
+                    from ..skeleton.prune import prune_spurs
 
-                skeleton = prune_spurs(skeleton, min_length=self.prune_spur_length)
+                    skeleton = prune_spurs(skeleton, min_length=self.prune_spur_length)
             self._skeleton = skeleton
         return self._skeleton
 
@@ -91,7 +95,9 @@ class ExtractionContext:
     def skeletal_graph(self) -> SkeletalGraph:
         """Entity-level skeletal graph (computed once)."""
         if self._skeletal_graph is None:
-            self._skeletal_graph = build_skeletal_graph(self.skeleton)
+            skeleton = self.skeleton
+            with get_registry().timed("pipeline.skeletal_graph"):
+                self._skeletal_graph = build_skeletal_graph(skeleton)
         return self._skeletal_graph
 
 

@@ -16,6 +16,7 @@ from typing import Dict
 import numpy as np
 
 from ..geometry.mesh import TriangleMesh
+from ..obs import get_registry
 from .pipeline import FeaturePipeline
 
 
@@ -60,17 +61,22 @@ class CachingPipeline:
         return f"{mesh_content_key(mesh)}|{params}"
 
     def extract(self, mesh: TriangleMesh) -> Dict[str, np.ndarray]:
+        metrics = get_registry()
         key = self._key(mesh)
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
+            metrics.inc("cache.hits")
             self._cache.move_to_end(key)
             return {name: vec.copy() for name, vec in cached.items()}
         self.misses += 1
+        metrics.inc("cache.misses")
         features = self.pipeline.extract(mesh)
         self._cache[key] = {name: vec.copy() for name, vec in features.items()}
         while len(self._cache) > self.max_entries:
             self._cache.popitem(last=False)
+            metrics.inc("cache.evictions")
+        metrics.gauge("cache.size").set(len(self._cache))
         return features
 
     def extract_one(self, mesh: TriangleMesh, name: str) -> np.ndarray:

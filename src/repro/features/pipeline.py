@@ -14,6 +14,7 @@ import numpy as np
 
 from ..geometry.mesh import TriangleMesh
 from ..moments.normalization import DEFAULT_TARGET_VOLUME
+from ..obs import get_registry
 from .base import DEFAULT_VOXEL_RESOLUTION, ExtractionContext
 from .registry import PAPER_FEATURES, create_extractor
 
@@ -66,8 +67,14 @@ class FeaturePipeline:
 
     def extract(self, mesh: TriangleMesh) -> Dict[str, np.ndarray]:
         """All requested feature vectors for one mesh."""
-        context = self.make_context(mesh)
-        return {name: ext(context) for name, ext in self.extractors.items()}
+        metrics = get_registry()
+        with metrics.timed("pipeline.extract"):
+            context = self.make_context(mesh)
+            out: Dict[str, np.ndarray] = {}
+            for name, ext in self.extractors.items():
+                with metrics.timed(f"pipeline.feature.{name}"):
+                    out[name] = ext(context)
+        return out
 
     def extract_one(self, mesh: TriangleMesh, name: str) -> np.ndarray:
         """A single named feature vector for one mesh."""
@@ -75,4 +82,7 @@ class FeaturePipeline:
             raise KeyError(
                 f"{name!r} not in this pipeline; have {self.feature_names}"
             )
-        return self.extractors[name](self.make_context(mesh))
+        metrics = get_registry()
+        with metrics.timed("pipeline.extract"):
+            with metrics.timed(f"pipeline.feature.{name}"):
+                return self.extractors[name](self.make_context(mesh))

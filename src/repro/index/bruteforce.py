@@ -11,6 +11,7 @@ from typing import Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import get_registry
 from .rect import Rect
 
 
@@ -24,6 +25,7 @@ class LinearScanIndex:
         self._points: List[np.ndarray] = []
         self._ids: List[Hashable] = []
         self.point_accesses = 0
+        self._access_counter = get_registry().counter("index.linear.point_accesses")
 
     # ------------------------------------------------------------------
     def reset_stats(self) -> None:
@@ -61,6 +63,7 @@ class LinearScanIndex:
     ) -> np.ndarray:
         pts = self._matrix()
         self.point_accesses += len(pts)
+        self._access_counter.inc(len(pts))
         diff = pts - np.asarray(list(point), dtype=np.float64)
         if weights is not None:
             return np.sqrt((np.asarray(weights) * diff**2).sum(axis=1))
@@ -71,6 +74,7 @@ class LinearScanIndex:
         """Ids of points inside the box."""
         pts = self._matrix()
         self.point_accesses += len(pts)
+        self._access_counter.inc(len(pts))
         inside = ((pts >= rect.mins) & (pts <= rect.maxs)).all(axis=1)
         return [rid for rid, ok in zip(self._ids, inside) if ok]
 

@@ -23,6 +23,7 @@ from typing import Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import get_registry
 from .rect import Rect, bounding_rect
 
 DEFAULT_MAX_ENTRIES = 8
@@ -105,6 +106,8 @@ class RTree:
         self.root = _Node(leaf=True)
         self.size = 0
         self.node_accesses = 0
+        # Bound once so the hot-path cost is one inc() with an enabled check.
+        self._access_counter = get_registry().counter("index.rtree.node_accesses")
 
     # ------------------------------------------------------------------
     # Stats
@@ -115,6 +118,7 @@ class RTree:
 
     def _touch(self, node: _Node) -> None:
         self.node_accesses += 1
+        self._access_counter.inc()
 
     def height(self) -> int:
         """Tree height (1 for a single leaf root)."""

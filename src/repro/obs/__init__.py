@@ -1,0 +1,32 @@
+"""Observability: process-local metrics for the 3DESS pipeline.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog and usage guide.
+"""
+
+from .registry import (
+    DEFAULT_RESERVOIR,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_table,
+    reset,
+    set_enabled,
+    snapshot,
+    timed,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_RESERVOIR",
+    "get_registry",
+    "timed",
+    "snapshot",
+    "render_table",
+    "set_enabled",
+    "reset",
+]

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..db.database import ShapeDatabase
 from ..geometry.mesh import TriangleMesh
+from ..obs import get_registry
 from .similarity import RANGE_WEIGHTS, SimilarityMeasure
 
 Query = Union[int, TriangleMesh, np.ndarray]
@@ -128,13 +129,17 @@ class SearchEngine:
         query shape itself is dropped from the ranking (the paper never
         counts it — it is guaranteed to be retrieved).
         """
-        vec = self.resolve_query_vector(query, feature_name)
-        exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
-        extra = 1 if exclude is not None else 0
-        pairs = self.database.nearest(
-            feature_name, vec, k=k + extra, weights=self.measure(feature_name).weights
-        )
-        return self._build_results(pairs, feature_name, exclude)[:k]
+        metrics = get_registry()
+        with metrics.timed("search.knn"):
+            vec = self.resolve_query_vector(query, feature_name)
+            exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
+            extra = 1 if exclude is not None else 0
+            pairs = self.database.nearest(
+                feature_name, vec, k=k + extra, weights=self.measure(feature_name).weights
+            )
+            metrics.inc("search.queries")
+            metrics.inc("search.candidates_examined", len(pairs))
+            return self._build_results(pairs, feature_name, exclude)[:k]
 
     def search_threshold(
         self,
@@ -144,14 +149,18 @@ class SearchEngine:
         exclude_query: bool = True,
     ) -> List[SearchResult]:
         """All shapes whose similarity exceeds ``threshold`` (Eq. 4.4)."""
-        vec = self.resolve_query_vector(query, feature_name)
-        measure = self.measure(feature_name)
-        radius = measure.radius_for_threshold(threshold)
-        exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
-        pairs = self.database.within_radius(
-            feature_name, vec, radius, weights=measure.weights
-        )
-        return self._build_results(pairs, feature_name, exclude)
+        metrics = get_registry()
+        with metrics.timed("search.threshold"):
+            vec = self.resolve_query_vector(query, feature_name)
+            measure = self.measure(feature_name)
+            radius = measure.radius_for_threshold(threshold)
+            exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
+            pairs = self.database.within_radius(
+                feature_name, vec, radius, weights=measure.weights
+            )
+            metrics.inc("search.queries")
+            metrics.inc("search.candidates_examined", len(pairs))
+            return self._build_results(pairs, feature_name, exclude)
 
     def explain(
         self,
@@ -195,12 +204,15 @@ class SearchEngine:
         distances are computed directly against the candidates, no index
         involved.
         """
-        vec = self.resolve_query_vector(query, feature_name)
-        measure = self.measure(feature_name)
-        exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
-        pairs = []
-        for shape_id in candidate_ids:
-            stored = self.database.get(shape_id).feature(feature_name)
-            pairs.append((shape_id, measure.distance(vec, stored)))
-        pairs.sort(key=lambda p: (p[1], p[0]))
-        return self._build_results(pairs, feature_name, exclude)
+        metrics = get_registry()
+        with metrics.timed("search.rerank"):
+            vec = self.resolve_query_vector(query, feature_name)
+            measure = self.measure(feature_name)
+            exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
+            pairs = []
+            for shape_id in candidate_ids:
+                stored = self.database.get(shape_id).feature(feature_name)
+                pairs.append((shape_id, measure.distance(vec, stored)))
+            metrics.inc("search.candidates_examined", len(pairs))
+            pairs.sort(key=lambda p: (p[1], p[0]))
+            return self._build_results(pairs, feature_name, exclude)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..obs import get_registry
 from .engine import Query, SearchEngine, SearchResult
 
 #: The configuration used for the paper's Figures 13-15.
@@ -60,15 +61,18 @@ def multi_step_search(
                 ("geometric_params", PAPER_PRESENT),
             ]
         )
-    first_name, first_keep = plan.steps[0]
-    results = engine.search_knn(
-        query, first_name, k=first_keep, exclude_query=exclude_query
-    )
-    for feature_name, keep in plan.steps[1:]:
-        candidate_ids = [r.shape_id for r in results]
-        results = engine.rerank(
-            candidate_ids, query, feature_name, exclude_query=exclude_query
-        )[:keep]
+    metrics = get_registry()
+    with metrics.timed("search.multistep"):
+        metrics.inc("search.multistep.steps", len(plan.steps))
+        first_name, first_keep = plan.steps[0]
+        results = engine.search_knn(
+            query, first_name, k=first_keep, exclude_query=exclude_query
+        )
+        for feature_name, keep in plan.steps[1:]:
+            candidate_ids = [r.shape_id for r in results]
+            results = engine.rerank(
+                candidate_ids, query, feature_name, exclude_query=exclude_query
+            )[:keep]
     return results
 
 
