@@ -67,6 +67,48 @@ def test_perf_rtree_insert(benchmark):
     assert len(tree) == 512
 
 
+@pytest.fixture(scope="module")
+def bracket_grid(bracket):
+    from repro.voxel import voxelize
+
+    return voxelize(bracket, resolution=32)
+
+
+@pytest.mark.parametrize("kernel", ["batched", "reference"])
+def test_perf_thinning_kernel(benchmark, bracket_grid, kernel):
+    from repro.skeleton.thinning import thin
+
+    skel = benchmark(thin, bracket_grid, kernel=kernel)
+    assert skel.n_occupied >= 1
+
+
+@pytest.fixture(scope="module")
+def ingestion_batch():
+    from repro.datasets.generator import build_corpus
+
+    corpus = build_corpus(42)[:8]
+    return (
+        [shape.mesh for shape in corpus],
+        [shape.name for shape in corpus],
+        [shape.group for shape in corpus],
+    )
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_perf_parallel_ingestion(benchmark, ingestion_batch, workers):
+    from repro.db.database import ShapeDatabase
+
+    meshes, names, groups = ingestion_batch
+
+    def build():
+        db = ShapeDatabase(FeaturePipeline(voxel_resolution=16))
+        db.insert_meshes(meshes, names=names, groups=groups, workers=workers)
+        return db
+
+    db = benchmark.pedantic(build, iterations=1, rounds=3)
+    assert len(db) == len(meshes)
+
+
 def test_perf_combined_search_scalar(benchmark, loaded_db_engine):
     from repro.search import CombinedSimilarity, combined_search
 

@@ -29,9 +29,34 @@ EXPERIMENT_NAMES = ["fig4", "fig7", "fig8-12", "fig13-14", "fig15", "fig16", "rt
 
 
 def _cmd_build_db(args: argparse.Namespace) -> int:
-    db = build_database(seed=args.seed, voxel_resolution=args.resolution)
+    db = build_database(
+        seed=args.seed,
+        voxel_resolution=args.resolution,
+        workers=args.workers,
+        feature_cache_dir=args.cache_dir,
+    )
     db.save(args.directory)
-    print(f"built {len(db)} shapes -> {args.directory}")
+    extra = f", {args.workers} workers" if args.workers > 1 else ""
+    print(f"built {len(db)} shapes -> {args.directory}{extra}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .evaluation import bench
+
+    worker_counts = tuple(int(w) for w in args.workers.split(",") if w.strip())
+    report = bench.run_bench(
+        resolution=args.resolution,
+        n_shapes=args.shapes,
+        worker_counts=worker_counts,
+        repeats=args.repeats,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    output = args.output if args.output else bench.default_output_path()
+    bench.write_bench(report, output)
+    print(bench.format_summary(report))
+    print(f"\nreport written -> {output}")
     return 0
 
 
@@ -195,7 +220,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("directory")
     p_build.add_argument("--seed", type=int, default=42)
     p_build.add_argument("--resolution", type=int, default=24)
+    p_build.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for parallel feature extraction (0 = serial)",
+    )
+    p_build.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent feature-cache directory (makes re-builds incremental)",
+    )
     p_build.set_defaults(func=_cmd_build_db)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time thinning/ingestion/query hot paths, write BENCH_<rev>.json",
+    )
+    p_bench.add_argument("--resolution", type=int, default=32)
+    p_bench.add_argument("--shapes", type=int, default=16)
+    p_bench.add_argument(
+        "--workers",
+        default="1,2,4",
+        help="comma-separated worker counts for the ingestion scaling stage",
+    )
+    p_bench.add_argument("--repeats", type=int, default=3)
+    p_bench.add_argument("--seed", type=int, default=42)
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny smoke workload (CI): res 12, 6 shapes, workers 1,2, 1 repeat",
+    )
+    p_bench.add_argument(
+        "--output", default=None, help="output JSON path (default BENCH_<rev>.json)"
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_query = sub.add_parser(
         "query",

@@ -44,6 +44,13 @@ class SystemConfig:
     #: geometry, e.g. re-imported CAD files).
     feature_cache: bool = False
     feature_cache_entries: int = 1024
+    #: Directory of the persistent (on-disk) feature cache tier; setting
+    #: it implies ``feature_cache`` and makes bulk ingestion incremental
+    #: across runs.  None (default) keeps the cache memory-only.
+    feature_cache_dir: Optional[str] = None
+    #: Worker processes for bulk ingestion (``insert_batch`` /
+    #: ``three-dess build-db --workers``); 0 or 1 extracts serially.
+    extraction_workers: int = 0
     #: Metrics recording on the process-wide ``repro.obs`` registry:
     #: True/False enable/disable it when the system is constructed;
     #: None (default) leaves the registry's current state untouched.
@@ -65,3 +72,5 @@ class SystemConfig:
             raise ValueError("browse leaf size must be >= 1")
         if self.feature_cache_entries < 1:
             raise ValueError("feature cache size must be >= 1")
+        if self.extraction_workers < 0:
+            raise ValueError("extraction workers must be >= 0")

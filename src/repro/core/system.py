@@ -58,11 +58,18 @@ class ThreeDESS:
             voxel_resolution=self.config.voxel_resolution,
             target_volume=self.config.target_volume,
         )
-        if self.config.feature_cache:
-            from ..features.cache import CachingPipeline
+        if self.config.feature_cache or self.config.feature_cache_dir:
+            from ..features.cache import CachingPipeline, PersistentFeatureStore
 
+            store = (
+                PersistentFeatureStore(self.config.feature_cache_dir)
+                if self.config.feature_cache_dir
+                else None
+            )
             pipeline = CachingPipeline(
-                pipeline, max_entries=self.config.feature_cache_entries
+                pipeline,
+                max_entries=self.config.feature_cache_entries,
+                store=store,
             )
         if database is None:
             database = ShapeDatabase(
@@ -93,6 +100,40 @@ class ThreeDESS:
     def insert_file(self, path: Union[str, os.PathLike], group: Optional[str] = None) -> int:
         """Insert a shape from a CAD file (OFF/STL/OBJ)."""
         return self.insert(load_mesh(path), group=group)
+
+    def insert_batch(
+        self,
+        meshes: Sequence[TriangleMesh],
+        names: Optional[Sequence[Optional[str]]] = None,
+        groups: Optional[Sequence[Optional[str]]] = None,
+        workers: Optional[int] = None,
+    ):
+        """Bulk-insert meshes with parallel feature extraction.
+
+        ``workers`` defaults to ``config.extraction_workers``; results are
+        identical to inserting serially one by one (IDs follow input
+        order, failed meshes are reported, not raised).  Returns a
+        :class:`~repro.db.database.BulkInsertResult`.
+        """
+        if workers is None:
+            workers = self.config.extraction_workers
+        with get_registry().timed("system.insert_batch"):
+            result = self.database.insert_meshes(
+                meshes, names=names, groups=groups, workers=workers
+            )
+            self.engine.invalidate()
+            self._hierarchies = {}
+        return result
+
+    def insert_files(
+        self,
+        paths: Sequence[Union[str, os.PathLike]],
+        groups: Optional[Sequence[Optional[str]]] = None,
+        workers: Optional[int] = None,
+    ):
+        """Bulk-insert CAD files (OFF/STL/OBJ) via :meth:`insert_batch`."""
+        meshes = [load_mesh(path) for path in paths]
+        return self.insert_batch(meshes, groups=groups, workers=workers)
 
     def query_by_example(
         self,

@@ -116,14 +116,36 @@ def build_database(
     seed: int = DEFAULT_SEED,
     voxel_resolution: int = DEFAULT_VOXEL_RESOLUTION,
     feature_names: Optional[List[str]] = None,
+    workers: int = 0,
+    feature_cache_dir: Optional[Union[str, os.PathLike]] = None,
 ) -> ShapeDatabase:
-    """Generate the corpus and extract every feature vector."""
+    """Generate the corpus and extract every feature vector.
+
+    ``workers`` fans extraction over a process pool (0/1 = serial; the
+    resulting database is identical either way).  ``feature_cache_dir``
+    attaches a persistent content-addressed cache so repeat builds only
+    extract shapes whose geometry or parameters changed.
+    """
     pipeline = FeaturePipeline(
         feature_names=feature_names, voxel_resolution=voxel_resolution
     )
+    if feature_cache_dir is not None:
+        from ..features.cache import CachingPipeline, PersistentFeatureStore
+
+        pipeline = CachingPipeline(
+            pipeline, store=PersistentFeatureStore(feature_cache_dir)
+        )
     db = ShapeDatabase(pipeline)
-    for shape in build_corpus(seed):
-        db.insert_mesh(shape.mesh, name=shape.name, group=shape.group)
+    corpus = build_corpus(seed)
+    result = db.insert_meshes(
+        [shape.mesh for shape in corpus],
+        names=[shape.name for shape in corpus],
+        groups=[shape.group for shape in corpus],
+        workers=workers,
+    )
+    if result.errors:  # pragma: no cover - generated corpus never fails
+        failed = ", ".join(err.name for err in result.errors)
+        raise RuntimeError(f"corpus extraction failed for: {failed}")
     return db
 
 

@@ -9,15 +9,43 @@ the new (vector, ID) pair.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..features.parallel import ParallelPipeline
 from ..features.pipeline import FeaturePipeline
 from ..geometry.mesh import TriangleMesh
 from ..index.rtree import RTree
 from .records import ShapeRecord
 from .storage import load_records, save_records
+
+
+@dataclass
+class BulkInsertError:
+    """One failed mesh of a bulk insertion."""
+
+    index: int
+    name: str
+    message: str
+
+
+@dataclass
+class BulkInsertResult:
+    """Outcome of :meth:`ShapeDatabase.insert_meshes`.
+
+    ``shape_ids`` holds one entry per input mesh, in input order: the
+    assigned database ID for successes, ``None`` for failures (which are
+    detailed in ``errors``).
+    """
+
+    shape_ids: List[Optional[int]] = field(default_factory=list)
+    errors: List[BulkInsertError] = field(default_factory=list)
+
+    @property
+    def inserted_ids(self) -> List[int]:
+        return [sid for sid in self.shape_ids if sid is not None]
 
 
 class ShapeDatabase:
@@ -102,6 +130,57 @@ class ShapeDatabase:
         self._store(record)
         return record.shape_id
 
+    def insert_meshes(
+        self,
+        meshes: Sequence[TriangleMesh],
+        names: Optional[Sequence[Optional[str]]] = None,
+        groups: Optional[Sequence[Optional[str]]] = None,
+        workers: int = 0,
+    ) -> BulkInsertResult:
+        """Bulk insertion with optional parallel feature extraction.
+
+        Extraction fans out over ``workers`` processes (``0``/``1`` =
+        serial, same results); IDs are assigned in input order regardless
+        of completion order, so serial and parallel ingestion produce
+        identical database state.  A mesh whose extraction fails is
+        recorded in the result's ``errors`` and skipped — it never aborts
+        the batch and consumes no ID.
+        """
+        if self.pipeline is None:
+            raise RuntimeError(
+                "database has no feature pipeline; use insert_record or "
+                "attach a FeaturePipeline"
+            )
+        meshes = list(meshes)
+        if names is not None and len(names) != len(meshes):
+            raise ValueError(f"{len(names)} names for {len(meshes)} meshes")
+        if groups is not None and len(groups) != len(meshes):
+            raise ValueError(f"{len(groups)} groups for {len(meshes)} meshes")
+        parallel = ParallelPipeline(self.pipeline, workers=workers)
+        result = BulkInsertResult()
+        for outcome in parallel.extract_batch(meshes):
+            i = outcome.index
+            mesh = meshes[i]
+            name = names[i] if names is not None else None
+            if name is None:
+                name = mesh.name or "shape"
+            if not outcome.ok:
+                result.shape_ids.append(None)
+                result.errors.append(
+                    BulkInsertError(index=i, name=name, message=outcome.error)
+                )
+                continue
+            record = ShapeRecord(
+                shape_id=self._allocate_id(),
+                name=name,
+                mesh=mesh,
+                group=groups[i] if groups is not None else None,
+                features=outcome.features,
+            )
+            self._store(record)
+            result.shape_ids.append(record.shape_id)
+        return result
+
     def insert_record(self, record: ShapeRecord) -> int:
         """Insert a pre-built record (id of 0 or taken ids are reassigned)."""
         if record.shape_id in self._records or record.shape_id <= 0:
@@ -145,6 +224,10 @@ class ShapeDatabase:
     # ------------------------------------------------------------------
     # Feature-space queries (used by the search engine)
     # ------------------------------------------------------------------
+    def has_index(self, feature_name: str) -> bool:
+        """Whether an R-tree exists for one feature space."""
+        return feature_name in self._indexes
+
     def index(self, feature_name: str) -> RTree:
         """The R-tree over one feature space."""
         try:

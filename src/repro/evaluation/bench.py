@@ -1,0 +1,355 @@
+"""Machine-readable performance benchmarks (``three-dess bench``).
+
+Retrieval papers are judged on reproducible timings, not prose (the NIST
+benchmarking survey makes the point at length); the ROADMAP's "fast as
+the hardware allows" goal needs a measured trajectory PR over PR.  This
+harness times the hot paths the system actually runs —
+
+* the **thinning kernel** (vectorized ``batched`` vs the ``reference``
+  per-voxel loop, identical-output asserted),
+* **ingestion throughput** (serial vs process-pool extraction at several
+  worker counts, identical-database asserted),
+* the **extraction stages** (normalize / voxelize / skeletonize medians,
+  straight from the ``repro.obs`` timers), and
+* **query latency** (indexed k-NN vs the vectorized linear fallback)
+
+— and writes one ``BENCH_<rev>.json`` whose medians later PRs can cite.
+All numbers are wall-clock medians over ``repeats`` runs on whatever
+hardware executes the bench; ``cpu_count`` is recorded so scaling figures
+are interpretable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.generator import build_corpus
+from ..db.database import ShapeDatabase
+from ..features.pipeline import FeaturePipeline
+from ..obs import get_registry
+from ..search.engine import SearchEngine
+from ..skeleton.thinning import thin
+from ..voxel.voxelize import voxelize
+
+SCHEMA_VERSION = 1
+
+#: Extraction-stage histograms copied from the obs registry into the
+#: report (`median` = p50 over all observations of the serial run).
+_STAGE_METRICS = (
+    "pipeline.normalize",
+    "pipeline.voxelize",
+    "pipeline.skeletonize",
+    "pipeline.extract",
+)
+
+
+def revision(default: str = "unknown") -> str:
+    """Short git revision of the working tree, or ``default``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return default
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else default
+
+
+def default_output_path() -> str:
+    return f"BENCH_{revision('dev')}.json"
+
+
+def _median(values: Sequence[float]) -> float:
+    return float(np.median(np.asarray(values, dtype=np.float64)))
+
+
+def _time(fn, repeats: int) -> List[float]:
+    """Wall-clock seconds for ``repeats`` calls of ``fn``."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+# ----------------------------------------------------------------------
+# Stages
+# ----------------------------------------------------------------------
+def bench_thinning(
+    meshes: Dict[str, "object"], resolution: int, repeats: int
+) -> Dict[str, object]:
+    """Vectorized vs reference thinning on solid voxelizations."""
+    grids = {}
+    for name, mesh in meshes.items():
+        grids[name] = voxelize(mesh, resolution=resolution)
+    # Warm the shared simple-point memo so neither kernel pays the
+    # first-run misses inside the timed region.
+    for grid in grids.values():
+        thin(grid, kernel="batched")
+
+    rows = []
+    for name, grid in grids.items():
+        reference = thin(grid, kernel="reference")
+        batched = thin(grid, kernel="batched")
+        identical = bool(
+            np.array_equal(reference.occupancy, batched.occupancy)
+        )
+        ref_s = _median(_time(lambda g=grid: thin(g, kernel="reference"), repeats))
+        bat_s = _median(_time(lambda g=grid: thin(g, kernel="batched"), repeats))
+        rows.append(
+            {
+                "grid": name,
+                "occupied_voxels": grid.n_occupied,
+                "reference_s": ref_s,
+                "batched_s": bat_s,
+                "speedup": ref_s / bat_s if bat_s > 0 else float("inf"),
+                "identical": identical,
+            }
+        )
+    return {
+        "resolution": resolution,
+        "repeats": repeats,
+        "grids": rows,
+        "median_speedup": _median([r["speedup"] for r in rows]),
+        "all_identical": all(r["identical"] for r in rows),
+    }
+
+
+def _build_db(meshes, names, groups, resolution: int, workers: int) -> ShapeDatabase:
+    db = ShapeDatabase(FeaturePipeline(voxel_resolution=resolution))
+    result = db.insert_meshes(meshes, names=names, groups=groups, workers=workers)
+    if result.errors:  # pragma: no cover - corpus meshes never fail
+        raise RuntimeError(f"bench ingestion failed: {result.errors[0].message}")
+    return db
+
+
+def _db_state(db: ShapeDatabase):
+    return [
+        (rec.shape_id, rec.name, {k: v.tobytes() for k, v in sorted(rec.features.items())})
+        for rec in db
+    ]
+
+
+def bench_ingestion(
+    meshes,
+    names,
+    groups,
+    resolution: int,
+    worker_counts: Sequence[int],
+    repeats: int,
+) -> Dict[str, object]:
+    """Serial vs parallel bulk-extraction throughput (+ stage timers)."""
+    registry = get_registry()
+    was_enabled = registry.enabled
+    registry.enable()
+    registry.reset()
+
+    serial_db = _build_db(meshes, names, groups, resolution, workers=0)
+    stage_snapshot = registry.snapshot()["histograms"]
+    stages = {
+        name: {
+            "count": stage_snapshot[name]["count"],
+            "median_s": stage_snapshot[name]["p50"],
+            "total_s": stage_snapshot[name]["total"],
+        }
+        for name in _STAGE_METRICS
+        if name in stage_snapshot
+    }
+    if not was_enabled:
+        registry.disable()
+
+    serial_times = _time(
+        lambda: _build_db(meshes, names, groups, resolution, workers=0), repeats
+    )
+    serial_s = _median(serial_times)
+    reference_state = _db_state(serial_db)
+
+    runs = []
+    for workers in worker_counts:
+        parallel_db = _build_db(meshes, names, groups, resolution, workers=workers)
+        identical = _db_state(parallel_db) == reference_state
+        times = _time(
+            lambda w=workers: _build_db(meshes, names, groups, resolution, workers=w),
+            repeats,
+        )
+        elapsed = _median(times)
+        runs.append(
+            {
+                "workers": workers,
+                "seconds": elapsed,
+                "shapes_per_s": len(meshes) / elapsed if elapsed > 0 else float("inf"),
+                "speedup_vs_serial": serial_s / elapsed if elapsed > 0 else float("inf"),
+                "identical_to_serial": identical,
+            }
+        )
+    return {
+        "n_shapes": len(meshes),
+        "resolution": resolution,
+        "repeats": repeats,
+        "serial_s": serial_s,
+        "serial_shapes_per_s": len(meshes) / serial_s if serial_s > 0 else float("inf"),
+        "parallel": runs,
+        "stages": stages,
+        "_db": serial_db,  # consumed (and stripped) by run_bench
+    }
+
+
+def bench_query(
+    db: ShapeDatabase,
+    feature_name: str = "principal_moments",
+    k: int = 10,
+    repeats: int = 20,
+) -> Dict[str, object]:
+    """Indexed k-NN latency vs the vectorized linear-scan fallback."""
+    engine = SearchEngine(db)
+    ids = db.ids()
+    queries = ids[:: max(1, len(ids) // repeats)][:repeats]
+
+    def run(use_index: bool) -> List[float]:
+        out = []
+        for shape_id in queries:
+            start = time.perf_counter()
+            engine.search_knn(shape_id, feature_name, k=k, use_index=use_index)
+            out.append(time.perf_counter() - start)
+        return out
+
+    engine.search_knn(queries[0], feature_name, k=k)  # warm measure cache
+    indexed = run(use_index=True)
+    linear = run(use_index=False)
+    return {
+        "feature": feature_name,
+        "k": k,
+        "queries": len(queries),
+        "indexed_median_s": _median(indexed),
+        "indexed_p90_s": float(np.percentile(indexed, 90)),
+        "linear_median_s": _median(linear),
+        "linear_p90_s": float(np.percentile(linear, 90)),
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_bench(
+    resolution: int = 32,
+    n_shapes: int = 16,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    repeats: int = 3,
+    seed: int = 42,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Run every bench stage and assemble the JSON-ready report.
+
+    ``quick`` shrinks the workload (resolution 12, 6 shapes, workers
+    (1, 2), single repeat) for CI smoke runs.
+    """
+    if quick:
+        resolution, n_shapes, worker_counts, repeats = 12, 6, (1, 2), 1
+
+    corpus_full = build_corpus(seed)
+    corpus = corpus_full[:n_shapes]
+    meshes = [shape.mesh for shape in corpus]
+    names = [shape.name for shape in corpus]
+    groups = [shape.group for shape in corpus]
+
+    # A handful of topologically distinct solids for the thinning stage:
+    # the first member of each of the first four similarity groups.
+    thinning_meshes: Dict[str, object] = {}
+    seen_groups = set()
+    for shape in corpus_full:
+        if shape.group is None or shape.group in seen_groups:
+            continue
+        seen_groups.add(shape.group)
+        thinning_meshes[shape.name] = shape.mesh
+        if len(thinning_meshes) == 4:
+            break
+
+    started = time.time()
+    thinning = bench_thinning(thinning_meshes, resolution=resolution, repeats=repeats)
+    ingestion = bench_ingestion(
+        meshes, names, groups, resolution, worker_counts, repeats=repeats
+    )
+    db = ingestion.pop("_db")
+    query = bench_query(db, repeats=10 if quick else 20)
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "revision": revision(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "elapsed_s": time.time() - started,
+        "quick": quick,
+        "machine": {
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "params": {
+            "seed": seed,
+            "resolution": resolution,
+            "n_shapes": n_shapes,
+            "worker_counts": list(worker_counts),
+            "repeats": repeats,
+        },
+        "thinning": thinning,
+        "ingestion": ingestion,
+        "query": query,
+    }
+
+
+def write_bench(report: Dict[str, object], path: str) -> None:
+    """Write the report as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_summary(report: Dict[str, object]) -> str:
+    """Human-readable digest of a bench report."""
+    thin_part = report["thinning"]
+    ing = report["ingestion"]
+    query = report["query"]
+    lines = [
+        f"bench @ {report['revision']} "
+        f"(res {report['params']['resolution']}, "
+        f"{ing['n_shapes']} shapes, cpu_count={report['machine']['cpu_count']})",
+        "",
+        f"thinning: median speedup {thin_part['median_speedup']:.1f}x "
+        f"(batched vs reference kernel, identical={thin_part['all_identical']})",
+    ]
+    for row in thin_part["grids"]:
+        lines.append(
+            f"  {row['grid']:<22s} {row['reference_s'] * 1e3:8.1f} ms -> "
+            f"{row['batched_s'] * 1e3:7.1f} ms  ({row['speedup']:.1f}x)"
+        )
+    lines.append("")
+    lines.append(
+        f"ingestion: serial {ing['serial_s']:.2f} s "
+        f"({ing['serial_shapes_per_s']:.2f} shapes/s)"
+    )
+    for row in ing["parallel"]:
+        lines.append(
+            f"  workers={row['workers']}: {row['seconds']:.2f} s "
+            f"({row['shapes_per_s']:.2f} shapes/s, "
+            f"{row['speedup_vs_serial']:.2f}x vs serial, "
+            f"identical={row['identical_to_serial']})"
+        )
+    lines.append("")
+    lines.append(
+        f"query ({query['feature']}, k={query['k']}): "
+        f"indexed {query['indexed_median_s'] * 1e3:.2f} ms median, "
+        f"linear fallback {query['linear_median_s'] * 1e3:.2f} ms median"
+    )
+    return "\n".join(lines)

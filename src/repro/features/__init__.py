@@ -1,6 +1,11 @@
 """Feature vectors (Section 3.5): extractors, registry, pipeline."""
 
-from .cache import CachingPipeline, mesh_content_key
+from .cache import (
+    CachingPipeline,
+    PersistentFeatureStore,
+    mesh_content_key,
+    pipeline_params_key,
+)
 from .base import (
     DEFAULT_VOXEL_RESOLUTION,
     ExtractionContext,
@@ -10,6 +15,7 @@ from .base import (
 from .eigenvalues import EigenvaluesExtractor
 from .geometric_params import GeometricParamsExtractor
 from .moment_invariants import ExtendedInvariantsExtractor, MomentInvariantsExtractor
+from .parallel import ExtractionOutcome, ParallelPipeline, PipelineSpec
 from .pipeline import FeaturePipeline
 from .principal_moments import PrincipalMomentsExtractor
 from .registry import (
@@ -31,7 +37,12 @@ __all__ = [
     "DEFAULT_VOXEL_RESOLUTION",
     "FeaturePipeline",
     "CachingPipeline",
+    "PersistentFeatureStore",
+    "ParallelPipeline",
+    "PipelineSpec",
+    "ExtractionOutcome",
     "mesh_content_key",
+    "pipeline_params_key",
     "MomentInvariantsExtractor",
     "ExtendedInvariantsExtractor",
     "GeometricParamsExtractor",

@@ -3,15 +3,27 @@
 Inserting the same geometry twice (re-imports, copies under different
 names) repeats the most expensive stage of the system.  `CachingPipeline`
 wraps a :class:`FeaturePipeline` with a content-addressed cache: the key
-hashes the vertex/face buffers together with the pipeline parameters, so
-a cache hit is exact, not approximate.
+hashes the vertex/face buffers (including dtype and shape, so
+differently-shaped buffers with identical bytes cannot collide) together
+with the pipeline parameters, so a cache hit is exact, not approximate.
+
+Two tiers are available:
+
+* an in-memory LRU (always on), and
+* an optional :class:`PersistentFeatureStore` — an on-disk
+  content-addressed store with atomic writes, which makes ``build-db``
+  re-runs incremental: shapes whose geometry and pipeline parameters are
+  unchanged skip extraction entirely.  A truncated or otherwise corrupt
+  cache file is treated as a miss, never an error.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import tempfile
 from collections import OrderedDict
-from typing import Dict
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -20,29 +32,130 @@ from ..obs import get_registry
 from .pipeline import FeaturePipeline
 
 
+def _array_digest(digest: "hashlib._Hash", array: np.ndarray) -> None:
+    """Feed an array into a hash including its dtype and shape.
+
+    ``tobytes()`` alone would let buffers with identical bytes but
+    different shapes (or dtypes) collide — e.g. a (6,) float view of the
+    same memory as a (2, 3) array.
+    """
+    digest.update(str(array.dtype).encode("utf-8"))
+    digest.update(repr(array.shape).encode("utf-8"))
+    digest.update(array.tobytes())
+
+
 def mesh_content_key(mesh: TriangleMesh) -> str:
-    """Stable content hash of a mesh's geometry."""
+    """Stable content hash of a mesh's geometry (dtype/shape aware)."""
     digest = hashlib.sha256()
-    digest.update(mesh.vertices.tobytes())
-    digest.update(mesh.faces.tobytes())
+    _array_digest(digest, np.ascontiguousarray(mesh.vertices))
+    _array_digest(digest, np.ascontiguousarray(mesh.faces))
     return digest.hexdigest()
 
 
-class CachingPipeline:
-    """A FeaturePipeline with an LRU content cache.
+def pipeline_params_key(pipeline) -> str:
+    """The parameters that change extraction output, as a stable string.
 
-    Drop-in where a pipeline is expected (`extract`, `extract_one`,
-    `feature_names`, `dimensions` are forwarded); `hits`/`misses` expose
-    effectiveness.
+    Any object exposing ``voxel_resolution`` / ``target_volume`` /
+    ``prune_spur_length`` / ``feature_names`` qualifies (both
+    :class:`FeaturePipeline` and :class:`CachingPipeline` do).
+    """
+    return (
+        f"{pipeline.voxel_resolution}|{pipeline.target_volume}"
+        f"|{pipeline.prune_spur_length}|{','.join(pipeline.feature_names)}"
+    )
+
+
+class PersistentFeatureStore:
+    """On-disk content-addressed feature store.
+
+    Each entry is one ``.npz`` file named by the SHA-256 of its cache key
+    (mesh content hash + pipeline parameters).  Writes go through a
+    temporary file in the same directory followed by :func:`os.replace`,
+    so concurrent writers and crashes can never leave a half-written
+    entry under the final name.  Loads treat any unreadable file as a
+    miss and remove it.
     """
 
-    def __init__(self, pipeline: FeaturePipeline, max_entries: int = 1024) -> None:
+    def __init__(self, directory: Union[str, os.PathLike]) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        """Cache file path for a composite cache key."""
+        name = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return os.path.join(self.directory, f"{name}.npz")
+
+    def load(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """Stored features for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with np.load(path) as data:
+                return {name: np.asarray(data[name]) for name in data.files}
+        except Exception:
+            # Truncated/corrupt entry: drop it and treat as a miss.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            get_registry().inc("cache.disk_corrupt")
+            return None
+
+    def save(self, key: str, features: Dict[str, np.ndarray]) -> None:
+        """Atomically persist one feature dict."""
+        path = self.path_for(key)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp_", suffix=".npz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **features)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(
+            1 for name in os.listdir(self.directory) if name.endswith(".npz")
+        )
+
+    def clear(self) -> None:
+        """Remove every stored entry."""
+        for name in os.listdir(self.directory):
+            if name.endswith(".npz"):
+                try:
+                    os.remove(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+
+
+class CachingPipeline:
+    """A FeaturePipeline with an LRU content cache and optional disk tier.
+
+    Drop-in where a pipeline is expected (`extract`, `extract_one`,
+    `feature_names`, `dimensions` are forwarded); `hits`/`misses`/
+    `disk_hits` expose effectiveness.
+    """
+
+    def __init__(
+        self,
+        pipeline: FeaturePipeline,
+        max_entries: int = 1024,
+        store: Optional[PersistentFeatureStore] = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.pipeline = pipeline
         self.max_entries = int(max_entries)
+        self.store = store
         self._cache: "OrderedDict[str, Dict[str, np.ndarray]]" = OrderedDict()
         self.hits = 0
+        self.disk_hits = 0
         self.misses = 0
 
     # -- pipeline interface -------------------------------------------
@@ -53,14 +166,39 @@ class CachingPipeline:
     def dimensions(self):
         return self.pipeline.dimensions()
 
-    def _key(self, mesh: TriangleMesh) -> str:
-        params = (
-            f"{self.pipeline.voxel_resolution}|{self.pipeline.target_volume}"
-            f"|{self.pipeline.prune_spur_length}|{','.join(self.feature_names)}"
-        )
-        return f"{mesh_content_key(mesh)}|{params}"
+    @property
+    def voxel_resolution(self):
+        return self.pipeline.voxel_resolution
 
-    def extract(self, mesh: TriangleMesh) -> Dict[str, np.ndarray]:
+    @property
+    def target_volume(self):
+        return self.pipeline.target_volume
+
+    @property
+    def prune_spur_length(self):
+        return self.pipeline.prune_spur_length
+
+    def _key(self, mesh: TriangleMesh) -> str:
+        return f"{mesh_content_key(mesh)}|{pipeline_params_key(self.pipeline)}"
+
+    # -- cache tiers ---------------------------------------------------
+    def _remember(self, key: str, features: Dict[str, np.ndarray]) -> None:
+        metrics = get_registry()
+        self._cache[key] = {name: vec.copy() for name, vec in features.items()}
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+            metrics.inc("cache.evictions")
+        metrics.gauge("cache.size").set(len(self._cache))
+
+    def lookup(self, mesh: TriangleMesh) -> Optional[Dict[str, np.ndarray]]:
+        """Cached features for a mesh, or None (no extraction attempted).
+
+        Checks the in-memory tier, then the persistent store; a disk hit
+        is promoted into memory.  Counts a hit when found and nothing on
+        a miss (the eventual :meth:`extract`/:meth:`remember` accounts
+        for the miss).
+        """
         metrics = get_registry()
         key = self._key(mesh)
         cached = self._cache.get(key)
@@ -69,21 +207,46 @@ class CachingPipeline:
             metrics.inc("cache.hits")
             self._cache.move_to_end(key)
             return {name: vec.copy() for name, vec in cached.items()}
+        if self.store is not None:
+            stored = self.store.load(key)
+            if stored is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                metrics.inc("cache.hits")
+                metrics.inc("cache.disk_hits")
+                self._remember(key, stored)
+                return stored
+        return None
+
+    def remember(self, mesh: TriangleMesh, features: Dict[str, np.ndarray]) -> None:
+        """Record externally computed features (e.g. from a worker pool)."""
+        key = self._key(mesh)
+        self._remember(key, features)
+        if self.store is not None:
+            self.store.save(key, features)
+
+    # -- extraction ----------------------------------------------------
+    def extract(self, mesh: TriangleMesh) -> Dict[str, np.ndarray]:
+        metrics = get_registry()
+        cached = self.lookup(mesh)
+        if cached is not None:
+            return cached
         self.misses += 1
         metrics.inc("cache.misses")
         features = self.pipeline.extract(mesh)
-        self._cache[key] = {name: vec.copy() for name, vec in features.items()}
-        while len(self._cache) > self.max_entries:
-            self._cache.popitem(last=False)
-            metrics.inc("cache.evictions")
-        metrics.gauge("cache.size").set(len(self._cache))
+        self.remember(mesh, features)
         return features
 
     def extract_one(self, mesh: TriangleMesh, name: str) -> np.ndarray:
         return self.extract(mesh)[name]
 
     def clear(self) -> None:
-        """Drop all cached entries and reset counters."""
+        """Drop all in-memory entries and reset counters.
+
+        The persistent store (when attached) is left intact; call
+        ``store.clear()`` to wipe the disk tier as well.
+        """
         self._cache.clear()
         self.hits = 0
+        self.disk_hits = 0
         self.misses = 0

@@ -26,6 +26,7 @@ from .similarity import (
     SimilarityMeasure,
     range_weights,
     weighted_distance,
+    weighted_distances,
 )
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "SearchResult",
     "SimilarityMeasure",
     "weighted_distance",
+    "weighted_distances",
     "range_weights",
     "RANGE_WEIGHTS",
     "UNIFORM_WEIGHTS",

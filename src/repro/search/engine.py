@@ -9,7 +9,7 @@ with both the raw distance and the normalized similarity of Eq. 4.4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -116,27 +116,55 @@ class SearchEngine:
         return out
 
     # ------------------------------------------------------------------
+    def _linear_knn(
+        self, feature_name: str, vec: np.ndarray, k: int
+    ) -> List[Tuple[int, float]]:
+        """Vectorized full-scan k-NN (no index): one matrix expression."""
+        matrix, ids = self.database.feature_matrix(feature_name)
+        dists = self.measure(feature_name).distances(vec, matrix)
+        order = np.lexsort((ids, dists))[:k]
+        return [(ids[i], float(dists[i])) for i in order]
+
+    def _linear_radius(
+        self, feature_name: str, vec: np.ndarray, radius: float
+    ) -> List[Tuple[int, float]]:
+        """Vectorized full-scan range query (no index)."""
+        matrix, ids = self.database.feature_matrix(feature_name)
+        dists = self.measure(feature_name).distances(vec, matrix)
+        within = np.flatnonzero(dists <= radius)
+        order = within[np.lexsort(([ids[i] for i in within], dists[within]))]
+        return [(ids[i], float(dists[i])) for i in order]
+
     def search_knn(
         self,
         query: Query,
         feature_name: str,
         k: int = 10,
         exclude_query: bool = True,
+        use_index: bool = True,
     ) -> List[SearchResult]:
         """k most similar shapes under one feature vector.
 
         When the query is a database ID and ``exclude_query`` is set, the
         query shape itself is dropped from the ranking (the paper never
-        counts it — it is guaranteed to be retrieved).
+        counts it — it is guaranteed to be retrieved).  With
+        ``use_index=False`` — or when the feature space has no index,
+        e.g. a database restored without one — the engine falls back to a
+        vectorized linear scan with identical results.
         """
         metrics = get_registry()
         with metrics.timed("search.knn"):
             vec = self.resolve_query_vector(query, feature_name)
+            measure = self.measure(feature_name)
             exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
             extra = 1 if exclude is not None else 0
-            pairs = self.database.nearest(
-                feature_name, vec, k=k + extra, weights=self.measure(feature_name).weights
-            )
+            if use_index and self.database.has_index(feature_name):
+                pairs = self.database.nearest(
+                    feature_name, vec, k=k + extra, weights=measure.weights
+                )
+            else:
+                metrics.inc("search.linear_fallback")
+                pairs = self._linear_knn(feature_name, vec, k + extra)
             metrics.inc("search.queries")
             metrics.inc("search.candidates_examined", len(pairs))
             return self._build_results(pairs, feature_name, exclude)[:k]
@@ -147,17 +175,26 @@ class SearchEngine:
         feature_name: str,
         threshold: float,
         exclude_query: bool = True,
+        use_index: bool = True,
     ) -> List[SearchResult]:
-        """All shapes whose similarity exceeds ``threshold`` (Eq. 4.4)."""
+        """All shapes whose similarity exceeds ``threshold`` (Eq. 4.4).
+
+        Falls back to a vectorized linear scan when ``use_index=False``
+        or the feature space carries no index.
+        """
         metrics = get_registry()
         with metrics.timed("search.threshold"):
             vec = self.resolve_query_vector(query, feature_name)
             measure = self.measure(feature_name)
             radius = measure.radius_for_threshold(threshold)
             exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
-            pairs = self.database.within_radius(
-                feature_name, vec, radius, weights=measure.weights
-            )
+            if use_index and self.database.has_index(feature_name):
+                pairs = self.database.within_radius(
+                    feature_name, vec, radius, weights=measure.weights
+                )
+            else:
+                metrics.inc("search.linear_fallback")
+                pairs = self._linear_radius(feature_name, vec, radius)
             metrics.inc("search.queries")
             metrics.inc("search.candidates_examined", len(pairs))
             return self._build_results(pairs, feature_name, exclude)
@@ -209,10 +246,15 @@ class SearchEngine:
             vec = self.resolve_query_vector(query, feature_name)
             measure = self.measure(feature_name)
             exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
-            pairs = []
-            for shape_id in candidate_ids:
-                stored = self.database.get(shape_id).feature(feature_name)
-                pairs.append((shape_id, measure.distance(vec, stored)))
+            if not candidate_ids:
+                return []
+            matrix = np.vstack(
+                [self.database.get(sid).feature(feature_name) for sid in candidate_ids]
+            )
+            dists = measure.distances(vec, matrix)
+            pairs = [
+                (sid, float(d)) for sid, d in zip(candidate_ids, dists)
+            ]
             metrics.inc("search.candidates_examined", len(pairs))
             pairs.sort(key=lambda p: (p[1], p[0]))
             return self._build_results(pairs, feature_name, exclude)

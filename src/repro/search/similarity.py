@@ -41,6 +41,29 @@ def weighted_distance(
     return float(np.sqrt((w * diff**2).sum()))
 
 
+def weighted_distances(
+    query: np.ndarray, matrix: np.ndarray, weights: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Eq. 4.3 distances from one query to every row of a matrix.
+
+    The vectorized counterpart of :func:`weighted_distance` — one NumPy
+    expression over the whole feature matrix instead of a Python loop.
+    """
+    q = np.asarray(query, dtype=np.float64)
+    mat = np.asarray(matrix, dtype=np.float64)
+    if mat.ndim != 2 or q.shape != (mat.shape[1],):
+        raise ValueError(
+            f"need query (d,) and matrix (n, d); got {q.shape} and {mat.shape}"
+        )
+    diff = mat - q
+    if weights is None:
+        return np.sqrt((diff**2).sum(axis=1))
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != q.shape:
+        raise ValueError(f"weights shape {w.shape} does not match {q.shape}")
+    return np.sqrt((w * diff**2).sum(axis=1))
+
+
 def range_weights(matrix: np.ndarray, floor: float = 1e-12) -> np.ndarray:
     """Inverse-squared-range weights for a feature matrix.
 
@@ -112,6 +135,14 @@ class SimilarityMeasure:
     def distance(self, query: np.ndarray, other: np.ndarray) -> float:
         """Weighted distance between two vectors (Eq. 4.3)."""
         return weighted_distance(query, other, self.weights)
+
+    def distances(self, query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+        """Weighted distances from the query to every matrix row."""
+        return weighted_distances(query, matrix, self.weights)
+
+    def similarities(self, query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+        """Eq. 4.4 similarities to every matrix row (clamped to [0, 1])."""
+        return np.clip(1.0 - self.distances(query, matrix) / self.d_max, 0.0, 1.0)
 
     def similarity_from_distance(self, distance: float) -> float:
         """Map a distance to the [0, 1] similarity of Eq. 4.4 (clamped)."""

@@ -21,6 +21,24 @@ class TestParser:
         args = build_parser().parse_args(["build-db", "/tmp/x"])
         assert args.seed == 42
         assert args.resolution == 24
+        assert args.workers == 0
+        assert args.cache_dir is None
+
+    def test_build_db_workers_and_cache(self):
+        args = build_parser().parse_args(
+            ["build-db", "/tmp/x", "--workers", "4", "--cache-dir", "/tmp/fc"]
+        )
+        assert args.workers == 4
+        assert args.cache_dir == "/tmp/fc"
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.resolution == 32
+        assert args.workers == "1,2,4"
+        assert not args.quick
+        args = build_parser().parse_args(["bench", "--quick", "--output", "b.json"])
+        assert args.quick
+        assert args.output == "b.json"
 
 
 class TestCommands:
@@ -114,3 +132,49 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 2
         assert "view_hu" in out
+
+    def test_bench_writes_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--resolution", "8",
+                "--shapes", "3",
+                "--workers", "1",
+                "--repeats", "1",
+                "--output", str(out_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "thinning" in out and "ingestion" in out
+        report = json.loads(out_path.read_text())
+        assert report["thinning"]["all_identical"]
+        assert report["params"]["resolution"] == 8
+
+    def test_build_db_parallel_with_cache(self, tmp_path, capsys, monkeypatch):
+        # Shrink the corpus so the CLI path stays fast.
+        from repro.datasets import generator
+
+        monkeypatch.setattr(
+            generator, "GROUP_SIZES", {"l_bracket": 2, "block": 2}
+        )
+        monkeypatch.setattr(
+            generator, "make_noise_shapes", lambda rng, count: []
+        )
+        code = main(
+            [
+                "build-db",
+                str(tmp_path / "db"),
+                "--resolution", "8",
+                "--workers", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "built 4 shapes" in out and "2 workers" in out
+        cached = [p.name for p in (tmp_path / "cache").iterdir()]
+        assert any(name.endswith(".npz") for name in cached)

@@ -110,6 +110,56 @@ class TestThinning:
         assert np.allclose(skel.origin, grid.origin)
 
 
+class TestThinningKernels:
+    """The batched kernel must be bitwise identical to the reference loop."""
+
+    MESHES = {
+        "box": lambda: box((4, 3, 2)),
+        "l_bracket": lambda: extrude_polygon(
+            [[0, 0], [6, 0], [6, 1], [1, 1], [1, 6], [0, 6]], 1.0
+        ),
+        "torus": lambda: torus(3.0, 0.8, 32, 12),
+        "plate_with_hole": lambda: plate_with_rect_hole(8, 6, 1, 3, 2),
+    }
+
+    @pytest.mark.parametrize("name", sorted(MESHES))
+    @pytest.mark.parametrize("resolution", [10, 16])
+    def test_identical_on_solids(self, name, resolution):
+        grid = voxelize(self.MESHES[name](), resolution=resolution)
+        a = thin(grid, kernel="reference")
+        b = thin(grid, kernel="batched")
+        assert np.array_equal(a.occupancy, b.occupancy)
+
+    @pytest.mark.parametrize("preserve_endpoints", [True, False])
+    def test_identical_on_random_grids(self, preserve_endpoints):
+        rng = np.random.default_rng(7)
+        for density in (0.2, 0.5, 0.8):
+            occ = rng.random((9, 9, 9)) < density
+            grid = VoxelGrid(occ)
+            a = thin(grid, preserve_endpoints=preserve_endpoints, kernel="reference")
+            b = thin(grid, preserve_endpoints=preserve_endpoints, kernel="batched")
+            assert np.array_equal(a.occupancy, b.occupancy), density
+
+    def test_unknown_kernel_rejected(self):
+        grid = voxelize(box((2, 2, 2)), resolution=8)
+        with pytest.raises(ValueError, match="unknown thinning kernel"):
+            thin(grid, kernel="bogus")
+
+    def test_pack_volume_matches_neighborhood_mask(self):
+        from repro.skeleton.simple_point import neighborhood_mask
+        from repro.skeleton.thinning import pack_volume
+
+        rng = np.random.default_rng(3)
+        occ = rng.random((6, 5, 7)) < 0.5
+        packed = pack_volume(occ)
+        for x in range(occ.shape[0]):
+            for y in range(occ.shape[1]):
+                for z in range(occ.shape[2]):
+                    assert int(packed[x + 1, y + 1, z + 1]) == neighborhood_mask(
+                        occ, x, y, z
+                    )
+
+
 class TestSkeletalGraph:
     def test_empty_grid(self):
         sg = build_skeletal_graph(block_grid())
