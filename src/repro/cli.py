@@ -11,11 +11,20 @@ Subcommands::
 Experiments print exactly the rows/series the benchmark harness checks.
 ``build-db``, ``query``, and ``experiment`` accept ``--profile`` to print
 the per-stage metrics table (see ``docs/OBSERVABILITY.md``) after the run.
+
+Exit codes (see ``docs/ROBUSTNESS.md``)::
+
+    0  success
+    2  usage error (argparse)
+    3  validation / data error (bad mesh, corrupt database, ...)
+    4  internal error
+    5  build-db completed, but some inputs were quarantined
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -23,22 +32,121 @@ from . import obs
 from .core.system import ThreeDESS
 from .datasets.generator import build_database, load_or_build_database
 from .evaluation import experiments as exps
+from .robust.errors import ReproError, classify_exception
+from .robust.quarantine import QuarantineItem, QuarantineReport
 from .search.engine import SearchEngine
 
 EXPERIMENT_NAMES = ["fig4", "fig7", "fig8-12", "fig13-14", "fig15", "fig16", "rtree"]
 
+#: CLI exit codes: keep distinct so scripts can tell bad *data* (retry
+#: with other inputs) from bad *software* (file a bug).
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_DATA = 3
+EXIT_INTERNAL = 4
+EXIT_QUARANTINED = 5
+
+
+def _collect_mesh_files(directory: str) -> List[str]:
+    from .geometry.io import supported_formats
+
+    exts = set(supported_formats())
+    out = [
+        os.path.join(directory, name)
+        for name in sorted(os.listdir(directory))
+        if os.path.splitext(name)[1].lower() in exts
+    ]
+    if not out:
+        raise ReproError(
+            f"{directory}: no mesh files ({'/'.join(sorted(exts))}) found",
+            code="cli.empty_input_dir",
+        )
+    return out
+
 
 def _cmd_build_db(args: argparse.Namespace) -> int:
-    db = build_database(
-        seed=args.seed,
-        voxel_resolution=args.resolution,
-        workers=args.workers,
-        feature_cache_dir=args.cache_dir,
-    )
+    from .features.pipeline import FeaturePipeline
+
+    report = QuarantineReport()
+    if args.from_dir:
+        from .geometry.io import load_mesh
+
+        paths = _collect_mesh_files(args.from_dir)
+        meshes, names, sources = [], [], {}
+        for i, path in enumerate(paths):
+            try:
+                mesh = load_mesh(path)
+            except Exception as exc:
+                info = classify_exception(exc)
+                report.add(
+                    QuarantineItem(
+                        index=i,
+                        name=os.path.basename(path),
+                        stage=info.stage,
+                        code=info.code,
+                        message=info.message,
+                        digest=info.digest,
+                        source=path,
+                    )
+                )
+                if args.on_error == "fail":
+                    print(f"error: {path}: {info.format()}", file=sys.stderr)
+                    return EXIT_DATA
+                continue
+            sources[len(meshes)] = path
+            meshes.append(mesh)
+            names.append(os.path.splitext(os.path.basename(path))[0])
+        pipeline = FeaturePipeline(voxel_resolution=args.resolution)
+        if args.cache_dir:
+            from .features.cache import CachingPipeline, PersistentFeatureStore
+
+            pipeline = CachingPipeline(
+                pipeline, store=PersistentFeatureStore(args.cache_dir)
+            )
+        from .db.database import ShapeDatabase
+
+        db = ShapeDatabase(pipeline)
+        result = db.insert_meshes(
+            meshes,
+            names=names,
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+        for err in result.errors:
+            report.add(
+                QuarantineItem(
+                    index=err.index,
+                    name=err.name,
+                    stage=err.stage,
+                    code=err.code,
+                    message=err.message,
+                    digest=err.digest,
+                    source=sources.get(err.index),
+                )
+            )
+        if result.errors and args.on_error == "fail":
+            print(report.summary(), file=sys.stderr)
+            return EXIT_DATA
+        print(f"ingested {result.summary()}")
+    else:
+        db = build_database(
+            seed=args.seed,
+            voxel_resolution=args.resolution,
+            workers=args.workers,
+            feature_cache_dir=args.cache_dir,
+        )
     db.save(args.directory)
     extra = f", {args.workers} workers" if args.workers > 1 else ""
     print(f"built {len(db)} shapes -> {args.directory}{extra}")
-    return 0
+    if report:
+        print(report.summary())
+        if args.on_error == "quarantine-dir":
+            qdir = args.quarantine_dir or f"{args.directory}.quarantine"
+            path = report.write(qdir)
+            print(f"quarantine report -> {path}")
+            return EXIT_QUARANTINED
+    return EXIT_OK
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -231,6 +339,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persistent feature-cache directory (makes re-builds incremental)",
     )
+    p_build.add_argument(
+        "--from-dir",
+        default=None,
+        help="ingest mesh files (OFF/STL/OBJ/PLY) from this directory "
+        "instead of generating the synthetic corpus",
+    )
+    p_build.add_argument(
+        "--on-error",
+        choices=["fail", "skip", "quarantine-dir"],
+        default="fail",
+        help="bad input handling: abort (fail, exit 3), drop with a "
+        "summary (skip), or drop and write report.json + offending files "
+        "to the quarantine directory (quarantine-dir, exit 5)",
+    )
+    p_build.add_argument(
+        "--quarantine-dir",
+        default=None,
+        help="quarantine directory for --on-error quarantine-dir "
+        "(default: <directory>.quarantine)",
+    )
+    p_build.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-shape extraction wall-clock budget in seconds; hung "
+        "extractions are terminated and reported, never deadlocked",
+    )
+    p_build.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts after an extraction timeout or worker crash",
+    )
     p_build.set_defaults(func=_cmd_build_db)
 
     p_bench = sub.add_parser(
@@ -318,14 +459,31 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Maps failures onto distinct exit codes so callers can branch on the
+    *kind* of failure: :class:`ReproError` (and its whole taxonomy —
+    invalid meshes, corrupt databases) exits ``3``; anything else is an
+    internal error and exits ``4``.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     profile = getattr(args, "profile", False)
     if profile:
         obs.get_registry().enable()
         obs.reset()
-    code = args.func(args)
+    try:
+        code = args.func(args)
+    except ReproError as exc:
+        print(f"error: [{exc.stage}/{exc.code}] {exc}", file=sys.stderr)
+        return EXIT_DATA
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        print(
+            f"internal error: {type(exc).__name__}: {exc}", file=sys.stderr
+        )
+        return EXIT_INTERNAL
     if profile:
         print()
         print(obs.render_table())

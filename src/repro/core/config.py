@@ -51,6 +51,21 @@ class SystemConfig:
     #: Worker processes for bulk ingestion (``insert_batch`` /
     #: ``three-dess build-db --workers``); 0 or 1 extracts serially.
     extraction_workers: int = 0
+    #: Per-shape wall-clock budget (seconds) for bulk extraction.  When
+    #: set, every extraction runs in a killable worker process that is
+    #: terminated at the deadline — a hung shape cannot stall ingestion.
+    #: None (default) applies no timeout.
+    extraction_timeout: Optional[float] = None
+    #: Extra attempts after a worker timeout or crash (transient
+    #: failures only; deterministic extraction errors never retry).
+    extraction_retries: int = 1
+    #: Pre-flight mesh validation during bulk ingestion (NaN vertices,
+    #: degenerate faces, ...); invalid meshes are reported, not extracted.
+    validate_meshes: bool = True
+    #: Keep shapes whose extraction partially fails (e.g. the skeleton
+    #: features time out) as *degraded* records carrying the feature
+    #: vectors that did compute, instead of rejecting the shape.
+    degraded_inserts: bool = True
     #: Metrics recording on the process-wide ``repro.obs`` registry:
     #: True/False enable/disable it when the system is constructed;
     #: None (default) leaves the registry's current state untouched.
@@ -74,3 +89,7 @@ class SystemConfig:
             raise ValueError("feature cache size must be >= 1")
         if self.extraction_workers < 0:
             raise ValueError("extraction workers must be >= 0")
+        if self.extraction_timeout is not None and self.extraction_timeout <= 0:
+            raise ValueError("extraction timeout must be positive")
+        if self.extraction_retries < 0:
+            raise ValueError("extraction retries must be >= 0")

@@ -119,7 +119,14 @@ class ThreeDESS:
             workers = self.config.extraction_workers
         with get_registry().timed("system.insert_batch"):
             result = self.database.insert_meshes(
-                meshes, names=names, groups=groups, workers=workers
+                meshes,
+                names=names,
+                groups=groups,
+                workers=workers,
+                validate=self.config.validate_meshes,
+                degraded=self.config.degraded_inserts,
+                timeout=self.config.extraction_timeout,
+                retries=self.config.extraction_retries,
             )
             self.engine.invalidate()
             self._hierarchies = {}
@@ -239,8 +246,14 @@ class ThreeDESS:
         directory: Union[str, os.PathLike],
         config: Optional[SystemConfig] = None,
         load_meshes: bool = True,
+        strict: bool = True,
     ) -> "ThreeDESS":
-        """Restore a system from a saved database directory."""
+        """Restore a system from a saved database directory.
+
+        ``strict=False`` salvages a corrupted directory: intact records
+        load, damaged ones are dropped (see
+        ``system.database.dropped_records``).
+        """
         cfg = config if config is not None else SystemConfig()
         pipeline = FeaturePipeline(
             feature_names=cfg.feature_names,
@@ -252,6 +265,7 @@ class ThreeDESS:
             pipeline=pipeline,
             load_meshes=load_meshes,
             index_max_entries=cfg.index_max_entries,
+            strict=strict,
         )
         return cls(config=cfg, database=db)
 

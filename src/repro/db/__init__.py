@@ -1,13 +1,25 @@
 """Database tier: shape records, persistence, indexed store."""
 
-from .database import ShapeDatabase
+from .database import BulkInsertError, BulkInsertResult, ShapeDatabase
 from .records import ShapeRecord
-from .storage import StorageError, load_records, save_records
+from .storage import (
+    DroppedRecord,
+    StorageError,
+    load_records,
+    salvage_records,
+    save_records,
+    verify_database,
+)
 
 __all__ = [
     "ShapeDatabase",
     "ShapeRecord",
+    "BulkInsertError",
+    "BulkInsertResult",
     "save_records",
     "load_records",
+    "salvage_records",
+    "verify_database",
+    "DroppedRecord",
     "StorageError",
 ]

@@ -18,17 +18,26 @@ from ..features.parallel import ParallelPipeline
 from ..features.pipeline import FeaturePipeline
 from ..geometry.mesh import TriangleMesh
 from ..index.rtree import RTree
+from ..obs import get_registry
 from .records import ShapeRecord
-from .storage import load_records, save_records
+from .storage import DroppedRecord, load_records, salvage_records, save_records
 
 
 @dataclass
 class BulkInsertError:
-    """One failed mesh of a bulk insertion."""
+    """One failed mesh of a bulk insertion.
+
+    ``stage``/``code``/``digest`` carry the machine-readable cause from
+    the :mod:`repro.robust` taxonomy (e.g. ``validate``/``mesh.empty``,
+    ``extract``/``extract.timeout``); ``message`` stays human-readable.
+    """
 
     index: int
     name: str
     message: str
+    stage: str = "unknown"
+    code: str = "unknown"
+    digest: str = ""
 
 
 @dataclass
@@ -37,15 +46,25 @@ class BulkInsertResult:
 
     ``shape_ids`` holds one entry per input mesh, in input order: the
     assigned database ID for successes, ``None`` for failures (which are
-    detailed in ``errors``).
+    detailed in ``errors``).  ``degraded_ids`` lists the inserted shapes
+    that carry only a partial feature set (see degraded-mode extraction).
     """
 
     shape_ids: List[Optional[int]] = field(default_factory=list)
     errors: List[BulkInsertError] = field(default_factory=list)
+    degraded_ids: List[int] = field(default_factory=list)
 
     @property
     def inserted_ids(self) -> List[int]:
         return [sid for sid in self.shape_ids if sid is not None]
+
+    def summary(self) -> str:
+        """One-line ingestion summary for logs and the CLI."""
+        full = len(self.inserted_ids) - len(self.degraded_ids)
+        return (
+            f"{len(self.shape_ids)} meshes: {full} full, "
+            f"{len(self.degraded_ids)} degraded, {len(self.errors)} failed"
+        )
 
 
 class ShapeDatabase:
@@ -71,6 +90,8 @@ class ShapeDatabase:
         self._records: Dict[int, ShapeRecord] = {}
         self._indexes: Dict[str, RTree] = {}
         self._next_id = 1
+        #: Records dropped by the last ``load(..., strict=False)`` salvage.
+        self.dropped_records: List[DroppedRecord] = []
 
     # ------------------------------------------------------------------
     # Record access
@@ -136,6 +157,10 @@ class ShapeDatabase:
         names: Optional[Sequence[Optional[str]]] = None,
         groups: Optional[Sequence[Optional[str]]] = None,
         workers: int = 0,
+        validate: bool = True,
+        degraded: bool = True,
+        timeout: Optional[float] = None,
+        retries: int = 1,
     ) -> BulkInsertResult:
         """Bulk insertion with optional parallel feature extraction.
 
@@ -145,6 +170,13 @@ class ShapeDatabase:
         identical database state.  A mesh whose extraction fails is
         recorded in the result's ``errors`` and skipped — it never aborts
         the batch and consumes no ID.
+
+        The robustness knobs mirror :class:`ParallelPipeline`:
+        ``validate`` runs the pre-flight mesh validator, ``degraded``
+        keeps partial feature sets (the record is inserted with
+        ``metadata["degraded"] = "1"`` plus per-feature failure codes),
+        ``timeout``/``retries`` bound each extraction's wall clock using
+        killable worker processes.
         """
         if self.pipeline is None:
             raise RuntimeError(
@@ -156,7 +188,15 @@ class ShapeDatabase:
             raise ValueError(f"{len(names)} names for {len(meshes)} meshes")
         if groups is not None and len(groups) != len(meshes):
             raise ValueError(f"{len(groups)} groups for {len(meshes)} meshes")
-        parallel = ParallelPipeline(self.pipeline, workers=workers)
+        parallel = ParallelPipeline(
+            self.pipeline,
+            workers=workers,
+            task_timeout=timeout,
+            retries=retries,
+            validate=validate,
+            degraded=degraded,
+        )
+        metrics = get_registry()
         result = BulkInsertResult()
         for outcome in parallel.extract_batch(meshes):
             i = outcome.index
@@ -165,20 +205,38 @@ class ShapeDatabase:
             if name is None:
                 name = mesh.name or "shape"
             if not outcome.ok:
+                failure = outcome.failure
                 result.shape_ids.append(None)
                 result.errors.append(
-                    BulkInsertError(index=i, name=name, message=outcome.error)
+                    BulkInsertError(
+                        index=i,
+                        name=name,
+                        message=outcome.error,
+                        stage=failure.stage if failure else "unknown",
+                        code=failure.code if failure else "unknown",
+                        digest=failure.digest if failure else "",
+                    )
                 )
+                metrics.inc("robust.quarantined")
                 continue
+            metadata: Dict[str, str] = {}
+            if outcome.failures:
+                metadata["degraded"] = "1"
+                for fname, failure in sorted(outcome.failures.items()):
+                    metadata[f"missing.{fname}"] = failure.code
             record = ShapeRecord(
                 shape_id=self._allocate_id(),
                 name=name,
                 mesh=mesh,
                 group=groups[i] if groups is not None else None,
                 features=outcome.features,
+                metadata=metadata,
             )
             self._store(record)
             result.shape_ids.append(record.shape_id)
+            if outcome.failures:
+                result.degraded_ids.append(record.shape_id)
+                metrics.inc("robust.degraded_records")
         return result
 
     def insert_record(self, record: ShapeRecord) -> int:
@@ -312,11 +370,26 @@ class ShapeDatabase:
         pipeline: Optional[FeaturePipeline] = None,
         load_meshes: bool = True,
         index_max_entries: int = 8,
+        strict: bool = True,
     ) -> "ShapeDatabase":
-        """Restore a database directory, rebuilding all indexes."""
+        """Restore a database directory, rebuilding all indexes.
+
+        ``strict=True`` (default) raises :class:`~repro.db.storage.StorageError`
+        on any integrity violation.  ``strict=False`` salvages every intact
+        record, dropping the ones touched by corruption; the drop report is
+        available as ``db.dropped_records`` (empty on a clean load).
+        """
         db = cls(pipeline=pipeline, index_max_entries=index_max_entries)
-        for record in load_records(directory, load_meshes=load_meshes):
+        dropped: List[DroppedRecord] = []
+        if strict:
+            records = load_records(directory, load_meshes=load_meshes)
+        else:
+            records, dropped = salvage_records(
+                directory, load_meshes=load_meshes
+            )
+        for record in records:
             db.insert_record(record)
+        db.dropped_records = dropped
         return db
 
     def rebuild_indexes(self, bulk: bool = True) -> None:

@@ -44,6 +44,14 @@ class ShapeRecord:
         """Whether the shape belongs to no similarity group."""
         return self.group is None
 
+    def is_degraded(self) -> bool:
+        """Whether the record carries only a partial feature set.
+
+        Set by degraded-mode ingestion; ``metadata["missing.<name>"]``
+        then holds the failure code per missing feature vector.
+        """
+        return self.metadata.get("degraded") == "1"
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<ShapeRecord id={self.shape_id} name={self.name!r} "

@@ -2,54 +2,97 @@
 
 Layout of a database directory::
 
-    manifest.json     record metadata (ids, names, groups, feature names)
+    manifest.json     record metadata + per-file SHA-256 checksums
     features.npz      feature vectors, key "<id>/<feature_name>"
     meshes/<id>.off   geometry (optional; records may be feature-only)
 
-Saves are atomic at the manifest level: data files are written first and
-the manifest last, so a crashed save never yields a manifest that points
-at missing data.
+Format version 2 adds integrity checking: the manifest carries a SHA-256
+checksum for every data file it points at, and loads verify them before
+trusting the contents.  Version-1 directories (no checksums) still load.
+
+Saves are atomic at the *directory* level: the whole database is written
+into a temporary sibling directory and swapped into place with renames,
+so a crashed or concurrent save can never leave a half-written database
+under the final name — readers see the old state or the new one, nothing
+in between.
+
+Loads come in two flavours:
+
+* strict (default) — any checksum mismatch, missing file, or undecodable
+  array raises :class:`StorageError`;
+* ``strict=False`` — salvage mode: intact records are returned and every
+  record touched by corruption is dropped and reported (see
+  :func:`salvage_records`), because one flipped byte should not hold the
+  other ten thousand shapes hostage.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import shutil
 import tempfile
-from typing import Dict, List, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..geometry.io_off import load_off, save_off
+from ..obs import get_registry
+from ..robust.errors import StorageCorruptionError
 from .records import ShapeRecord
 
 MANIFEST_NAME = "manifest.json"
 FEATURES_NAME = "features.npz"
 MESH_DIR = "meshes"
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+#: Versions this loader understands (v1 predates checksums).
+_SUPPORTED_VERSIONS = (1, 2)
 
 
-class StorageError(RuntimeError):
-    """Raised for unreadable or inconsistent database directories."""
+class StorageError(StorageCorruptionError):
+    """Raised for unreadable or inconsistent database directories.
+
+    Part of the :mod:`repro.robust` taxonomy (stage ``"storage"``); still
+    a ``RuntimeError`` as it always was.
+    """
 
 
-def save_records(
-    records: List[ShapeRecord], directory: Union[str, os.PathLike]
-) -> None:
-    """Persist records (metadata + features + meshes) to a directory."""
-    root = os.fspath(directory)
-    os.makedirs(root, exist_ok=True)
+@dataclass
+class DroppedRecord:
+    """One record lost to corruption during a salvage load."""
+
+    shape_id: int
+    name: str
+    reason: str
+
+
+def _file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _write_database(records: List[ShapeRecord], root: str) -> None:
+    """Write a complete database directory (not atomic by itself)."""
     mesh_dir = os.path.join(root, MESH_DIR)
     os.makedirs(mesh_dir, exist_ok=True)
 
     arrays: Dict[str, np.ndarray] = {}
     manifest_records = []
+    checksums: Dict[str, str] = {}
     for rec in records:
         for fname, vec in rec.features.items():
             arrays[f"{rec.shape_id}/{fname}"] = np.asarray(vec, dtype=np.float64)
         has_mesh = rec.mesh is not None
         if has_mesh:
-            save_off(rec.mesh, os.path.join(mesh_dir, f"{rec.shape_id}.off"))
+            rel = f"{MESH_DIR}/{rec.shape_id}.off"
+            mesh_path = os.path.join(root, rel)
+            save_off(rec.mesh, mesh_path)
+            checksums[rel] = _file_sha256(mesh_path)
         manifest_records.append(
             {
                 "shape_id": rec.shape_id,
@@ -61,9 +104,15 @@ def save_records(
             }
         )
 
-    np.savez_compressed(os.path.join(root, FEATURES_NAME), **arrays)
+    features_path = os.path.join(root, FEATURES_NAME)
+    np.savez_compressed(features_path, **arrays)
+    checksums[FEATURES_NAME] = _file_sha256(features_path)
 
-    manifest = {"version": _FORMAT_VERSION, "records": manifest_records}
+    manifest = {
+        "version": _FORMAT_VERSION,
+        "records": manifest_records,
+        "checksums": checksums,
+    }
     fd, tmp_path = tempfile.mkstemp(dir=root, suffix=".manifest.tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -75,49 +124,234 @@ def save_records(
         raise
 
 
-def load_records(
-    directory: Union[str, os.PathLike], load_meshes: bool = True
-) -> List[ShapeRecord]:
-    """Load records from a directory written by :func:`save_records`."""
-    root = os.fspath(directory)
+def save_records(
+    records: List[ShapeRecord], directory: Union[str, os.PathLike]
+) -> None:
+    """Persist records (metadata + features + meshes) atomically.
+
+    The database is written into a temporary sibling directory and
+    renamed into place; when the target already exists it is renamed
+    away first and removed only after the new directory is live.
+    """
+    root = os.path.abspath(os.fspath(directory))
+    parent = os.path.dirname(root) or "."
+    os.makedirs(parent, exist_ok=True)
+    tmp_root = tempfile.mkdtemp(
+        dir=parent, prefix=f".{os.path.basename(root)}.tmp-"
+    )
+    stale_root: Optional[str] = None
+    try:
+        _write_database(records, tmp_root)
+        if os.path.exists(root):
+            stale_root = tempfile.mkdtemp(
+                dir=parent, prefix=f".{os.path.basename(root)}.stale-"
+            )
+            os.rmdir(stale_root)  # reuse the unique name for the rename
+            os.rename(root, stale_root)
+        os.rename(tmp_root, root)
+    except BaseException:
+        shutil.rmtree(tmp_root, ignore_errors=True)
+        # Roll the old database back under its name if the swap died
+        # between the two renames.
+        if stale_root is not None and not os.path.exists(root):
+            os.rename(stale_root, root)
+            stale_root = None
+        raise
+    finally:
+        if stale_root is not None:
+            shutil.rmtree(stale_root, ignore_errors=True)
+
+
+def _read_manifest(root: str) -> dict:
     manifest_path = os.path.join(root, MANIFEST_NAME)
     if not os.path.exists(manifest_path):
-        raise StorageError(f"{root}: no {MANIFEST_NAME} found")
+        raise StorageError(
+            f"{root}: no {MANIFEST_NAME} found", code="storage.no_manifest"
+        )
     with open(manifest_path, "r", encoding="utf-8") as handle:
         manifest = json.load(handle)
     version = manifest.get("version")
-    if version != _FORMAT_VERSION:
-        raise StorageError(f"{root}: unsupported format version {version!r}")
+    if version not in _SUPPORTED_VERSIONS:
+        raise StorageError(
+            f"{root}: unsupported format version {version!r}",
+            code="storage.bad_version",
+        )
+    return manifest
+
+
+def _verify_checksums(root: str, manifest: dict) -> Dict[str, str]:
+    """Check every manifest checksum; relpath -> problem for failures."""
+    problems: Dict[str, str] = {}
+    for rel, expected in manifest.get("checksums", {}).items():
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            problems[rel] = "file missing"
+            continue
+        actual = _file_sha256(path)
+        if actual != expected:
+            problems[rel] = (
+                f"checksum mismatch (expected {expected[:12]}…, "
+                f"got {actual[:12]}…)"
+            )
+    if problems:
+        metrics = get_registry()
+        metrics.inc("robust.corrupt_files", len(problems))
+    return problems
+
+
+def _load_impl(
+    root: str,
+    load_meshes: bool,
+    strict: bool,
+) -> Tuple[List[ShapeRecord], List[DroppedRecord]]:
+    manifest = _read_manifest(root)
+    problems = _verify_checksums(root, manifest)
+    # Mesh-file problems are handled per record below (so strict loads
+    # keep the historical "missing mesh file for id N" error and
+    # ``load_meshes=False`` keeps tolerating absent geometry); only a
+    # corrupt feature archive fails the whole strict load up front.
+    if strict and FEATURES_NAME in problems:
+        raise StorageError(
+            f"{root}: integrity check failed for {FEATURES_NAME}: "
+            f"{problems[FEATURES_NAME]}; "
+            "pass strict=False to salvage intact records",
+            code="storage.corrupt",
+        )
 
     features_path = os.path.join(root, FEATURES_NAME)
-    arrays = {}
+    arrays: Dict[str, np.ndarray] = {}
+    bad_keys: Dict[str, str] = {}
+    npz_reason: Optional[str] = None
     if os.path.exists(features_path):
-        with np.load(features_path) as data:
-            arrays = {key: data[key] for key in data.files}
+        try:
+            with np.load(features_path) as data:
+                for key in data.files:
+                    try:
+                        # Zip members decompress lazily per key, so one
+                        # flipped byte corrupts one member, not the file.
+                        arrays[key] = np.asarray(data[key])
+                    except Exception as exc:
+                        bad_keys[key] = f"{type(exc).__name__}: {exc}"
+        except Exception as exc:
+            npz_reason = f"{type(exc).__name__}: {exc}"
+    elif FEATURES_NAME in manifest.get("checksums", {}):
+        npz_reason = "file missing"
+    if strict and (bad_keys or npz_reason):
+        raise StorageError(
+            f"{root}: cannot read {FEATURES_NAME}: "
+            f"{npz_reason or '; '.join(sorted(bad_keys.values()))}",
+            code="storage.corrupt",
+        )
 
     records: List[ShapeRecord] = []
+    dropped: List[DroppedRecord] = []
     for item in manifest["records"]:
         shape_id = int(item["shape_id"])
+        name = item["name"]
+        reason: Optional[str] = None
         features: Dict[str, np.ndarray] = {}
         for fname in item["features"]:
             key = f"{shape_id}/{fname}"
-            if key not in arrays:
-                raise StorageError(f"{root}: missing feature array {key!r}")
-            features[fname] = arrays[key]
+            if key in arrays:
+                features[fname] = arrays[key]
+            elif key in bad_keys:
+                reason = f"feature array {key!r} corrupt: {bad_keys[key]}"
+                break
+            elif npz_reason is not None:
+                reason = f"{FEATURES_NAME} unreadable: {npz_reason}"
+                break
+            else:
+                if strict:
+                    raise StorageError(
+                        f"{root}: missing feature array {key!r}",
+                        code="storage.missing_data",
+                    )
+                reason = f"missing feature array {key!r}"
+                break
         mesh = None
-        if load_meshes and item.get("has_mesh"):
-            mesh_path = os.path.join(root, MESH_DIR, f"{shape_id}.off")
+        if reason is None and load_meshes and item.get("has_mesh"):
+            rel = f"{MESH_DIR}/{shape_id}.off"
+            mesh_path = os.path.join(root, rel)
             if not os.path.exists(mesh_path):
-                raise StorageError(f"{root}: missing mesh file for id {shape_id}")
-            mesh = load_off(mesh_path)
+                if strict:
+                    raise StorageError(
+                        f"{root}: missing mesh file for id {shape_id}",
+                        code="storage.missing_data",
+                    )
+                reason = f"missing mesh file {rel}"
+            elif rel in problems:
+                if strict:
+                    raise StorageError(
+                        f"{root}: corrupt mesh file for id {shape_id}: "
+                        f"{problems[rel]}",
+                        code="storage.corrupt",
+                    )
+                reason = f"mesh file {rel}: {problems[rel]}"
+            else:
+                try:
+                    mesh = load_off(mesh_path)
+                except Exception as exc:
+                    if strict:
+                        raise StorageError(
+                            f"{root}: cannot read mesh file {rel}: {exc}",
+                            code="storage.corrupt",
+                        ) from exc
+                    reason = f"mesh file {rel} unreadable: {exc}"
+        if reason is not None:
+            dropped.append(
+                DroppedRecord(shape_id=shape_id, name=name, reason=reason)
+            )
+            continue
         records.append(
             ShapeRecord(
                 shape_id=shape_id,
-                name=item["name"],
+                name=name,
                 mesh=mesh,
                 group=item.get("group"),
                 features=features,
                 metadata=dict(item.get("metadata", {})),
             )
         )
+    if dropped:
+        get_registry().inc("robust.dropped_records", len(dropped))
+    return records, dropped
+
+
+def load_records(
+    directory: Union[str, os.PathLike],
+    load_meshes: bool = True,
+    strict: bool = True,
+) -> List[ShapeRecord]:
+    """Load records from a directory written by :func:`save_records`.
+
+    With ``strict=True`` (default) any integrity violation raises
+    :class:`StorageError`.  With ``strict=False`` the load salvages what
+    it can (use :func:`salvage_records` to also see what was dropped).
+    """
+    records, _ = _load_impl(
+        os.fspath(directory), load_meshes=load_meshes, strict=strict
+    )
     return records
+
+
+def salvage_records(
+    directory: Union[str, os.PathLike], load_meshes: bool = True
+) -> Tuple[List[ShapeRecord], List[DroppedRecord]]:
+    """Best-effort load: (intact records, records dropped to corruption).
+
+    Only the records actually touched by a corrupt or missing file are
+    dropped; everything else loads normally.  The manifest itself must be
+    readable — without it there is nothing to salvage against.
+    """
+    return _load_impl(os.fspath(directory), load_meshes=load_meshes, strict=False)
+
+
+def verify_database(directory: Union[str, os.PathLike]) -> Dict[str, str]:
+    """Integrity report of a database directory without loading records.
+
+    Returns relpath -> problem for every file failing its manifest
+    checksum (empty dict = clean).  Version-1 directories have no
+    checksums and always report clean.
+    """
+    root = os.fspath(directory)
+    return _verify_checksums(root, _read_manifest(root))

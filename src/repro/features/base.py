@@ -22,6 +22,7 @@ from ..moments.normalization import (
     normalize,
 )
 from ..obs import get_registry
+from ..robust.errors import FeatureExtractionError
 from ..skeleton.graph import SkeletalGraph, build_skeletal_graph
 from ..skeleton.thinning import thin
 from ..voxel.grid import VoxelGrid
@@ -30,8 +31,14 @@ from ..voxel.voxelize import voxelize
 DEFAULT_VOXEL_RESOLUTION = 24
 
 
-class FeatureError(ValueError):
-    """Raised when a feature vector cannot be computed for a shape."""
+class FeatureError(FeatureExtractionError):
+    """Raised when a feature vector cannot be computed for a shape.
+
+    Part of the :mod:`repro.robust` taxonomy (stage ``"extract"``); still a
+    ``ValueError`` as it always was.
+    """
+
+    default_code = "feature.invalid_output"
 
 
 class ExtractionContext:

@@ -20,16 +20,20 @@ Two tiers are available:
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import tempfile
 from collections import OrderedDict
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from ..geometry.mesh import TriangleMesh
 from ..obs import get_registry
+from ..robust.errors import FailureInfo
 from .pipeline import FeaturePipeline
+
+logger = logging.getLogger(__name__)
 
 
 def _array_digest(digest: "hashlib._Hash", array: np.ndarray) -> None:
@@ -93,13 +97,23 @@ class PersistentFeatureStore:
         try:
             with np.load(path) as data:
                 return {name: np.asarray(data[name]) for name in data.files}
-        except Exception:
-            # Truncated/corrupt entry: drop it and treat as a miss.
+        except Exception as exc:
+            # Truncated/corrupt entry: drop it and treat as a miss — but
+            # never silently; corruption here usually means a crashed
+            # writer or failing disk, which operators want to know about.
+            logger.warning(
+                "persistent feature cache entry %s is corrupt (%s: %s); "
+                "removing it and treating the lookup as a miss",
+                path,
+                type(exc).__name__,
+                exc,
+            )
             try:
                 os.remove(path)
             except OSError:
                 pass
             get_registry().inc("cache.disk_corrupt")
+            get_registry().inc("robust.corrupt_files")
             return None
 
     def save(self, key: str, features: Dict[str, np.ndarray]) -> None:
@@ -236,6 +250,27 @@ class CachingPipeline:
         features = self.pipeline.extract(mesh)
         self.remember(mesh, features)
         return features
+
+    def extract_partial(
+        self, mesh: TriangleMesh
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, FailureInfo]]:
+        """Degraded-mode extraction through the cache.
+
+        Cache hits are always complete (only full extractions are
+        remembered), so a hit returns ``(features, {})``; partial results
+        are *not* cached — the next attempt re-runs extraction, which is
+        the right call when the failure was transient.
+        """
+        cached = self.lookup(mesh)
+        if cached is not None:
+            return cached, {}
+        metrics = get_registry()
+        self.misses += 1
+        metrics.inc("cache.misses")
+        features, failures = self.pipeline.extract_partial(mesh)
+        if not failures:
+            self.remember(mesh, features)
+        return features, failures
 
     def extract_one(self, mesh: TriangleMesh, name: str) -> np.ndarray:
         return self.extract(mesh)[name]

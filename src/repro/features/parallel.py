@@ -1,36 +1,55 @@
 """Parallel batch feature extraction (the off-line stage of a search
-engine, GIFT-style).
+engine, GIFT-style) with fault isolation.
 
 Extraction — normalization, voxelization, thinning — is embarrassingly
 parallel across shapes: no extractor shares state between meshes, and the
 whole path is deterministic NumPy, so fanning a batch over a process pool
 yields bitwise-identical vectors to the serial loop.  `ParallelPipeline`
-adds three things the raw pool does not give:
+adds what the raw pool does not give:
 
 * **ordered results** — outcomes come back indexed by input position, so
   downstream ID assignment is independent of completion order;
 * **per-task error capture** — one degenerate mesh produces a recorded
-  :class:`ExtractionOutcome` error, not a dead batch;
+  :class:`ExtractionOutcome` failure (stage + error code from the
+  :mod:`repro.robust` taxonomy), not a dead batch;
+* **pre-flight validation** — with ``validate=True`` every mesh passes
+  :func:`repro.robust.validate.check_mesh` before extraction, so NaN
+  vertices and degenerate geometry are quarantined without burning a
+  worker;
+* **degraded-mode extraction** — with ``degraded=True`` a shape whose
+  skeletonization (or any feature subset) fails still yields the feature
+  vectors that *can* be computed, marked partial via ``failures``;
+* **worker timeouts + bounded retries** — with ``task_timeout`` set, each
+  task runs in its own killable worker process; a hung or OOM-killed
+  worker is terminated at the deadline and the task retried once on a
+  fresh process (``retries``) before being reported as a failure.  No
+  deadlocked pools, ever;
 * **cache integration** — when the wrapped pipeline is a
   :class:`~repro.features.cache.CachingPipeline`, cached shapes are
   answered in the parent process and only misses are shipped to workers;
-  worker results are folded back into the cache (memory + disk tiers).
+  complete worker results are folded back into the cache.
 
-``workers <= 1`` degrades to an in-process serial loop with the same
-result/ordering/error contract, so callers never branch.
+``workers <= 1`` (without a timeout) degrades to an in-process serial loop
+with the same result/ordering/error contract, so callers never branch.
+Setting ``task_timeout`` always uses subprocess isolation — a wall-clock
+budget is only enforceable against a process that can be killed.
 """
 
 from __future__ import annotations
 
+import time
 import traceback
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..geometry.mesh import TriangleMesh
 from ..obs import get_registry
+from ..robust.errors import FailureInfo, classify_exception
+from ..robust.validate import check_mesh
 from .pipeline import FeaturePipeline
 
 
@@ -64,15 +83,46 @@ class PipelineSpec:
 
 @dataclass
 class ExtractionOutcome:
-    """Result of extracting one mesh of a batch (success or failure)."""
+    """Result of extracting one mesh of a batch.
+
+    Three shapes exist:
+
+    * **success** — ``features`` set, ``error`` None, ``failures`` empty;
+    * **degraded success** — ``features`` holds the subset that computed,
+      ``failures`` maps each missing feature name to its
+      :class:`~repro.robust.errors.FailureInfo`;
+    * **failure** — ``error``/``failure`` set, ``features`` None.
+    """
 
     index: int
     features: Optional[Dict[str, np.ndarray]] = None
     error: Optional[str] = None
+    #: Structured cause of a failed outcome (stage, code, digest).
+    failure: Optional[FailureInfo] = None
+    #: Per-feature failures of a degraded (partial) success.
+    failures: Dict[str, FailureInfo] = field(default_factory=dict)
+    #: Extraction attempts consumed (> 1 after a timeout/crash retry).
+    attempts: int = 1
+
+    @classmethod
+    def from_failure(
+        cls, index: int, failure: FailureInfo, attempts: int = 1
+    ) -> "ExtractionOutcome":
+        return cls(
+            index=index,
+            error=failure.message,
+            failure=failure,
+            attempts=attempts,
+        )
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def degraded(self) -> bool:
+        """Succeeded, but with a partial feature set."""
+        return self.ok and bool(self.failures)
 
 
 def _format_error(exc: BaseException) -> str:
@@ -84,24 +134,64 @@ def _format_error(exc: BaseException) -> str:
 # One pipeline per worker process, built by the pool initializer so the
 # extractor objects are constructed once, not per task.
 _WORKER_PIPELINE: Optional[FeaturePipeline] = None
+_WORKER_DEGRADED: bool = False
 
 
-def _init_worker(spec: PipelineSpec) -> None:
-    global _WORKER_PIPELINE
+def _init_worker(spec: PipelineSpec, degraded: bool) -> None:
+    global _WORKER_PIPELINE, _WORKER_DEGRADED
     _WORKER_PIPELINE = spec.build()
+    _WORKER_DEGRADED = degraded
     # Worker metrics would shadow the parent's registry; keep them off.
     get_registry().disable()
 
 
 def _extract_in_worker(
     task: Tuple[int, TriangleMesh]
-) -> Tuple[int, Optional[Dict[str, np.ndarray]], Optional[str]]:
+) -> Tuple[
+    int,
+    Optional[Dict[str, np.ndarray]],
+    Dict[str, FailureInfo],
+    Optional[FailureInfo],
+]:
     index, mesh = task
     assert _WORKER_PIPELINE is not None, "worker initializer did not run"
     try:
-        return index, _WORKER_PIPELINE.extract(mesh), None
+        if _WORKER_DEGRADED:
+            features, failures = _WORKER_PIPELINE.extract_partial(mesh)
+        else:
+            features, failures = _WORKER_PIPELINE.extract(mesh), {}
+        return index, features, failures, None
     except Exception as exc:  # captured per task: one bad mesh != dead batch
-        return index, None, _format_error(exc)
+        return index, None, {}, classify_exception(exc)
+
+
+def _subprocess_extract(spec, degraded, index, mesh, conn) -> None:
+    """Entry point of a killable one-task worker (timeout path)."""
+    try:
+        get_registry().disable()
+        pipeline = spec.build()
+        if degraded:
+            features, failures = pipeline.extract_partial(mesh)
+        else:
+            features, failures = pipeline.extract(mesh), {}
+        conn.send((features, failures, None))
+    except Exception as exc:
+        try:
+            conn.send((None, {}, classify_exception(exc)))
+        except Exception:
+            pass  # parent sees EOF and records a crash
+    finally:
+        conn.close()
+
+
+@dataclass
+class _InFlight:
+    """One running one-task worker of the timeout pool."""
+
+    index: int
+    attempt: int
+    proc: object
+    deadline: float
 
 
 class ParallelPipeline:
@@ -112,17 +202,51 @@ class ParallelPipeline:
     pipeline:
         The pipeline to replicate in each worker.  A
         :class:`~repro.features.cache.CachingPipeline` is honoured: hits
-        are served from cache, worker results populate it.
+        are served from cache, complete worker results populate it.
     workers:
         Process count.  ``<= 1`` (default 0) runs serially in-process —
-        same outcomes, no pool overhead.
+        same outcomes, no pool overhead — unless ``task_timeout`` forces
+        subprocess isolation.
+    task_timeout:
+        Per-task wall-clock budget in seconds.  When set, every task runs
+        in its own worker process that is *terminated* at the deadline; a
+        timed-out or crashed task is retried ``retries`` times on a fresh
+        worker before its outcome is recorded as a failure
+        (``extract.timeout`` / ``extract.worker_crash``).
+    retries:
+        Extra attempts after a timeout or worker crash (default 1: "one
+        retry on a fresh worker").  Deterministic extraction errors are
+        never retried — the same mesh fails the same way.
+    validate:
+        Run :func:`repro.robust.validate.check_mesh` before extraction;
+        invalid meshes become validation-stage failures without touching
+        a worker.
+    degraded:
+        Use partial extraction (see
+        :meth:`~repro.features.pipeline.FeaturePipeline.extract_partial`).
     """
 
-    def __init__(self, pipeline, workers: int = 0) -> None:
+    def __init__(
+        self,
+        pipeline,
+        workers: int = 0,
+        task_timeout: Optional[float] = None,
+        retries: int = 1,
+        validate: bool = False,
+        degraded: bool = False,
+    ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.pipeline = pipeline
         self.workers = int(workers)
+        self.task_timeout = task_timeout
+        self.retries = int(retries)
+        self.validate = bool(validate)
+        self.degraded = bool(degraded)
 
     # -- pipeline interface forwarding --------------------------------
     @property
@@ -148,6 +272,14 @@ class ParallelPipeline:
         cache = self.pipeline if hasattr(self.pipeline, "lookup") else None
         pending: List[int] = []
         for i, mesh in enumerate(meshes):
+            if self.validate:
+                problem = check_mesh(mesh)
+                if problem is not None:
+                    outcomes[i] = ExtractionOutcome.from_failure(
+                        i, classify_exception(problem)
+                    )
+                    metrics.inc("robust.validation_failures")
+                    continue
             if cache is not None:
                 cached = cache.lookup(mesh)
                 if cached is not None:
@@ -156,7 +288,9 @@ class ParallelPipeline:
             pending.append(i)
 
         with metrics.timed("parallel.batch"):
-            if self.workers <= 1 or len(pending) <= 1:
+            if self.task_timeout is not None and pending:
+                self._run_timeout_pool(meshes, pending, outcomes)
+            elif self.workers <= 1 or len(pending) <= 1:
                 self._run_serial(meshes, pending, outcomes)
             else:
                 self._run_pool(meshes, pending, outcomes)
@@ -169,6 +303,14 @@ class ParallelPipeline:
         assert all(o is not None for o in outcomes)
         return outcomes  # type: ignore[return-value]
 
+    def _extract_local(
+        self, mesh: TriangleMesh
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, FailureInfo]]:
+        if self.degraded:
+            if hasattr(self.pipeline, "extract_partial"):
+                return self.pipeline.extract_partial(mesh)
+        return self.pipeline.extract(mesh), {}
+
     def _run_serial(
         self,
         meshes: Sequence[TriangleMesh],
@@ -177,11 +319,31 @@ class ParallelPipeline:
     ) -> None:
         for i in pending:
             try:
-                features = self.pipeline.extract(meshes[i])
+                features, failures = self._extract_local(meshes[i])
             except Exception as exc:
-                outcomes[i] = ExtractionOutcome(index=i, error=_format_error(exc))
+                outcomes[i] = ExtractionOutcome.from_failure(
+                    i, classify_exception(exc)
+                )
             else:
-                outcomes[i] = ExtractionOutcome(index=i, features=features)
+                outcomes[i] = ExtractionOutcome(
+                    index=i, features=features, failures=failures
+                )
+
+    def _fold_into_cache(
+        self,
+        cache,
+        mesh: TriangleMesh,
+        features: Dict[str, np.ndarray],
+        failures: Dict[str, FailureInfo],
+    ) -> None:
+        """Record a worker result in the parent-side cache (full results
+        only: a partial set must re-extract next time)."""
+        if cache is None:
+            return
+        cache.misses += 1
+        get_registry().inc("cache.misses")
+        if not failures:
+            cache.remember(mesh, features)
 
     def _run_pool(
         self,
@@ -190,25 +352,149 @@ class ParallelPipeline:
         outcomes: List[Optional[ExtractionOutcome]],
     ) -> None:
         cache = self.pipeline if hasattr(self.pipeline, "remember") else None
-        metrics = get_registry()
         spec = PipelineSpec.of(self.pipeline)
         max_workers = min(self.workers, len(pending))
         with ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_init_worker,
-            initargs=(spec,),
+            initargs=(spec, self.degraded),
         ) as pool:
             results = pool.map(
                 _extract_in_worker,
                 [(i, meshes[i]) for i in pending],
                 chunksize=max(1, len(pending) // (4 * max_workers)),
             )
-            for index, features, error in results:
-                if error is not None:
-                    outcomes[index] = ExtractionOutcome(index=index, error=error)
+            for index, features, failures, failure in results:
+                if failure is not None:
+                    outcomes[index] = ExtractionOutcome.from_failure(
+                        index, failure
+                    )
                     continue
-                outcomes[index] = ExtractionOutcome(index=index, features=features)
-                if cache is not None:
-                    cache.misses += 1
-                    metrics.inc("cache.misses")
-                    cache.remember(meshes[index], features)
+                outcomes[index] = ExtractionOutcome(
+                    index=index, features=features, failures=failures
+                )
+                self._fold_into_cache(cache, meshes[index], features, failures)
+
+    # -- killable per-task workers (timeout path) ---------------------
+    def _run_timeout_pool(
+        self,
+        meshes: Sequence[TriangleMesh],
+        pending: Sequence[int],
+        outcomes: List[Optional[ExtractionOutcome]],
+    ) -> None:
+        import multiprocessing as mp
+        from multiprocessing.connection import wait as connection_wait
+
+        ctx = mp.get_context()
+        metrics = get_registry()
+        cache = self.pipeline if hasattr(self.pipeline, "remember") else None
+        spec = PipelineSpec.of(self.pipeline)
+        max_workers = max(1, min(self.workers, len(pending)))
+        max_attempts = 1 + self.retries
+        queue = deque((i, 1) for i in pending)
+        running: Dict[object, _InFlight] = {}
+
+        def reap(task: _InFlight, conn) -> None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            task.proc.join(timeout=5)
+
+        def retry_or_fail(task: _InFlight, conn, kind: str) -> None:
+            reap(task, conn)
+            if task.attempt < max_attempts:
+                queue.append((task.index, task.attempt + 1))
+                return
+            if kind == "timeout":
+                failure = FailureInfo(
+                    stage="extract",
+                    code="extract.timeout",
+                    message=(
+                        f"extraction timed out after {self.task_timeout:.1f}s "
+                        f"({task.attempt} attempts); worker terminated"
+                    ),
+                )
+            else:
+                exitcode = getattr(task.proc, "exitcode", None)
+                failure = FailureInfo(
+                    stage="extract",
+                    code="extract.worker_crash",
+                    message=(
+                        f"worker process died without reporting "
+                        f"(exit code {exitcode}, {task.attempt} attempts)"
+                    ),
+                )
+            outcomes[task.index] = ExtractionOutcome.from_failure(
+                task.index, failure, attempts=task.attempt
+            )
+
+        try:
+            while queue or running:
+                while queue and len(running) < max_workers:
+                    index, attempt = queue.popleft()
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_subprocess_extract,
+                        args=(
+                            spec,
+                            self.degraded,
+                            index,
+                            meshes[index],
+                            child_conn,
+                        ),
+                        daemon=True,
+                    )
+                    proc.start()
+                    child_conn.close()
+                    running[parent_conn] = _InFlight(
+                        index=index,
+                        attempt=attempt,
+                        proc=proc,
+                        deadline=time.monotonic() + float(self.task_timeout),
+                    )
+                now = time.monotonic()
+                wait_for = max(
+                    0.0, min(t.deadline for t in running.values()) - now
+                )
+                ready = connection_wait(list(running), timeout=wait_for)
+                for conn in ready:
+                    task = running.pop(conn)
+                    try:
+                        features, failures, failure = conn.recv()
+                    except (EOFError, OSError):
+                        metrics.inc("robust.worker_crashes")
+                        retry_or_fail(task, conn, kind="crash")
+                        continue
+                    reap(task, conn)
+                    if failure is not None:
+                        outcomes[task.index] = ExtractionOutcome.from_failure(
+                            task.index, failure, attempts=task.attempt
+                        )
+                        continue
+                    outcomes[task.index] = ExtractionOutcome(
+                        index=task.index,
+                        features=features,
+                        failures=failures,
+                        attempts=task.attempt,
+                    )
+                    self._fold_into_cache(
+                        cache, meshes[task.index], features, failures
+                    )
+                now = time.monotonic()
+                expired = [
+                    conn
+                    for conn, task in running.items()
+                    if task.deadline <= now
+                ]
+                for conn in expired:
+                    task = running.pop(conn)
+                    task.proc.terminate()
+                    metrics.inc("robust.worker_timeouts")
+                    retry_or_fail(task, conn, kind="timeout")
+        finally:
+            # Never leak a worker: abandon + kill whatever is still alive
+            # (e.g. when the parent is interrupted mid-batch).
+            for conn, task in running.items():
+                task.proc.terminate()
+                reap(task, conn)

@@ -8,13 +8,14 @@ per shape — the flow chart of Fig. 2.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
 from ..geometry.mesh import TriangleMesh
 from ..moments.normalization import DEFAULT_TARGET_VOLUME
 from ..obs import get_registry
+from ..robust.errors import FailureInfo, classify_exception
 from .base import DEFAULT_VOXEL_RESOLUTION, ExtractionContext
 from .registry import PAPER_FEATURES, create_extractor
 
@@ -75,6 +76,38 @@ class FeaturePipeline:
                 with metrics.timed(f"pipeline.feature.{name}"):
                     out[name] = ext(context)
         return out
+
+    def extract_partial(
+        self, mesh: TriangleMesh
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, FailureInfo]]:
+        """Degraded-mode extraction: every feature vector that *can* be
+        computed, plus a failure record per vector that cannot.
+
+        When skeletonization fails (or any other stage reachable only by
+        a subset of extractors), the geometry-derived vectors are still
+        returned and the record can be stored partial.  If *no* extractor
+        succeeds the first failure is re-raised — a shape yielding nothing
+        is an ingestion error, not a degraded record.
+        """
+        metrics = get_registry()
+        with metrics.timed("pipeline.extract"):
+            context = self.make_context(mesh)
+            out: Dict[str, np.ndarray] = {}
+            failures: Dict[str, FailureInfo] = {}
+            first_exc: Optional[Exception] = None
+            for name, ext in self.extractors.items():
+                try:
+                    with metrics.timed(f"pipeline.feature.{name}"):
+                        out[name] = ext(context)
+                except Exception as exc:
+                    if first_exc is None:
+                        first_exc = exc
+                    failures[name] = classify_exception(exc)
+            if not out and first_exc is not None:
+                raise first_exc
+        if failures:
+            metrics.inc("robust.degraded_extractions")
+        return out, failures
 
     def extract_one(self, mesh: TriangleMesh, name: str) -> np.ndarray:
         """A single named feature vector for one mesh."""

@@ -35,14 +35,34 @@ def supported_formats() -> Tuple[str, ...]:
 
 
 def load_mesh(path: Union[str, os.PathLike]) -> TriangleMesh:
-    """Load a mesh, dispatching on the file extension."""
+    """Load a mesh, dispatching on the file extension.
+
+    All failure modes surface as :class:`MeshValidationError` (stage
+    ``"validate"``, still a ``MeshError``): unsupported extensions as code
+    ``mesh.unsupported_format``, unreadable files as ``mesh.unreadable_file``,
+    and malformed contents as ``mesh.parse_error`` — so ingestion can
+    quarantine bad files uniformly.
+    """
+    from ..robust.errors import MeshValidationError, ReproError
+
     ext = os.path.splitext(os.fspath(path))[1].lower()
     loader = _LOADERS.get(ext)
     if loader is None:
-        raise MeshError(
-            f"unsupported mesh format {ext!r}; supported: {supported_formats()}"
+        raise MeshValidationError(
+            f"unsupported mesh format {ext!r}; supported: {supported_formats()}",
+            code="mesh.unsupported_format",
         )
-    return loader(path)
+    try:
+        return loader(path)
+    except ReproError:
+        raise
+    except MeshError as exc:
+        raise MeshValidationError(str(exc), code="mesh.parse_error") from exc
+    except OSError as exc:
+        raise MeshValidationError(
+            f"{os.fspath(path)}: cannot read mesh file: {exc}",
+            code="mesh.unreadable_file",
+        ) from exc
 
 
 def save_mesh(mesh: TriangleMesh, path: Union[str, os.PathLike]) -> None:

@@ -12,6 +12,7 @@ from typing import List, Union
 
 import numpy as np
 
+from ..robust.errors import MeshValidationError
 from .mesh import MeshError, TriangleMesh
 
 
@@ -29,7 +30,9 @@ def load_off(path: Union[str, os.PathLike]) -> TriangleMesh:
     """Load a mesh from an OFF file (fan-triangulating polygon faces)."""
     toks = _tokens(path)
     if not toks:
-        raise MeshError(f"{path}: empty OFF file")
+        raise MeshValidationError(
+            f"{path}: empty OFF file", code="mesh.parse_error"
+        )
     pos = 0
     if toks[0].upper() == "OFF":
         pos = 1
@@ -39,7 +42,9 @@ def load_off(path: Union[str, os.PathLike]) -> TriangleMesh:
         pos += 3  # skip edge count
         flat = [float(t) for t in toks[pos : pos + 3 * n_verts]]
         if len(flat) != 3 * n_verts:
-            raise MeshError(f"{path}: truncated vertex block")
+            raise MeshValidationError(
+                f"{path}: truncated vertex block", code="mesh.parse_error"
+            )
         verts = np.asarray(flat, dtype=np.float64).reshape(n_verts, 3)
         pos += 3 * n_verts
         faces: List[List[int]] = []
@@ -47,12 +52,16 @@ def load_off(path: Union[str, os.PathLike]) -> TriangleMesh:
             arity = int(toks[pos])
             idx = [int(t) for t in toks[pos + 1 : pos + 1 + arity]]
             if len(idx) != arity or arity < 3:
-                raise MeshError(f"{path}: malformed face record")
+                raise MeshValidationError(
+                    f"{path}: malformed face record", code="mesh.parse_error"
+                )
             pos += 1 + arity
             for k in range(1, arity - 1):
                 faces.append([idx[0], idx[k], idx[k + 1]])
     except (ValueError, IndexError) as exc:
-        raise MeshError(f"{path}: malformed OFF file: {exc}") from exc
+        raise MeshValidationError(
+            f"{path}: malformed OFF file: {exc}", code="mesh.parse_error"
+        ) from exc
     name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
     return TriangleMesh(verts, np.asarray(faces, dtype=np.int64), name=name)
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..geometry.mesh import TriangleMesh
+from ..robust.errors import MeshValidationError
 from .mesh_moments import central_moments_up_to, second_moment_matrix
 
 DEFAULT_TARGET_VOLUME = 1.0
@@ -99,7 +100,10 @@ def normalize(
     central = central_moments_up_to(mesh, 2)
     m000 = central[(0, 0, 0)]
     if abs(m000) < 1e-14:
-        raise ValueError("cannot normalize a mesh that encloses zero volume")
+        raise MeshValidationError(
+            "cannot normalize a mesh that encloses zero volume",
+            code="mesh.zero_volume",
+        )
 
     raw1 = TriangleMesh(mesh.vertices, mesh.faces, name=mesh.name)
     # Translation: centroid to origin.

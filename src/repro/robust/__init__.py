@@ -1,0 +1,50 @@
+"""Fault tolerance for the 3DESS pipeline (``repro.robust``).
+
+The paper implicitly assumes every shape yields all four feature vectors;
+this layer makes that assumption fail *gracefully* instead of fatally:
+
+* :mod:`repro.robust.errors` — the :class:`ReproError` taxonomy with
+  machine-readable stage/cause codes;
+* :mod:`repro.robust.validate` — pre-flight mesh validation feeding the
+  ingestion quarantine;
+* :mod:`repro.robust.quarantine` — per-item failure bookkeeping and
+  quarantine-directory reports.
+
+Worker timeouts live in :mod:`repro.features.parallel`; integrity-checked
+persistence in :mod:`repro.db.storage`; degraded-mode search in
+:mod:`repro.search`.  See ``docs/ROBUSTNESS.md`` for the full model.
+"""
+
+from .errors import (
+    FailureInfo,
+    FeatureExtractionError,
+    MeshValidationError,
+    ReproError,
+    SkeletonizationError,
+    StorageCorruptionError,
+    VoxelizationError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+    classify_exception,
+    traceback_digest,
+)
+from .quarantine import QuarantineItem, QuarantineReport
+from .validate import check_mesh, validate_mesh
+
+__all__ = [
+    "ReproError",
+    "MeshValidationError",
+    "VoxelizationError",
+    "SkeletonizationError",
+    "FeatureExtractionError",
+    "WorkerTimeoutError",
+    "WorkerCrashError",
+    "StorageCorruptionError",
+    "FailureInfo",
+    "classify_exception",
+    "traceback_digest",
+    "validate_mesh",
+    "check_mesh",
+    "QuarantineItem",
+    "QuarantineReport",
+]

@@ -1,0 +1,109 @@
+"""Quarantine reports: record *why* each input failed, keep the batch alive.
+
+PyExperimenter-style run bookkeeping applied to ingestion: instead of the
+first degenerate mesh aborting a ``build-db`` run, every failure becomes a
+:class:`QuarantineItem` (name, stage, error code, message, traceback
+digest) and — when a quarantine directory is requested — a copy of the
+offending geometry lands next to a ``report.json`` for postmortem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..geometry.mesh import TriangleMesh
+
+REPORT_NAME = "report.json"
+
+__all__ = ["QuarantineItem", "QuarantineReport", "REPORT_NAME"]
+
+
+@dataclass
+class QuarantineItem:
+    """One quarantined input of a batch."""
+
+    index: int
+    name: str
+    stage: str
+    code: str
+    message: str
+    digest: str = ""
+    source: Optional[str] = None  #: original file path, when ingesting files
+
+
+@dataclass
+class QuarantineReport:
+    """All quarantined inputs of one ingestion run."""
+
+    items: List[QuarantineItem] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __bool__(self) -> bool:
+        return bool(self.items)
+
+    def add(self, item: QuarantineItem) -> None:
+        self.items.append(item)
+
+    def by_stage(self) -> Dict[str, int]:
+        """Stage -> count, for summary lines."""
+        out: Dict[str, int] = {}
+        for item in self.items:
+            out[item.stage] = out.get(item.stage, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        """Human-readable table of the quarantined inputs."""
+        if not self.items:
+            return "quarantine: empty (all inputs ingested)"
+        lines = [f"quarantine: {len(self.items)} input(s) rejected"]
+        lines.append(f"{'idx':>4s}  {'stage':<11s} {'code':<26s} name")
+        for item in self.items:
+            lines.append(
+                f"{item.index:4d}  {item.stage:<11s} {item.code:<26s} {item.name}"
+            )
+        return "\n".join(lines)
+
+    def write(
+        self,
+        directory: Union[str, os.PathLike],
+        meshes: Optional[Dict[int, TriangleMesh]] = None,
+    ) -> str:
+        """Write ``report.json`` (+ offending inputs) to ``directory``.
+
+        ``meshes`` maps batch index -> mesh for failures whose geometry
+        was loadable; items with a ``source`` path have the original file
+        copied instead, so parse failures keep their raw bytes.  Returns
+        the report path.
+        """
+        from ..geometry.io_off import save_off
+
+        root = os.fspath(directory)
+        os.makedirs(root, exist_ok=True)
+        for item in self.items:
+            if item.source is not None and os.path.exists(item.source):
+                shutil.copy2(
+                    item.source,
+                    os.path.join(root, os.path.basename(item.source)),
+                )
+            elif meshes is not None and item.index in meshes:
+                try:
+                    save_off(
+                        meshes[item.index],
+                        os.path.join(root, f"{item.index:04d}_{item.name}.off"),
+                    )
+                except Exception:
+                    pass  # postmortem copies are best-effort
+        report_path = os.path.join(root, REPORT_NAME)
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"items": [asdict(item) for item in self.items]},
+                handle,
+                indent=2,
+            )
+        return report_path

@@ -1,0 +1,127 @@
+"""Pre-flight mesh validation (the quarantine gate of bulk ingestion).
+
+Real CAD inputs are dirty: exported meshes carry NaN vertices, collapsed
+faces, or degenerate bounding boxes that would otherwise surface deep in
+the extraction pipeline (or hang it).  :func:`validate_mesh` runs the
+cheap, vectorized checks up front so :meth:`ShapeDatabase.insert_meshes`
+can quarantine bad inputs before they reach a worker process.
+
+All checks are O(n) NumPy passes over the vertex/face buffers; the
+optional voxelization probe (off by default) additionally verifies that
+the mesh voxelizes to a non-empty model at a given resolution, which is
+the paper's implicit precondition for the skeleton-based features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.mesh import TriangleMesh
+from .errors import MeshValidationError, VoxelizationError
+
+__all__ = ["validate_mesh", "check_mesh"]
+
+#: Relative tolerance below which a face counts as zero-area.
+_AREA_EPS = 1e-12
+
+
+def validate_mesh(
+    mesh: TriangleMesh,
+    *,
+    voxel_resolution: Optional[int] = None,
+    probe_voxelization: bool = False,
+) -> None:
+    """Raise :class:`MeshValidationError` if ``mesh`` cannot be ingested.
+
+    Checks, in order (first failure wins):
+
+    * non-empty vertex and face buffers (``mesh.empty``);
+    * finite vertex coordinates (``mesh.nonfinite_vertices``);
+    * face indices inside the vertex buffer (``mesh.bad_face_indices``) —
+      possible despite construction-time validation when buffers are
+      mutated in place;
+    * a non-degenerate bounding box (``mesh.zero_extent``);
+    * at least one non-zero-area face (``mesh.degenerate_faces``);
+    * with ``probe_voxelization=True``: a non-empty voxelization at
+      ``voxel_resolution`` (``mesh.empty_voxelization``).  The probe costs
+      a full surface voxelization, so it is opt-in.
+    """
+    verts = np.asarray(mesh.vertices)
+    faces = np.asarray(mesh.faces)
+    if len(verts) == 0 or len(faces) == 0:
+        raise MeshValidationError(
+            f"mesh {mesh.name!r} has no geometry "
+            f"({len(verts)} vertices, {len(faces)} faces)",
+            code="mesh.empty",
+        )
+    if not np.isfinite(verts).all():
+        bad = int((~np.isfinite(verts)).any(axis=1).sum())
+        raise MeshValidationError(
+            f"mesh {mesh.name!r} has {bad} vertices with NaN/inf coordinates",
+            code="mesh.nonfinite_vertices",
+            bad_vertices=bad,
+        )
+    if faces.min() < 0 or faces.max() >= len(verts):
+        raise MeshValidationError(
+            f"mesh {mesh.name!r} has face indices outside "
+            f"[0, {len(verts) - 1}]",
+            code="mesh.bad_face_indices",
+        )
+    lo = verts.min(axis=0)
+    hi = verts.max(axis=0)
+    extent = float((hi - lo).max())
+    if extent <= 0.0:
+        raise MeshValidationError(
+            f"mesh {mesh.name!r} has zero spatial extent "
+            "(all vertices coincide); it voxelizes to nothing",
+            code="mesh.zero_extent",
+        )
+    tri = verts[faces]
+    cross = np.cross(tri[:, 1] - tri[:, 0], tri[:, 2] - tri[:, 0])
+    areas = 0.5 * np.linalg.norm(cross, axis=1)
+    scale = extent * extent
+    degenerate = int((areas <= _AREA_EPS * scale).sum())
+    if degenerate == len(faces):
+        raise MeshValidationError(
+            f"mesh {mesh.name!r}: all {len(faces)} faces are zero-area",
+            code="mesh.degenerate_faces",
+            degenerate_faces=degenerate,
+        )
+    if probe_voxelization:
+        from ..voxel.voxelize import voxelize_surface
+
+        resolution = voxel_resolution if voxel_resolution is not None else 8
+        try:
+            grid = voxelize_surface(mesh, resolution=resolution)
+        except VoxelizationError as exc:
+            raise MeshValidationError(
+                f"mesh {mesh.name!r} fails voxelization at resolution "
+                f"{resolution}: {exc}",
+                code="mesh.empty_voxelization",
+            ) from exc
+        if not grid.occupancy.any():
+            raise MeshValidationError(
+                f"mesh {mesh.name!r} voxelizes to an empty model at "
+                f"resolution {resolution}",
+                code="mesh.empty_voxelization",
+            )
+
+
+def check_mesh(
+    mesh: TriangleMesh,
+    *,
+    voxel_resolution: Optional[int] = None,
+    probe_voxelization: bool = False,
+) -> Optional[MeshValidationError]:
+    """Non-raising :func:`validate_mesh`: the error, or None when valid."""
+    try:
+        validate_mesh(
+            mesh,
+            voxel_resolution=voxel_resolution,
+            probe_voxelization=probe_voxelization,
+        )
+    except MeshValidationError as exc:
+        return exc
+    return None

@@ -64,6 +64,11 @@ def combined_search(
     space's normalized similarity (Eq. 4.4), then blended with the
     combination weights.  The per-feature similarity normalization is what
     makes the linear combination meaningful (all terms live in [0, 1]).
+
+    Degraded records (partial feature sets) stay searchable: a record is
+    scored with the combination weights renormalized over the features it
+    actually carries, instead of raising ``KeyError`` for the missing
+    ones.  A record carrying none of the combination's features scores 0.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -81,12 +86,16 @@ def combined_search(
         if record.shape_id == exclude:
             continue
         total = 0.0
+        available = 0.0
         for name, weight in combination.weights.items():
+            if name not in record.features:
+                continue
+            available += weight
             measure = engine.measure(name)
             total += weight * measure.similarity(
                 query_vectors[name], record.feature(name)
             )
-        scores[record.shape_id] = total
+        scores[record.shape_id] = total / available if available > 0 else 0.0
 
     ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
     results = []

@@ -239,7 +239,10 @@ class SearchEngine:
 
         This is the filter step of the multi-step strategy (Section 4.2):
         distances are computed directly against the candidates, no index
-        involved.
+        involved.  Degraded records that do not carry ``feature_name``
+        are not dropped from the candidate set — they are ranked after
+        every record that does carry it, at distance ``d_max``
+        (similarity 0), in stable id order.
         """
         metrics = get_registry()
         with metrics.timed("search.rerank"):
@@ -248,13 +251,25 @@ class SearchEngine:
             exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
             if not candidate_ids:
                 return []
-            matrix = np.vstack(
-                [self.database.get(sid).feature(feature_name) for sid in candidate_ids]
-            )
-            dists = measure.distances(vec, matrix)
-            pairs = [
-                (sid, float(d)) for sid, d in zip(candidate_ids, dists)
+            carrying = [
+                sid
+                for sid in candidate_ids
+                if feature_name in self.database.get(sid).features
             ]
+            missing = [sid for sid in candidate_ids if sid not in set(carrying)]
+            pairs: List[Tuple[int, float]] = []
+            if carrying:
+                matrix = np.vstack(
+                    [
+                        self.database.get(sid).feature(feature_name)
+                        for sid in carrying
+                    ]
+                )
+                dists = measure.distances(vec, matrix)
+                pairs = [(sid, float(d)) for sid, d in zip(carrying, dists)]
             metrics.inc("search.candidates_examined", len(pairs))
             pairs.sort(key=lambda p: (p[1], p[0]))
+            if missing:
+                metrics.inc("search.degraded_candidates", len(missing))
+                pairs.extend((sid, measure.d_max) for sid in sorted(missing))
             return self._build_results(pairs, feature_name, exclude)

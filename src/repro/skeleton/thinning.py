@@ -33,6 +33,7 @@ from typing import Tuple
 import numpy as np
 
 from ..obs import get_registry
+from ..robust.errors import SkeletonizationError
 from ..voxel.grid import VoxelGrid
 from .simple_point import (
     NEIGHBOR_OFFSETS,
@@ -144,7 +145,10 @@ def _thin_batched(
                     deleted_this_sweep += 1
         if not deleted_this_sweep:
             return occ
-    raise RuntimeError("thinning did not converge within max_iterations")
+    raise SkeletonizationError(
+        "thinning did not converge within max_iterations",
+        code="skeleton.no_convergence",
+    )
 
 
 def _thin_reference(
@@ -166,7 +170,10 @@ def _thin_reference(
                     deleted_this_sweep += 1
         if not deleted_this_sweep:
             return occ
-    raise RuntimeError("thinning did not converge within max_iterations")
+    raise SkeletonizationError(
+        "thinning did not converge within max_iterations",
+        code="skeleton.no_convergence",
+    )
 
 
 _KERNELS = {

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..geometry.mesh import TriangleMesh
+from ..robust.errors import VoxelizationError
 from .grid import VoxelGrid
 from .morphology import fill_interior
 
@@ -47,13 +48,20 @@ def voxelize_surface(
         Empty cells added around the model on each side.
     """
     if resolution < 2:
-        raise ValueError(f"resolution must be >= 2, got {resolution}")
+        raise VoxelizationError(
+            f"resolution must be >= 2, got {resolution}",
+            code="voxel.bad_resolution",
+        )
     if mesh.n_faces == 0:
-        raise ValueError("cannot voxelize an empty mesh")
+        raise VoxelizationError(
+            "cannot voxelize an empty mesh", code="voxel.empty_mesh"
+        )
     lo, hi = mesh.bounds()
     extent = float((hi - lo).max())
     if extent <= 0:
-        raise ValueError("mesh has zero extent; cannot voxelize")
+        raise VoxelizationError(
+            "mesh has zero extent; cannot voxelize", code="voxel.zero_extent"
+        )
     spacing = extent / resolution
     side = resolution + 2 * padding
     center = (lo + hi) / 2.0
@@ -78,6 +86,12 @@ def voxelize(
     shells leak and fill nothing beyond the surface).
     """
     grid = voxelize_surface(mesh, resolution=resolution, padding=padding)
+    if not grid.occupancy.any():
+        raise VoxelizationError(
+            f"voxelization of {mesh.name!r} at resolution {resolution} "
+            "produced an empty model",
+            code="voxel.empty",
+        )
     if solid:
         grid = VoxelGrid(
             fill_interior(grid.occupancy), origin=grid.origin, spacing=grid.spacing
