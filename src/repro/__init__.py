@@ -12,7 +12,15 @@ Public entry points:
 
 from .core.config import SystemConfig
 from .core.system import ThreeDESS
+from .search.api import SearchHit, SearchRequest, SearchResponse
 
 __version__ = "1.0.0"
 
-__all__ = ["ThreeDESS", "SystemConfig", "__version__"]
+__all__ = [
+    "ThreeDESS",
+    "SystemConfig",
+    "SearchRequest",
+    "SearchResponse",
+    "SearchHit",
+    "__version__",
+]

@@ -7,6 +7,9 @@ Subcommands::
     three-dess browse DIR            print the drill-down hierarchy
     three-dess experiment NAME       run one (or "all") paper experiments
     three-dess stats                 profile a self-contained insert+query run
+    three-dess verify DIR            integrity-check a saved DB (exit 6 on damage)
+    three-dess jobs run DIR          heal degraded records via the job queue
+    three-dess jobs status DIR       show the job queue's state
 
 Experiments print exactly the rows/series the benchmark harness checks.
 ``build-db``, ``query``, and ``experiment`` accept ``--profile`` to print
@@ -19,6 +22,8 @@ Exit codes (see ``docs/ROBUSTNESS.md``)::
     3  validation / data error (bad mesh, corrupt database, ...)
     4  internal error
     5  build-db completed, but some inputs were quarantined
+    6  verify found integrity problems
+    7  jobs run left failed or dead jobs behind
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from .datasets.generator import build_database, load_or_build_database
 from .evaluation import experiments as exps
 from .robust.errors import ReproError, classify_exception
 from .robust.quarantine import QuarantineItem, QuarantineReport
+from .search.api import SearchRequest
 from .search.engine import SearchEngine
 
 EXPERIMENT_NAMES = ["fig4", "fig7", "fig8-12", "fig13-14", "fig15", "fig16", "rtree"]
@@ -45,6 +51,8 @@ EXIT_USAGE = 2
 EXIT_DATA = 3
 EXIT_INTERNAL = 4
 EXIT_QUARANTINED = 5
+EXIT_INTEGRITY = 6
+EXIT_JOBS_FAILED = 7
 
 
 def _collect_mesh_files(directory: str) -> List[str]:
@@ -112,6 +120,7 @@ def _cmd_build_db(args: argparse.Namespace) -> int:
             workers=args.workers,
             timeout=args.timeout,
             retries=args.retries,
+            pool=args.pool,
         )
         for err in result.errors:
             report.add(
@@ -173,10 +182,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from .geometry.io import load_mesh
 
     mesh = load_mesh(args.mesh)
-    results = system.query_by_example(mesh, feature_name=args.feature, k=args.k)
+    response = system.search(
+        SearchRequest(query=mesh, mode="knn", feature_name=args.feature, k=args.k)
+    )
     print(f"{'rank':>4s} {'id':>5s} {'similarity':>10s}  name")
-    for r in results:
-        print(f"{r.rank:4d} {r.shape_id:5d} {r.similarity:10.4f}  {r.name}")
+    for hit in response.hits:
+        flag = "  [degraded]" if hit.degraded else ""
+        print(
+            f"{hit.rank:4d} {hit.shape_id:5d} {hit.similarity:10.4f}  "
+            f"{hit.name}{flag}"
+        )
+    print(f"({len(response.hits)} hits via {response.path} path)")
     return 0
 
 
@@ -256,11 +272,99 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     system.insert(box((40, 30, 10)), name="base_plate_copy", group="plates")
     system.insert(cylinder(8, 40), name="spacer_rod", group="rods")
     system.insert(tube(12, 8, 10), name="bushing")
-    system.query_by_example(box((41, 29, 10.5)), k=args.k)
+    system.search(SearchRequest(query=box((41, 29, 10.5)), mode="knn", k=args.k))
 
     print("profiled 4 inserts (1 cache hit) + 1 query-by-example\n")
     print(system.stats_table())
     return 0
+
+
+def _default_queue_path(directory: str) -> str:
+    """Journal path for a database directory's job queue.
+
+    Sibling of the directory (``<DIR>.jobs.jsonl``), never inside it:
+    saving a database atomically swaps the whole directory, which would
+    destroy an in-dir journal.
+    """
+    return os.path.normpath(os.fspath(directory)) + ".jobs.jsonl"
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .db.storage import verify_database
+
+    problems = verify_database(args.directory)
+    if not problems:
+        print(f"{args.directory}: ok")
+        return EXIT_OK
+    record_keys = sorted(k for k in problems if k.startswith("record:"))
+    file_keys = sorted(k for k in problems if not k.startswith("record:"))
+    for key in file_keys + record_keys:
+        print(f"{key}: {problems[key]}")
+    damaged_ids = [k.split(":", 1)[1] for k in record_keys]
+    summary = f"{args.directory}: {len(problems)} integrity problem(s)"
+    if damaged_ids:
+        summary += f"; damaged record ids: {', '.join(damaged_ids)}"
+    print(summary, file=sys.stderr)
+    return EXIT_INTEGRITY
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from .jobs import JobQueue
+
+    queue_path = args.queue or _default_queue_path(args.directory)
+    if args.jobs_command == "status":
+        queue = JobQueue(queue_path)
+        try:
+            counts = queue.counts()
+            total = len(queue)
+            print(f"queue: {queue_path}")
+            print(
+                f"{total} job(s): "
+                + ", ".join(f"{counts.get(s, 0)} {s}" for s in
+                            ("pending", "running", "done", "failed", "dead"))
+            )
+            for job in queue.jobs():
+                err = ""
+                if job.error:
+                    err = f"  [{job.error.get('code', '?')}]"
+                print(
+                    f"  {job.job_id}  {job.type:<12s} {job.state:<8s} "
+                    f"attempts={job.attempts}/{job.max_attempts}"
+                    f"  {job.payload}{err}"
+                )
+        finally:
+            queue.close()
+        return EXIT_OK
+
+    # jobs run: heal degraded records of a saved database.
+    system = ThreeDESS.load(args.directory, load_meshes=True, strict=False)
+    queue = JobQueue(queue_path)
+    try:
+        queued = system.enqueue_reextraction(queue)
+        if queued:
+            print(f"{len(queued)} degraded record(s) queued for re-extraction")
+        report = system.run_jobs(queue, max_jobs=args.max_jobs)
+    finally:
+        queue.close()
+    print(report.summary())
+    if report.done:
+        system.save(args.directory)
+        print(f"healed database saved -> {args.directory}")
+    if not report.ok:
+        tail = JobQueue(queue_path)
+        try:
+            for job_id in report.failed + report.dead:
+                job = tail.get(job_id)
+                if job is not None and job.error:
+                    print(
+                        f"  {job_id}: [{job.error.get('code', '?')}] "
+                        f"{job.error.get('message', '')}",
+                        file=sys.stderr,
+                    )
+        finally:
+            tail.close()
+        return EXIT_JOBS_FAILED
+    return EXIT_OK
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -372,6 +476,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="extra attempts after an extraction timeout or worker crash",
     )
+    p_build.add_argument(
+        "--pool",
+        choices=["persistent", "fork"],
+        default="persistent",
+        help="timeout-path worker strategy: reusable killable workers "
+        "(persistent) or one process per task (fork)",
+    )
     p_build.set_defaults(func=_cmd_build_db)
 
     p_bench = sub.add_parser(
@@ -445,6 +556,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write a full Markdown report instead"
     )
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="integrity-check a saved database (manifest + per-record "
+        "feature checksums); exit 6 when damage is found",
+    )
+    p_verify.add_argument("directory")
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="background job queue (re-extraction of degraded records)"
+    )
+    jobs_sub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+    p_jobs_run = jobs_sub.add_parser(
+        "run",
+        help="queue re-extract jobs for every degraded record and drain "
+        "the queue, saving the healed database; exit 7 when jobs remain "
+        "failed or dead",
+    )
+    p_jobs_run.add_argument("directory")
+    p_jobs_run.add_argument(
+        "--queue",
+        default=None,
+        help="job journal path (default: <directory>.jobs.jsonl)",
+    )
+    p_jobs_run.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="execute at most this many jobs in this run",
+    )
+    p_jobs_run.set_defaults(func=_cmd_jobs)
+    p_jobs_status = jobs_sub.add_parser(
+        "status", help="print the queue's job states without running anything"
+    )
+    p_jobs_status.add_argument("directory")
+    p_jobs_status.add_argument(
+        "--queue",
+        default=None,
+        help="job journal path (default: <directory>.jobs.jsonl)",
+    )
+    p_jobs_status.set_defaults(func=_cmd_jobs)
 
     p_stats = sub.add_parser(
         "stats",

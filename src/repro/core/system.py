@@ -7,7 +7,18 @@ together, so an application works with one handle:
 
 >>> system = ThreeDESS()
 >>> part_id = system.insert(mesh, group="brackets")
->>> hits = system.query_by_example(mesh, feature_name="principal_moments")
+>>> response = system.search(SearchRequest(query=mesh, mode="knn", k=10))
+
+Queries go through one entry point — :meth:`ThreeDESS.search` with a
+declarative :class:`~repro.search.api.SearchRequest` — which returns a
+:class:`~repro.search.api.SearchResponse` carrying per-hit provenance
+(distance, similarity, degraded flag, index-vs-linear path).  The older
+``query_by_example`` / ``query_by_threshold`` / ``multi_step`` methods
+remain as deprecated shims (see ``docs/API.md``).
+
+Background healing: degraded records (partial feature sets from faulted
+ingestion) can be queued for re-extraction and repaired in place via
+:meth:`enqueue_reextraction` / :meth:`run_jobs` (see ``docs/JOBS.md``).
 """
 
 from __future__ import annotations
@@ -23,9 +34,14 @@ from ..features.pipeline import FeaturePipeline
 from ..geometry.io import load_mesh
 from ..geometry.mesh import TriangleMesh
 from ..obs import get_registry
+from ..search.api import (
+    SearchRequest,
+    SearchResponse,
+    deprecated_shim,
+    execute_search,
+)
 from ..search.engine import Query, SearchEngine, SearchResult
 from ..search.feedback import RelevanceFeedbackSession
-from ..search.multistep import MultiStepPlan, multi_step_search
 from .config import SystemConfig
 
 
@@ -127,6 +143,7 @@ class ThreeDESS:
                 degraded=self.config.degraded_inserts,
                 timeout=self.config.extraction_timeout,
                 retries=self.config.extraction_retries,
+                pool=self.config.extraction_pool,
             )
             self.engine.invalidate()
             self._hierarchies = {}
@@ -142,15 +159,34 @@ class ThreeDESS:
         meshes = [load_mesh(path) for path in paths]
         return self.insert_batch(meshes, groups=groups, workers=workers)
 
+    def search(self, request: SearchRequest) -> SearchResponse:
+        """Run a declarative query — the single search entry point.
+
+        Subsumes the deprecated ``query_by_example`` (``mode="knn"``),
+        ``query_by_threshold`` (``mode="threshold"``), and ``multi_step``
+        (``mode="multi_step"``) methods.  The response carries per-hit
+        provenance: distance, Eq. 4.4 similarity, whether the record is
+        degraded, and the index-vs-linear retrieval path.
+        """
+        with get_registry().timed("system.query"):
+            return execute_search(self.engine, request)
+
     def query_by_example(
         self,
         query: Query,
         feature_name: str = "principal_moments",
         k: int = 10,
     ) -> List[SearchResult]:
-        """k-NN query-by-example under one feature vector."""
-        with get_registry().timed("system.query"):
-            return self.engine.search_knn(query, feature_name, k=k)
+        """Deprecated: use :meth:`search` with ``mode="knn"``."""
+        deprecated_shim(
+            "query_by_example",
+            'SearchRequest(query, mode="knn", feature_name=..., k=...)',
+        )
+        return self.search(
+            SearchRequest(
+                query=query, mode="knn", feature_name=feature_name, k=k
+            )
+        ).to_results()
 
     def query_by_threshold(
         self,
@@ -158,21 +194,37 @@ class ThreeDESS:
         feature_name: str = "principal_moments",
         threshold: float = 0.9,
     ) -> List[SearchResult]:
-        """Similarity-threshold query (Eq. 4.4)."""
-        with get_registry().timed("system.query"):
-            return self.engine.search_threshold(
-                query, feature_name, threshold=threshold
+        """Deprecated: use :meth:`search` with ``mode="threshold"``."""
+        deprecated_shim(
+            "query_by_threshold",
+            'SearchRequest(query, mode="threshold", feature_name=..., '
+            "threshold=...)",
+        )
+        return self.search(
+            SearchRequest(
+                query=query,
+                mode="threshold",
+                feature_name=feature_name,
+                threshold=threshold,
             )
+        ).to_results()
 
     def multi_step(
         self,
         query: Query,
         steps: Optional[Sequence[Tuple[str, int]]] = None,
     ) -> List[SearchResult]:
-        """Multi-step search (Section 4.2); default plan is the paper's."""
-        plan = MultiStepPlan(list(steps)) if steps is not None else None
-        with get_registry().timed("system.query"):
-            return multi_step_search(self.engine, query, plan)
+        """Deprecated: use :meth:`search` with ``mode="multi_step"``."""
+        deprecated_shim(
+            "multi_step", 'SearchRequest(query, mode="multi_step", steps=...)'
+        )
+        return self.search(
+            SearchRequest(
+                query=query,
+                mode="multi_step",
+                steps=tuple(steps) if steps is not None else None,
+            )
+        ).to_results()
 
     def feedback_session(
         self, query: Query, feature_name: str = "principal_moments", k: int = 10
@@ -209,6 +261,62 @@ class ThreeDESS:
         if root.is_leaf:
             return [root.representative_id]
         return [child.representative_id for child in root.children]
+
+    # ------------------------------------------------------------------
+    # Background jobs: healing degraded records
+    # ------------------------------------------------------------------
+    def enqueue_reextraction(
+        self, queue: Union[str, os.PathLike, "JobQueue"]
+    ) -> List[str]:
+        """Queue a ``re-extract`` job for every degraded record.
+
+        ``queue`` is a journal path (or an open
+        :class:`~repro.jobs.queue.JobQueue`).  Enqueueing is idempotent:
+        a record with an unfinished re-extract job is not queued twice.
+        Returns the job IDs covering the degraded records (existing or
+        new).  Drain with :meth:`run_jobs`.
+        """
+        from ..jobs import RE_EXTRACT, JobQueue
+
+        owned = not isinstance(queue, JobQueue)
+        q = JobQueue(queue) if owned else queue
+        try:
+            return [
+                q.enqueue(RE_EXTRACT, {"shape_id": sid}).job_id
+                for sid in self.database.degraded_ids()
+            ]
+        finally:
+            if owned:
+                q.close()
+
+    def run_jobs(
+        self,
+        queue: Union[str, os.PathLike, "JobQueue"],
+        max_jobs: Optional[int] = None,
+    ) -> "JobRunReport":
+        """Drain the job queue against this system's database.
+
+        Executes queued ``re-extract`` jobs (healing degraded records in
+        place, indexes updated); search caches are invalidated when any
+        job completes, so subsequent queries see the healed vectors.
+        Returns the :class:`~repro.jobs.runner.JobRunReport`.
+        """
+        from ..jobs import RE_EXTRACT, JobQueue, JobRunner, make_reextract_handler
+
+        owned = not isinstance(queue, JobQueue)
+        q = JobQueue(queue) if owned else queue
+        try:
+            runner = JobRunner(
+                q, {RE_EXTRACT: make_reextract_handler(self.database)}
+            )
+            report = runner.run(max_jobs=max_jobs)
+        finally:
+            if owned:
+                q.close()
+        if report.done:
+            self.engine.invalidate()
+            self._hierarchies = {}
+        return report
 
     # ------------------------------------------------------------------
     # Observability

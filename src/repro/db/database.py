@@ -161,6 +161,7 @@ class ShapeDatabase:
         degraded: bool = True,
         timeout: Optional[float] = None,
         retries: int = 1,
+        pool: str = "persistent",
     ) -> BulkInsertResult:
         """Bulk insertion with optional parallel feature extraction.
 
@@ -176,7 +177,9 @@ class ShapeDatabase:
         keeps partial feature sets (the record is inserted with
         ``metadata["degraded"] = "1"`` plus per-feature failure codes),
         ``timeout``/``retries`` bound each extraction's wall clock using
-        killable worker processes.
+        killable worker processes, and ``pool`` selects the timeout-path
+        strategy (``"persistent"`` reusable workers vs ``"fork"``
+        one-process-per-task).
         """
         if self.pipeline is None:
             raise RuntimeError(
@@ -195,10 +198,15 @@ class ShapeDatabase:
             retries=retries,
             validate=validate,
             degraded=degraded,
+            pool=pool,
         )
         metrics = get_registry()
         result = BulkInsertResult()
-        for outcome in parallel.extract_batch(meshes):
+        try:
+            outcomes = parallel.extract_batch(meshes)
+        finally:
+            parallel.close()
+        for outcome in outcomes:
             i = outcome.index
             mesh = meshes[i]
             name = names[i] if names is not None else None
@@ -238,6 +246,83 @@ class ShapeDatabase:
                 result.degraded_ids.append(record.shape_id)
                 metrics.inc("robust.degraded_records")
         return result
+
+    # ------------------------------------------------------------------
+    # Degraded records and background healing
+    # ------------------------------------------------------------------
+    def degraded_records(self) -> List[ShapeRecord]:
+        """Records carrying only a partial feature set, ascending by id.
+
+        These are the shapes degraded-mode ingestion kept alive after a
+        partial extraction failure — the work list of the ``re-extract``
+        background job (:mod:`repro.jobs`)."""
+        return [rec for rec in self if rec.is_degraded()]
+
+    def degraded_ids(self) -> List[int]:
+        """Shape ids of all degraded records, ascending."""
+        return [rec.shape_id for rec in self.degraded_records()]
+
+    def update_features(
+        self,
+        shape_id: int,
+        features: Dict[str, np.ndarray],
+        failures: Optional[Dict[str, "object"]] = None,
+    ) -> None:
+        """Swap a record's feature vectors in place, maintaining indexes.
+
+        Old vectors are de-indexed, the new set indexed; the degraded
+        markers (``metadata["degraded"]`` / ``missing.*``) are rewritten
+        from ``failures`` (cleared when the new set is complete).  The
+        record keeps its id, name, group, and geometry — search results
+        change only through the healed vectors.
+        """
+        record = self.get(shape_id)
+        for fname, vec in record.features.items():
+            index = self._indexes.get(fname)
+            if index is not None:
+                index.delete(vec, shape_id)
+        record.features = dict(features)
+        record.metadata = {
+            key: value
+            for key, value in record.metadata.items()
+            if key != "degraded" and not key.startswith("missing.")
+        }
+        if failures:
+            record.metadata["degraded"] = "1"
+            for fname, failure in sorted(failures.items()):
+                code = getattr(failure, "code", None) or str(failure)
+                record.metadata[f"missing.{fname}"] = code
+        for fname, vec in record.features.items():
+            self._index_for(fname, len(vec)).insert(vec, shape_id)
+
+    def reextract_record(self, shape_id: int) -> Dict[str, np.ndarray]:
+        """Re-run *full* extraction for one record and heal it in place.
+
+        Used by the ``re-extract`` background job to upgrade degraded
+        records to the complete feature set.  Raises when the database
+        has no pipeline, the record carries no geometry, or extraction
+        still fails — the job layer turns that into a failed/dead job.
+        Returns the healed feature dict.
+        """
+        from ..robust.errors import FeatureExtractionError
+
+        record = self.get(shape_id)
+        if self.pipeline is None:
+            raise RuntimeError(
+                "database has no feature pipeline; cannot re-extract"
+            )
+        if record.mesh is None:
+            raise FeatureExtractionError(
+                f"record {shape_id} has no stored geometry to re-extract",
+                code="extract.no_geometry",
+            )
+        with get_registry().timed("db.reextract"):
+            features = self.pipeline.extract(record.mesh)
+        was_degraded = record.is_degraded()
+        self.update_features(shape_id, features)
+        if was_degraded:
+            get_registry().inc("robust.healed_records")
+        return features
 
     def insert_record(self, record: ShapeRecord) -> int:
         """Insert a pre-built record (id of 0 or taken ids are reassigned)."""

@@ -10,6 +10,15 @@ Format version 2 adds integrity checking: the manifest carries a SHA-256
 checksum for every data file it points at, and loads verify them before
 trusting the contents.  Version-1 directories (no checksums) still load.
 
+Manifests additionally carry a *per-record* feature checksum (a SHA-256
+over the record's feature names and array bytes), so an integrity
+failure inside the shared ``features.npz`` archive can be pinned to the
+specific records it touches: strict loads raise an error naming the
+offending shape ids, salvage loads drop exactly those records, and
+:func:`verify_database` reports them as ``record:<id>`` entries.
+Directories written before the field existed simply skip the per-record
+check.
+
 Saves are atomic at the *directory* level: the whole database is written
 into a temporary sibling directory and swapped into place with renames,
 so a crashed or concurrent save can never leave a half-written database
@@ -76,6 +85,18 @@ def _file_sha256(path: str) -> str:
     return digest.hexdigest()
 
 
+def _features_digest(features: Dict[str, np.ndarray]) -> str:
+    """Order-independent SHA-256 over one record's feature vectors."""
+    digest = hashlib.sha256()
+    for fname in sorted(features):
+        arr = np.ascontiguousarray(
+            np.asarray(features[fname], dtype=np.float64)
+        )
+        digest.update(fname.encode("utf-8"))
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
 def _write_database(records: List[ShapeRecord], root: str) -> None:
     """Write a complete database directory (not atomic by itself)."""
     mesh_dir = os.path.join(root, MESH_DIR)
@@ -99,6 +120,7 @@ def _write_database(records: List[ShapeRecord], root: str) -> None:
                 "name": rec.name,
                 "group": rec.group,
                 "features": sorted(rec.features),
+                "feature_checksum": _features_digest(rec.features),
                 "has_mesh": has_mesh,
                 "metadata": rec.metadata,
             }
@@ -208,15 +230,11 @@ def _load_impl(
     problems = _verify_checksums(root, manifest)
     # Mesh-file problems are handled per record below (so strict loads
     # keep the historical "missing mesh file for id N" error and
-    # ``load_meshes=False`` keeps tolerating absent geometry); only a
-    # corrupt feature archive fails the whole strict load up front.
-    if strict and FEATURES_NAME in problems:
-        raise StorageError(
-            f"{root}: integrity check failed for {FEATURES_NAME}: "
-            f"{problems[FEATURES_NAME]}; "
-            "pass strict=False to salvage intact records",
-            code="storage.corrupt",
-        )
+    # ``load_meshes=False`` keeps tolerating absent geometry).  A corrupt
+    # feature archive no longer fails the strict load up front either:
+    # the per-record pass below pinpoints which records it touches, and
+    # the strict error names them.
+    archive_problem = problems.get(FEATURES_NAME)
 
     features_path = os.path.join(root, FEATURES_NAME)
     arrays: Dict[str, np.ndarray] = {}
@@ -236,15 +254,14 @@ def _load_impl(
             npz_reason = f"{type(exc).__name__}: {exc}"
     elif FEATURES_NAME in manifest.get("checksums", {}):
         npz_reason = "file missing"
-    if strict and (bad_keys or npz_reason):
-        raise StorageError(
-            f"{root}: cannot read {FEATURES_NAME}: "
-            f"{npz_reason or '; '.join(sorted(bad_keys.values()))}",
-            code="storage.corrupt",
-        )
+    archive_suspect = bool(archive_problem or bad_keys or npz_reason)
 
     records: List[ShapeRecord] = []
     dropped: List[DroppedRecord] = []
+    #: (shape_id, name, reason) of records whose *feature data* failed
+    #: integrity — what a strict load reports instead of "the archive is
+    #: corrupt somewhere".
+    corrupt_features: List[Tuple[int, str, str]] = []
     for item in manifest["records"]:
         shape_id = int(item["shape_id"])
         name = item["name"]
@@ -261,13 +278,21 @@ def _load_impl(
                 reason = f"{FEATURES_NAME} unreadable: {npz_reason}"
                 break
             else:
-                if strict:
+                if strict and not archive_suspect:
                     raise StorageError(
                         f"{root}: missing feature array {key!r}",
                         code="storage.missing_data",
                     )
                 reason = f"missing feature array {key!r}"
                 break
+        # Per-record checksum: pinpoints corruption the member-level CRC
+        # cannot see (e.g. substituted data with a re-checksummed file).
+        expected_digest = item.get("feature_checksum")
+        if reason is None and expected_digest is not None:
+            if _features_digest(features) != expected_digest:
+                reason = "feature data fails its per-record checksum"
+        if reason is not None:
+            corrupt_features.append((shape_id, name, reason))
         mesh = None
         if reason is None and load_meshes and item.get("has_mesh"):
             rel = f"{MESH_DIR}/{shape_id}.off"
@@ -312,6 +337,23 @@ def _load_impl(
                 metadata=dict(item.get("metadata", {})),
             )
         )
+    if strict and (corrupt_features or archive_suspect):
+        if corrupt_features:
+            detail = "corrupt record(s): " + "; ".join(
+                f"id {sid} ({name}): {why}"
+                for sid, name, why in corrupt_features
+            )
+        else:
+            detail = (
+                archive_problem
+                or npz_reason
+                or "; ".join(sorted(bad_keys.values()))
+            )
+        raise StorageError(
+            f"{root}: integrity check failed for {FEATURES_NAME}: "
+            f"{detail}; pass strict=False to salvage intact records",
+            code="storage.corrupt",
+        )
     if dropped:
         get_registry().inc("robust.dropped_records", len(dropped))
     return records, dropped
@@ -347,11 +389,54 @@ def salvage_records(
 
 
 def verify_database(directory: Union[str, os.PathLike]) -> Dict[str, str]:
-    """Integrity report of a database directory without loading records.
+    """Integrity report of a database directory without loading meshes.
 
-    Returns relpath -> problem for every file failing its manifest
-    checksum (empty dict = clean).  Version-1 directories have no
-    checksums and always report clean.
+    Returns problem descriptions keyed by relpath for every file failing
+    its manifest checksum, plus ``record:<shape_id>`` entries for every
+    record whose feature data fails its per-record checksum — so one
+    flipped byte in the shared archive is attributed to the specific
+    records it damaged.  Empty dict = clean.  Version-1 directories have
+    no checksums and always report clean.
     """
     root = os.fspath(directory)
-    return _verify_checksums(root, _read_manifest(root))
+    manifest = _read_manifest(root)
+    problems = _verify_checksums(root, manifest)
+
+    record_items = manifest.get("records", [])
+    if not any("feature_checksum" in item for item in record_items):
+        return problems
+    features_path = os.path.join(root, FEATURES_NAME)
+    arrays: Dict[str, np.ndarray] = {}
+    bad_keys: set = set()
+    if os.path.exists(features_path):
+        try:
+            with np.load(features_path) as data:
+                for key in data.files:
+                    try:
+                        arrays[key] = np.asarray(data[key])
+                    except Exception:
+                        bad_keys.add(key)
+        except Exception:
+            # Whole-archive unreadability is already reported (or will
+            # be) by the file-level checksum entry.
+            return problems
+    for item in record_items:
+        expected = item.get("feature_checksum")
+        if expected is None:
+            continue
+        shape_id = int(item["shape_id"])
+        features: Dict[str, np.ndarray] = {}
+        trouble: Optional[str] = None
+        for fname in item["features"]:
+            key = f"{shape_id}/{fname}"
+            if key in arrays:
+                features[fname] = arrays[key]
+            else:
+                state = "corrupt" if key in bad_keys else "missing"
+                trouble = f"feature array {key!r} {state}"
+                break
+        if trouble is None and _features_digest(features) != expected:
+            trouble = "feature data fails its per-record checksum"
+        if trouble is not None:
+            problems[f"record:{shape_id}"] = trouble
+    return problems

@@ -20,10 +20,16 @@ adds what the raw pool does not give:
   skeletonization (or any feature subset) fails still yields the feature
   vectors that *can* be computed, marked partial via ``failures``;
 * **worker timeouts + bounded retries** — with ``task_timeout`` set, each
-  task runs in its own killable worker process; a hung or OOM-killed
-  worker is terminated at the deadline and the task retried once on a
-  fresh process (``retries``) before being reported as a failure.  No
-  deadlocked pools, ever;
+  task runs in a killable worker process; a hung or OOM-killed worker is
+  killed at the deadline and the task retried once on a fresh process
+  (``retries``) before being reported as a failure.  Deterministic
+  failures (any non-retryable :mod:`repro.robust` code) short-circuit
+  the retry budget.  No deadlocked pools, ever;
+* **pool strategies** — ``pool="persistent"`` (default) serves the
+  timeout path from a reusable :class:`repro.jobs.pool.WorkerPool`:
+  long-lived workers fed over pipes, only the offending worker killed
+  and respawned on a deadline.  ``pool="fork"`` keeps the PR-3
+  one-process-per-task behaviour;
 * **cache integration** — when the wrapped pipeline is a
   :class:`~repro.features.cache.CachingPipeline`, cached shapes are
   answered in the parent process and only misses are shipped to workers;
@@ -165,6 +171,31 @@ def _extract_in_worker(
         return index, None, {}, classify_exception(exc)
 
 
+@dataclass(frozen=True)
+class _ExtractionWorkerFactory:
+    """Picklable per-worker initializer for the persistent pool.
+
+    Executed once inside each :class:`~repro.jobs.pool.WorkerPool`
+    worker: builds the pipeline (extractor objects constructed once per
+    *process*, not per task) and returns the mesh -> (features,
+    failures) task handler.
+    """
+
+    spec: PipelineSpec
+    degraded: bool
+
+    def __call__(self):
+        pipeline = self.spec.build()
+        degraded = self.degraded
+
+        def handle(mesh):
+            if degraded:
+                return pipeline.extract_partial(mesh)
+            return pipeline.extract(mesh), {}
+
+        return handle
+
+
 def _subprocess_extract(spec, degraded, index, mesh, conn) -> None:
     """Entry point of a killable one-task worker (timeout path)."""
     try:
@@ -209,14 +240,23 @@ class ParallelPipeline:
         subprocess isolation.
     task_timeout:
         Per-task wall-clock budget in seconds.  When set, every task runs
-        in its own worker process that is *terminated* at the deadline; a
+        in a killable worker process that is *killed* at the deadline; a
         timed-out or crashed task is retried ``retries`` times on a fresh
         worker before its outcome is recorded as a failure
         (``extract.timeout`` / ``extract.worker_crash``).
+    pool:
+        Worker strategy for the timeout path.  ``"persistent"``
+        (default) reuses long-lived killable workers from a
+        :class:`repro.jobs.pool.WorkerPool` — W forks per batch instead
+        of one fork per task; only a worker that times out or crashes is
+        killed and respawned.  ``"fork"`` forks one process per task
+        (the PR-3 behaviour).  Ignored without ``task_timeout``.
     retries:
         Extra attempts after a timeout or worker crash (default 1: "one
-        retry on a fresh worker").  Deterministic extraction errors are
-        never retried — the same mesh fails the same way.
+        retry on a fresh worker").  Deterministic extraction errors
+        (non-retryable :mod:`repro.robust` codes, e.g. a
+        ``MeshValidationError``) are never retried — the same mesh fails
+        the same way, so they short-circuit the budget.
     validate:
         Run :func:`repro.robust.validate.check_mesh` before extraction;
         invalid meshes become validation-stage failures without touching
@@ -234,6 +274,7 @@ class ParallelPipeline:
         retries: int = 1,
         validate: bool = False,
         degraded: bool = False,
+        pool: str = "persistent",
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -241,12 +282,33 @@ class ParallelPipeline:
             raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if pool not in ("persistent", "fork"):
+            raise ValueError(
+                f"pool must be 'persistent' or 'fork', got {pool!r}"
+            )
         self.pipeline = pipeline
         self.workers = int(workers)
         self.task_timeout = task_timeout
         self.retries = int(retries)
         self.validate = bool(validate)
         self.degraded = bool(degraded)
+        self.pool = pool
+        self._worker_pool = None  # lazy WorkerPool (persistent path)
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool, if one was spawned.
+
+        Safe to call repeatedly; the pool respawns on the next batch.
+        """
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
+
+    def __enter__(self) -> "ParallelPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- pipeline interface forwarding --------------------------------
     @property
@@ -289,7 +351,10 @@ class ParallelPipeline:
 
         with metrics.timed("parallel.batch"):
             if self.task_timeout is not None and pending:
-                self._run_timeout_pool(meshes, pending, outcomes)
+                if self.pool == "persistent":
+                    self._run_persistent_pool(meshes, pending, outcomes)
+                else:
+                    self._run_timeout_pool(meshes, pending, outcomes)
             elif self.workers <= 1 or len(pending) <= 1:
                 self._run_serial(meshes, pending, outcomes)
             else:
@@ -375,7 +440,48 @@ class ParallelPipeline:
                 )
                 self._fold_into_cache(cache, meshes[index], features, failures)
 
-    # -- killable per-task workers (timeout path) ---------------------
+    # -- reusable killable workers (persistent timeout path) ----------
+    def _run_persistent_pool(
+        self,
+        meshes: Sequence[TriangleMesh],
+        pending: Sequence[int],
+        outcomes: List[Optional[ExtractionOutcome]],
+    ) -> None:
+        from ..jobs.pool import WorkerPool
+
+        cache = self.pipeline if hasattr(self.pipeline, "remember") else None
+        if self._worker_pool is None:
+            self._worker_pool = WorkerPool(
+                _ExtractionWorkerFactory(
+                    PipelineSpec.of(self.pipeline), self.degraded
+                ),
+                workers=max(1, min(self.workers, len(pending))),
+                task_timeout=self.task_timeout,
+                retries=self.retries,
+                name="pool",
+            )
+        metrics = get_registry()
+        results = self._worker_pool.map([meshes[i] for i in pending])
+        for i, task in zip(pending, results):
+            if task.failure is not None:
+                if task.failure.code == "extract.timeout":
+                    metrics.inc("robust.worker_timeouts")
+                elif task.failure.code == "extract.worker_crash":
+                    metrics.inc("robust.worker_crashes")
+                outcomes[i] = ExtractionOutcome.from_failure(
+                    i, task.failure, attempts=task.attempts
+                )
+                continue
+            features, failures = task.value
+            outcomes[i] = ExtractionOutcome(
+                index=i,
+                features=features,
+                failures=failures,
+                attempts=task.attempts,
+            )
+            self._fold_into_cache(cache, meshes[i], features, failures)
+
+    # -- killable per-task workers (fork-per-task timeout path) -------
     def _run_timeout_pool(
         self,
         meshes: Sequence[TriangleMesh],

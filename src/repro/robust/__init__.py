@@ -16,6 +16,7 @@ persistence in :mod:`repro.db.storage`; degraded-mode search in
 """
 
 from .errors import (
+    RETRYABLE_CODES,
     FailureInfo,
     FeatureExtractionError,
     MeshValidationError,
@@ -26,6 +27,7 @@ from .errors import (
     WorkerCrashError,
     WorkerTimeoutError,
     classify_exception,
+    is_retryable,
     traceback_digest,
 )
 from .quarantine import QuarantineItem, QuarantineReport
@@ -43,6 +45,8 @@ __all__ = [
     "FailureInfo",
     "classify_exception",
     "traceback_digest",
+    "RETRYABLE_CODES",
+    "is_retryable",
     "validate_mesh",
     "check_mesh",
     "QuarantineItem",

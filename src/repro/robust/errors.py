@@ -34,6 +34,8 @@ __all__ = [
     "FailureInfo",
     "classify_exception",
     "traceback_digest",
+    "RETRYABLE_CODES",
+    "is_retryable",
 ]
 
 
@@ -149,6 +151,32 @@ class FailureInfo:
 
     def to_dict(self) -> Dict[str, str]:
         return asdict(self)
+
+
+#: Failure codes worth a fresh-worker retry: the worker (not the input)
+#: was the problem, so a second attempt can genuinely succeed.  Every
+#: deterministic pipeline error — validation, voxelization, skeleton
+#: non-convergence — fails the same mesh the same way on every attempt,
+#: so retrying only burns the budget re-proving it.
+RETRYABLE_CODES = frozenset(
+    {
+        "extract.timeout",
+        "extract.worker_crash",
+        "extract.MemoryError",
+    }
+)
+
+
+def is_retryable(code: str) -> bool:
+    """Whether a failure code describes a *transient* (environmental)
+    failure that may pass on a fresh worker, as opposed to a
+    deterministic property of the input.
+
+    Used by the worker pools to short-circuit the retry budget:
+    a :class:`MeshValidationError` or any other permanent taxonomy code
+    is reported after the first attempt, never re-forked.
+    """
+    return code in RETRYABLE_CODES
 
 
 def classify_exception(exc: BaseException) -> FailureInfo:

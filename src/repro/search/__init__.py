@@ -1,5 +1,12 @@
 """Search tier: similarity, query engine, multi-step, relevance feedback."""
 
+from .api import (
+    SEARCH_MODES,
+    SearchHit,
+    SearchRequest,
+    SearchResponse,
+    execute_search,
+)
 from .batch import BatchScorer
 from .combined import (
     CombinedFeedbackSession,
@@ -30,6 +37,11 @@ from .similarity import (
 )
 
 __all__ = [
+    "SearchRequest",
+    "SearchHit",
+    "SearchResponse",
+    "SEARCH_MODES",
+    "execute_search",
     "SearchEngine",
     "CombinedSimilarity",
     "combined_search",

@@ -1,0 +1,227 @@
+"""Unified query API: one request object, one entry point.
+
+PR-5 grew three parallel entry points on the facade
+(``query_by_example`` / ``query_by_threshold`` / ``multi_step``), each
+with its own signature.  This module replaces them with a single
+declarative :class:`SearchRequest` executed by ``ThreeDESS.search()``:
+
+>>> response = system.search(SearchRequest(query=mesh, mode="knn", k=5))
+>>> response.hits[0].shape_id, response.hits[0].similarity
+
+The response carries per-hit *provenance* the legacy methods never
+exposed: the raw distance and the Eq. 4.4 similarity side by side,
+whether the hit is a degraded record (partial feature set — see
+``docs/ROBUSTNESS.md``), and whether the retrieval ran through the
+R-tree index or the vectorized linear-scan fallback.
+
+The legacy facade methods remain as thin shims emitting
+``DeprecationWarning`` (see the migration table in ``docs/API.md``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .engine import Query, SearchEngine, SearchResult
+from .multistep import MultiStepPlan, multi_step_search
+
+__all__ = [
+    "SearchRequest",
+    "SearchHit",
+    "SearchResponse",
+    "SEARCH_MODES",
+    "execute_search",
+    "deprecated_shim",
+]
+
+#: Supported values of :attr:`SearchRequest.mode`.
+SEARCH_MODES = ("knn", "threshold", "multi_step")
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """A declarative query against the system.
+
+    Parameters
+    ----------
+    query:
+        A database shape ID, a fresh :class:`TriangleMesh`, or a raw
+        feature vector (resolved per Fig. 2 of the paper).
+    mode:
+        ``"knn"`` (k most similar), ``"threshold"`` (every shape whose
+        Eq. 4.4 similarity exceeds ``threshold``), or ``"multi_step"``
+        (Section 4.2 pool-then-filter).
+    feature_name:
+        Feature space for ``knn``/``threshold`` modes (ignored by
+        ``multi_step``, which takes its spaces from ``steps``).
+    k:
+        Result budget for ``knn`` mode.
+    threshold:
+        Similarity cutoff in [0, 1] for ``threshold`` mode.
+    steps:
+        Optional ``(feature_name, keep)`` pairs for ``multi_step`` mode;
+        None uses the paper's plan (pool of 30 under moment invariants,
+        top 10 reranked by geometric parameters).
+    exclude_query:
+        Drop the query shape itself from the ranking when the query is a
+        database ID (the paper never counts it).
+    use_index:
+        Permit the R-tree index; ``False`` forces the linear scan (the
+        engine also falls back on its own when a space has no index).
+    """
+
+    query: Query
+    mode: str = "knn"
+    feature_name: str = "principal_moments"
+    k: int = 10
+    threshold: float = 0.9
+    steps: Optional[Tuple[Tuple[str, int], ...]] = None
+    exclude_query: bool = True
+    use_index: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in SEARCH_MODES:
+            raise ValueError(
+                f"unknown search mode {self.mode!r}; expected one of "
+                f"{', '.join(SEARCH_MODES)}"
+            )
+        if self.mode == "knn" and self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.mode == "threshold" and not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in [0, 1], got {self.threshold}"
+            )
+        if self.steps is not None:
+            # Normalize to a tuple of tuples so the request stays
+            # hashable/frozen even when built from lists.
+            object.__setattr__(
+                self,
+                "steps",
+                tuple((str(name), int(keep)) for name, keep in self.steps),
+            )
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One retrieved shape, with provenance.
+
+    Extends the legacy :class:`SearchResult` tuple of (id, distance,
+    similarity, rank) with where the hit came from: ``degraded`` flags a
+    record carrying only a partial feature set, ``path`` records whether
+    this retrieval went through the R-tree (``"index"``) or the
+    vectorized linear scan (``"linear"``).
+    """
+
+    shape_id: int
+    rank: int
+    distance: float
+    similarity: float
+    name: str = ""
+    group: Optional[str] = None
+    degraded: bool = False
+    path: str = "index"
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    """Outcome of one :class:`SearchRequest`."""
+
+    request: SearchRequest
+    hits: Tuple[SearchHit, ...] = ()
+    #: Retrieval path of the (first) index probe: "index" or "linear".
+    path: str = "index"
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+    def __iter__(self):
+        return iter(self.hits)
+
+    @property
+    def shape_ids(self) -> List[int]:
+        return [hit.shape_id for hit in self.hits]
+
+    def to_results(self) -> List[SearchResult]:
+        """Downgrade to the legacy ``List[SearchResult]`` shape (used by
+        the deprecated facade shims)."""
+        return [
+            SearchResult(
+                shape_id=hit.shape_id,
+                distance=hit.distance,
+                similarity=hit.similarity,
+                rank=hit.rank,
+                name=hit.name,
+                group=hit.group,
+            )
+            for hit in self.hits
+        ]
+
+
+def _retrieval_path(
+    engine: SearchEngine, feature_name: str, use_index: bool
+) -> str:
+    """Mirror the engine's index-vs-linear dispatch for provenance."""
+    if use_index and engine.database.has_index(feature_name):
+        return "index"
+    return "linear"
+
+
+def execute_search(engine: SearchEngine, request: SearchRequest) -> SearchResponse:
+    """Run a :class:`SearchRequest` against a :class:`SearchEngine`."""
+    if request.mode == "knn":
+        path = _retrieval_path(engine, request.feature_name, request.use_index)
+        results = engine.search_knn(
+            request.query,
+            request.feature_name,
+            k=request.k,
+            exclude_query=request.exclude_query,
+            use_index=request.use_index,
+        )
+    elif request.mode == "threshold":
+        path = _retrieval_path(engine, request.feature_name, request.use_index)
+        results = engine.search_threshold(
+            request.query,
+            request.feature_name,
+            threshold=request.threshold,
+            exclude_query=request.exclude_query,
+            use_index=request.use_index,
+        )
+    else:  # multi_step
+        plan = (
+            MultiStepPlan(list(request.steps))
+            if request.steps is not None
+            else None
+        )
+        pool_feature = (
+            request.steps[0][0] if request.steps else "moment_invariants"
+        )
+        path = _retrieval_path(engine, pool_feature, request.use_index)
+        results = multi_step_search(
+            engine, request.query, plan, exclude_query=request.exclude_query
+        )
+    hits = tuple(
+        SearchHit(
+            shape_id=r.shape_id,
+            rank=r.rank,
+            distance=r.distance,
+            similarity=r.similarity,
+            name=r.name,
+            group=r.group,
+            degraded=engine.database.get(r.shape_id).is_degraded(),
+            path=path,
+        )
+        for r in results
+    )
+    return SearchResponse(request=request, hits=hits, path=path)
+
+
+def deprecated_shim(old: str, replacement: str) -> None:
+    """Emit the one-line migration warning of a legacy facade method."""
+    warnings.warn(
+        f"ThreeDESS.{old}() is deprecated; build a SearchRequest and call "
+        f"ThreeDESS.search() instead ({replacement}); see docs/API.md",
+        DeprecationWarning,
+        stacklevel=3,
+    )

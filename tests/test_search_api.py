@@ -1,0 +1,173 @@
+"""Tests for the unified query API (:mod:`repro.search.api`).
+
+These tests exercise only the new ``SearchRequest``/``search()`` surface
+directly (the deprecated shims are called solely under
+``pytest.deprecated_call``), so the suite stays green under
+``python -W error::DeprecationWarning`` — the CI leg that proves the
+project itself is off the legacy API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SearchHit, SearchRequest, SearchResponse, SystemConfig, ThreeDESS
+from repro.geometry.primitives import box, cylinder, tube
+from repro.search.api import SEARCH_MODES, execute_search
+from repro.search.engine import SearchResult
+
+RES = 10
+
+
+@pytest.fixture(scope="module")
+def system():
+    sys3d = ThreeDESS(SystemConfig(voxel_resolution=RES))
+    sys3d.insert(box((2, 3, 4)), name="b1", group="boxes")
+    sys3d.insert(box((2.1, 3.1, 3.9)), name="b2", group="boxes")
+    sys3d.insert(box((5, 5, 1)), name="plate")
+    sys3d.insert(cylinder(2, 6), name="rod", group="rods")
+    sys3d.insert(tube(3, 2, 5), name="bushing")
+    return sys3d
+
+
+class TestSearchRequestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            SearchRequest(query=1, mode="psychic")
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError, match="k must be"):
+            SearchRequest(query=1, mode="knn", k=0)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SearchRequest(query=1, mode="threshold", threshold=1.5)
+
+    def test_threshold_bounds_inclusive(self):
+        SearchRequest(query=1, mode="threshold", threshold=0.0)
+        SearchRequest(query=1, mode="threshold", threshold=1.0)
+
+    def test_steps_normalized_to_tuples(self):
+        request = SearchRequest(
+            query=1,
+            mode="multi_step",
+            steps=[("principal_moments", 3), ("geometric_params", 2)],
+        )
+        assert request.steps == (
+            ("principal_moments", 3),
+            ("geometric_params", 2),
+        )
+
+    def test_modes_catalog(self):
+        assert SEARCH_MODES == ("knn", "threshold", "multi_step")
+
+
+class TestUnifiedSearch:
+    def test_knn_response_shape(self, system):
+        response = system.search(SearchRequest(query=1, mode="knn", k=3))
+        assert isinstance(response, SearchResponse)
+        assert len(response) == 3
+        assert response.shape_ids[0] == 2  # the near-duplicate box
+        hit = response.hits[0]
+        assert isinstance(hit, SearchHit)
+        assert hit.rank == 1
+        assert hit.name == "b2" and hit.group == "boxes"
+        assert 0.0 <= hit.similarity <= 1.0
+        assert hit.distance >= 0.0
+        assert [h.rank for h in response] == [1, 2, 3]
+
+    def test_threshold_mode(self, system):
+        response = system.search(
+            SearchRequest(query=1, mode="threshold", threshold=0.0)
+        )
+        # threshold 0 admits every other shape.
+        assert len(response) == len(system) - 1
+
+    def test_multi_step_mode(self, system):
+        response = system.search(
+            SearchRequest(
+                query=1,
+                mode="multi_step",
+                steps=(("principal_moments", 4), ("geometric_params", 2)),
+            )
+        )
+        assert len(response) == 2
+
+    def test_mesh_query(self, system):
+        response = system.search(
+            SearchRequest(query=box((2, 3, 4)), mode="knn", k=1)
+        )
+        assert response.shape_ids == [1]
+
+    def test_index_vs_linear_provenance(self, system):
+        indexed = system.search(SearchRequest(query=1, mode="knn", k=2))
+        linear = system.search(
+            SearchRequest(query=1, mode="knn", k=2, use_index=False)
+        )
+        assert indexed.path == "index"
+        assert all(h.path == "index" for h in indexed.hits)
+        assert linear.path == "linear"
+        assert all(h.path == "linear" for h in linear.hits)
+        # Both paths retrieve the same ranking.
+        assert indexed.shape_ids == linear.shape_ids
+
+    def test_degraded_provenance(self):
+        sys3d = ThreeDESS(SystemConfig(voxel_resolution=RES))
+        sys3d.insert(box((2, 3, 4)), name="clean")
+        sys3d.insert(box((2.1, 3.1, 3.9)), name="tainted")
+        # Mark record 2 degraded the way faulted ingestion does.
+        record = sys3d.database.get(2)
+        record.metadata["degraded"] = "1"
+        response = sys3d.search(SearchRequest(query=1, mode="knn", k=1))
+        assert response.hits[0].shape_id == 2
+        assert response.hits[0].degraded
+
+    def test_to_results_downgrade(self, system):
+        response = system.search(SearchRequest(query=1, mode="knn", k=2))
+        results = response.to_results()
+        assert all(isinstance(r, SearchResult) for r in results)
+        assert [r.shape_id for r in results] == response.shape_ids
+        assert [r.rank for r in results] == [1, 2]
+
+    def test_execute_search_on_engine(self, system):
+        response = execute_search(
+            system.engine, SearchRequest(query=1, mode="knn", k=2)
+        )
+        assert response.shape_ids == system.search(
+            SearchRequest(query=1, mode="knn", k=2)
+        ).shape_ids
+
+
+class TestDeprecatedShims:
+    def test_query_by_example_warns_and_matches(self, system):
+        request = SearchRequest(
+            query=1, mode="knn", feature_name="principal_moments", k=3
+        )
+        new = system.search(request)
+        with pytest.deprecated_call(match="query_by_example"):
+            old = system.query_by_example(1, k=3)
+        assert [r.shape_id for r in old] == new.shape_ids
+        assert [r.distance for r in old] == [h.distance for h in new.hits]
+        assert [r.similarity for r in old] == [h.similarity for h in new.hits]
+
+    def test_query_by_threshold_warns_and_matches(self, system):
+        new = system.search(
+            SearchRequest(query=1, mode="threshold", threshold=0.5)
+        )
+        with pytest.deprecated_call(match="query_by_threshold"):
+            old = system.query_by_threshold(1, threshold=0.5)
+        assert [r.shape_id for r in old] == new.shape_ids
+
+    def test_multi_step_warns_and_matches(self, system):
+        steps = [("principal_moments", 4), ("geometric_params", 2)]
+        new = system.search(
+            SearchRequest(query=1, mode="multi_step", steps=tuple(steps))
+        )
+        with pytest.deprecated_call(match="multi_step"):
+            old = system.multi_step(1, steps=steps)
+        assert [r.shape_id for r in old] == new.shape_ids
+
+    def test_warning_names_migration_target(self, system):
+        with pytest.deprecated_call(match="docs/API.md"):
+            system.query_by_example(1, k=1)
