@@ -5,6 +5,7 @@ Run:  python examples/quickstart.py
 
 from repro import SystemConfig, ThreeDESS
 from repro.geometry import box, cylinder, torus, tube
+from repro.search import SearchRequest
 
 
 def main() -> None:
@@ -29,7 +30,10 @@ def main() -> None:
     print("Query: a 41 x 29 x 10.5 block (not in the database)")
     for feature in ("principal_moments", "moment_invariants"):
         print(f"\nTop-3 under {feature}:")
-        for hit in system.query_by_example(query, feature_name=feature, k=3):
+        response = system.search(
+            SearchRequest(query=query, mode="knn", feature_name=feature, k=3)
+        )
+        for hit in response.hits:
             print(
                 f"  #{hit.rank} {hit.name:16s} similarity={hit.similarity:.3f} "
                 f"group={hit.group}"
@@ -37,7 +41,10 @@ def main() -> None:
 
     # Threshold query: everything at least 90% similar.
     print("\nShapes with similarity >= 0.90 (principal moments):")
-    for hit in system.query_by_threshold(query, threshold=0.90):
+    response = system.search(
+        SearchRequest(query=query, mode="threshold", threshold=0.90)
+    )
+    for hit in response.hits:
         print(f"  {hit.name:16s} similarity={hit.similarity:.3f}")
 
 

@@ -10,14 +10,16 @@ Subcommands::
     three-dess verify DIR            integrity-check a saved DB (exit 6 on damage)
     three-dess jobs run DIR          heal degraded records via the job queue
     three-dess jobs status DIR       show the job queue's state
+    three-dess lint [PATHS...]       project static analysis (RPL rules)
 
 Experiments print exactly the rows/series the benchmark harness checks.
 ``build-db``, ``query``, and ``experiment`` accept ``--profile`` to print
 the per-stage metrics table (see ``docs/OBSERVABILITY.md``) after the run.
 
-Exit codes (see ``docs/ROBUSTNESS.md``)::
+Exit codes are members of :class:`ExitCode` (see ``docs/ROBUSTNESS.md``)::
 
     0  success
+    1  lint found unsuppressed findings
     2  usage error (argparse)
     3  validation / data error (bad mesh, corrupt database, ...)
     4  internal error
@@ -29,6 +31,7 @@ Exit codes (see ``docs/ROBUSTNESS.md``)::
 from __future__ import annotations
 
 import argparse
+import enum
 import os
 import sys
 from typing import List, Optional
@@ -44,15 +47,32 @@ from .search.engine import SearchEngine
 
 EXPERIMENT_NAMES = ["fig4", "fig7", "fig8-12", "fig13-14", "fig15", "fig16", "rtree"]
 
-#: CLI exit codes: keep distinct so scripts can tell bad *data* (retry
-#: with other inputs) from bad *software* (file a bug).
-EXIT_OK = 0
-EXIT_USAGE = 2
-EXIT_DATA = 3
-EXIT_INTERNAL = 4
-EXIT_QUARANTINED = 5
-EXIT_INTEGRITY = 6
-EXIT_JOBS_FAILED = 7
+class ExitCode(enum.IntEnum):
+    """CLI exit codes: kept distinct so scripts can tell bad *data*
+    (retry with other inputs) from bad *software* (file a bug).
+
+    The RPL003 lint rule enforces that every exit path uses a member of
+    this enum, never a numeric literal.
+    """
+
+    OK = 0
+    LINT_FINDINGS = 1
+    USAGE = 2
+    DATA = 3
+    INTERNAL = 4
+    QUARANTINED = 5
+    INTEGRITY = 6
+    JOBS_FAILED = 7
+
+
+# Backward-compatible module-level aliases (pre-enum spelling).
+EXIT_OK = ExitCode.OK
+EXIT_USAGE = ExitCode.USAGE
+EXIT_DATA = ExitCode.DATA
+EXIT_INTERNAL = ExitCode.INTERNAL
+EXIT_QUARANTINED = ExitCode.QUARANTINED
+EXIT_INTEGRITY = ExitCode.INTEGRITY
+EXIT_JOBS_FAILED = ExitCode.JOBS_FAILED
 
 
 def _collect_mesh_files(directory: str) -> List[str]:
@@ -99,7 +119,7 @@ def _cmd_build_db(args: argparse.Namespace) -> int:
                 )
                 if args.on_error == "fail":
                     print(f"error: {path}: {info.format()}", file=sys.stderr)
-                    return EXIT_DATA
+                    return ExitCode.DATA
                 continue
             sources[len(meshes)] = path
             meshes.append(mesh)
@@ -136,7 +156,7 @@ def _cmd_build_db(args: argparse.Namespace) -> int:
             )
         if result.errors and args.on_error == "fail":
             print(report.summary(), file=sys.stderr)
-            return EXIT_DATA
+            return ExitCode.DATA
         print(f"ingested {result.summary()}")
     else:
         db = build_database(
@@ -154,8 +174,8 @@ def _cmd_build_db(args: argparse.Namespace) -> int:
             qdir = args.quarantine_dir or f"{args.directory}.quarantine"
             path = report.write(qdir)
             print(f"quarantine report -> {path}")
-            return EXIT_QUARANTINED
-    return EXIT_OK
+            return ExitCode.QUARANTINED
+    return ExitCode.OK
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -174,7 +194,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     bench.write_bench(report, output)
     print(bench.format_summary(report))
     print(f"\nreport written -> {output}")
-    return 0
+    return ExitCode.OK
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -193,7 +213,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"{hit.name}{flag}"
         )
     print(f"({len(response.hits)} hits via {response.path} path)")
-    return 0
+    return ExitCode.OK
 
 
 def _cmd_browse(args: argparse.Namespace) -> int:
@@ -207,7 +227,7 @@ def _cmd_browse(args: argparse.Namespace) -> int:
             show(child, indent + 1)
 
     show(root, 0)
-    return 0
+    return ExitCode.OK
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
@@ -219,7 +239,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
         mesh = system.database.get(args.shape_id).mesh
         if mesh is None:
             print(f"shape {args.shape_id} has no stored geometry")
-            return 2
+            return ExitCode.USAGE
     else:
         mesh = load_mesh(args.directory)  # the positional arg is a mesh file
     if args.output.lower().endswith(".svg"):
@@ -227,7 +247,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
     else:
         save_ppm(render_mesh(mesh, size=args.size), args.output)
     print(f"rendered -> {args.output}")
-    return 0
+    return ExitCode.OK
 
 
 def _cmd_sketch(args: argparse.Namespace) -> int:
@@ -240,7 +260,7 @@ def _cmd_sketch(args: argparse.Namespace) -> int:
             "database has no 'view_hu' features; rebuild it with the "
             "view-based descriptor enabled"
         )
-        return 2
+        return ExitCode.USAGE
     image = load_ppm(args.drawing)
     mask = image.mean(axis=2) > args.threshold
     if mask.mean() > 0.5:
@@ -251,7 +271,7 @@ def _cmd_sketch(args: argparse.Namespace) -> int:
     print(f"{'rank':>4s} {'id':>5s} {'distance':>9s}  name")
     for r in results:
         print(f"{r.rank:4d} {r.shape_id:5d} {r.distance:9.4f}  {r.name}")
-    return 0
+    return ExitCode.OK
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -276,7 +296,23 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     print("profiled 4 inserts (1 cache hit) + 1 query-by-example\n")
     print(system.stats_table())
-    return 0
+    return ExitCode.OK
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Delegate to :mod:`repro.lint.cli` (exit 0 clean / 1 findings)."""
+    from .lint.cli import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
 
 
 def _default_queue_path(directory: str) -> str:
@@ -295,7 +331,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     problems = verify_database(args.directory)
     if not problems:
         print(f"{args.directory}: ok")
-        return EXIT_OK
+        return ExitCode.OK
     record_keys = sorted(k for k in problems if k.startswith("record:"))
     file_keys = sorted(k for k in problems if not k.startswith("record:"))
     for key in file_keys + record_keys:
@@ -305,7 +341,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if damaged_ids:
         summary += f"; damaged record ids: {', '.join(damaged_ids)}"
     print(summary, file=sys.stderr)
-    return EXIT_INTEGRITY
+    return ExitCode.INTEGRITY
 
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
@@ -334,7 +370,7 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
                 )
         finally:
             queue.close()
-        return EXIT_OK
+        return ExitCode.OK
 
     # jobs run: heal degraded records of a saved database.
     system = ThreeDESS.load(args.directory, load_meshes=True, strict=False)
@@ -363,8 +399,8 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
                     )
         finally:
             tail.close()
-        return EXIT_JOBS_FAILED
-    return EXIT_OK
+        return ExitCode.JOBS_FAILED
+    return ExitCode.OK
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -375,7 +411,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
         write_report(db, args.output, engine=engine)
         print(f"report written -> {args.output}")
-        return 0
+        return ExitCode.OK
     wanted = EXPERIMENT_NAMES if args.name == "all" else [args.name]
     for name in wanted:
         if name == "fig4":
@@ -404,9 +440,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(exps.exp_rtree_efficiency(db).format())
         else:
             print(f"unknown experiment {name!r}; choose from {EXPERIMENT_NAMES}")
-            return 2
+            return ExitCode.USAGE
         print()
-    return 0
+    return ExitCode.OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -599,6 +635,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_jobs_status.set_defaults(func=_cmd_jobs)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the project static-analysis rules (RPL001-RPL006); "
+        "exit 1 on any unsuppressed finding",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src and "
+        "tests/faults.py)",
+    )
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--select", metavar="CODES", default=None)
+    p_lint.add_argument("--ignore", metavar="CODES", default=None)
+    p_lint.add_argument("--list-rules", action="store_true")
+    p_lint.set_defaults(func=_cmd_lint)
+
     p_stats = sub.add_parser(
         "stats",
         help="profile a self-contained insert+query run and print the "
@@ -629,14 +682,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         code = args.func(args)
     except ReproError as exc:
         print(f"error: [{exc.stage}/{exc.code}] {exc}", file=sys.stderr)
-        return EXIT_DATA
+        return ExitCode.DATA
     except (KeyboardInterrupt, SystemExit):
         raise
+    # repro-lint: disable=RPL001 -- process boundary: the unexpected
     except Exception as exc:
+        # exception is converted to the documented exit code 4 rather
+        # than a traceback, which is this CLI's error contract.
         print(
             f"internal error: {type(exc).__name__}: {exc}", file=sys.stderr
         )
-        return EXIT_INTERNAL
+        return ExitCode.INTERNAL
     if profile:
         print()
         print(obs.render_table())

@@ -301,13 +301,13 @@ class ThreeDESS:
         job completes, so subsequent queries see the healed vectors.
         Returns the :class:`~repro.jobs.runner.JobRunReport`.
         """
-        from ..jobs import RE_EXTRACT, JobQueue, JobRunner, make_reextract_handler
+        from ..jobs import RE_EXTRACT, JobQueue, JobRunner, ReextractHandler
 
         owned = not isinstance(queue, JobQueue)
         q = JobQueue(queue) if owned else queue
         try:
             runner = JobRunner(
-                q, {RE_EXTRACT: make_reextract_handler(self.database)}
+                q, {RE_EXTRACT: ReextractHandler(self.database)}
             )
             report = runner.run(max_jobs=max_jobs)
         finally:

@@ -248,10 +248,12 @@ def _load_impl(
                         # Zip members decompress lazily per key, so one
                         # flipped byte corrupts one member, not the file.
                         arrays[key] = np.asarray(data[key])
+                    # repro-lint: disable=RPL001 -- corruption probe; the
                     except Exception as exc:
                         bad_keys[key] = f"{type(exc).__name__}: {exc}"
+        # repro-lint: disable=RPL001 -- corruption probe; any failure
         except Exception as exc:
-            npz_reason = f"{type(exc).__name__}: {exc}"
+            npz_reason = f"{type(exc).__name__}: {exc}"  # is the finding
     elif FEATURES_NAME in manifest.get("checksums", {}):
         npz_reason = "file missing"
     archive_suspect = bool(archive_problem or bad_keys or npz_reason)
@@ -414,11 +416,13 @@ def verify_database(directory: Union[str, os.PathLike]) -> Dict[str, str]:
                 for key in data.files:
                     try:
                         arrays[key] = np.asarray(data[key])
+                    # repro-lint: disable=RPL001 -- corruption probe;
                     except Exception:
-                        bad_keys.add(key)
+                        bad_keys.add(key)  # the failure IS the finding
+        # repro-lint: disable=RPL001 -- corruption probe; unreadability
         except Exception:
-            # Whole-archive unreadability is already reported (or will
-            # be) by the file-level checksum entry.
+            # is already reported (or will be) by the file-level
+            # checksum entry.
             return problems
     for item in record_items:
         expected = item.get("feature_checksum")

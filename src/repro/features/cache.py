@@ -30,7 +30,7 @@ import numpy as np
 
 from ..geometry.mesh import TriangleMesh
 from ..obs import get_registry
-from ..robust.errors import FailureInfo
+from ..robust.errors import FailureInfo, InvalidParameterError
 from .pipeline import FeaturePipeline
 
 logger = logging.getLogger(__name__)
@@ -97,6 +97,9 @@ class PersistentFeatureStore:
         try:
             with np.load(path) as data:
                 return {name: np.asarray(data[name]) for name in data.files}
+        # documented corruption->miss contract: the failure is logged
+        # and counted, never silently swallowed
+        # repro-lint: disable=RPL001 -- corruption becomes a miss
         except Exception as exc:
             # Truncated/corrupt entry: drop it and treat as a miss — but
             # never silently; corruption here usually means a crashed
@@ -163,7 +166,10 @@ class CachingPipeline:
         store: Optional[PersistentFeatureStore] = None,
     ) -> None:
         if max_entries < 1:
-            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+            raise InvalidParameterError(
+                f"max_entries must be >= 1, got {max_entries}",
+                code="usage.bad_max_entries",
+            )
         self.pipeline = pipeline
         self.max_entries = int(max_entries)
         self.store = store

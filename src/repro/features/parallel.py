@@ -54,7 +54,11 @@ import numpy as np
 
 from ..geometry.mesh import TriangleMesh
 from ..obs import get_registry
-from ..robust.errors import FailureInfo, classify_exception
+from ..robust.errors import (
+    FailureInfo,
+    InvalidParameterError,
+    classify_exception,
+)
 from ..robust.validate import check_mesh
 from .pipeline import FeaturePipeline
 
@@ -209,8 +213,9 @@ def _subprocess_extract(spec, degraded, index, mesh, conn) -> None:
     except Exception as exc:
         try:
             conn.send((None, {}, classify_exception(exc)))
+        # repro-lint: disable=RPL001 -- reply pipe already dead; the
         except Exception:
-            pass  # parent sees EOF and records a crash
+            pass  # parent sees EOF and records a worker crash
     finally:
         conn.close()
 
@@ -277,14 +282,24 @@ class ParallelPipeline:
         pool: str = "persistent",
     ) -> None:
         if workers < 0:
-            raise ValueError(f"workers must be >= 0, got {workers}")
+            raise InvalidParameterError(
+                f"workers must be >= 0, got {workers}",
+                code="usage.bad_workers",
+            )
         if task_timeout is not None and task_timeout <= 0:
-            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+            raise InvalidParameterError(
+                f"task_timeout must be > 0, got {task_timeout}",
+                code="usage.bad_timeout",
+            )
         if retries < 0:
-            raise ValueError(f"retries must be >= 0, got {retries}")
+            raise InvalidParameterError(
+                f"retries must be >= 0, got {retries}",
+                code="usage.bad_retries",
+            )
         if pool not in ("persistent", "fork"):
-            raise ValueError(
-                f"pool must be 'persistent' or 'fork', got {pool!r}"
+            raise InvalidParameterError(
+                f"pool must be 'persistent' or 'fork', got {pool!r}",
+                code="usage.bad_pool",
             )
         self.pipeline = pipeline
         self.workers = int(workers)

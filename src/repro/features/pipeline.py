@@ -15,7 +15,11 @@ import numpy as np
 from ..geometry.mesh import TriangleMesh
 from ..moments.normalization import DEFAULT_TARGET_VOLUME
 from ..obs import get_registry
-from ..robust.errors import FailureInfo, classify_exception
+from ..robust.errors import (
+    FailureInfo,
+    InvalidParameterError,
+    classify_exception,
+)
 from .base import DEFAULT_VOXEL_RESOLUTION, ExtractionContext
 from .registry import PAPER_FEATURES, create_extractor
 
@@ -42,7 +46,10 @@ class FeaturePipeline:
     ) -> None:
         names = list(feature_names) if feature_names is not None else list(PAPER_FEATURES)
         if not names:
-            raise ValueError("pipeline needs at least one feature vector")
+            raise InvalidParameterError(
+                "pipeline needs at least one feature vector",
+                code="usage.no_features",
+            )
         self.extractors = {name: create_extractor(name) for name in names}
         self.voxel_resolution = int(voxel_resolution)
         self.target_volume = float(target_volume)

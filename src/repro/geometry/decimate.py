@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..robust.errors import InvalidParameterError
 from .mesh import MeshError, TriangleMesh
 
 
@@ -35,10 +36,15 @@ def decimate(mesh: TriangleMesh, cell_size: Optional[float] = None, grid: int = 
         raise MeshError("cannot decimate an empty mesh")
     if cell_size is None:
         if grid < 2:
-            raise ValueError(f"grid must be >= 2, got {grid}")
+            raise InvalidParameterError(
+                f"grid must be >= 2, got {grid}", code="usage.bad_grid"
+            )
         cell_size = float(mesh.extents().max()) / grid
     if cell_size <= 0:
-        raise ValueError(f"cell size must be positive, got {cell_size}")
+        raise InvalidParameterError(
+            f"cell size must be positive, got {cell_size}",
+            code="usage.bad_cell_size",
+        )
 
     lo, _ = mesh.bounds()
     keys = np.floor((mesh.vertices - lo) / cell_size).astype(np.int64)

@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..robust.errors import InvalidParameterError
 from .mesh import MeshError, TriangleMesh
 
 
@@ -44,7 +45,10 @@ def jitter_vertices(
     if mesh.n_vertices == 0:
         raise MeshError("cannot perturb an empty mesh")
     if amplitude < 0:
-        raise ValueError(f"amplitude must be >= 0, got {amplitude}")
+        raise InvalidParameterError(
+            f"amplitude must be >= 0, got {amplitude}",
+            code="usage.bad_amplitude",
+        )
     gen = rng if rng is not None else np.random.default_rng()
     scale = amplitude * float(mesh.extents().max())
     if along_normals:

@@ -19,7 +19,13 @@ See ``docs/JOBS.md`` for semantics and the CLI surface
 
 from .pool import TaskResult, WorkerPool
 from .queue import JOB_STATES, Job, JobQueue
-from .runner import RE_EXTRACT, JobRunner, JobRunReport, make_reextract_handler
+from .runner import (
+    RE_EXTRACT,
+    JobRunner,
+    JobRunReport,
+    ReextractHandler,
+    make_reextract_handler,
+)
 
 __all__ = [
     "WorkerPool",
@@ -29,6 +35,7 @@ __all__ = [
     "JOB_STATES",
     "JobRunner",
     "JobRunReport",
+    "ReextractHandler",
     "make_reextract_handler",
     "RE_EXTRACT",
 ]

@@ -33,7 +33,8 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence
+from multiprocessing.connection import Connection
+from typing import Any, Callable, Deque, List, Optional, Sequence, Tuple
 
 from ..obs import get_registry
 from ..robust.errors import FailureInfo, classify_exception, is_retryable
@@ -63,7 +64,7 @@ class TaskResult:
         return self.failure is None
 
 
-def _worker_main(factory, conn) -> None:
+def _worker_main(factory: Callable[[], Callable[[Any], Any]], conn: Connection) -> None:
     """Serve loop of one pool worker.
 
     Builds the per-worker state once (``handler = factory()``), then
@@ -94,8 +95,9 @@ def _worker_main(factory, conn) -> None:
             reply = (task_id, None, classify_exception(exc))
         try:
             conn.send(reply)
+        # repro-lint: disable=RPL001 -- parent end of the pipe is gone;
         except Exception:
-            break  # parent gone; nothing left to serve
+            break  # nothing left to serve, so the worker just exits
     conn.close()
 
 
@@ -216,14 +218,15 @@ class WorkerPool:
     def __enter__(self) -> "WorkerPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __del__(self) -> None:  # best-effort; daemon workers die anyway
         try:
             self.close()
+        # repro-lint: disable=RPL001 -- finalizer during interpreter
         except Exception:
-            pass
+            pass  # teardown; raising here would mask the real exit path
 
     @property
     def alive_workers(self) -> int:
@@ -244,7 +247,9 @@ class WorkerPool:
         results: List[Optional[TaskResult]] = [None] * len(payloads)
         if not payloads:
             return []
-        queue: deque = deque((i, 1) for i in range(len(payloads)))
+        queue: Deque[Tuple[int, int]] = deque(
+            (i, 1) for i in range(len(payloads))
+        )
         max_attempts = 1 + self.retries
 
         def record_failure(index: int, attempt: int, failure: FailureInfo) -> None:

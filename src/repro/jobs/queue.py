@@ -36,7 +36,7 @@ import json
 import os
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, TextIO, Union
 
 from ..obs import get_registry
 from ..robust.errors import FailureInfo
@@ -70,7 +70,8 @@ class Job:
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "Job":
         known = {f for f in cls.__dataclass_fields__}  # tolerate extras
-        return cls(**{k: v for k, v in data.items() if k in known})
+        kwargs = {k: v for k, v in data.items() if k in known}
+        return cls(**kwargs)  # type: ignore[arg-type]
 
     @property
     def finished(self) -> bool:
@@ -94,7 +95,7 @@ class JobQueue:
         self._order: List[str] = []  # enqueue order, for FIFO claims
         #: Journal lines discarded as undecodable during replay.
         self.corrupt_lines = 0
-        self._handle = None
+        self._handle: Optional[TextIO] = None
         self._next_serial = 1
         if os.path.exists(self.path):
             self._replay()
@@ -158,7 +159,7 @@ class JobQueue:
     def __enter__(self) -> "JobQueue":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- producer side ------------------------------------------------

@@ -8,22 +8,28 @@ machine-readable stage/code as an ingestion failure).
 
 The built-in job type is ``re-extract``: re-run full feature extraction
 for one degraded record and swap the healed vectors into the database
-in place (see :func:`make_reextract_handler`).  New job types register
-with :meth:`JobRunner.register`.
+in place (see :class:`ReextractHandler`).  New job types register with
+:meth:`JobRunner.register`; handlers must be module-level picklables
+(enforced by the RPL005 lint rule) so they can also cross worker-pool
+pipes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from ..obs import get_registry
 from ..robust.errors import classify_exception
 from .queue import Job, JobQueue
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..db.database import ShapeDatabase
+
 __all__ = [
     "JobRunner",
     "JobRunReport",
+    "ReextractHandler",
     "make_reextract_handler",
     "RE_EXTRACT",
 ]
@@ -92,7 +98,7 @@ class JobRunner:
         """
         metrics = get_registry()
         report = JobRunReport()
-        seen: set = set()
+        seen: Set[str] = set()
         while max_jobs is None or report.executed < max_jobs:
             candidate = self.queue.peek()
             if candidate is None or candidate.job_id in seen:
@@ -127,7 +133,8 @@ class JobRunner:
         return report
 
 
-def make_reextract_handler(database) -> JobHandler:
+@dataclass
+class ReextractHandler:
     """Handler healing one degraded record per ``re-extract`` job.
 
     The job payload names the record (``{"shape_id": N}``); the handler
@@ -135,12 +142,20 @@ def make_reextract_handler(database) -> JobHandler:
     healed feature vectors into the database in place (indexes updated).
     Raises — failing the job — when the record is gone, carries no
     geometry, or extraction still cannot produce the full set.
+
+    A module-level dataclass (not a closure) so instances are picklable
+    and satisfy the RPL005 handler contract.
     """
 
-    def handle(job: Job) -> Dict[str, object]:
+    database: "ShapeDatabase"
+
+    def __call__(self, job: Job) -> Dict[str, object]:
         shape_id = int(job.payload["shape_id"])
-        was_degraded = database.get(shape_id).is_degraded()
-        database.reextract_record(shape_id)
+        was_degraded = self.database.get(shape_id).is_degraded()
+        self.database.reextract_record(shape_id)
         return {"shape_id": shape_id, "was_degraded": was_degraded}
 
-    return handle
+
+def make_reextract_handler(database: "ShapeDatabase") -> JobHandler:
+    """Back-compat factory; equivalent to ``ReextractHandler(database)``."""
+    return ReextractHandler(database)

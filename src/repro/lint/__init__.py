@@ -1,0 +1,45 @@
+"""``repro.lint`` — project-invariant static analysis.
+
+An AST-based pass (stdlib :mod:`ast`, no third-party deps) enforcing
+the cross-cutting contracts earlier PRs established by convention:
+
+* ``RPL001`` — broad ``except`` must re-raise or classify;
+* ``RPL002`` — metric names must be declared in :mod:`repro.obs.catalog`;
+* ``RPL003`` — exit codes come from an ``ExitCode`` enum, not literals;
+* ``RPL004`` — no internal callers of the deprecated facade queries;
+* ``RPL005`` — job handlers / pool factories must be picklable;
+* ``RPL006`` — pipeline-stage raises use the error taxonomy.
+
+Run it with ``python -m repro.lint`` or ``three-dess lint``; the rule
+catalog and suppression policy live in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from .core import (
+    Diagnostic,
+    LintReport,
+    ModuleSource,
+    Rule,
+    all_rules,
+    collect_files,
+    get_rule,
+    lint_paths,
+    lint_source,
+    rule,
+)
+from .reporters import REPORT_SCHEMA_VERSION, render_json, render_text
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "ModuleSource",
+    "Rule",
+    "all_rules",
+    "collect_files",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "rule",
+    "render_json",
+    "render_text",
+    "REPORT_SCHEMA_VERSION",
+]

@@ -1,0 +1,339 @@
+"""Core machinery of the project linter: diagnostics, inline
+suppressions, the rule registry, and the file walker.
+
+Rules are plain functions registered with :func:`rule`; each receives a
+parsed :class:`ModuleSource` and yields :class:`Diagnostic` objects.
+Suppression comments follow the form::
+
+    risky()  # repro-lint: disable=RPL001 -- justification here
+    # repro-lint: disable=RPL001,RPL003 -- applies to the next line
+    # repro-lint: disable=all -- nuclear option, avoid
+
+A suppression is effective on its own line and on the line directly
+below it (so a standalone comment can cover the flagged statement).
+Suppressed findings are counted but not reported.  ``RPL000`` (file
+does not parse) can never be suppressed or deselected.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+__all__ = [
+    "Diagnostic",
+    "ModuleSource",
+    "Rule",
+    "RuleFunc",
+    "rule",
+    "all_rules",
+    "get_rule",
+    "PARSE_ERROR",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "collect_files",
+]
+
+#: Code reserved for files that fail to parse; always active.
+PARSE_ERROR = "RPL000"
+
+_CODE_RE = re.compile(r"RPL\d{3}\Z")
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)\s*(?:--.*)?$"
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule code anchored to a file position."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: CODE message`` (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def _parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Line number (1-based) -> codes disabled *on* that line."""
+    table: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        codes = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        if codes:
+            table[lineno] = codes
+    return table
+
+
+@dataclass
+class ModuleSource:
+    """A parsed module handed to every rule."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: line -> codes suppressed on that line (see module docstring).
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleSource":
+        """Parse ``source``; propagates ``SyntaxError``."""
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            suppressions=_parse_suppressions(source),
+        )
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Whether ``code`` is disabled at ``line`` (same line, or a
+        standalone comment on the line above)."""
+        if code == PARSE_ERROR:
+            return False
+        for candidate in (line, line - 1):
+            codes = self.suppressions.get(candidate)
+            if codes and (code in codes or "all" in codes):
+                return True
+        return False
+
+
+RuleFunc = Callable[[ModuleSource], Iterator[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: its code, one-line summary, and checker."""
+
+    code: str
+    name: str
+    summary: str
+    check: RuleFunc
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, summary: str) -> Callable[[RuleFunc], RuleFunc]:
+    """Class-less registration decorator for rule functions."""
+    if not _CODE_RE.match(code):
+        raise ValueError(f"rule code must match RPLnnn, got {code!r}")
+
+    def decorate(func: RuleFunc) -> RuleFunc:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate rule code {code}")
+        _REGISTRY[code] = Rule(code=code, name=name, summary=summary, check=func)
+        return func
+
+    return decorate
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Registered rules, ordered by code."""
+    _ensure_builtin_rules()
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def get_rule(code: str) -> Optional[Rule]:
+    _ensure_builtin_rules()
+    return _REGISTRY.get(code)
+
+
+def _ensure_builtin_rules() -> None:
+    # Import for the registration side effect; late import avoids a
+    # cycle (rules.py imports this module for the decorator).
+    from . import rules as _rules  # noqa: F401
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def counts_by_code(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for diag in self.diagnostics:
+            out[diag.code] = out.get(diag.code, 0) + 1
+        return dict(sorted(out.items()))
+
+
+def _resolve_codes(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> FrozenSet[str]:
+    """Active rule codes after ``--select`` / ``--ignore``.
+
+    Unknown codes raise ``ValueError`` so typos fail loudly.
+    """
+    known = {r.code for r in all_rules()}
+    for given in list(select or []) + list(ignore or []):
+        if given not in known and given != PARSE_ERROR:
+            raise ValueError(
+                f"unknown rule code {given!r} (known: {', '.join(sorted(known))})"
+            )
+    active = set(select) & known if select else set(known)
+    if ignore:
+        active -= set(ignore)
+    return frozenset(active)
+
+
+def lint_source(
+    path: str,
+    source: str,
+    active: Optional[FrozenSet[str]] = None,
+) -> Tuple[List[Diagnostic], int]:
+    """Lint one in-memory module; returns (diagnostics, suppressed count).
+
+    A ``SyntaxError`` becomes a single :data:`PARSE_ERROR` diagnostic
+    rather than propagating — a file that does not parse is itself a
+    finding, and one broken file must not abort the whole run.
+    """
+    try:
+        module = ModuleSource.parse(path, source)
+    except SyntaxError as exc:
+        return (
+            [
+                Diagnostic(
+                    code=PARSE_ERROR,
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    out: List[Diagnostic] = []
+    suppressed = 0
+    for rule_obj in all_rules():
+        if active is not None and rule_obj.code not in active:
+            continue
+        for diag in rule_obj.check(module):
+            if module.is_suppressed(diag.code, diag.line):
+                suppressed += 1
+            else:
+                out.append(diag)
+    out.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return out, suppressed
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Hidden directories and ``__pycache__`` are skipped.  A path that
+    does not exist raises ``FileNotFoundError`` (a usage error at the
+    CLI layer).
+    """
+    seen: Set[str] = set()
+    out: List[str] = []
+
+    def add(candidate: str) -> None:
+        normalized = os.path.normpath(candidate)
+        if normalized not in seen:
+            seen.add(normalized)
+            out.append(normalized)
+
+    for path in paths:
+        if os.path.isfile(path):
+            add(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d
+                    for d in dirnames
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        add(os.path.join(dirpath, filename))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint files/directories and aggregate a :class:`LintReport`."""
+    active = _resolve_codes(select, ignore)
+    report = LintReport()
+    for filename in collect_files(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            report.diagnostics.append(
+                Diagnostic(
+                    code=PARSE_ERROR,
+                    path=filename,
+                    line=1,
+                    col=0,
+                    message=f"file is unreadable: {exc}",
+                )
+            )
+            report.files_checked += 1
+            continue
+        diags, suppressed = lint_source(filename, source, active)
+        report.diagnostics.extend(diags)
+        report.suppressed += suppressed
+        report.files_checked += 1
+    report.diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return report
+
+
+def iter_statements_shallow(body: Iterable[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested def/class scopes.
+
+    Used by rules that reason about what *this* handler or function body
+    does directly (a ``raise`` inside a nested helper does not re-raise
+    for the enclosing ``except``).
+    """
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,59 @@
+"""Diagnostic reporters: human-readable text and machine-readable JSON.
+
+The JSON schema (``version`` 1) is stable for CI consumers::
+
+    {
+      "version": 1,
+      "ok": false,
+      "files_checked": 42,
+      "suppressed": 3,
+      "counts": {"RPL001": 2},
+      "diagnostics": [
+        {"code": "RPL001", "path": "src/x.py", "line": 7, "col": 8,
+         "message": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .core import LintReport
+
+__all__ = ["render_text", "render_json", "REPORT_SCHEMA_VERSION"]
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    """One clickable ``path:line:col: CODE message`` line per finding,
+    then a summary line."""
+    lines = [diag.format() for diag in report.diagnostics]
+    counts = report.counts_by_code()
+    if counts:
+        breakdown = ", ".join(f"{code}: {n}" for code, n in counts.items())
+        lines.append(
+            f"{len(report.diagnostics)} finding(s) in "
+            f"{report.files_checked} file(s) ({breakdown}); "
+            f"{report.suppressed} suppressed"
+        )
+    else:
+        lines.append(
+            f"clean: {report.files_checked} file(s), 0 findings, "
+            f"{report.suppressed} suppressed"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    payload: Dict[str, object] = {
+        "version": REPORT_SCHEMA_VERSION,
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "counts": report.counts_by_code(),
+        "diagnostics": [diag.to_dict() for diag in report.diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,8 +1,11 @@
 """Observability: process-local metrics for the 3DESS pipeline.
 
 See ``docs/OBSERVABILITY.md`` for the metric catalog and usage guide.
+Metric *names* are declared in :mod:`repro.obs.catalog` (the single
+source of truth enforced by the RPL002 lint rule).
 """
 
+from .catalog import CATALOG, MetricSpec, is_known_metric
 from .registry import (
     DEFAULT_RESERVOIR,
     Counter,
@@ -29,4 +32,7 @@ __all__ = [
     "render_table",
     "set_enabled",
     "reset",
+    "CATALOG",
+    "MetricSpec",
+    "is_known_metric",
 ]

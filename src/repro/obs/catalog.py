@@ -1,0 +1,679 @@
+"""The machine-readable metric-name catalog (single source of truth).
+
+Every metric the instrumented code emits — counter, gauge, or histogram
+name passed to :mod:`repro.obs` — must be declared here.  Two consumers
+keep code and documentation from drifting:
+
+* the ``RPL002`` lint rule (:mod:`repro.lint.rules`) statically checks
+  every literal metric name at its emission site against this catalog;
+* the metric table in ``docs/OBSERVABILITY.md`` is *generated* from this
+  module (between the ``metric-catalog`` markers), so the docs cannot go
+  stale without the sync check failing.
+
+Regenerate / verify the docs with::
+
+    python -m repro.obs.catalog --write docs/OBSERVABILITY.md
+    python -m repro.obs.catalog --check docs/OBSERVABILITY.md
+
+Names may contain one ``<placeholder>`` segment for families emitted
+with a dynamic component (``pipeline.feature.<name>``, ``jobs.<type>``).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Pattern, Sequence, Tuple
+
+__all__ = [
+    "MetricSpec",
+    "CATALOG",
+    "SECTION_ORDER",
+    "metric_names",
+    "metric_patterns",
+    "is_known_metric",
+    "matches_metric_prefix",
+    "render_markdown",
+    "expected_docs_block",
+    "docs_in_sync",
+    "update_docs",
+    "BEGIN_MARKER",
+    "END_MARKER",
+    "main",
+]
+
+#: Markers bounding the generated region inside docs/OBSERVABILITY.md.
+BEGIN_MARKER = (
+    "<!-- metric-catalog:begin "
+    "(generated from src/repro/obs/catalog.py; do not edit by hand) -->"
+)
+END_MARKER = "<!-- metric-catalog:end -->"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One declared metric.
+
+    ``name`` may contain one or more ``<placeholder>`` segments for
+    dynamically-suffixed families.  ``kind`` is ``counter`` / ``gauge``
+    / ``histogram`` / ``derived`` (derived values are computed at
+    snapshot time, never stored).  ``module`` names the emitting
+    module(s) relative to ``src/repro/``.
+    """
+
+    name: str
+    kind: str
+    module: str
+    meaning: str
+    section: str
+
+
+_PIPELINE = "Extraction pipeline (server tier)"
+_SEARCH = "Search (interface tier)"
+_INDEX = "Index (database tier)"
+_FACADE = "Facade"
+_ROBUST = "Robustness (fault paths; see [ROBUSTNESS.md](ROBUSTNESS.md))"
+_JOBS = "Background jobs (see [JOBS.md](JOBS.md))"
+_DERIVED = "Derived (computed at snapshot time, not stored)"
+
+#: Section headings in the order they render in docs/OBSERVABILITY.md.
+SECTION_ORDER: Tuple[str, ...] = (
+    _PIPELINE,
+    _SEARCH,
+    _INDEX,
+    _FACADE,
+    _ROBUST,
+    _JOBS,
+    _DERIVED,
+)
+
+CATALOG: Tuple[MetricSpec, ...] = (
+    # -- extraction pipeline (server tier) -----------------------------
+    MetricSpec(
+        "pipeline.extract",
+        "histogram",
+        "features/pipeline.py",
+        "one full feature-extraction run for one mesh (all requested vectors)",
+        _PIPELINE,
+    ),
+    MetricSpec(
+        "pipeline.feature.<name>",
+        "histogram",
+        "features/pipeline.py",
+        "one extractor (e.g. `pipeline.feature.eigenvalues`); the first "
+        "voxel/skeleton-based extractor also pays for the shared stages it "
+        "triggers lazily",
+        _PIPELINE,
+    ),
+    MetricSpec(
+        "pipeline.normalize",
+        "histogram",
+        "features/base.py",
+        "pose/scale normalization (Eqs. 3.2–3.4), once per "
+        "`ExtractionContext`",
+        _PIPELINE,
+    ),
+    MetricSpec(
+        "pipeline.voxelize",
+        "histogram",
+        "features/base.py",
+        "N³ voxelization of the normalized mesh (Eq. 3.5)",
+        _PIPELINE,
+    ),
+    MetricSpec(
+        "pipeline.skeletonize",
+        "histogram",
+        "features/base.py",
+        "topology-preserving thinning + optional spur pruning",
+        _PIPELINE,
+    ),
+    MetricSpec(
+        "pipeline.skeletal_graph",
+        "histogram",
+        "features/base.py",
+        "entity segmentation into the skeletal graph",
+        _PIPELINE,
+    ),
+    MetricSpec(
+        "skeleton.thin",
+        "histogram",
+        "skeleton/thinning.py",
+        "one `thin()` call, whichever kernel (the benchable unit inside "
+        "`pipeline.skeletonize`)",
+        _PIPELINE,
+    ),
+    MetricSpec(
+        "cache.hits",
+        "counter",
+        "features/cache.py",
+        "`CachingPipeline` content-cache hits (memory or disk)",
+        _PIPELINE,
+    ),
+    MetricSpec(
+        "cache.disk_hits",
+        "counter",
+        "features/cache.py",
+        "the subset of hits served from the `PersistentFeatureStore`",
+        _PIPELINE,
+    ),
+    MetricSpec(
+        "cache.disk_corrupt",
+        "counter",
+        "features/cache.py",
+        "corrupt/unreadable store entries deleted and treated as misses",
+        _PIPELINE,
+    ),
+    MetricSpec(
+        "cache.misses",
+        "counter",
+        "features/cache.py, features/parallel.py",
+        "content-cache misses (full extraction runs)",
+        _PIPELINE,
+    ),
+    MetricSpec(
+        "cache.evictions",
+        "counter",
+        "features/cache.py",
+        "LRU evictions past `max_entries`",
+        _PIPELINE,
+    ),
+    MetricSpec(
+        "cache.size",
+        "gauge",
+        "features/cache.py",
+        "current number of cached entries",
+        _PIPELINE,
+    ),
+    MetricSpec(
+        "parallel.batch",
+        "histogram",
+        "features/parallel.py",
+        "one `ParallelPipeline.extract_batch` fan-out (pool or serial path)",
+        _PIPELINE,
+    ),
+    MetricSpec(
+        "parallel.tasks",
+        "counter",
+        "features/parallel.py",
+        "meshes submitted to batch extraction",
+        _PIPELINE,
+    ),
+    MetricSpec(
+        "parallel.errors",
+        "counter",
+        "features/parallel.py",
+        "per-mesh extraction failures captured in `ExtractionOutcome.error`",
+        _PIPELINE,
+    ),
+    # -- search (interface tier) ---------------------------------------
+    MetricSpec(
+        "search.knn",
+        "histogram",
+        "search/engine.py",
+        "one `search_knn` call (query resolution + index search + result "
+        "build)",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "search.threshold",
+        "histogram",
+        "search/engine.py",
+        "one `search_threshold` call",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "search.rerank",
+        "histogram",
+        "search/engine.py",
+        "one filter step over an explicit candidate set",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "search.multistep",
+        "histogram",
+        "search/multistep.py",
+        "one whole multi-step plan (pool retrieval + all filter steps)",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "search.queries",
+        "counter",
+        "search/engine.py",
+        "queries issued (k-NN + threshold, indexed or linear)",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "search.linear_fallback",
+        "counter",
+        "search/engine.py",
+        "queries answered by the vectorized linear scan (`use_index=False` "
+        "or no index built)",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "search.candidates_examined",
+        "counter",
+        "search/engine.py",
+        "candidates returned by the index or scored during rerank",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "search.multistep.steps",
+        "counter",
+        "search/multistep.py",
+        "total steps executed across multi-step plans",
+        _SEARCH,
+    ),
+    # -- index (database tier) -----------------------------------------
+    MetricSpec(
+        "index.rtree.node_accesses",
+        "counter",
+        "index/rtree.py",
+        "R-tree nodes touched (all trees in the process; per-tree counts "
+        "stay on `RTree.node_accesses`)",
+        _INDEX,
+    ),
+    MetricSpec(
+        "index.linear.point_accesses",
+        "counter",
+        "index/bruteforce.py",
+        "points scanned by the linear baseline",
+        _INDEX,
+    ),
+    # -- facade --------------------------------------------------------
+    MetricSpec(
+        "system.insert",
+        "histogram",
+        "core/system.py",
+        "one `ThreeDESS.insert` (extraction + indexing + cache "
+        "invalidation)",
+        _FACADE,
+    ),
+    MetricSpec(
+        "system.insert_batch",
+        "histogram",
+        "core/system.py",
+        "one `ThreeDESS.insert_batch` (bulk extraction, serial or parallel, "
+        "+ indexing)",
+        _FACADE,
+    ),
+    MetricSpec(
+        "system.query",
+        "histogram",
+        "core/system.py",
+        "one facade query (`ThreeDESS.search`, including the deprecated "
+        "shims)",
+        _FACADE,
+    ),
+    # -- robustness (fault paths) --------------------------------------
+    MetricSpec(
+        "robust.validation_failures",
+        "counter",
+        "features/parallel.py",
+        "meshes rejected by pre-flight validation before extraction",
+        _ROBUST,
+    ),
+    MetricSpec(
+        "robust.quarantined",
+        "counter",
+        "db/database.py",
+        "bulk-insert inputs that failed and were reported, not inserted",
+        _ROBUST,
+    ),
+    MetricSpec(
+        "robust.worker_timeouts",
+        "counter",
+        "features/parallel.py",
+        "extraction workers terminated at the per-task deadline",
+        _ROBUST,
+    ),
+    MetricSpec(
+        "robust.worker_crashes",
+        "counter",
+        "features/parallel.py",
+        "extraction workers that died without reporting (segfault/OOM kill)",
+        _ROBUST,
+    ),
+    MetricSpec(
+        "robust.degraded_extractions",
+        "counter",
+        "features/pipeline.py",
+        "`extract_partial` runs that produced a partial feature set",
+        _ROBUST,
+    ),
+    MetricSpec(
+        "robust.degraded_records",
+        "counter",
+        "db/database.py",
+        "shapes inserted with a partial feature set",
+        _ROBUST,
+    ),
+    MetricSpec(
+        "robust.corrupt_files",
+        "counter",
+        "db/storage.py, features/cache.py",
+        "files failing checksum/readability verification (database files + "
+        "persistent cache entries)",
+        _ROBUST,
+    ),
+    MetricSpec(
+        "robust.dropped_records",
+        "counter",
+        "db/storage.py",
+        "records dropped by a `strict=False` salvage load",
+        _ROBUST,
+    ),
+    MetricSpec(
+        "robust.healed_records",
+        "counter",
+        "db/database.py",
+        "degraded records restored to a full feature set by re-extraction",
+        _ROBUST,
+    ),
+    MetricSpec(
+        "search.degraded_candidates",
+        "counter",
+        "search/engine.py",
+        "rerank candidates lacking the filter feature (ranked last at "
+        "similarity 0)",
+        _ROBUST,
+    ),
+    # -- background jobs -----------------------------------------------
+    MetricSpec(
+        "pool.tasks",
+        "counter",
+        "jobs/pool.py",
+        "tasks completed by persistent-pool workers (success or returned "
+        "failure)",
+        _JOBS,
+    ),
+    MetricSpec(
+        "pool.timeouts",
+        "counter",
+        "jobs/pool.py",
+        "pool workers SIGKILLed at the per-task deadline",
+        _JOBS,
+    ),
+    MetricSpec(
+        "pool.crashes",
+        "counter",
+        "jobs/pool.py",
+        "pool workers that died mid-task without reporting",
+        _JOBS,
+    ),
+    MetricSpec(
+        "pool.respawns",
+        "counter",
+        "jobs/pool.py",
+        "pool workers discarded (killed, crashed, or pruned) over the "
+        "pool's lifetime",
+        _JOBS,
+    ),
+    MetricSpec(
+        "pool.retries",
+        "counter",
+        "jobs/pool.py",
+        "tasks requeued onto a fresh worker after a retryable failure",
+        _JOBS,
+    ),
+    MetricSpec(
+        "jobs.enqueued",
+        "counter",
+        "jobs/queue.py",
+        "jobs appended to a queue journal",
+        _JOBS,
+    ),
+    MetricSpec(
+        "jobs.claimed",
+        "counter",
+        "jobs/queue.py",
+        "jobs moved to `running` (each claim is one attempt)",
+        _JOBS,
+    ),
+    MetricSpec(
+        "jobs.completed",
+        "counter",
+        "jobs/queue.py",
+        "jobs finished `done`",
+        _JOBS,
+    ),
+    MetricSpec(
+        "jobs.failed",
+        "counter",
+        "jobs/queue.py",
+        "job runs that failed with attempts remaining",
+        _JOBS,
+    ),
+    MetricSpec(
+        "jobs.dead",
+        "counter",
+        "jobs/queue.py",
+        "jobs that exhausted their attempt budget",
+        _JOBS,
+    ),
+    MetricSpec(
+        "jobs.job",
+        "histogram",
+        "jobs/runner.py",
+        "one job execution (any type), claim to journaled outcome",
+        _JOBS,
+    ),
+    MetricSpec(
+        "jobs.<type>",
+        "histogram",
+        "jobs/runner.py",
+        "handler time per job type (e.g. `jobs.re-extract`)",
+        _JOBS,
+    ),
+    MetricSpec(
+        "db.reextract",
+        "histogram",
+        "db/database.py",
+        "one full re-extraction of a stored record's geometry",
+        _JOBS,
+    ),
+    # -- derived -------------------------------------------------------
+    MetricSpec(
+        "cache.hit_rate",
+        "derived",
+        "obs/registry.py",
+        "`cache.hits / (cache.hits + cache.misses)`",
+        _DERIVED,
+    ),
+    MetricSpec(
+        "search.candidates_per_query",
+        "derived",
+        "obs/registry.py",
+        "`search.candidates_examined / search.queries`",
+        _DERIVED,
+    ),
+    MetricSpec(
+        "index.rtree.node_accesses_per_query",
+        "derived",
+        "obs/registry.py",
+        "`index.rtree.node_accesses / search.queries`",
+        _DERIVED,
+    ),
+)
+
+_PLACEHOLDER_RE = re.compile(r"<[^<>]+>")
+
+
+def metric_names() -> FrozenSet[str]:
+    """Exact (placeholder-free) catalog names, derived entries included."""
+    return frozenset(
+        spec.name for spec in CATALOG if not _PLACEHOLDER_RE.search(spec.name)
+    )
+
+
+def _pattern_for(name: str) -> Pattern[str]:
+    parts = _PLACEHOLDER_RE.split(name)
+    return re.compile(".+".join(re.escape(part) for part in parts) + r"\Z")
+
+
+def metric_patterns() -> Tuple[Pattern[str], ...]:
+    """Compiled regexes for the catalog entries carrying placeholders."""
+    return tuple(
+        _pattern_for(spec.name)
+        for spec in CATALOG
+        if _PLACEHOLDER_RE.search(spec.name)
+    )
+
+
+def is_known_metric(name: str) -> bool:
+    """Whether a fully-static metric name is declared in the catalog."""
+    if name in metric_names():
+        return True
+    return any(pattern.match(name) for pattern in metric_patterns())
+
+
+def matches_metric_prefix(prefix: str) -> bool:
+    """Whether a *partially*-static name (an f-string's literal head)
+    can still resolve to a declared metric.
+
+    Used by the RPL002 lint rule for dynamically-formatted names such as
+    ``f"jobs.{job.type}"`` (prefix ``"jobs."``): the check passes when
+    any catalog entry could complete the prefix.  An empty prefix (fully
+    dynamic name) is conservatively accepted.
+    """
+    if not prefix:
+        return True
+    for spec in CATALOG:
+        head = _PLACEHOLDER_RE.split(spec.name)[0]
+        if spec.name.startswith(prefix) or head.startswith(prefix):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# docs generation (the table in docs/OBSERVABILITY.md)
+# ----------------------------------------------------------------------
+def render_markdown() -> str:
+    """The metric tables, grouped by section, as GitHub Markdown."""
+    by_section: Dict[str, List[MetricSpec]] = {}
+    for spec in CATALOG:
+        by_section.setdefault(spec.section, []).append(spec)
+    blocks: List[str] = []
+    for section in SECTION_ORDER:
+        specs = by_section.get(section, [])
+        if not specs:
+            continue
+        lines = [f"### {section}", ""]
+        if section == _DERIVED:
+            lines.append("| metric | meaning |")
+            lines.append("|---|---|")
+            for spec in specs:
+                lines.append(f"| `{spec.name}` | {spec.meaning} |")
+        else:
+            lines.append("| metric | type | emitted in | meaning |")
+            lines.append("|---|---|---|---|")
+            for spec in specs:
+                lines.append(
+                    f"| `{spec.name}` | {spec.kind} | `{spec.module}` "
+                    f"| {spec.meaning} |"
+                )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def expected_docs_block() -> str:
+    """The full generated region, markers included."""
+    return f"{BEGIN_MARKER}\n\n{render_markdown()}\n\n{END_MARKER}"
+
+
+def _split_docs(text: str) -> Tuple[str, str, str]:
+    """(before, generated-region, after) of a docs file's text.
+
+    Raises ``ValueError`` when the markers are missing or malformed.
+    """
+    begin = text.find(BEGIN_MARKER)
+    end = text.find(END_MARKER)
+    if begin < 0 or end < 0 or end < begin:
+        raise ValueError(
+            "metric-catalog markers not found (or out of order); expected "
+            f"{BEGIN_MARKER!r} ... {END_MARKER!r}"
+        )
+    return (
+        text[:begin],
+        text[begin : end + len(END_MARKER)],
+        text[end + len(END_MARKER) :],
+    )
+
+
+def docs_in_sync(path: str) -> bool:
+    """Whether the generated region of ``path`` matches the catalog."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    _, current, _ = _split_docs(text)
+    return current == expected_docs_block()
+
+
+def update_docs(path: str) -> bool:
+    """Rewrite the generated region of ``path``; True when it changed."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    before, current, after = _split_docs(text)
+    expected = expected_docs_block()
+    if current == expected:
+        return False
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(before + expected + after)
+    return True
+
+
+class _ExitCode(enum.IntEnum):
+    """Exit codes of ``python -m repro.obs.catalog``."""
+
+    OK = 0
+    STALE = 1
+    ERROR = 2
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.obs.catalog [--check | --write] [DOCS_PATH]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.catalog",
+        description="verify or regenerate the metric table in "
+        "docs/OBSERVABILITY.md from the machine-readable catalog",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when the docs table is stale (default)",
+    )
+    mode.add_argument(
+        "--write", action="store_true", help="rewrite the docs table in place"
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default="docs/OBSERVABILITY.md",
+        help="docs file carrying the metric-catalog markers",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.write:
+            changed = update_docs(args.path)
+            print(
+                f"{args.path}: {'regenerated' if changed else 'already in sync'}"
+            )
+            return _ExitCode.OK
+        if docs_in_sync(args.path):
+            print(f"{args.path}: metric catalog in sync")
+            return _ExitCode.OK
+        print(
+            f"{args.path}: metric catalog is STALE; run "
+            f"`python -m repro.obs.catalog --write {args.path}`"
+        )
+        return _ExitCode.STALE
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return _ExitCode.ERROR
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

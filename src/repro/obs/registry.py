@@ -26,7 +26,8 @@ from __future__ import annotations
 import functools
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional
+from types import TracebackType
+from typing import Any, Callable, Dict, List, Optional, Type
 
 __all__ = [
     "Counter",
@@ -188,8 +189,11 @@ class Histogram:
         self._ring = []
         self._ring_pos = 0
 
-    def summary(self) -> Dict[str, float]:
-        """Aggregate view used by :meth:`MetricsRegistry.snapshot`."""
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate view used by :meth:`MetricsRegistry.snapshot`.
+
+        Values are floats except ``unit`` (the unit label string).
+        """
         return {
             "count": self.count,
             "total": self.total,
@@ -224,14 +228,19 @@ class _Timer:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self._histogram.observe(time.perf_counter() - self._t0)
 
     def __call__(self, func: Callable) -> Callable:
         histogram = self._histogram
 
         @functools.wraps(func)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             t0 = time.perf_counter()
             try:
                 return func(*args, **kwargs)

@@ -19,6 +19,7 @@ from .errors import (
     RETRYABLE_CODES,
     FailureInfo,
     FeatureExtractionError,
+    InvalidParameterError,
     MeshValidationError,
     ReproError,
     SkeletonizationError,
@@ -35,6 +36,7 @@ from .validate import check_mesh, validate_mesh
 
 __all__ = [
     "ReproError",
+    "InvalidParameterError",
     "MeshValidationError",
     "VoxelizationError",
     "SkeletonizationError",

@@ -24,6 +24,7 @@ from ..geometry.mesh import MeshError
 
 __all__ = [
     "ReproError",
+    "InvalidParameterError",
     "MeshValidationError",
     "VoxelizationError",
     "SkeletonizationError",
@@ -58,7 +59,9 @@ class ReproError(Exception):
     stage: str = "unknown"
     default_code: str = "unknown"
 
-    def __init__(self, message: str, *, code: Optional[str] = None, **context):
+    def __init__(
+        self, message: str, *, code: Optional[str] = None, **context: object
+    ) -> None:
         super().__init__(message)
         self.code = code if code is not None else self.default_code
         self.context = context
@@ -70,6 +73,20 @@ class ReproError(Exception):
             "code": self.code,
             "message": str(self),
         }
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A caller passed an out-of-contract argument to a pipeline stage
+    (bad thinning kernel name, non-positive resolution, ...).
+
+    Deterministic and never retryable: the *call*, not the worker or the
+    input geometry, is wrong.  Also a ``ValueError`` so historical
+    ``except ValueError`` / ``pytest.raises(ValueError)`` contracts at
+    these sites keep working.
+    """
+
+    stage = "usage"
+    default_code = "usage.invalid_parameter"
 
 
 class MeshValidationError(ReproError, MeshError):

@@ -97,8 +97,9 @@ class QuarantineReport:
                         meshes[item.index],
                         os.path.join(root, f"{item.index:04d}_{item.name}.off"),
                     )
+                # repro-lint: disable=RPL001 -- postmortem copies are
                 except Exception:
-                    pass  # postmortem copies are best-effort
+                    pass  # best-effort; the report itself still lands
         report_path = os.path.join(root, REPORT_NAME)
         with open(report_path, "w", encoding="utf-8") as handle:
             json.dump(

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from .engine import Query, SearchEngine, SearchResult
 from .multistep import MultiStepPlan, multi_step_search
@@ -136,7 +136,7 @@ class SearchResponse:
     def __len__(self) -> int:
         return len(self.hits)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SearchHit]:
         return iter(self.hits)
 
     @property

@@ -16,6 +16,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from ..robust.errors import InvalidParameterError
 from .graph import CURVE, LINE, LOOP, SkeletalGraph
 
 # Node self-weights.
@@ -40,7 +41,10 @@ def connection_weight(kind_a: str, kind_b: str) -> float:
     try:
         return CONNECTION_WEIGHTS[key]  # type: ignore[index]
     except KeyError as exc:
-        raise ValueError(f"unknown entity types {kind_a!r}, {kind_b!r}") from exc
+        raise InvalidParameterError(
+            f"unknown entity types {kind_a!r}, {kind_b!r}",
+            code="usage.unknown_entity_type",
+        ) from exc
 
 
 def adjacency_matrix(skeletal: SkeletalGraph) -> np.ndarray:
@@ -49,7 +53,10 @@ def adjacency_matrix(skeletal: SkeletalGraph) -> np.ndarray:
     matrix = np.zeros((n, n))
     for seg in skeletal.segments:
         if seg.kind not in NODE_WEIGHTS:
-            raise ValueError(f"unknown entity type {seg.kind!r}")
+            raise InvalidParameterError(
+                f"unknown entity type {seg.kind!r}",
+                code="usage.unknown_entity_type",
+            )
         matrix[seg.index, seg.index] = NODE_WEIGHTS[seg.kind]
     for a, b in skeletal.graph.edges():
         weight = connection_weight(
@@ -69,7 +76,10 @@ def spectrum(
     or truncated to ``dim`` entries.
     """
     if dim < 1:
-        raise ValueError(f"spectrum dimension must be >= 1, got {dim}")
+        raise InvalidParameterError(
+            f"spectrum dimension must be >= 1, got {dim}",
+            code="usage.bad_spectrum_dim",
+        )
     matrix = adjacency_matrix(skeletal)
     if matrix.size == 0:
         return np.zeros(dim)

@@ -13,6 +13,7 @@ from typing import Set, Tuple
 
 import numpy as np
 
+from ..robust.errors import InvalidParameterError
 from ..voxel.grid import VoxelGrid
 from .graph import _neighbors26
 
@@ -75,7 +76,10 @@ def prune_spurs(
     endpoints at former junctions).
     """
     if min_length < 1:
-        raise ValueError(f"min_length must be >= 1, got {min_length}")
+        raise InvalidParameterError(
+            f"min_length must be >= 1, got {min_length}",
+            code="usage.bad_min_length",
+        )
     occupied: Set[Voxel] = {tuple(v) for v in skeleton.occupied_indices()}
 
     for _ in range(max_passes):

@@ -20,6 +20,8 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..robust.errors import InvalidParameterError
+
 # Offsets of the 26 neighbors in a fixed order used for bit packing.
 NEIGHBOR_OFFSETS: Tuple[Tuple[int, int, int], ...] = tuple(
     (dx, dy, dz)
@@ -69,7 +71,10 @@ def pack_neighborhood(neighborhood: np.ndarray) -> int:
     """Pack a 3x3x3 boolean block (center ignored) into a 26-bit mask."""
     block = np.asarray(neighborhood).astype(bool)
     if block.shape != (3, 3, 3):
-        raise ValueError(f"neighborhood must be 3x3x3, got {block.shape}")
+        raise InvalidParameterError(
+            f"neighborhood must be 3x3x3, got {block.shape}",
+            code="usage.bad_neighborhood",
+        )
     mask = 0
     for i, (dx, dy, dz) in enumerate(NEIGHBOR_OFFSETS):
         if block[dx + 1, dy + 1, dz + 1]:

@@ -33,7 +33,7 @@ from typing import Tuple
 import numpy as np
 
 from ..obs import get_registry
-from ..robust.errors import SkeletonizationError
+from ..robust.errors import InvalidParameterError, SkeletonizationError
 from ..voxel.grid import VoxelGrid
 from .simple_point import (
     NEIGHBOR_OFFSETS,
@@ -208,8 +208,9 @@ def thin(
     try:
         run = _KERNELS[kernel]
     except KeyError:
-        raise ValueError(
-            f"unknown thinning kernel {kernel!r}; choose from {sorted(_KERNELS)}"
+        raise InvalidParameterError(
+            f"unknown thinning kernel {kernel!r}; choose from {sorted(_KERNELS)}",
+            code="usage.unknown_kernel",
         ) from None
     metrics = get_registry()
     with metrics.timed("skeleton.thin"):

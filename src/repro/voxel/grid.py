@@ -11,6 +11,8 @@ from typing import Iterable, Tuple
 
 import numpy as np
 
+from ..robust.errors import InvalidParameterError
+
 
 class VoxelGrid:
     """Uniform boolean occupancy grid.
@@ -33,13 +35,22 @@ class VoxelGrid:
     ) -> None:
         occ = np.asarray(occupancy)
         if occ.ndim != 3:
-            raise ValueError(f"occupancy must be 3D, got shape {occ.shape}")
+            raise InvalidParameterError(
+                f"occupancy must be 3D, got shape {occ.shape}",
+                code="usage.bad_occupancy",
+            )
         if spacing <= 0:
-            raise ValueError(f"spacing must be positive, got {spacing}")
+            raise InvalidParameterError(
+                f"spacing must be positive, got {spacing}",
+                code="usage.bad_spacing",
+            )
         self.occupancy = occ.astype(bool)
         self.origin = np.asarray(list(origin), dtype=np.float64)
         if self.origin.shape != (3,):
-            raise ValueError(f"origin must be length 3, got {self.origin.shape}")
+            raise InvalidParameterError(
+                f"origin must be length 3, got {self.origin.shape}",
+                code="usage.bad_origin",
+            )
         self.spacing = float(spacing)
 
     # ------------------------------------------------------------------

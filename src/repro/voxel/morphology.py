@@ -13,6 +13,8 @@ from typing import Tuple
 
 import numpy as np
 
+from ..robust.errors import InvalidParameterError
+
 FACE_NEIGHBORS: Tuple[Tuple[int, int, int], ...] = (
     (1, 0, 0),
     (-1, 0, 0),
@@ -26,7 +28,9 @@ FACE_NEIGHBORS: Tuple[Tuple[int, int, int], ...] = (
 def _require_3d(mask: np.ndarray) -> np.ndarray:
     arr = np.asarray(mask).astype(bool)
     if arr.ndim != 3:
-        raise ValueError(f"mask must be 3D, got shape {arr.shape}")
+        raise InvalidParameterError(
+            f"mask must be 3D, got shape {arr.shape}", code="usage.bad_mask"
+        )
     return arr
 
 
