@@ -8,9 +8,15 @@ Subcommands::
     three-dess experiment NAME       run one (or "all") paper experiments
     three-dess stats                 profile a self-contained insert+query run
     three-dess verify DIR            integrity-check a saved DB (exit 6 on damage)
+    three-dess serve DIR             run the concurrent HTTP query service
     three-dess jobs run DIR          heal degraded records via the job queue
+    three-dess jobs watch DIR        periodically drain the job queue (sidecar)
     three-dess jobs status DIR       show the job queue's state
     three-dess lint [PATHS...]       project static analysis (RPL rules)
+
+``query`` can also run against a live daemon instead of loading the
+database locally: ``three-dess query --server http://HOST:PORT DIR MESH``
+(see ``docs/SERVICE.md``).
 
 Experiments print exactly the rows/series the benchmark harness checks.
 ``build-db``, ``query``, and ``experiment`` accept ``--profile`` to print
@@ -26,6 +32,8 @@ Exit codes are members of :class:`ExitCode` (see ``docs/ROBUSTNESS.md``)::
     5  build-db completed, but some inputs were quarantined
     6  verify found integrity problems
     7  jobs run left failed or dead jobs behind
+    8  serve could not start (bind failure, bad service options)
+    9  query --server could not reach the daemon
 """
 
 from __future__ import annotations
@@ -63,6 +71,8 @@ class ExitCode(enum.IntEnum):
     QUARANTINED = 5
     INTEGRITY = 6
     JOBS_FAILED = 7
+    SERVER = 8
+    UNAVAILABLE = 9
 
 
 # Backward-compatible module-level aliases (pre-enum spelling).
@@ -73,6 +83,8 @@ EXIT_INTERNAL = ExitCode.INTERNAL
 EXIT_QUARANTINED = ExitCode.QUARANTINED
 EXIT_INTEGRITY = ExitCode.INTEGRITY
 EXIT_JOBS_FAILED = ExitCode.JOBS_FAILED
+EXIT_SERVER = ExitCode.SERVER
+EXIT_UNAVAILABLE = ExitCode.UNAVAILABLE
 
 
 def _collect_mesh_files(directory: str) -> List[str]:
@@ -197,22 +209,65 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return ExitCode.OK
 
 
+def _print_hit_table(rows: List[dict], path: str, suffix: str = "") -> None:
+    """Shared rank/id/similarity/name table of ``query`` (local + server)."""
+    print(f"{'rank':>4s} {'id':>5s} {'similarity':>10s}  name")
+    for row in rows:
+        flag = "  [degraded]" if row["degraded"] else ""
+        print(
+            f"{row['rank']:4d} {row['shape_id']:5d} {row['similarity']:10.4f}  "
+            f"{row['name']}{flag}"
+        )
+    print(f"({len(rows)} hits via {path} path{suffix})")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    system = ThreeDESS.load(args.directory, load_meshes=False)
     from .geometry.io import load_mesh
 
+    if args.server:
+        from .service.client import ServiceClient, ServiceError, ServiceUnavailableError
+
+        mesh = load_mesh(args.mesh)
+        client = ServiceClient(args.server)
+        try:
+            response = client.search(
+                mesh=mesh,
+                feature_name=args.feature,
+                k=args.k,
+                deadline_ms=args.deadline_ms,
+            )
+        except ServiceUnavailableError as exc:
+            print(f"error: [{exc.stage}/{exc.code}] {exc}", file=sys.stderr)
+            return ExitCode.UNAVAILABLE
+        except ServiceError as exc:
+            print(f"error: [{exc.stage}/{exc.code}] {exc}", file=sys.stderr)
+            # Shed (503) or timed out (504): the daemon, not the query,
+            # was unavailable for this request.
+            if exc.status in (503, 504):
+                return ExitCode.UNAVAILABLE
+            return ExitCode.DATA
+        _print_hit_table(
+            response["hits"],
+            response["path"],
+            suffix=f", generation {response['generation']}",
+        )
+        return ExitCode.OK
+    system = ThreeDESS.load(args.directory, load_meshes=False)
     mesh = load_mesh(args.mesh)
     response = system.search(
         SearchRequest(query=mesh, mode="knn", feature_name=args.feature, k=args.k)
     )
-    print(f"{'rank':>4s} {'id':>5s} {'similarity':>10s}  name")
-    for hit in response.hits:
-        flag = "  [degraded]" if hit.degraded else ""
-        print(
-            f"{hit.rank:4d} {hit.shape_id:5d} {hit.similarity:10.4f}  "
-            f"{hit.name}{flag}"
-        )
-    print(f"({len(response.hits)} hits via {response.path} path)")
+    rows = [
+        {
+            "rank": hit.rank,
+            "shape_id": hit.shape_id,
+            "similarity": hit.similarity,
+            "name": hit.name,
+            "degraded": hit.degraded,
+        }
+        for hit in response.hits
+    ]
+    _print_hit_table(rows, response.path)
     return ExitCode.OK
 
 
@@ -344,10 +399,86 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return ExitCode.INTEGRITY
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import JobWatcher, QueryServer, SnapshotManager
+
+    snapshots = SnapshotManager(args.directory, strict=not args.salvage)
+    try:
+        server = QueryServer(
+            snapshots,
+            host=args.host,
+            port=args.port,
+            max_concurrent=args.max_concurrent,
+            queue_limit=args.queue_limit,
+            default_deadline_s=(
+                args.default_deadline_ms / 1000.0
+                if args.default_deadline_ms
+                else None
+            ),
+        )
+    except (OSError, ValueError) as exc:
+        # Bind failures and bad admission bounds are *server* errors,
+        # distinct from bad data (3): the database may be fine.
+        print(f"error: cannot start server: {exc}", file=sys.stderr)
+        return ExitCode.SERVER
+    watcher = None
+    if args.watch_jobs:
+        queue_path = args.queue or _default_queue_path(args.directory)
+        watcher = JobWatcher(
+            args.directory,
+            queue_path,
+            snapshots=snapshots,
+            interval=args.watch_interval,
+        )
+        watcher.start()
+        print(f"jobs watcher draining {queue_path} every {args.watch_interval}s")
+    host, port = server.address
+    snap = snapshots.current
+    print(
+        f"serving {len(snap.system.database)} shapes "
+        f"(generation {snap.generation}) on http://{host}:{port}"
+    )
+    if snap.dropped_records:
+        print(
+            f"degraded mode: {snap.dropped_records} record(s) dropped by "
+            "salvage load",
+            file=sys.stderr,
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        if watcher is not None:
+            watcher.stop()
+    return ExitCode.OK
+
+
 def _cmd_jobs(args: argparse.Namespace) -> int:
     from .jobs import JobQueue
 
     queue_path = args.queue or _default_queue_path(args.directory)
+    if args.jobs_command == "watch":
+        from .service import JobWatcher
+
+        watcher = JobWatcher(
+            args.directory,
+            queue_path,
+            interval=args.interval,
+            max_cycles=args.max_cycles,
+        )
+        watcher.start()
+        try:
+            watcher.join()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            watcher.stop()
+        print(
+            f"watched {watcher.cycles_run} cycle(s), "
+            f"{watcher.jobs_executed} job(s) executed"
+        )
+        return ExitCode.OK
     if args.jobs_command == "status":
         queue = JobQueue(queue_path)
         try:
@@ -553,7 +684,77 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("mesh", help="OFF/STL/OBJ file to use as the example")
     p_query.add_argument("--feature", default="principal_moments")
     p_query.add_argument("-k", type=int, default=10)
+    p_query.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="query a running `three-dess serve` daemon at URL instead of "
+        "loading the database locally (exit 9 when unreachable)",
+    )
+    p_query.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request budget for --server queries (server answers 504 "
+        "past it)",
+    )
     p_query.set_defaults(func=_cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve concurrent shape-search queries over HTTP/JSON "
+        "(see docs/SERVICE.md)",
+    )
+    p_serve.add_argument("directory", help="saved database directory")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8707, help="0 picks a free port"
+    )
+    p_serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=8,
+        help="search requests executing at once",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="search requests allowed to wait for a slot before the "
+        "server sheds load with 503 + Retry-After",
+    )
+    p_serve.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=30000.0,
+        help="budget applied to requests that set no deadline_ms "
+        "(0 disables the default)",
+    )
+    p_serve.add_argument(
+        "--watch-jobs",
+        action="store_true",
+        help="also run the background jobs drainer: heal degraded records "
+        "through the job queue and reload the snapshot when they heal",
+    )
+    p_serve.add_argument(
+        "--watch-interval",
+        type=float,
+        default=5.0,
+        help="seconds between --watch-jobs drain cycles",
+    )
+    p_serve.add_argument(
+        "--queue",
+        default=None,
+        help="job journal path for --watch-jobs "
+        "(default: <directory>.jobs.jsonl)",
+    )
+    p_serve.add_argument(
+        "--salvage",
+        action="store_true",
+        help="load the database with strict=False: serve the intact "
+        "records of a damaged directory in degraded mode",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_browse = sub.add_parser("browse", help="print the drill-down browse hierarchy")
     p_browse.add_argument("directory")
@@ -634,6 +835,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="job journal path (default: <directory>.jobs.jsonl)",
     )
     p_jobs_status.set_defaults(func=_cmd_jobs)
+    p_jobs_watch = jobs_sub.add_parser(
+        "watch",
+        help="periodically enqueue + drain re-extract jobs (the sidecar "
+        "form of `serve --watch-jobs`); Ctrl-C to stop",
+    )
+    p_jobs_watch.add_argument("directory")
+    p_jobs_watch.add_argument(
+        "--queue",
+        default=None,
+        help="job journal path (default: <directory>.jobs.jsonl)",
+    )
+    p_jobs_watch.add_argument(
+        "--interval", type=float, default=5.0, help="seconds between cycles"
+    )
+    p_jobs_watch.add_argument(
+        "--max-cycles",
+        type=int,
+        default=None,
+        help="stop after this many cycles (for scripts and CI; default: "
+        "run until interrupted)",
+    )
+    p_jobs_watch.set_defaults(func=_cmd_jobs)
 
     p_lint = sub.add_parser(
         "lint",

@@ -14,7 +14,8 @@ declarative :class:`~repro.search.api.SearchRequest` — which returns a
 :class:`~repro.search.api.SearchResponse` carrying per-hit provenance
 (distance, similarity, degraded flag, index-vs-linear path).  The older
 ``query_by_example`` / ``query_by_threshold`` / ``multi_step`` methods
-remain as deprecated shims (see ``docs/API.md``).
+were removed after their deprecation cycle (migration table in
+``docs/API.md``).
 
 Background healing: degraded records (partial feature sets from faulted
 ingestion) can be queued for re-extraction and repaired in place via
@@ -24,7 +25,7 @@ ingestion) can be queued for re-extraction and repaired in place via
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -34,13 +35,9 @@ from ..features.pipeline import FeaturePipeline
 from ..geometry.io import load_mesh
 from ..geometry.mesh import TriangleMesh
 from ..obs import get_registry
-from ..search.api import (
-    SearchRequest,
-    SearchResponse,
-    deprecated_shim,
-    execute_search,
-)
-from ..search.engine import Query, SearchEngine, SearchResult
+from ..robust.deadline import Deadline
+from ..search.api import SearchRequest, SearchResponse, execute_search
+from ..search.engine import Query, SearchEngine
 from ..search.feedback import RelevanceFeedbackSession
 from .config import SystemConfig
 
@@ -159,72 +156,24 @@ class ThreeDESS:
         meshes = [load_mesh(path) for path in paths]
         return self.insert_batch(meshes, groups=groups, workers=workers)
 
-    def search(self, request: SearchRequest) -> SearchResponse:
+    def search(
+        self,
+        request: SearchRequest,
+        deadline: Optional[Deadline] = None,
+    ) -> SearchResponse:
         """Run a declarative query — the single search entry point.
 
-        Subsumes the deprecated ``query_by_example`` (``mode="knn"``),
+        Subsumes the removed ``query_by_example`` (``mode="knn"``),
         ``query_by_threshold`` (``mode="threshold"``), and ``multi_step``
         (``mode="multi_step"``) methods.  The response carries per-hit
         provenance: distance, Eq. 4.4 similarity, whether the record is
-        degraded, and the index-vs-linear retrieval path.
+        degraded, and the index-vs-linear retrieval path.  ``deadline``
+        (used by the query service) bounds the work cooperatively; an
+        exhausted budget raises
+        :class:`~repro.robust.DeadlineExceededError`.
         """
         with get_registry().timed("system.query"):
-            return execute_search(self.engine, request)
-
-    def query_by_example(
-        self,
-        query: Query,
-        feature_name: str = "principal_moments",
-        k: int = 10,
-    ) -> List[SearchResult]:
-        """Deprecated: use :meth:`search` with ``mode="knn"``."""
-        deprecated_shim(
-            "query_by_example",
-            'SearchRequest(query, mode="knn", feature_name=..., k=...)',
-        )
-        return self.search(
-            SearchRequest(
-                query=query, mode="knn", feature_name=feature_name, k=k
-            )
-        ).to_results()
-
-    def query_by_threshold(
-        self,
-        query: Query,
-        feature_name: str = "principal_moments",
-        threshold: float = 0.9,
-    ) -> List[SearchResult]:
-        """Deprecated: use :meth:`search` with ``mode="threshold"``."""
-        deprecated_shim(
-            "query_by_threshold",
-            'SearchRequest(query, mode="threshold", feature_name=..., '
-            "threshold=...)",
-        )
-        return self.search(
-            SearchRequest(
-                query=query,
-                mode="threshold",
-                feature_name=feature_name,
-                threshold=threshold,
-            )
-        ).to_results()
-
-    def multi_step(
-        self,
-        query: Query,
-        steps: Optional[Sequence[Tuple[str, int]]] = None,
-    ) -> List[SearchResult]:
-        """Deprecated: use :meth:`search` with ``mode="multi_step"``."""
-        deprecated_shim(
-            "multi_step", 'SearchRequest(query, mode="multi_step", steps=...)'
-        )
-        return self.search(
-            SearchRequest(
-                query=query,
-                mode="multi_step",
-                steps=tuple(steps) if steps is not None else None,
-            )
-        ).to_results()
+            return execute_search(self.engine, request, deadline=deadline)
 
     def feedback_session(
         self, query: Query, feature_name: str = "principal_moments", k: int = 10

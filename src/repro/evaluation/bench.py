@@ -12,8 +12,10 @@ harness times the hot paths the system actually runs —
 * the **timeout path** (persistent killable-worker pool vs the PR-3
   fork-per-task strategy, identical-outcome asserted),
 * the **extraction stages** (normalize / voxelize / skeletonize medians,
-  straight from the ``repro.obs`` timers), and
-* **query latency** (indexed k-NN vs the vectorized linear fallback)
+  straight from the ``repro.obs`` timers),
+* **query latency** (indexed k-NN vs the vectorized linear fallback), and
+* **service latency** (HTTP round-trip p50/p99 through an in-process
+  ``three-dess serve`` daemon under 1/4/16 concurrent clients)
 
 — and writes one ``BENCH_<rev>.json`` whose medians later PRs can cite.
 All numbers are wall-clock medians over ``repeats`` runs on whatever
@@ -294,6 +296,101 @@ def bench_query(
     }
 
 
+def bench_service(
+    db: ShapeDatabase,
+    resolution: int,
+    client_counts: Sequence[int] = (1, 4, 16),
+    requests_per_client: int = 25,
+    k: int = 10,
+) -> Dict[str, object]:
+    """HTTP query latency through an in-process ``serve`` daemon.
+
+    Boots a real :class:`~repro.service.QueryServer` on a loopback port
+    over a saved copy of ``db``, then drives it with 1 / 4 / 16
+    concurrent :class:`~repro.service.ServiceClient` threads issuing
+    shape-id k-NN queries.  Reports wire-level p50/p99 per client count
+    (the acceptance bar: 16 clients, zero failed requests).
+    """
+    import tempfile
+    import threading
+
+    from ..core.config import SystemConfig
+    from ..core.system import ThreeDESS
+    from ..robust.errors import classify_exception
+    from ..service import QueryServer, ServiceClient, SnapshotManager
+
+    config = SystemConfig(voxel_resolution=resolution)
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as root:
+        directory = os.path.join(root, "db")
+        ThreeDESS(config, database=db).save(directory)
+        server = QueryServer(
+            SnapshotManager(directory, config=config),
+            port=0,
+            max_concurrent=8,
+            queue_limit=64,
+        )
+        server.start()
+        try:
+            ids = db.ids()
+            runs = []
+            for n_clients in client_counts:
+                latencies: List[float] = []
+                errors: List[str] = []
+                lock = threading.Lock()
+
+                def worker(offset: int) -> None:
+                    client = ServiceClient(server.url, timeout=120.0)
+                    local: List[float] = []
+                    try:
+                        for i in range(requests_per_client):
+                            shape_id = ids[(offset + i) % len(ids)]
+                            start = time.perf_counter()
+                            client.search(shape_id=shape_id, k=k)
+                            local.append(time.perf_counter() - start)
+                    except Exception as exc:
+                        info = classify_exception(exc)
+                        with lock:
+                            errors.append(info.format())
+                        return
+                    with lock:
+                        latencies.extend(local)
+
+                threads = [
+                    threading.Thread(target=worker, args=(j,))
+                    for j in range(n_clients)
+                ]
+                wall_start = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                wall = time.perf_counter() - wall_start
+                if errors:  # pragma: no cover - the bench must be clean
+                    raise RuntimeError(f"service bench failed: {errors[0]}")
+                runs.append(
+                    {
+                        "clients": n_clients,
+                        "requests": len(latencies),
+                        "failed": 0,
+                        "p50_s": _median(latencies),
+                        "p99_s": float(np.percentile(latencies, 99)),
+                        "throughput_rps": (
+                            len(latencies) / wall if wall > 0 else float("inf")
+                        ),
+                    }
+                )
+            return {
+                "n_shapes": len(ids),
+                "k": k,
+                "requests_per_client": requests_per_client,
+                "max_concurrent": 8,
+                "queue_limit": 64,
+                "runs": runs,
+            }
+        finally:
+            server.stop()
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -339,6 +436,12 @@ def run_bench(
     db = ingestion.pop("_db")
     timeout_pool = bench_timeout_pool(meshes, resolution, repeats=repeats)
     query = bench_query(db, repeats=10 if quick else 20)
+    service = bench_service(
+        db,
+        resolution=resolution,
+        client_counts=(1, 2) if quick else (1, 4, 16),
+        requests_per_client=5 if quick else 25,
+    )
 
     return {
         "schema_version": SCHEMA_VERSION,
@@ -363,6 +466,7 @@ def run_bench(
         "ingestion": ingestion,
         "timeout_pool": timeout_pool,
         "query": query,
+        "service": service,
     }
 
 
@@ -420,4 +524,19 @@ def format_summary(report: Dict[str, object]) -> str:
         f"indexed {query['indexed_median_s'] * 1e3:.2f} ms median, "
         f"linear fallback {query['linear_median_s'] * 1e3:.2f} ms median"
     )
+    service = report.get("service")
+    if service:
+        lines.append("")
+        lines.append(
+            f"service (HTTP k-NN, k={service['k']}, "
+            f"{service['requests_per_client']} requests/client):"
+        )
+        for row in service["runs"]:
+            lines.append(
+                f"  clients={row['clients']:2d}: "
+                f"p50 {row['p50_s'] * 1e3:6.2f} ms, "
+                f"p99 {row['p99_s'] * 1e3:6.2f} ms, "
+                f"{row['throughput_rps']:.0f} req/s, "
+                f"failed={row['failed']}"
+            )
     return "\n".join(lines)

@@ -17,6 +17,13 @@ Regenerate / verify the docs with::
 
 Names may contain one ``<placeholder>`` segment for families emitted
 with a dynamic component (``pipeline.feature.<name>``, ``jobs.<type>``).
+
+A docs file may restrict its generated region to a subset of sections by
+naming their keys in the begin marker (``metric-catalog:begin
+sections=service``) — ``docs/SERVICE.md`` embeds only the query-service
+table this way while ``docs/OBSERVABILITY.md`` carries the full catalog.
+The marker is self-describing, so ``--check``/``--write`` need no extra
+flags.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ __all__ = [
     "MetricSpec",
     "CATALOG",
     "SECTION_ORDER",
+    "SECTION_KEYS",
     "metric_names",
     "metric_patterns",
     "is_known_metric",
@@ -43,11 +51,21 @@ __all__ = [
     "main",
 ]
 
+#: Head shared by every begin marker (optionally followed by a
+#: ``sections=key[,key...]`` attribute restricting the generated region).
+_BEGIN_PREFIX = "<!-- metric-catalog:begin"
+
+
+def _begin_marker(section_keys: Optional[Tuple[str, ...]] = None) -> str:
+    attr = f" sections={','.join(section_keys)}" if section_keys else ""
+    return (
+        f"{_BEGIN_PREFIX}{attr} "
+        "(generated from src/repro/obs/catalog.py; do not edit by hand) -->"
+    )
+
+
 #: Markers bounding the generated region inside docs/OBSERVABILITY.md.
-BEGIN_MARKER = (
-    "<!-- metric-catalog:begin "
-    "(generated from src/repro/obs/catalog.py; do not edit by hand) -->"
-)
+BEGIN_MARKER = _begin_marker()
 END_MARKER = "<!-- metric-catalog:end -->"
 
 
@@ -75,6 +93,7 @@ _INDEX = "Index (database tier)"
 _FACADE = "Facade"
 _ROBUST = "Robustness (fault paths; see [ROBUSTNESS.md](ROBUSTNESS.md))"
 _JOBS = "Background jobs (see [JOBS.md](JOBS.md))"
+_SERVICE = "Query service (see [SERVICE.md](SERVICE.md))"
 _DERIVED = "Derived (computed at snapshot time, not stored)"
 
 #: Section headings in the order they render in docs/OBSERVABILITY.md.
@@ -85,8 +104,21 @@ SECTION_ORDER: Tuple[str, ...] = (
     _FACADE,
     _ROBUST,
     _JOBS,
+    _SERVICE,
     _DERIVED,
 )
+
+#: Short keys naming sections in a ``sections=`` marker attribute.
+SECTION_KEYS: Dict[str, str] = {
+    "pipeline": _PIPELINE,
+    "search": _SEARCH,
+    "index": _INDEX,
+    "facade": _FACADE,
+    "robust": _ROBUST,
+    "jobs": _JOBS,
+    "service": _SERVICE,
+    "derived": _DERIVED,
+}
 
 CATALOG: Tuple[MetricSpec, ...] = (
     # -- extraction pipeline (server tier) -----------------------------
@@ -302,8 +334,7 @@ CATALOG: Tuple[MetricSpec, ...] = (
         "system.query",
         "histogram",
         "core/system.py",
-        "one facade query (`ThreeDESS.search`, including the deprecated "
-        "shims)",
+        "one facade query (`ThreeDESS.search`)",
         _FACADE,
     ),
     # -- robustness (fault paths) --------------------------------------
@@ -473,6 +504,94 @@ CATALOG: Tuple[MetricSpec, ...] = (
         "one full re-extraction of a stored record's geometry",
         _JOBS,
     ),
+    # -- query service -------------------------------------------------
+    MetricSpec(
+        "service.request.<endpoint>",
+        "histogram",
+        "service/server.py",
+        "wall time of one request per endpoint (e.g. "
+        "`service.request.search`), admission wait included",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.requests",
+        "counter",
+        "service/server.py",
+        "requests admitted and executed (any endpoint, any outcome)",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.rejected",
+        "counter",
+        "service/server.py",
+        "requests refused with 503 + `Retry-After` (admission queue full)",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.timeouts",
+        "counter",
+        "service/server.py",
+        "requests that ran out of deadline budget (504), queued or "
+        "mid-search",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.client_errors",
+        "counter",
+        "service/server.py",
+        "malformed or unroutable requests answered 4xx",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.errors",
+        "counter",
+        "service/server.py",
+        "requests failed by a server-side error (500)",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.active",
+        "gauge",
+        "service/server.py",
+        "search requests currently executing",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.queue_depth",
+        "gauge",
+        "service/server.py",
+        "search requests waiting for an execution slot",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.reload",
+        "histogram",
+        "service/snapshot.py",
+        "one snapshot reload (database load + atomic swap)",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.reloads",
+        "counter",
+        "service/snapshot.py",
+        "snapshot generations swapped in (SIGHUP, `/admin/reload`, or "
+        "the jobs watcher)",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.watch.cycles",
+        "counter",
+        "service/watcher.py",
+        "background drainer cycles that found and ran queued jobs",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.watch.jobs",
+        "counter",
+        "service/watcher.py",
+        "jobs executed by the background drainer (done or failed)",
+        _SERVICE,
+    ),
     # -- derived -------------------------------------------------------
     MetricSpec(
         "cache.hit_rate",
@@ -549,13 +668,38 @@ def matches_metric_prefix(prefix: str) -> bool:
 # ----------------------------------------------------------------------
 # docs generation (the table in docs/OBSERVABILITY.md)
 # ----------------------------------------------------------------------
-def render_markdown() -> str:
-    """The metric tables, grouped by section, as GitHub Markdown."""
+def _resolve_section_keys(
+    section_keys: Optional[Sequence[str]],
+) -> Optional[Tuple[str, ...]]:
+    """Validate marker section keys; None means the full catalog."""
+    if section_keys is None:
+        return None
+    unknown = [key for key in section_keys if key not in SECTION_KEYS]
+    if unknown:
+        raise ValueError(
+            f"unknown metric-catalog section key(s) {', '.join(unknown)}; "
+            f"expected a subset of {', '.join(sorted(SECTION_KEYS))}"
+        )
+    return tuple(section_keys)
+
+
+def render_markdown(section_keys: Optional[Sequence[str]] = None) -> str:
+    """The metric tables, grouped by section, as GitHub Markdown.
+
+    ``section_keys`` (from :data:`SECTION_KEYS`) restricts the output to
+    a subset of sections; None renders the full catalog.
+    """
+    keys = _resolve_section_keys(section_keys)
+    wanted = (
+        None if keys is None else {SECTION_KEYS[key] for key in keys}
+    )
     by_section: Dict[str, List[MetricSpec]] = {}
     for spec in CATALOG:
         by_section.setdefault(spec.section, []).append(spec)
     blocks: List[str] = []
     for section in SECTION_ORDER:
+        if wanted is not None and section not in wanted:
+            continue
         specs = by_section.get(section, [])
         if not specs:
             continue
@@ -577,44 +721,67 @@ def render_markdown() -> str:
     return "\n\n".join(blocks)
 
 
-def expected_docs_block() -> str:
+def expected_docs_block(section_keys: Optional[Sequence[str]] = None) -> str:
     """The full generated region, markers included."""
-    return f"{BEGIN_MARKER}\n\n{render_markdown()}\n\n{END_MARKER}"
+    keys = _resolve_section_keys(section_keys)
+    return (
+        f"{_begin_marker(keys)}\n\n{render_markdown(keys)}\n\n{END_MARKER}"
+    )
 
 
-def _split_docs(text: str) -> Tuple[str, str, str]:
-    """(before, generated-region, after) of a docs file's text.
+_SECTIONS_ATTR_RE = re.compile(r"\bsections=([a-z0-9_,-]+)")
 
-    Raises ``ValueError`` when the markers are missing or malformed.
+
+def _split_docs(text: str) -> Tuple[str, str, str, Optional[Tuple[str, ...]]]:
+    """(before, generated-region, after, section-keys) of a docs file.
+
+    The begin marker is self-describing: an optional ``sections=`` attr
+    names the :data:`SECTION_KEYS` subset the region carries (None for
+    the full catalog).  Raises ``ValueError`` when the markers are
+    missing, malformed, or name unknown sections.
     """
-    begin = text.find(BEGIN_MARKER)
+    begin = text.find(_BEGIN_PREFIX)
     end = text.find(END_MARKER)
     if begin < 0 or end < 0 or end < begin:
         raise ValueError(
             "metric-catalog markers not found (or out of order); expected "
             f"{BEGIN_MARKER!r} ... {END_MARKER!r}"
         )
+    marker_close = text.find("-->", begin)
+    if marker_close < 0 or marker_close > end:
+        raise ValueError("unterminated metric-catalog begin marker")
+    attr = _SECTIONS_ATTR_RE.search(text[begin : marker_close + 3])
+    keys = _resolve_section_keys(
+        tuple(attr.group(1).split(",")) if attr else None
+    )
     return (
         text[:begin],
         text[begin : end + len(END_MARKER)],
         text[end + len(END_MARKER) :],
+        keys,
     )
 
 
 def docs_in_sync(path: str) -> bool:
-    """Whether the generated region of ``path`` matches the catalog."""
+    """Whether the generated region of ``path`` matches the catalog.
+
+    The sections covered are read from the file's own begin marker.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
-    _, current, _ = _split_docs(text)
-    return current == expected_docs_block()
+    _, current, _, keys = _split_docs(text)
+    return current == expected_docs_block(keys)
 
 
 def update_docs(path: str) -> bool:
-    """Rewrite the generated region of ``path``; True when it changed."""
+    """Rewrite the generated region of ``path``; True when it changed.
+
+    Preserves the section subset declared in the file's begin marker.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
-    before, current, after = _split_docs(text)
-    expected = expected_docs_block()
+    before, current, after, keys = _split_docs(text)
+    expected = expected_docs_block(keys)
     if current == expected:
         return False
     with open(path, "w", encoding="utf-8") as handle:

@@ -8,13 +8,16 @@ this layer makes that assumption fail *gracefully* instead of fatally:
 * :mod:`repro.robust.validate` — pre-flight mesh validation feeding the
   ingestion quarantine;
 * :mod:`repro.robust.quarantine` — per-item failure bookkeeping and
-  quarantine-directory reports.
+  quarantine-directory reports;
+* :mod:`repro.robust.deadline` — cooperative per-request deadlines used
+  by the query service (``docs/SERVICE.md``).
 
 Worker timeouts live in :mod:`repro.features.parallel`; integrity-checked
 persistence in :mod:`repro.db.storage`; degraded-mode search in
 :mod:`repro.search`.  See ``docs/ROBUSTNESS.md`` for the full model.
 """
 
+from .deadline import Deadline, DeadlineExceededError
 from .errors import (
     RETRYABLE_CODES,
     FailureInfo,
@@ -35,6 +38,8 @@ from .quarantine import QuarantineItem, QuarantineReport
 from .validate import check_mesh, validate_mesh
 
 __all__ = [
+    "Deadline",
+    "DeadlineExceededError",
     "ReproError",
     "InvalidParameterError",
     "MeshValidationError",

@@ -14,16 +14,22 @@ whether the hit is a degraded record (partial feature set — see
 ``docs/ROBUSTNESS.md``), and whether the retrieval ran through the
 R-tree index or the vectorized linear-scan fallback.
 
-The legacy facade methods remain as thin shims emitting
-``DeprecationWarning`` (see the migration table in ``docs/API.md``).
+The legacy facade methods (``query_by_example`` / ``query_by_threshold``
+/ ``multi_step``) were removed after a one-PR deprecation cycle; the
+migration table in ``docs/API.md`` records the mapping.
+
+Searches accept an optional :class:`~repro.robust.Deadline`: the budget
+is threaded into the engine and checked cooperatively at stage
+boundaries, which is how the query service (``docs/SERVICE.md``)
+enforces per-request timeouts.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
+from ..robust.deadline import Deadline
 from .engine import Query, SearchEngine, SearchResult
 from .multistep import MultiStepPlan, multi_step_search
 
@@ -33,7 +39,6 @@ __all__ = [
     "SearchResponse",
     "SEARCH_MODES",
     "execute_search",
-    "deprecated_shim",
 ]
 
 #: Supported values of :attr:`SearchRequest.mode`.
@@ -144,8 +149,8 @@ class SearchResponse:
         return [hit.shape_id for hit in self.hits]
 
     def to_results(self) -> List[SearchResult]:
-        """Downgrade to the legacy ``List[SearchResult]`` shape (used by
-        the deprecated facade shims)."""
+        """Downgrade to the legacy ``List[SearchResult]`` shape (for
+        callers still consuming the pre-PR-5 result tuples)."""
         return [
             SearchResult(
                 shape_id=hit.shape_id,
@@ -168,8 +173,17 @@ def _retrieval_path(
     return "linear"
 
 
-def execute_search(engine: SearchEngine, request: SearchRequest) -> SearchResponse:
-    """Run a :class:`SearchRequest` against a :class:`SearchEngine`."""
+def execute_search(
+    engine: SearchEngine,
+    request: SearchRequest,
+    deadline: Optional[Deadline] = None,
+) -> SearchResponse:
+    """Run a :class:`SearchRequest` against a :class:`SearchEngine`.
+
+    ``deadline`` (if given) bounds the work: it is checked cooperatively
+    at engine stage boundaries and raises
+    :class:`~repro.robust.DeadlineExceededError` once spent.
+    """
     if request.mode == "knn":
         path = _retrieval_path(engine, request.feature_name, request.use_index)
         results = engine.search_knn(
@@ -178,6 +192,7 @@ def execute_search(engine: SearchEngine, request: SearchRequest) -> SearchRespon
             k=request.k,
             exclude_query=request.exclude_query,
             use_index=request.use_index,
+            deadline=deadline,
         )
     elif request.mode == "threshold":
         path = _retrieval_path(engine, request.feature_name, request.use_index)
@@ -187,6 +202,7 @@ def execute_search(engine: SearchEngine, request: SearchRequest) -> SearchRespon
             threshold=request.threshold,
             exclude_query=request.exclude_query,
             use_index=request.use_index,
+            deadline=deadline,
         )
     else:  # multi_step
         plan = (
@@ -199,7 +215,11 @@ def execute_search(engine: SearchEngine, request: SearchRequest) -> SearchRespon
         )
         path = _retrieval_path(engine, pool_feature, request.use_index)
         results = multi_step_search(
-            engine, request.query, plan, exclude_query=request.exclude_query
+            engine,
+            request.query,
+            plan,
+            exclude_query=request.exclude_query,
+            deadline=deadline,
         )
     hits = tuple(
         SearchHit(
@@ -215,13 +235,3 @@ def execute_search(engine: SearchEngine, request: SearchRequest) -> SearchRespon
         for r in results
     )
     return SearchResponse(request=request, hits=hits, path=path)
-
-
-def deprecated_shim(old: str, replacement: str) -> None:
-    """Emit the one-line migration warning of a legacy facade method."""
-    warnings.warn(
-        f"ThreeDESS.{old}() is deprecated; build a SearchRequest and call "
-        f"ThreeDESS.search() instead ({replacement}); see docs/API.md",
-        DeprecationWarning,
-        stacklevel=3,
-    )

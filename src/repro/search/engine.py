@@ -16,9 +16,16 @@ import numpy as np
 from ..db.database import ShapeDatabase
 from ..geometry.mesh import TriangleMesh
 from ..obs import get_registry
+from ..robust.deadline import Deadline
 from .similarity import RANGE_WEIGHTS, SimilarityMeasure
 
 Query = Union[int, TriangleMesh, np.ndarray]
+
+
+def _check_deadline(deadline: Optional[Deadline], where: str) -> None:
+    """Cooperative deadline check at a stage boundary (no-op when None)."""
+    if deadline is not None:
+        deadline.check(where)
 
 
 @dataclass
@@ -142,6 +149,7 @@ class SearchEngine:
         k: int = 10,
         exclude_query: bool = True,
         use_index: bool = True,
+        deadline: Optional[Deadline] = None,
     ) -> List[SearchResult]:
         """k most similar shapes under one feature vector.
 
@@ -150,11 +158,16 @@ class SearchEngine:
         counts it — it is guaranteed to be retrieved).  With
         ``use_index=False`` — or when the feature space has no index,
         e.g. a database restored without one — the engine falls back to a
-        vectorized linear scan with identical results.
+        vectorized linear scan with identical results.  A ``deadline`` is
+        checked cooperatively at stage boundaries (resolve / probe /
+        build) and aborts the query with
+        :class:`~repro.robust.DeadlineExceededError` once spent.
         """
         metrics = get_registry()
         with metrics.timed("search.knn"):
+            _check_deadline(deadline, "resolve_query")
             vec = self.resolve_query_vector(query, feature_name)
+            _check_deadline(deadline, "index_probe")
             measure = self.measure(feature_name)
             exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
             extra = 1 if exclude is not None else 0
@@ -167,6 +180,7 @@ class SearchEngine:
                 pairs = self._linear_knn(feature_name, vec, k + extra)
             metrics.inc("search.queries")
             metrics.inc("search.candidates_examined", len(pairs))
+            _check_deadline(deadline, "build_results")
             return self._build_results(pairs, feature_name, exclude)[:k]
 
     def search_threshold(
@@ -176,15 +190,19 @@ class SearchEngine:
         threshold: float,
         exclude_query: bool = True,
         use_index: bool = True,
+        deadline: Optional[Deadline] = None,
     ) -> List[SearchResult]:
         """All shapes whose similarity exceeds ``threshold`` (Eq. 4.4).
 
         Falls back to a vectorized linear scan when ``use_index=False``
-        or the feature space carries no index.
+        or the feature space carries no index.  ``deadline`` is honoured
+        cooperatively as in :meth:`search_knn`.
         """
         metrics = get_registry()
         with metrics.timed("search.threshold"):
+            _check_deadline(deadline, "resolve_query")
             vec = self.resolve_query_vector(query, feature_name)
+            _check_deadline(deadline, "index_probe")
             measure = self.measure(feature_name)
             radius = measure.radius_for_threshold(threshold)
             exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
@@ -197,6 +215,7 @@ class SearchEngine:
                 pairs = self._linear_radius(feature_name, vec, radius)
             metrics.inc("search.queries")
             metrics.inc("search.candidates_examined", len(pairs))
+            _check_deadline(deadline, "build_results")
             return self._build_results(pairs, feature_name, exclude)
 
     def explain(
@@ -234,6 +253,7 @@ class SearchEngine:
         query: Query,
         feature_name: str,
         exclude_query: bool = True,
+        deadline: Optional[Deadline] = None,
     ) -> List[SearchResult]:
         """Re-order an explicit candidate set under another feature vector.
 
@@ -246,6 +266,7 @@ class SearchEngine:
         """
         metrics = get_registry()
         with metrics.timed("search.rerank"):
+            _check_deadline(deadline, "rerank")
             vec = self.resolve_query_vector(query, feature_name)
             measure = self.measure(feature_name)
             exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..obs import get_registry
+from ..robust.deadline import Deadline
 from .engine import Query, SearchEngine, SearchResult
 
 #: The configuration used for the paper's Figures 13-15.
@@ -48,11 +49,14 @@ def multi_step_search(
     query: Query,
     plan: Optional[MultiStepPlan] = None,
     exclude_query: bool = True,
+    deadline: Optional[Deadline] = None,
 ) -> List[SearchResult]:
     """Run a multi-step query.
 
     The default plan is the paper's: pool of 30 under moment invariants,
-    reranked by geometric parameters, top 10 presented.
+    reranked by geometric parameters, top 10 presented.  A ``deadline``
+    propagates into the pool retrieval and every filter step, so a
+    timed-out query aborts between steps rather than finishing the plan.
     """
     if plan is None:
         plan = MultiStepPlan(
@@ -66,12 +70,20 @@ def multi_step_search(
         metrics.inc("search.multistep.steps", len(plan.steps))
         first_name, first_keep = plan.steps[0]
         results = engine.search_knn(
-            query, first_name, k=first_keep, exclude_query=exclude_query
+            query,
+            first_name,
+            k=first_keep,
+            exclude_query=exclude_query,
+            deadline=deadline,
         )
         for feature_name, keep in plan.steps[1:]:
             candidate_ids = [r.shape_id for r in results]
             results = engine.rerank(
-                candidate_ids, query, feature_name, exclude_query=exclude_query
+                candidate_ids,
+                query,
+                feature_name,
+                exclude_query=exclude_query,
+                deadline=deadline,
             )[:keep]
     return results
 

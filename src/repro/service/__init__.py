@@ -1,0 +1,42 @@
+"""The query service (``three-dess serve``): 3DESS as a daemon.
+
+The paper frames shape search as an *interactive system*; this package
+delivers it the way such systems ship — as a long-running process
+answering concurrent HTTP/JSON queries over a read-mostly snapshot of a
+saved :class:`~repro.db.database.ShapeDatabase`:
+
+* :mod:`repro.service.server` — the stdlib HTTP daemon: bounded
+  admission (503 + ``Retry-After`` under saturation), cooperative
+  per-request deadlines (504), and ``service.*`` metrics;
+* :mod:`repro.service.snapshot` — the atomically-swappable database
+  snapshot behind every request (SIGHUP / ``POST /admin/reload``);
+* :mod:`repro.service.watcher` — the background drainer healing
+  degraded records through the durable job queue while the same
+  process keeps serving;
+* :mod:`repro.service.protocol` — the JSON wire codecs;
+* :mod:`repro.service.client` — the stdlib client used by the CLI
+  (``three-dess query --server``) and the tests.
+
+Everything is standard library + the existing ``repro`` layers; see
+``docs/SERVICE.md`` for the endpoint reference and deployment runbook.
+"""
+
+from .client import ServiceClient, ServiceError, ServiceUnavailableError
+from .protocol import ProtocolError, decode_request, encode_response
+from .server import QueryServer, QueueFullError
+from .snapshot import Snapshot, SnapshotManager
+from .watcher import JobWatcher
+
+__all__ = [
+    "QueryServer",
+    "QueueFullError",
+    "Snapshot",
+    "SnapshotManager",
+    "JobWatcher",
+    "ProtocolError",
+    "decode_request",
+    "encode_response",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailableError",
+]

@@ -1,0 +1,182 @@
+"""Stdlib client of the query service (used by tests and the CLI).
+
+:class:`ServiceClient` speaks the JSON wire protocol of
+:mod:`repro.service.protocol` over ``urllib`` — no dependencies, one
+class.  Server-reported failures surface as :class:`ServiceError`
+carrying the HTTP status and the taxonomy ``stage``/``code`` from the
+error body; a server that cannot be reached at all raises
+:class:`ServiceUnavailableError` (the CLI maps it to
+``ExitCode.UNAVAILABLE``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..geometry.mesh import TriangleMesh
+from ..robust.errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceUnavailableError"]
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The server answered with an error response.
+
+    Attributes
+    ----------
+    status:
+        HTTP status code (0 when no response was received).
+    payload:
+        Decoded JSON error body (may be empty on non-JSON responses).
+    """
+
+    stage = "service"
+    default_code = "service.error"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 0,
+        payload: Optional[Dict[str, Any]] = None,
+        code: Optional[str] = None,
+        **context: object,
+    ) -> None:
+        super().__init__(message, code=code, status=status, **context)
+        self.status = status
+        self.payload = payload if payload is not None else {}
+
+
+class ServiceUnavailableError(ServiceError):
+    """No server answered at the given URL (connection refused, DNS,
+    socket timeout)."""
+
+    default_code = "service.unavailable"
+
+
+class ServiceClient:
+    """A minimal synchronous client for one ``three-dess serve`` daemon.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8707"`` (a bare ``host:port`` is
+        accepted and promoted to ``http://``).
+    timeout:
+        Socket timeout in seconds for each call (this is the transport
+        bound; the *server-side* budget is ``deadline_ms`` per query).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        if "://" not in base_url:
+            base_url = f"http://{base_url}"
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = {}
+            error = payload.get("error", {}) if isinstance(payload, dict) else {}
+            raise ServiceError(
+                error.get("message", f"HTTP {exc.code} from {path}"),
+                status=exc.code,
+                payload=payload,
+                code=error.get("code"),
+                retry_after=exc.headers.get("Retry-After"),
+            ) from exc
+        except (urllib.error.URLError, socket.timeout, ConnectionError) as exc:
+            raise ServiceUnavailableError(
+                f"cannot reach {self.base_url}: {exc}", status=0
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        *,
+        shape_id: Optional[int] = None,
+        vector: Optional[Sequence[float]] = None,
+        mesh: Optional[Union[TriangleMesh, Dict[str, Any]]] = None,
+        mode: str = "knn",
+        feature_name: str = "principal_moments",
+        k: int = 10,
+        threshold: float = 0.9,
+        steps: Optional[Sequence[Tuple[str, int]]] = None,
+        exclude_query: bool = True,
+        use_index: bool = True,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Run one query; returns the decoded response body.
+
+        Exactly one of ``shape_id`` / ``vector`` / ``mesh`` must be
+        given (``mesh`` accepts a :class:`TriangleMesh` or an
+        already-encoded ``{"vertices": ..., "faces": ...}`` dict).
+        Raises :class:`ServiceError` with ``status`` 503/504/400... on
+        server-reported failures.
+        """
+        body: Dict[str, Any] = {
+            "mode": mode,
+            "feature_name": feature_name,
+            "k": k,
+            "threshold": threshold,
+            "exclude_query": exclude_query,
+            "use_index": use_index,
+        }
+        if shape_id is not None:
+            body["shape_id"] = shape_id
+        if vector is not None:
+            body["vector"] = [float(x) for x in vector]
+        if mesh is not None:
+            if isinstance(mesh, TriangleMesh):
+                body["mesh"] = {
+                    "vertices": mesh.vertices.tolist(),
+                    "faces": mesh.faces.tolist(),
+                    "name": mesh.name,
+                }
+            else:
+                body["mesh"] = mesh
+        if steps is not None:
+            body["steps"] = [[str(name), int(keep)] for name, keep in steps]
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return self._call("POST", "/search", body)
+
+    def hits(self, response: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """The hit list of a :meth:`search` response (convenience)."""
+        return list(response.get("hits", []))
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._call("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics`` — the server's metrics-registry snapshot."""
+        return self._call("GET", "/metrics")
+
+    def reload(self) -> Dict[str, Any]:
+        """``POST /admin/reload`` — swap in a fresh snapshot."""
+        return self._call("POST", "/admin/reload")

@@ -1,0 +1,194 @@
+"""JSON wire protocol of the query service.
+
+One request object in, one response object out — the wire mirror of
+:class:`~repro.search.api.SearchRequest` / ``SearchResponse``.  The
+query itself takes one of three forms (Fig. 2's query taxonomy):
+
+``{"shape_id": 7}``
+    a shape already in the database;
+``{"vector": [0.1, ...]}``
+    a raw feature vector in the requested space;
+``{"mesh": {"vertices": [[x, y, z], ...], "faces": [[i, j, k], ...]}}``
+    a fresh triangle mesh, run through the extraction pipeline.
+
+Every other field matches the ``SearchRequest`` dataclass, plus
+``deadline_ms`` (the per-request budget).  Malformed input raises
+:class:`ProtocolError`, which the server answers with HTTP 400; the
+error body carries the taxonomy ``stage``/``code`` so clients can
+distinguish a bad request from a saturated or timed-out one.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any, Dict, Optional, Tuple
+
+from ..geometry.mesh import MeshError, TriangleMesh
+from ..robust.errors import ReproError
+from ..search.api import SEARCH_MODES, SearchRequest, SearchResponse
+
+__all__ = ["ProtocolError", "decode_request", "encode_response"]
+
+#: Wire fields accepted by ``POST /search`` (everything else is rejected
+#: so typos fail loudly instead of silently running defaults).
+_REQUEST_FIELDS = frozenset(
+    {
+        "shape_id",
+        "vector",
+        "mesh",
+        "mode",
+        "feature_name",
+        "k",
+        "threshold",
+        "steps",
+        "exclude_query",
+        "use_index",
+        "deadline_ms",
+    }
+)
+
+_QUERY_FIELDS = ("shape_id", "vector", "mesh")
+
+
+class ProtocolError(ReproError, ValueError):
+    """A request payload violated the wire protocol (HTTP 400)."""
+
+    stage = "service"
+    default_code = "service.bad_request"
+
+
+def _decode_query(payload: Dict[str, Any]) -> Any:
+    present = [f for f in _QUERY_FIELDS if payload.get(f) is not None]
+    if len(present) != 1:
+        raise ProtocolError(
+            "exactly one of shape_id / vector / mesh must be given, "
+            f"got {present or 'none'}"
+        )
+    field = present[0]
+    value = payload[field]
+    if field == "shape_id":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError(f"shape_id must be an integer, got {value!r}")
+        return value
+    if field == "vector":
+        if not isinstance(value, list) or not value or not all(
+            isinstance(x, numbers.Real) and not isinstance(x, bool)
+            for x in value
+        ):
+            raise ProtocolError("vector must be a non-empty list of numbers")
+        import numpy as np
+
+        return np.asarray(value, dtype=np.float64)
+    if not isinstance(value, dict):
+        raise ProtocolError("mesh must be an object with vertices and faces")
+    try:
+        mesh = TriangleMesh(
+            value.get("vertices", []),
+            value.get("faces", []),
+            name=str(value.get("name", "")),
+        )
+    except (MeshError, ValueError, TypeError) as exc:
+        raise ProtocolError(f"invalid mesh: {exc}") from exc
+    if mesh.vertices.size == 0 or mesh.faces.size == 0:
+        raise ProtocolError("mesh must have at least one vertex and one face")
+    return mesh
+
+
+def decode_request(
+    payload: Any,
+) -> Tuple[SearchRequest, Optional[float]]:
+    """Decode a ``POST /search`` JSON body.
+
+    Returns the :class:`SearchRequest` and the requested deadline budget
+    in **seconds** (None when the client set none — the server then
+    applies its default).  Raises :class:`ProtocolError` on any
+    malformed field.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("request body must be a JSON object")
+    unknown = sorted(set(payload) - _REQUEST_FIELDS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown request field(s): {', '.join(unknown)}; "
+            f"expected a subset of {', '.join(sorted(_REQUEST_FIELDS))}"
+        )
+    query = _decode_query(payload)
+    mode = payload.get("mode", "knn")
+    if mode not in SEARCH_MODES:
+        raise ProtocolError(
+            f"unknown mode {mode!r}; expected one of {', '.join(SEARCH_MODES)}"
+        )
+    steps = payload.get("steps")
+    if steps is not None:
+        try:
+            steps = tuple((str(name), int(keep)) for name, keep in steps)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "steps must be a list of [feature_name, keep] pairs"
+            ) from exc
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, numbers.Real)
+            or deadline_ms <= 0
+        ):
+            raise ProtocolError(
+                f"deadline_ms must be a positive number, got {deadline_ms!r}"
+            )
+    try:
+        request = SearchRequest(
+            query=query,
+            mode=mode,
+            feature_name=str(payload.get("feature_name", "principal_moments")),
+            k=int(payload.get("k", 10)),
+            threshold=float(payload.get("threshold", 0.9)),
+            steps=steps,
+            exclude_query=bool(payload.get("exclude_query", True)),
+            use_index=bool(payload.get("use_index", True)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(str(exc)) from exc
+    budget_s = float(deadline_ms) / 1000.0 if deadline_ms is not None else None
+    return request, budget_s
+
+
+def encode_response(
+    response: SearchResponse,
+    *,
+    generation: int,
+    elapsed_ms: float,
+    degraded_records: int = 0,
+    dropped_records: int = 0,
+) -> Dict[str, Any]:
+    """Encode a ``SearchResponse`` (plus snapshot provenance) as JSON.
+
+    ``degraded_records`` / ``dropped_records`` surface the serving
+    snapshot's health so a client can tell a complete answer from one
+    computed over a partially-healed corpus (degraded mode, see
+    ``docs/ROBUSTNESS.md``).
+    """
+    return {
+        "ok": True,
+        "mode": response.request.mode,
+        "path": response.path,
+        "generation": generation,
+        "elapsed_ms": round(elapsed_ms, 3),
+        "degraded": {
+            "degraded_records": degraded_records,
+            "dropped_records": dropped_records,
+        },
+        "hits": [
+            {
+                "shape_id": hit.shape_id,
+                "rank": hit.rank,
+                "distance": hit.distance,
+                "similarity": hit.similarity,
+                "name": hit.name,
+                "group": hit.group,
+                "degraded": hit.degraded,
+                "path": hit.path,
+            }
+            for hit in response.hits
+        ],
+    }

@@ -1,0 +1,447 @@
+"""The stdlib HTTP daemon serving concurrent shape-search queries.
+
+Request lifecycle (``POST /search``):
+
+1. decode the JSON body (:mod:`repro.service.protocol`) — 400 on
+   malformed input;
+2. pass the admission gate — a bounded pool of execution slots plus a
+   bounded wait queue.  A full wait queue answers 503 with
+   ``Retry-After`` *immediately* (load-shedding beats queue collapse);
+   a request whose deadline expires while queued answers 504 without
+   ever starting the search;
+3. grab the current :class:`~repro.service.snapshot.Snapshot` and run
+   the query through ``ThreeDESS.search`` with the remaining deadline
+   budget threaded in — the engine checks it cooperatively at stage
+   boundaries, so an expensive mesh query aborts mid-flight (504);
+4. encode hits with full provenance plus the snapshot generation and
+   degraded-mode counters.
+
+``GET /healthz`` and ``GET /metrics`` bypass admission (probes must not
+be shed), ``POST /admin/reload`` swaps the snapshot (as does SIGHUP when
+:meth:`QueryServer.serve_forever` installed its handler).  Every
+endpoint is timed into ``service.request.<endpoint>`` histograms; see
+the catalog section in ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..obs import get_registry
+from ..robust.deadline import Deadline, DeadlineExceededError
+from ..robust.errors import FailureInfo, ReproError, classify_exception
+from .protocol import ProtocolError, decode_request, encode_response
+from .snapshot import SnapshotManager
+
+__all__ = ["AdmissionGate", "QueryServer", "QueueFullError"]
+
+logger = logging.getLogger("repro.service")
+
+#: Largest accepted request body (a ~100k-vertex mesh as JSON); bigger
+#: payloads are rejected 400 before being read into memory.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class QueueFullError(ReproError):
+    """The admission queue is saturated (HTTP 503 + ``Retry-After``)."""
+
+    stage = "service"
+    default_code = "service.queue_full"
+
+    def __init__(
+        self, message: str, *, retry_after: float = 1.0, **context: object
+    ) -> None:
+        super().__init__(message, retry_after=retry_after, **context)
+        self.retry_after = retry_after
+
+
+class AdmissionGate:
+    """Bounded concurrency + bounded waiting = explicit backpressure.
+
+    ``max_concurrent`` requests execute at once; up to ``queue_limit``
+    more may wait for a slot.  Anything beyond that is refused with
+    :class:`QueueFullError` *immediately* — shedding load early keeps
+    queue wait (and therefore tail latency) bounded.  A waiter whose
+    deadline expires before a slot frees raises
+    :class:`~repro.robust.DeadlineExceededError` instead of starting
+    doomed work.
+    """
+
+    def __init__(self, max_concurrent: int, queue_limit: int) -> None:
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if queue_limit < 0:
+            raise ValueError(f"queue_limit must be >= 0, got {queue_limit}")
+        self.max_concurrent = max_concurrent
+        self.queue_limit = queue_limit
+        self._slots = threading.BoundedSemaphore(max_concurrent)
+        self._lock = threading.Lock()
+        self._waiting = 0
+        self._active = 0
+
+    @property
+    def waiting(self) -> int:
+        return self._waiting
+
+    @property
+    def active(self) -> int:
+        return self._active
+
+    @contextlib.contextmanager
+    def admit(
+        self,
+        deadline: Optional[Deadline] = None,
+        retry_after: float = 1.0,
+    ) -> Iterator[None]:
+        """Hold an execution slot for the duration of the ``with`` body."""
+        metrics = get_registry()
+        # Fast path: a free slot means no queueing (and no shedding,
+        # even with queue_limit=0).
+        if not self._slots.acquire(blocking=False):
+            with self._lock:
+                if self._waiting >= self.queue_limit:
+                    raise QueueFullError(
+                        f"admission queue full ({self._waiting} waiting, "
+                        f"{self.max_concurrent} executing)",
+                        retry_after=retry_after,
+                        waiting=self._waiting,
+                    )
+                self._waiting += 1
+                metrics.gauge("service.queue_depth").set(self._waiting)
+            try:
+                if deadline is None:
+                    acquired = self._slots.acquire()
+                else:
+                    acquired = self._slots.acquire(
+                        timeout=max(deadline.remaining(), 0.0)
+                    )
+                if not acquired:
+                    raise DeadlineExceededError(
+                        "deadline exceeded waiting for an execution slot",
+                        where="admission",
+                    )
+            finally:
+                with self._lock:
+                    self._waiting -= 1
+                    metrics.gauge("service.queue_depth").set(self._waiting)
+        try:
+            with self._lock:
+                self._active += 1
+                metrics.gauge("service.active").set(self._active)
+            yield
+        finally:
+            with self._lock:
+                self._active -= 1
+                metrics.gauge("service.active").set(self._active)
+            self._slots.release()
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying a back-reference to the service."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # The default listen backlog (5) resets connections under a
+    # concurrent-client burst; admission control, not the TCP backlog,
+    # is where excess load gets shed.
+    request_queue_size = 128
+    service: "QueryServer"
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    server: _ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        retry_after: Optional[float] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(max(1, round(retry_after))))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_failure(
+        self,
+        status: int,
+        info: FailureInfo,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        self._send_json(
+            status,
+            {
+                "ok": False,
+                "error": {
+                    "stage": info.stage,
+                    "code": info.code,
+                    "message": info.message,
+                },
+            },
+            retry_after=retry_after,
+        )
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise ProtocolError("request body required (Content-Length)")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(
+                f"request body too large ({length} bytes > {MAX_BODY_BYTES})"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # stdlib handler naming
+        if self.path == "/search":
+            self._dispatch("search", self._handle_search)
+        elif self.path == "/admin/reload":
+            self._dispatch("reload", self._handle_reload)
+        else:
+            self._not_found()
+
+    def do_GET(self) -> None:  # stdlib handler naming
+        if self.path == "/healthz":
+            self._dispatch("healthz", self._handle_healthz)
+        elif self.path == "/metrics":
+            self._dispatch("metrics", self._handle_metrics)
+        else:
+            self._not_found()
+
+    def _not_found(self) -> None:
+        metrics = get_registry()
+        metrics.inc("service.requests")
+        metrics.inc("service.client_errors")
+        self._send_json(
+            404,
+            {
+                "ok": False,
+                "error": {
+                    "stage": "service",
+                    "code": "service.not_found",
+                    "message": f"no such endpoint: {self.command} {self.path}",
+                },
+            },
+        )
+
+    def _dispatch(self, endpoint: str, handler: Any) -> None:
+        metrics = get_registry()
+        metrics.inc("service.requests")
+        with metrics.timed(f"service.request.{endpoint}"):
+            try:
+                handler()
+            except ProtocolError as exc:
+                metrics.inc("service.client_errors")
+                self._send_failure(400, classify_exception(exc))
+            except KeyError as exc:
+                # Unknown shape id / feature space: the request named
+                # something the snapshot does not have.
+                metrics.inc("service.client_errors")
+                self._send_failure(
+                    400,
+                    FailureInfo(
+                        stage="service",
+                        code="service.unknown_reference",
+                        message=str(exc.args[0]) if exc.args else str(exc),
+                    ),
+                )
+            except QueueFullError as exc:
+                metrics.inc("service.rejected")
+                self._send_failure(
+                    503, classify_exception(exc), retry_after=exc.retry_after
+                )
+            except DeadlineExceededError as exc:
+                metrics.inc("service.timeouts")
+                self._send_failure(504, classify_exception(exc))
+            except Exception as exc:
+                metrics.inc("service.errors")
+                logger.exception("unhandled error serving %s", endpoint)
+                self._send_failure(500, classify_exception(exc))
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def _handle_search(self) -> None:
+        service = self.server.service
+        start = time.monotonic()
+        request, budget_s = decode_request(self._read_json())
+        if budget_s is None:
+            budget_s = service.default_deadline_s
+        deadline = Deadline.after(budget_s) if budget_s else None
+        with service.gate.admit(deadline, retry_after=service.retry_after_s):
+            if deadline is not None:
+                deadline.check("admitted")
+            snapshot = service.snapshots.current
+            response = snapshot.system.search(request, deadline=deadline)
+            self._send_json(
+                200,
+                encode_response(
+                    response,
+                    generation=snapshot.generation,
+                    elapsed_ms=(time.monotonic() - start) * 1000.0,
+                    degraded_records=snapshot.degraded_records,
+                    dropped_records=snapshot.dropped_records,
+                ),
+            )
+
+    def _handle_healthz(self) -> None:
+        service = self.server.service
+        snapshot = service.snapshots.current
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "generation": snapshot.generation,
+                "shapes": len(snapshot.system.database),
+                "degraded_records": snapshot.degraded_records,
+                "dropped_records": snapshot.dropped_records,
+                "uptime_s": round(time.time() - service.started_at, 3),
+                "admission": {
+                    "active": service.gate.active,
+                    "waiting": service.gate.waiting,
+                    "max_concurrent": service.gate.max_concurrent,
+                    "queue_limit": service.gate.queue_limit,
+                },
+            },
+        )
+
+    def _handle_metrics(self) -> None:
+        self._send_json(200, get_registry().snapshot())
+
+    def _handle_reload(self) -> None:
+        service = self.server.service
+        snapshot = service.snapshots.reload()
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "generation": snapshot.generation,
+                "shapes": len(snapshot.system.database),
+                "degraded_records": snapshot.degraded_records,
+            },
+        )
+
+
+class QueryServer:
+    """The ``three-dess serve`` daemon.
+
+    Parameters
+    ----------
+    snapshots:
+        The :class:`SnapshotManager` to serve from (its first snapshot
+        is loaded eagerly so a broken directory fails at startup, not on
+        the first query).
+    host / port:
+        Bind address; port 0 picks a free port (see :attr:`address`).
+    max_concurrent / queue_limit:
+        Admission-gate bounds (executing / waiting search requests).
+    default_deadline_s:
+        Budget applied to requests that set no ``deadline_ms``; None or
+        0 disables the default (requests without a deadline run
+        unbounded).
+    retry_after_s:
+        Hint returned in 503 ``Retry-After`` headers.
+    """
+
+    def __init__(
+        self,
+        snapshots: SnapshotManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_concurrent: int = 8,
+        queue_limit: int = 16,
+        default_deadline_s: Optional[float] = 30.0,
+        retry_after_s: float = 1.0,
+    ) -> None:
+        self.snapshots = snapshots
+        self.gate = AdmissionGate(max_concurrent, queue_limit)
+        self.default_deadline_s = default_deadline_s or None
+        self.retry_after_s = retry_after_s
+        self.started_at = time.time()
+        _ = snapshots.current  # eager first load: fail at startup, not on query 1
+        self._httpd = _ServiceHTTPServer((host, port), _RequestHandler)
+        self._httpd.service = self
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — port resolved when 0 was requested."""
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Serve on a background thread (tests, benchmarks)."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="three-dess-serve",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def serve_forever(self, install_sighup: bool = True) -> None:
+        """Serve on the calling thread until interrupted (the CLI path).
+
+        With ``install_sighup`` (and a platform that has SIGHUP), a
+        hangup signal triggers an asynchronous snapshot reload — the
+        operator's `kill -HUP` after replacing the database directory.
+        """
+        if install_sighup and hasattr(signal, "SIGHUP"):
+            signal.signal(signal.SIGHUP, self._on_sighup)
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+
+    def _on_sighup(self, signum: int, frame: Any) -> None:
+        # Reloads can take seconds; never block the signal frame.
+        threading.Thread(
+            target=self._reload_quietly, name="sighup-reload", daemon=True
+        ).start()
+
+    def _reload_quietly(self) -> None:
+        try:
+            snapshot = self.snapshots.reload()
+            logger.info("reloaded snapshot generation %d", snapshot.generation)
+        except Exception as exc:  # old snapshot keeps serving on failure
+            info = classify_exception(exc)
+            logger.error("snapshot reload failed: %s", info.format())

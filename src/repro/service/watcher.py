@@ -1,0 +1,151 @@
+"""The background jobs drainer (``three-dess serve --watch-jobs``).
+
+One process, two roles: the HTTP threads answer queries against the
+read-mostly snapshot while a single :class:`JobWatcher` thread
+periodically heals the corpus through the durable
+:class:`~repro.jobs.queue.JobQueue`:
+
+1. load a private full copy of the database (meshes included — healing
+   re-runs extraction, which the lean serving snapshot cannot);
+2. enqueue ``re-extract`` jobs for every degraded record (idempotent:
+   the queue dedupes unfinished jobs);
+3. drain the queue with the standard :class:`~repro.jobs.runner.JobRunner`;
+4. when anything healed, save the database back to disk and trigger a
+   snapshot reload so queries see the repaired vectors.
+
+The watcher never touches the serving snapshot directly — it goes
+through the same save-then-reload path an operator would, so the swap
+semantics (in-flight queries finish on the old generation) hold.
+
+Also usable standalone via ``three-dess jobs watch`` for a sidecar
+process sharing the queue journal with the server.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+from typing import Optional, Union
+
+from ..core.config import SystemConfig
+from ..core.system import ThreeDESS
+from ..jobs import JobQueue
+from ..obs import get_registry
+from ..robust.errors import classify_exception
+from .snapshot import SnapshotManager
+
+__all__ = ["JobWatcher"]
+
+logger = logging.getLogger("repro.service")
+
+
+class JobWatcher:
+    """Periodic queue drainer healing degraded records.
+
+    Parameters
+    ----------
+    directory:
+        The saved database directory (shared with the server).
+    queue_path:
+        The job-queue journal to drain.
+    snapshots:
+        Optional :class:`SnapshotManager` to reload after a successful
+        healing cycle (None when running as a standalone sidecar).
+    interval:
+        Seconds between drain cycles.
+    max_cycles:
+        Stop after this many cycles (None = run until :meth:`stop`);
+        lets tests and CI run the watcher to completion.
+    config:
+        Optional :class:`SystemConfig` for the private database loads.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike],
+        queue_path: Union[str, os.PathLike],
+        snapshots: Optional[SnapshotManager] = None,
+        interval: float = 5.0,
+        max_cycles: Optional[int] = None,
+        config: Optional[SystemConfig] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.directory = os.fspath(directory)
+        self.queue_path = os.fspath(queue_path)
+        self.snapshots = snapshots
+        self.interval = interval
+        self.max_cycles = max_cycles
+        self.config = config
+        self.cycles_run = 0
+        self.jobs_executed = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def run_cycle(self) -> int:
+        """One drain cycle; returns the number of jobs executed.
+
+        Loads a private full copy of the database each cycle (degraded
+        records are only discoverable from the records themselves),
+        enqueues re-extract jobs idempotently, and drains whatever is
+        pending — from this watcher or any other producer sharing the
+        journal.
+        """
+        metrics = get_registry()
+        with JobQueue(self.queue_path) as queue:
+            system = ThreeDESS.load(
+                self.directory, config=self.config, load_meshes=True
+            )
+            system.enqueue_reextraction(queue)
+            if not queue.pending_work():
+                return 0
+            report = system.run_jobs(queue)
+        executed = report.executed
+        metrics.inc("service.watch.cycles")
+        metrics.inc("service.watch.jobs", executed)
+        self.jobs_executed += executed
+        if report.done:
+            system.save(self.directory)
+            if self.snapshots is not None:
+                self.snapshots.reload()
+        logger.info("jobs watch cycle: %s", report.summary())
+        return executed
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.run_cycle()
+            except Exception as exc:  # keep serving; next cycle retries
+                info = classify_exception(exc)
+                logger.error("jobs watch cycle failed: %s", info.format())
+            self.cycles_run += 1
+            if (
+                self.max_cycles is not None
+                and self.cycles_run >= self.max_cycles
+            ):
+                break
+            self._stop.wait(self.interval)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Run the drain loop on a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("watcher already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="three-dess-jobs-watch", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Signal the loop to stop and wait for the current cycle."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for a bounded (``max_cycles``) run to finish."""
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)

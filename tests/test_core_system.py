@@ -5,6 +5,7 @@ import pytest
 
 from repro import SystemConfig, ThreeDESS
 from repro.geometry import box, cylinder, torus
+from repro.search.api import SearchRequest
 
 
 @pytest.fixture
@@ -44,27 +45,41 @@ class TestFacade:
     def test_len(self, system):
         assert len(system) == 6
 
-    def test_query_by_example_id(self, system):
-        hits = system.query_by_example(1, k=2)
+    def test_search_knn_by_id(self, system):
+        hits = system.search(SearchRequest(query=1, mode="knn", k=2)).hits
         assert {h.shape_id for h in hits} == {2, 3}
 
-    def test_query_by_example_mesh(self, system):
-        hits = system.query_by_example(box((2, 3, 4)), k=2)
+    def test_search_knn_by_mesh(self, system):
+        hits = system.search(
+            SearchRequest(query=box((2, 3, 4)), mode="knn", k=2)
+        ).hits
         assert all(h.group == "boxes" for h in hits)
 
-    def test_query_by_threshold(self, system):
-        hits = system.query_by_threshold(1, threshold=0.0)
+    def test_search_threshold(self, system):
+        hits = system.search(
+            SearchRequest(query=1, mode="threshold", threshold=0.0)
+        ).hits
         assert len(hits) == 5
 
-    def test_multi_step_default_plan(self, system):
-        hits = system.multi_step(1)
+    def test_search_multi_step_default_plan(self, system):
+        hits = system.search(SearchRequest(query=1, mode="multi_step")).hits
         assert len(hits) <= 10
 
-    def test_multi_step_custom_plan(self, system):
-        hits = system.multi_step(
-            1, steps=[("principal_moments", 4), ("geometric_params", 2)]
-        )
+    def test_search_multi_step_custom_plan(self, system):
+        hits = system.search(
+            SearchRequest(
+                query=1,
+                mode="multi_step",
+                steps=(("principal_moments", 4), ("geometric_params", 2)),
+            )
+        ).hits
         assert len(hits) == 2
+
+    def test_legacy_facade_methods_removed(self, system):
+        # Removed after the PR-5 deprecation cycle; docs/API.md records
+        # the SearchRequest equivalents.
+        for name in ("query_by_example", "query_by_threshold", "multi_step"):
+            assert not hasattr(system, name)
 
     def test_insert_file(self, system, tmp_path):
         from repro.geometry import save_mesh
@@ -108,8 +123,9 @@ class TestPersistence:
         system.save(tmp_path / "db")
         back = ThreeDESS.load(tmp_path / "db", config=SystemConfig(voxel_resolution=12))
         assert len(back) == len(system)
-        hits_a = [h.shape_id for h in system.query_by_example(1, k=3)]
-        hits_b = [h.shape_id for h in back.query_by_example(1, k=3)]
+        request = SearchRequest(query=1, mode="knn", k=3)
+        hits_a = [h.shape_id for h in system.search(request).hits]
+        hits_b = [h.shape_id for h in back.search(request).hits]
         assert hits_a == hits_b
 
     def test_load_without_meshes_queries_by_id(self, system, tmp_path):
@@ -119,7 +135,8 @@ class TestPersistence:
             config=SystemConfig(voxel_resolution=12),
             load_meshes=False,
         )
-        assert back.query_by_example(1, k=1)[0].shape_id in {2, 3}
+        response = back.search(SearchRequest(query=1, mode="knn", k=1))
+        assert response.hits[0].shape_id in {2, 3}
 
 
 class TestFeatureCache:

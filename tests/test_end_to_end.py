@@ -13,6 +13,7 @@ from repro import SystemConfig, ThreeDESS
 from repro.datasets.families import FAMILIES
 from repro.geometry import volume
 from repro.search import CombinedSimilarity, combined_search
+from repro.search.api import SearchRequest
 from repro.viewer import render_mesh
 
 
@@ -44,22 +45,32 @@ class TestQueryFlow:
         ["moment_invariants", "geometric_params", "principal_moments", "eigenvalues"],
     )
     def test_every_feature_vector_searchable(self, library, query_mesh, feature):
-        hits = library.query_by_example(query_mesh, feature_name=feature, k=5)
+        hits = library.search(
+            SearchRequest(query=query_mesh, mode="knn", feature_name=feature, k=5)
+        ).hits
         assert len(hits) == 5
         assert all(0.0 <= h.similarity <= 1.0 for h in hits)
 
     def test_new_mesh_finds_its_family(self, library, query_mesh):
-        hits = library.query_by_example(
-            query_mesh, feature_name="principal_moments", k=5
-        )
+        hits = library.search(
+            SearchRequest(
+                query=query_mesh,
+                mode="knn",
+                feature_name="principal_moments",
+                k=5,
+            )
+        ).hits
         bracket_hits = sum(1 for h in hits if h.group == "l_bracket")
         assert bracket_hits >= 3
 
     def test_multistep_refinement(self, library, query_mesh):
-        hits = library.multi_step(
-            query_mesh,
-            steps=[("moment_invariants", 15), ("geometric_params", 5)],
-        )
+        hits = library.search(
+            SearchRequest(
+                query=query_mesh,
+                mode="multi_step",
+                steps=(("moment_invariants", 15), ("geometric_params", 5)),
+            )
+        ).hits
         assert len(hits) == 5
         bracket_hits = sum(1 for h in hits if h.group == "l_bracket")
         assert bracket_hits >= 3
@@ -72,8 +83,12 @@ class TestQueryFlow:
         assert sum(1 for h in hits if h.group == "l_bracket") >= 3
 
     def test_threshold_flow(self, library, query_mesh):
-        strict = library.query_by_threshold(query_mesh, threshold=0.999)
-        loose = library.query_by_threshold(query_mesh, threshold=0.5)
+        strict = library.search(
+            SearchRequest(query=query_mesh, mode="threshold", threshold=0.999)
+        ).hits
+        loose = library.search(
+            SearchRequest(query=query_mesh, mode="threshold", threshold=0.5)
+        ).hits
         assert len(strict) <= len(loose)
 
     def test_feedback_round(self, library, query_mesh):
@@ -97,15 +112,22 @@ class TestQueryFlow:
             assert set(child.member_ids) <= set(root.member_ids)
 
     def test_render_top_result(self, library, query_mesh):
-        hit = library.query_by_example(query_mesh, k=1)[0]
+        hit = library.search(
+            SearchRequest(query=query_mesh, mode="knn", k=1)
+        ).hits[0]
         mesh = library.database.get(hit.shape_id).mesh
         image = render_mesh(mesh, size=48)
         assert image.shape == (48, 48, 3)
 
     def test_explain_top_result(self, library, query_mesh):
-        hit = library.query_by_example(
-            query_mesh, feature_name="geometric_params", k=1
-        )[0]
+        hit = library.search(
+            SearchRequest(
+                query=query_mesh,
+                mode="knn",
+                feature_name="geometric_params",
+                k=1,
+            )
+        ).hits[0]
         rows = library.engine.explain(query_mesh, hit.shape_id, "geometric_params")
         assert sum(f for _, _, f in rows) == pytest.approx(1.0)
 
@@ -114,8 +136,9 @@ class TestQueryFlow:
         back = ThreeDESS.load(
             tmp_path / "lib", config=SystemConfig(voxel_resolution=16)
         )
-        a = [h.shape_id for h in library.query_by_example(query_mesh, k=5)]
-        b = [h.shape_id for h in back.query_by_example(query_mesh, k=5)]
+        request = SearchRequest(query=query_mesh, mode="knn", k=5)
+        a = [h.shape_id for h in library.search(request).hits]
+        b = [h.shape_id for h in back.search(request).hits]
         assert a == b
         # Geometry survives: volumes agree.
         for shape_id in a[:2]:

@@ -228,7 +228,7 @@ class TestSnapshotAndTable:
 class TestSystemIntegration:
     """One real insert + query populates the documented metric names."""
 
-    # Names OBSERVABILITY.md promises after an insert + query_by_example
+    # Names OBSERVABILITY.md promises after an insert + knn search
     # with the feature cache on and the paper's four feature vectors.
     EXPECTED_HISTOGRAMS = {
         "pipeline.extract",
@@ -262,7 +262,9 @@ class TestSystemIntegration:
         system.insert(box((2, 3, 4)), name="b1", group="boxes")
         system.insert(box((2, 3, 4)), name="b1_copy", group="boxes")
         system.insert(cylinder(1, 4, 16), name="c1")
-        system.query_by_example(box((2.1, 3, 4)), k=2)
+        from repro.search.api import SearchRequest
+
+        system.search(SearchRequest(query=box((2.1, 3, 4)), mode="knn", k=2))
         return system.stats()
 
     def test_histogram_names_populated(self, stats):
@@ -307,12 +309,19 @@ class TestSystemIntegration:
     def test_multistep_metrics(self):
         from repro import SystemConfig, ThreeDESS
         from repro.geometry import box
+        from repro.search.api import SearchRequest
 
         system = ThreeDESS(SystemConfig(voxel_resolution=10))
         for dx in (0.0, 0.2, 0.4, 0.6):
             system.insert(box((2 + dx, 3, 4)), group="boxes")
         system.reset_stats()
-        system.multi_step(1, steps=[("principal_moments", 3), ("geometric_params", 2)])
+        system.search(
+            SearchRequest(
+                query=1,
+                mode="multi_step",
+                steps=(("principal_moments", 3), ("geometric_params", 2)),
+            )
+        )
         snap = system.stats()
         assert snap["histograms"]["search.multistep"]["count"] == 1
         assert snap["counters"]["search.multistep.steps"] == 2

@@ -219,7 +219,7 @@ class TestBenchHarness:
 
         report = bench.run_bench(quick=True)
         for key in ("schema_version", "revision", "machine", "params",
-                    "thinning", "ingestion", "query"):
+                    "thinning", "ingestion", "query", "service"):
             assert key in report, key
         assert report["thinning"]["all_identical"]
         assert report["thinning"]["median_speedup"] > 1.0
@@ -234,5 +234,9 @@ class TestBenchHarness:
 
         loaded = json.loads(out.read_text())
         assert loaded["schema_version"] == bench.SCHEMA_VERSION
+        assert all(
+            run["failed"] == 0 for run in report["service"]["runs"]
+        )
         summary = bench.format_summary(report)
         assert "thinning" in summary and "ingestion" in summary
+        assert "service" in summary

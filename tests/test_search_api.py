@@ -139,35 +139,28 @@ class TestUnifiedSearch:
         ).shape_ids
 
 
-class TestDeprecatedShims:
-    def test_query_by_example_warns_and_matches(self, system):
-        request = SearchRequest(
-            query=1, mode="knn", feature_name="principal_moments", k=3
-        )
-        new = system.search(request)
-        with pytest.deprecated_call(match="query_by_example"):
-            old = system.query_by_example(1, k=3)
-        assert [r.shape_id for r in old] == new.shape_ids
-        assert [r.distance for r in old] == [h.distance for h in new.hits]
-        assert [r.similarity for r in old] == [h.similarity for h in new.hits]
+class TestLegacyFacadeRemoved:
+    """The PR-5 deprecation cycle ended: the shim methods are gone.
 
-    def test_query_by_threshold_warns_and_matches(self, system):
-        new = system.search(
-            SearchRequest(query=1, mode="threshold", threshold=0.5)
-        )
-        with pytest.deprecated_call(match="query_by_threshold"):
-            old = system.query_by_threshold(1, threshold=0.5)
-        assert [r.shape_id for r in old] == new.shape_ids
+    ``system.search(SearchRequest(...))`` is the only facade entry
+    point; docs/API.md keeps the migration table.
+    """
 
-    def test_multi_step_warns_and_matches(self, system):
-        steps = [("principal_moments", 4), ("geometric_params", 2)]
-        new = system.search(
-            SearchRequest(query=1, mode="multi_step", steps=tuple(steps))
-        )
-        with pytest.deprecated_call(match="multi_step"):
-            old = system.multi_step(1, steps=steps)
-        assert [r.shape_id for r in old] == new.shape_ids
+    @pytest.mark.parametrize(
+        "name", ["query_by_example", "query_by_threshold", "multi_step"]
+    )
+    def test_method_gone(self, system, name):
+        with pytest.raises(AttributeError):
+            getattr(system, name)
 
-    def test_warning_names_migration_target(self, system):
-        with pytest.deprecated_call(match="docs/API.md"):
-            system.query_by_example(1, k=1)
+    def test_deprecated_shim_helper_gone(self):
+        import repro.search.api as api
+
+        assert not hasattr(api, "deprecated_shim")
+        assert "deprecated_shim" not in api.__all__
+
+    def test_search_does_not_warn(self, system, recwarn):
+        system.search(SearchRequest(query=1, mode="knn", k=3))
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
