@@ -201,6 +201,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         seed=args.seed,
         quick=args.quick,
+        scale=args.scale or args.scale_sizes is not None,
+        scale_sizes=(
+            tuple(int(s) for s in args.scale_sizes.split(",") if s.strip())
+            if args.scale_sizes
+            else None
+        ),
     )
     output = args.output if args.output else bench.default_output_path()
     bench.write_bench(report, output)
@@ -669,6 +675,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="tiny smoke workload (CI): res 12, 6 shapes, workers 1,2, 1 repeat",
+    )
+    p_bench.add_argument(
+        "--scale",
+        action="store_true",
+        help="append the packed-store scaling curve (synthetic corpora at "
+        "1k/10k/100k shapes; 500/2000 with --quick)",
+    )
+    p_bench.add_argument(
+        "--scale-sizes",
+        default=None,
+        help="comma-separated corpus sizes for --scale (implies --scale)",
     )
     p_bench.add_argument(
         "--output", default=None, help="output JSON path (default BENCH_<rev>.json)"

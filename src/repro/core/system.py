@@ -86,7 +86,9 @@ class ThreeDESS:
             )
         if database is None:
             database = ShapeDatabase(
-                pipeline, index_max_entries=self.config.index_max_entries
+                pipeline,
+                index_max_entries=self.config.index_max_entries,
+                index_shards=self.config.index_shards,
             )
         elif database.pipeline is None:
             database.pipeline = pipeline
@@ -323,6 +325,7 @@ class ThreeDESS:
             load_meshes=load_meshes,
             index_max_entries=cfg.index_max_entries,
             strict=strict,
+            index_shards=cfg.index_shards,
         )
         return cls(config=cfg, database=db)
 

@@ -6,12 +6,17 @@ from .generator import (
     load_or_build_extended_database,
     DEFAULT_SEED,
     GROUP_SIZES,
+    SYNTHETIC_FEATURE_DIMS,
     CorpusShape,
     build_corpus,
     build_database,
+    build_streaming_database,
+    build_synthetic_database,
     default_cache_dir,
     group_size_profile,
     load_or_build_database,
+    stream_corpus,
+    synthetic_vector_batches,
 )
 from .noise import N_NOISE, make_noise_shapes
 
@@ -20,12 +25,17 @@ __all__ = [
     "GROUP_SIZES",
     "N_NOISE",
     "DEFAULT_SEED",
+    "SYNTHETIC_FEATURE_DIMS",
     "CorpusShape",
     "build_corpus",
     "build_database",
+    "build_streaming_database",
+    "build_synthetic_database",
     "group_size_profile",
     "load_or_build_database",
     "load_or_build_extended_database",
+    "stream_corpus",
+    "synthetic_vector_batches",
     "ALL_DESCRIPTOR_FEATURES",
     "default_cache_dir",
     "make_noise_shapes",

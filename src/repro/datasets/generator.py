@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -221,3 +221,157 @@ def load_or_build_extended_database(
         feature_names=list(ALL_DESCRIPTOR_FEATURES),
         cache_tag="_ext",
     )
+
+
+# ----------------------------------------------------------------------
+# Scale tier: streaming generation and synthetic vector corpora
+# ----------------------------------------------------------------------
+
+_FAMILY_LIST: List[str] = list(GROUP_SIZES)
+
+
+def stream_corpus(
+    n_shapes: int,
+    seed: int = DEFAULT_SEED,
+    batch_size: int = 64,
+) -> "Iterator[List[CorpusShape]]":
+    """Yield deterministic mesh batches with bounded memory.
+
+    Shape ``i`` is drawn from ``default_rng([seed, i])`` and cycles
+    through the 26 families, so the corpus is a pure function of
+    ``(seed, n_shapes)`` — the batch size only controls how many meshes
+    exist at once, never what they are.
+    """
+    if n_shapes < 0:
+        raise ValueError(f"n_shapes must be >= 0, got {n_shapes}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    batch: List[CorpusShape] = []
+    for i in range(n_shapes):
+        family = _FAMILY_LIST[i % len(_FAMILY_LIST)]
+        mesh = FAMILIES[family](np.random.default_rng([seed, i]))
+        mesh.name = f"{family}_{i:06d}"
+        batch.append(CorpusShape(mesh=mesh, name=mesh.name, group=family))
+        if len(batch) == batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def build_streaming_database(
+    n_shapes: int,
+    seed: int = DEFAULT_SEED,
+    batch_size: int = 64,
+    voxel_resolution: int = DEFAULT_VOXEL_RESOLUTION,
+    feature_names: Optional[List[str]] = None,
+    keep_meshes: bool = False,
+) -> ShapeDatabase:
+    """Extract a streamed corpus batch by batch (bounded memory).
+
+    Meshes are generated, extracted, and (unless ``keep_meshes``)
+    dropped one batch at a time, so peak memory is one batch of geometry
+    plus the packed feature store — not the whole corpus.
+    """
+    pipeline = FeaturePipeline(
+        feature_names=feature_names, voxel_resolution=voxel_resolution
+    )
+    db = ShapeDatabase(pipeline)
+    for batch in stream_corpus(n_shapes, seed=seed, batch_size=batch_size):
+        result = db.insert_meshes(
+            [shape.mesh for shape in batch],
+            names=[shape.name for shape in batch],
+            groups=[shape.group for shape in batch],
+        )
+        if result.errors:  # pragma: no cover - generated corpus never fails
+            failed = ", ".join(err.name for err in result.errors)
+            raise RuntimeError(f"streaming extraction failed for: {failed}")
+        if not keep_meshes:
+            for sid in result.inserted_ids:
+                db.get(sid).mesh = None
+    return db
+
+
+#: Feature dimensions of the paper's four vectors, used by the synthetic
+#: corpus so its packed store has the real system's shape.
+SYNTHETIC_FEATURE_DIMS: Dict[str, int] = {
+    "moment_invariants": 3,
+    "geometric_params": 5,
+    "principal_moments": 3,
+    "eigenvalues": 10,
+}
+
+
+def synthetic_vector_batches(
+    n_shapes: int,
+    seed: int = DEFAULT_SEED,
+    batch_size: int = 4096,
+    n_groups: int = 64,
+    feature_dims: Optional[Dict[str, int]] = None,
+) -> "Iterator[Tuple[List[str], List[str], Dict[str, np.ndarray]]]":
+    """Yield ``(names, groups, features)`` batches of synthetic vectors.
+
+    Shapes cycle through ``n_groups`` Gaussian clusters (centers drawn
+    once from ``default_rng(seed)``; members perturbed with 0.15 sigma
+    noise from a per-batch ``default_rng([seed, 1 + b])``).  This is the
+    100k+ scale path: no geometry, just float32 feature rows shaped like
+    the real pipeline's output, feeding
+    :meth:`ShapeDatabase.bulk_append_vectors`.
+    """
+    if n_shapes < 0:
+        raise ValueError(f"n_shapes must be >= 0, got {n_shapes}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if n_groups < 1:
+        raise ValueError(f"n_groups must be >= 1, got {n_groups}")
+    dims = dict(SYNTHETIC_FEATURE_DIMS if feature_dims is None else feature_dims)
+    center_rng = np.random.default_rng(seed)
+    centers = {
+        fname: center_rng.normal(0.0, 1.0, size=(n_groups, dim))
+        for fname, dim in sorted(dims.items())
+    }
+    start = 0
+    batch_index = 0
+    while start < n_shapes:
+        count = min(batch_size, n_shapes - start)
+        rng = np.random.default_rng([seed, 1 + batch_index])
+        idx = np.arange(start, start + count)
+        group_idx = idx % n_groups
+        names = [f"synthetic_{i:07d}" for i in idx]
+        groups = [f"g{g:04d}" for g in group_idx]
+        features = {
+            fname: np.asarray(
+                centers[fname][group_idx]
+                + rng.normal(0.0, 0.15, size=(count, dim)),
+                dtype=np.float32,
+            )
+            for fname, dim in sorted(dims.items())
+        }
+        yield names, groups, features
+        start += count
+        batch_index += 1
+
+
+def build_synthetic_database(
+    n_shapes: int,
+    seed: int = DEFAULT_SEED,
+    batch_size: int = 4096,
+    n_groups: int = 64,
+    feature_dims: Optional[Dict[str, int]] = None,
+) -> ShapeDatabase:
+    """Synthetic-vector database at arbitrary scale (no meshes).
+
+    Every batch is a vectorized tail-append into the packed columnar
+    store; R-tree indexes are left unbuilt (call
+    :meth:`ShapeDatabase.rebuild_indexes` to bulk-load them).
+    """
+    db = ShapeDatabase(pipeline=None)
+    for names, groups, features in synthetic_vector_batches(
+        n_shapes,
+        seed=seed,
+        batch_size=batch_size,
+        n_groups=n_groups,
+        feature_dims=feature_dims,
+    ):
+        db.bulk_append_vectors(names, groups, features)
+    return db

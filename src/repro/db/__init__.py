@@ -1,10 +1,13 @@
-"""Database tier: shape records, persistence, indexed store."""
+"""Database tier: shape records, persistence, indexed + packed store."""
 
 from .database import BulkInsertError, BulkInsertResult, ShapeDatabase
+from .matrix_store import ColumnView, FeatureMatrixStore
 from .records import ShapeRecord
 from .storage import (
     DroppedRecord,
+    PackedColumn,
     StorageError,
+    load_packed_features,
     load_records,
     salvage_records,
     save_records,
@@ -16,10 +19,14 @@ __all__ = [
     "ShapeRecord",
     "BulkInsertError",
     "BulkInsertResult",
+    "FeatureMatrixStore",
+    "ColumnView",
     "save_records",
     "load_records",
     "salvage_records",
     "verify_database",
+    "load_packed_features",
+    "PackedColumn",
     "DroppedRecord",
     "StorageError",
 ]

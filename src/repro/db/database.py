@@ -18,9 +18,20 @@ from ..features.parallel import ParallelPipeline
 from ..features.pipeline import FeaturePipeline
 from ..geometry.mesh import TriangleMesh
 from ..index.rtree import RTree
+from ..index.sharded import ShardedRTree
 from ..obs import get_registry
+from .matrix_store import ColumnView, FeatureMatrixStore
 from .records import ShapeRecord
-from .storage import DroppedRecord, load_records, salvage_records, save_records
+from .storage import (
+    DroppedRecord,
+    load_packed_features,
+    load_records,
+    salvage_records,
+    save_records,
+)
+
+#: Either index flavour; they share the query/mutation surface.
+AnyIndex = Union[RTree, ShardedRTree]
 
 
 @dataclass
@@ -78,20 +89,44 @@ class ShapeDatabase:
         stored vectors (no new mesh inserts until a pipeline is attached).
     index_max_entries:
         R-tree node capacity.
+    index_shards:
+        When > 0, feature indexes are :class:`ShardedRTree` instances
+        with this many per-feature-space shards (the 100k+ tier);
+        ``0`` keeps the single R-tree per feature space.
+
+    Feature vectors live twice: per record (the object path) and packed
+    into the columnar :class:`FeatureMatrixStore` (one contiguous
+    float32 matrix per feature family, rows sorted by shape id).  Both
+    copies are float32-canonical — vectors are cast once at insertion —
+    so the packed scan and the legacy object path are bitwise
+    interchangeable.  ``feature_matrix``/``feature_view`` are O(1) reads
+    of the store; the store's ``generation`` counter lets consumers
+    (similarity measures, batch scorers) cache derived state and refresh
+    lazily after ``update_features``/``delete``.
     """
 
     def __init__(
         self,
         pipeline: Optional[FeaturePipeline] = None,
         index_max_entries: int = 8,
+        index_shards: int = 0,
     ) -> None:
+        if index_shards < 0:
+            raise ValueError(f"index_shards must be >= 0, got {index_shards}")
         self.pipeline = pipeline
         self.index_max_entries = int(index_max_entries)
+        self.index_shards = int(index_shards)
         self._records: Dict[int, ShapeRecord] = {}
-        self._indexes: Dict[str, RTree] = {}
+        self._indexes: Dict[str, AnyIndex] = {}
+        self._matrix_store = FeatureMatrixStore()
         self._next_id = 1
         #: Records dropped by the last ``load(..., strict=False)`` salvage.
         self.dropped_records: List[DroppedRecord] = []
+
+    @staticmethod
+    def _canon(vector: np.ndarray) -> np.ndarray:
+        """Canonical float32 form every stored vector is cast to once."""
+        return np.ascontiguousarray(vector, dtype=np.float32)
 
     # ------------------------------------------------------------------
     # Record access
@@ -281,7 +316,9 @@ class ShapeDatabase:
             index = self._indexes.get(fname)
             if index is not None:
                 index.delete(vec, shape_id)
-        record.features = dict(features)
+        record.features = {
+            fname: self._canon(vec) for fname, vec in features.items()
+        }
         record.metadata = {
             key: value
             for key, value in record.metadata.items()
@@ -292,6 +329,9 @@ class ShapeDatabase:
             for fname, failure in sorted(failures.items()):
                 code = getattr(failure, "code", None) or str(failure)
                 record.metadata[f"missing.{fname}"] = code
+        self._matrix_store.replace(
+            shape_id, record.features, degraded=record.is_degraded()
+        )
         for fname, vec in record.features.items():
             self._index_for(fname, len(vec)).insert(vec, shape_id)
 
@@ -324,13 +364,17 @@ class ShapeDatabase:
             get_registry().inc("robust.healed_records")
         return features
 
-    def insert_record(self, record: ShapeRecord) -> int:
-        """Insert a pre-built record (id of 0 or taken ids are reassigned)."""
+    def insert_record(self, record: ShapeRecord, register_rows: bool = True) -> int:
+        """Insert a pre-built record (id of 0 or taken ids are reassigned).
+
+        ``register_rows=False`` skips the packed-store append — only for
+        load paths that attach pre-built packed columns afterwards.
+        """
         if record.shape_id in self._records or record.shape_id <= 0:
             record.shape_id = self._allocate_id()
         else:
             self._next_id = max(self._next_id, record.shape_id + 1)
-        self._store(record)
+        self._store(record, register_rows=register_rows)
         return record.shape_id
 
     def delete(self, shape_id: int) -> None:
@@ -340,6 +384,7 @@ class ShapeDatabase:
             index = self._indexes.get(fname)
             if index is not None:
                 index.delete(vec, shape_id)
+        self._matrix_store.delete(shape_id)
         del self._records[shape_id]
 
     def _allocate_id(self) -> int:
@@ -347,15 +392,32 @@ class ShapeDatabase:
         self._next_id += 1
         return shape_id
 
-    def _store(self, record: ShapeRecord) -> None:
+    def _store(self, record: ShapeRecord, register_rows: bool = True) -> None:
+        record.features = {
+            fname: self._canon(vec) for fname, vec in record.features.items()
+        }
         self._records[record.shape_id] = record
+        degraded = record.is_degraded()
         for fname, vec in record.features.items():
             self._index_for(fname, len(vec)).insert(vec, record.shape_id)
+            if register_rows:
+                self._matrix_store.append(
+                    fname, record.shape_id, vec, degraded=degraded
+                )
 
-    def _index_for(self, feature_name: str, dim: int) -> RTree:
+    def _make_index(self, dim: int) -> AnyIndex:
+        if self.index_shards > 0:
+            return ShardedRTree(
+                dim,
+                shards=self.index_shards,
+                max_entries=self.index_max_entries,
+            )
+        return RTree(dim, max_entries=self.index_max_entries)
+
+    def _index_for(self, feature_name: str, dim: int) -> AnyIndex:
         index = self._indexes.get(feature_name)
         if index is None:
-            index = RTree(dim, max_entries=self.index_max_entries)
+            index = self._make_index(dim)
             self._indexes[feature_name] = index
         if index.dim != dim:
             raise ValueError(
@@ -371,8 +433,8 @@ class ShapeDatabase:
         """Whether an R-tree exists for one feature space."""
         return feature_name in self._indexes
 
-    def index(self, feature_name: str) -> RTree:
-        """The R-tree over one feature space."""
+    def index(self, feature_name: str) -> AnyIndex:
+        """The R-tree (or sharded R-tree) over one feature space."""
         try:
             return self._indexes[feature_name]
         except KeyError as exc:
@@ -381,17 +443,122 @@ class ShapeDatabase:
                 f"have {sorted(self._indexes)}"
             ) from exc
 
+    @property
+    def matrix_store(self) -> FeatureMatrixStore:
+        """The packed columnar store behind ``feature_matrix``."""
+        return self._matrix_store
+
+    @property
+    def store_generation(self) -> int:
+        """Monotonic counter bumped by every feature mutation.
+
+        Consumers key caches (similarity measures, batch matrices) on it
+        instead of needing explicit invalidation calls."""
+        return self._matrix_store.generation
+
+    def feature_view(self, feature_name: str) -> ColumnView:
+        """O(1) read-only columnar view of one feature space.
+
+        ``view.matrix`` is the contiguous float32 scan matrix (never a
+        per-query vstack), ``view.ids`` the aligned ascending shape ids,
+        ``view.mask`` the degraded flags.  Raises ``KeyError`` when no
+        shape carries the feature.
+        """
+        try:
+            return self._matrix_store.view(feature_name)
+        except KeyError:
+            raise KeyError(f"no shapes carry feature {feature_name!r}") from None
+
     def feature_matrix(self, feature_name: str) -> Tuple[np.ndarray, List[int]]:
-        """(matrix, ids) of all stored vectors for one feature."""
-        ids = [
-            rec.shape_id
-            for rec in self
-            if feature_name in rec.features
-        ]
-        if not ids:
-            raise KeyError(f"no shapes carry feature {feature_name!r}")
-        matrix = np.vstack([self._records[i].features[feature_name] for i in ids])
-        return matrix, ids
+        """(matrix, ids) of all stored vectors for one feature.
+
+        Backed by the packed store: the matrix is a read-only float32
+        view, rows aligned with ``ids`` (ascending).  O(1) after the
+        first call per mutation generation.
+        """
+        view = self.feature_view(feature_name)
+        return view.matrix, view.id_list
+
+    def gather_features(
+        self, feature_name: str, shape_ids: Sequence[int]
+    ) -> Tuple[np.ndarray, List[int], List[int]]:
+        """Candidate rows for a rerank: ``(rows, carrying, missing)``.
+
+        ``rows`` stacks the stored vectors of the candidates that carry
+        the feature (in input order); ``missing`` lists the candidates
+        that do not (degraded records) — one vectorized lookup against
+        the packed store instead of a per-record vstack.
+        """
+        return self._matrix_store.gather(feature_name, shape_ids)
+
+    def bulk_append_vectors(
+        self,
+        names: Sequence[str],
+        groups: Sequence[Optional[str]],
+        features: Dict[str, np.ndarray],
+        degraded: Optional[np.ndarray] = None,
+        metadata: Optional[Sequence[Dict[str, str]]] = None,
+    ) -> List[int]:
+        """Append a batch of pre-extracted feature rows (the scale path).
+
+        ``features`` maps each feature name to an ``(n, dim)`` matrix;
+        row ``i`` across all matrices belongs to one new shape with
+        ``names[i]``/``groups[i]``.  Ids are allocated ascending so every
+        batch is a vectorized tail-append into the packed store, and the
+        created records' vectors are *views into the store* — the corpus
+        is held once, not once per record.
+
+        R-tree indexes are NOT maintained by this path: any existing
+        indexes are dropped (queries fall back to the linear scan, which
+        is exact) until :meth:`rebuild_indexes` bulk-loads them.
+        """
+        n = len(names)
+        if len(groups) != n:
+            raise ValueError(f"{len(groups)} groups for {n} names")
+        if metadata is not None and len(metadata) != n:
+            raise ValueError(f"{len(metadata)} metadata dicts for {n} names")
+        for fname, matrix in features.items():
+            if len(matrix) != n:
+                raise ValueError(
+                    f"feature {fname!r} has {len(matrix)} rows for {n} names"
+                )
+        if degraded is not None and len(degraded) != n:
+            raise ValueError(f"{len(degraded)} degraded flags for {n} names")
+        if n == 0:
+            return []
+        ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
+        self._next_id += n
+        row_views: Dict[str, Tuple[np.ndarray, int]] = {}
+        for fname in sorted(features):
+            self._matrix_store.extend(fname, ids, features[fname], degraded)
+            view = self._matrix_store.view(fname)
+            row_views[fname] = (view.matrix, len(view) - n)
+        # Incremental R-trees are not updated on this path; drop them so
+        # a stale index can never silently miss the new shapes.
+        self._indexes = {}
+        flags = (
+            np.zeros(n, dtype=bool)
+            if degraded is None
+            else np.asarray(degraded, dtype=bool)
+        )
+        out: List[int] = []
+        for i in range(n):
+            sid = int(ids[i])
+            meta = dict(metadata[i]) if metadata is not None else {}
+            if flags[i]:
+                meta.setdefault("degraded", "1")
+            self._records[sid] = ShapeRecord(
+                shape_id=sid,
+                name=names[i],
+                mesh=None,
+                group=groups[i],
+                features={
+                    fname: mat[start + i] for fname, (mat, start) in row_views.items()
+                },
+                metadata=meta,
+            )
+            out.append(sid)
+        return out
 
     def nearest(
         self,
@@ -456,6 +623,8 @@ class ShapeDatabase:
         load_meshes: bool = True,
         index_max_entries: int = 8,
         strict: bool = True,
+        index_shards: int = 0,
+        mmap_features: bool = True,
     ) -> "ShapeDatabase":
         """Restore a database directory, rebuilding all indexes.
 
@@ -463,8 +632,19 @@ class ShapeDatabase:
         on any integrity violation.  ``strict=False`` salvages every intact
         record, dropping the ones touched by corruption; the drop report is
         available as ``db.dropped_records`` (empty on a clean load).
+
+        When the directory carries the packed columnar tier, the feature
+        store is attached from the ``.npy`` files (memory-mapped with
+        ``mmap_features=True``) and record vectors become views into it
+        — zero-copy scans, the corpus held once.  Directories without
+        the tier (or with a corrupt one, under salvage) rebuild the
+        store from the records.
         """
-        db = cls(pipeline=pipeline, index_max_entries=index_max_entries)
+        db = cls(
+            pipeline=pipeline,
+            index_max_entries=index_max_entries,
+            index_shards=index_shards,
+        )
         dropped: List[DroppedRecord] = []
         if strict:
             records = load_records(directory, load_meshes=load_meshes)
@@ -472,13 +652,64 @@ class ShapeDatabase:
             records, dropped = salvage_records(
                 directory, load_meshes=load_meshes
             )
+        packed = load_packed_features(directory, strict=strict, mmap=mmap_features)
+        attach = packed is not None and cls._packed_consistent(packed, records)
         for record in records:
-            db.insert_record(record)
+            db.insert_record(record, register_rows=not attach)
+        if attach:
+            assert packed is not None
+            for fname, col in packed.items():
+                db._matrix_store.attach(
+                    fname, col.ids, col.matrix, col.mask, mmap=mmap_features
+                )
+                view = db._matrix_store.view(fname)
+                for pos, sid in enumerate(view.id_list):
+                    db._records[sid].features[fname] = view.matrix[pos]
+        else:
+            get_registry().inc("store.fallback_rebuilds")
         db.dropped_records = dropped
         return db
 
+    @staticmethod
+    def _packed_consistent(
+        packed: Dict[str, "object"], records: List[ShapeRecord]
+    ) -> bool:
+        """Whether packed columns cover exactly the loaded records.
+
+        A salvage load may have dropped records the packed tier still
+        carries (or vice versa); attaching would desynchronize ids and
+        rows, so such loads rebuild the store from the records instead.
+        """
+        by_feature: Dict[str, List[ShapeRecord]] = {}
+        for rec in sorted(records, key=lambda r: r.shape_id):
+            for fname in rec.features:
+                by_feature.setdefault(fname, []).append(rec)
+        if set(by_feature) != set(packed):
+            return False
+        for fname, carrying in by_feature.items():
+            col = packed[fname]
+            ids = getattr(col, "ids")
+            matrix = getattr(col, "matrix")
+            if len(ids) != len(carrying):
+                return False
+            if any(
+                int(ids[pos]) != rec.shape_id for pos, rec in enumerate(carrying)
+            ):
+                return False
+            if any(
+                np.asarray(rec.features[fname]).shape != (matrix.shape[1],)
+                for rec in carrying
+            ):
+                return False
+        return True
+
     def rebuild_indexes(self, bulk: bool = True) -> None:
-        """Rebuild every feature index (STR bulk load by default)."""
+        """Rebuild every feature index (STR bulk load by default).
+
+        With ``index_shards > 0`` the bulk path builds one
+        :class:`ShardedRTree` per feature space straight from the packed
+        matrix views; otherwise a single STR-packed :class:`RTree`.
+        """
         self._indexes = {}
         if not self._records:
             return
@@ -488,7 +719,15 @@ class ShapeDatabase:
                     self._index_for(fname, len(vec)).insert(vec, rec.shape_id)
             return
         for fname in self.feature_names():
-            matrix, ids = self.feature_matrix(fname)
-            self._indexes[fname] = RTree.bulk_load(
-                matrix, ids, max_entries=self.index_max_entries
-            )
+            view = self.feature_view(fname)
+            if self.index_shards > 0:
+                self._indexes[fname] = ShardedRTree.bulk_load(
+                    view.matrix,
+                    view.id_list,
+                    shards=self.index_shards,
+                    max_entries=self.index_max_entries,
+                )
+            else:
+                self._indexes[fname] = RTree.bulk_load(
+                    view.matrix, view.id_list, max_entries=self.index_max_entries
+                )

@@ -1,0 +1,420 @@
+"""Packed columnar feature storage (the million-shape scale tier).
+
+The paper's database tier stores one feature vector per shape per
+feature space.  Holding those vectors only as per-record Python objects
+caps corpus size: every scan re-materializes a matrix with ``np.vstack``
+and every array pays object overhead.  :class:`FeatureMatrixStore` lays
+each feature family out as **one contiguous float32 matrix** plus an
+aligned ``int64`` id vector and a ``bool`` degraded mask, so
+
+* ``ShapeDatabase.feature_matrix`` is an O(1) view (never a per-query
+  vstack),
+* the vectorized linear scan reads the matrix with zero copies, and
+* persistence can dump/load the columns as raw ``.npy`` files —
+  memory-mapped back in with ``np.load(..., mmap_mode="r")`` so a
+  read-mostly serving process never materializes the corpus in RAM.
+
+Invariants
+----------
+* Rows of every column are sorted by ascending shape id, so views need
+  no per-access sort and id lookups are ``searchsorted``.
+* Rows ``[0, n)`` are **never mutated in place**.  Appending a larger id
+  writes into spare capacity past ``n``; any other mutation (delete,
+  out-of-order insert, replacement) rebuilds the column arrays
+  (copy-on-write).  Exported views therefore stay valid and
+  memory-mapped bases stay clean.
+* ``generation`` increments on every mutation; consumers cache derived
+  state (similarity measures, cached matrices) keyed by it and refresh
+  lazily — the fix for stale caches after ``update_features``/``delete``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import get_registry
+
+__all__ = ["ColumnView", "FeatureMatrixStore"]
+
+#: Initial per-column row capacity (doubles on growth).
+_MIN_CAPACITY = 64
+
+
+class ColumnView:
+    """One generation's read-only view of a feature column.
+
+    ``matrix`` has shape ``(n, dim)``, ``ids`` is the aligned ascending
+    ``int64`` id vector, ``mask`` flags degraded records, ``id_list`` is
+    the same ids as a plain Python list (the historical
+    ``feature_matrix`` contract; materialized lazily — vectorized
+    consumers should stick to ``ids``).  All arrays are read-only views
+    into the store — do not hold them across mutations you care about.
+    """
+
+    __slots__ = ("name", "matrix", "ids", "mask", "generation", "mmap", "_id_list")
+
+    def __init__(
+        self,
+        name: str,
+        matrix: np.ndarray,
+        ids: np.ndarray,
+        mask: np.ndarray,
+        generation: int,
+        mmap: bool,
+    ) -> None:
+        self.name = name
+        self.matrix = matrix
+        self.ids = ids
+        self.mask = mask
+        self.generation = generation
+        self.mmap = mmap
+        self._id_list: Optional[List[int]] = None
+
+    @property
+    def id_list(self) -> List[int]:
+        if self._id_list is None:
+            self._id_list = [int(i) for i in self.ids]
+        return self._id_list
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    view = arr.view()
+    view.flags.writeable = False
+    return view
+
+
+class _Column:
+    """Backing arrays of one feature family."""
+
+    __slots__ = ("name", "dim", "matrix", "ids", "mask", "n", "mmap")
+
+    def __init__(self, name: str, dim: int, dtype: np.dtype, capacity: int = _MIN_CAPACITY) -> None:
+        self.name = name
+        self.dim = int(dim)
+        self.matrix = np.empty((capacity, dim), dtype=dtype)
+        self.ids = np.empty(capacity, dtype=np.int64)
+        self.mask = np.zeros(capacity, dtype=bool)
+        self.n = 0
+        #: True while the arrays are read-only memory maps from disk.
+        self.mmap = False
+
+
+class FeatureMatrixStore:
+    """Contiguous per-feature matrices behind a :class:`ShapeDatabase`.
+
+    Parameters
+    ----------
+    dtype:
+        Element type of the packed matrices (float32 by default — half
+        the RAM of the historical float64 objects and the dtype the
+        packed ``.npy`` tier persists).
+    """
+
+    def __init__(self, dtype=np.float32) -> None:
+        self.dtype = np.dtype(dtype)
+        self.generation = 0
+        self._columns: Dict[str, _Column] = {}
+        self._views: Dict[str, ColumnView] = {}
+        registry = get_registry()
+        # Bound once: the append fast path runs per inserted vector.
+        self._appends = registry.counter("store.appends")
+        self._rebuilds = registry.counter("store.rebuilds")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def columns(self) -> List[str]:
+        """Feature names carrying at least one row, sorted."""
+        return sorted(f for f, col in self._columns.items() if col.n)
+
+    def rows(self, feature_name: str) -> int:
+        col = self._columns.get(feature_name)
+        return col.n if col is not None else 0
+
+    @property
+    def total_rows(self) -> int:
+        return sum(col.n for col in self._columns.values())
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held (or mapped) by the packed matrices."""
+        return sum(
+            col.n * col.dim * self.dtype.itemsize for col in self._columns.values()
+        )
+
+    @property
+    def mmap_backed(self) -> bool:
+        """Whether any column still serves straight from a memory map."""
+        return any(col.mmap for col in self._columns.values() if col.n)
+
+    def has(self, feature_name: str, shape_id: int) -> bool:
+        return self._row_of(feature_name, shape_id) is not None
+
+    def _row_of(self, feature_name: str, shape_id: int) -> Optional[int]:
+        col = self._columns.get(feature_name)
+        if col is None or col.n == 0:
+            return None
+        idx = int(np.searchsorted(col.ids[: col.n], shape_id))
+        if idx < col.n and int(col.ids[idx]) == shape_id:
+            return idx
+        return None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _note_mutation(self) -> None:
+        self.generation += 1
+        self._views.clear()
+        registry = get_registry()
+        registry.gauge("store.rows").set(self.total_rows)
+        registry.gauge("store.bytes").set(self.nbytes)
+
+    def _canon_matrix(self, matrix: np.ndarray, dim: int) -> np.ndarray:
+        out = np.ascontiguousarray(matrix, dtype=self.dtype)
+        if out.ndim != 2 or out.shape[1] != dim:
+            raise ValueError(
+                f"expected a (n, {dim}) matrix, got shape {out.shape}"
+            )
+        return out
+
+    def append(
+        self,
+        feature_name: str,
+        shape_id: int,
+        vector: np.ndarray,
+        degraded: bool = False,
+    ) -> None:
+        """Register one vector.  O(1) for ascending ids (the normal
+        insert order); out-of-order ids pay a copy-on-write rebuild."""
+        vec = np.ascontiguousarray(vector, dtype=self.dtype)
+        if vec.ndim != 1:
+            raise ValueError(f"feature vector must be 1D, got shape {vec.shape}")
+        col = self._columns.get(feature_name)
+        if col is None:
+            col = _Column(feature_name, len(vec), self.dtype)
+            self._columns[feature_name] = col
+        if col.dim != len(vec):
+            raise ValueError(
+                f"feature {feature_name!r} dimension mismatch: column has "
+                f"{col.dim}, vector has {len(vec)}"
+            )
+        if self._row_of(feature_name, shape_id) is not None:
+            raise ValueError(
+                f"feature {feature_name!r} already has a row for id {shape_id}"
+            )
+        if col.n and shape_id < int(col.ids[col.n - 1]):
+            self._insert_sorted(col, shape_id, vec, degraded)
+        else:
+            self._append_tail(col, shape_id, vec, degraded)
+        self._appends.inc()
+        self._note_mutation()
+
+    def extend(
+        self,
+        feature_name: str,
+        shape_ids: np.ndarray,
+        matrix: np.ndarray,
+        degraded: Optional[np.ndarray] = None,
+    ) -> None:
+        """Vectorized batch append of strictly-ascending new ids."""
+        ids = np.ascontiguousarray(shape_ids, dtype=np.int64)
+        col = self._columns.get(feature_name)
+        dim = matrix.shape[1] if np.ndim(matrix) == 2 else -1
+        mat = self._canon_matrix(matrix, col.dim if col is not None else dim)
+        if len(ids) != len(mat):
+            raise ValueError(f"{len(ids)} ids for {len(mat)} rows")
+        if len(ids) == 0:
+            return
+        if len(ids) > 1 and not bool(np.all(np.diff(ids) > 0)):
+            raise ValueError("batch ids must be strictly ascending")
+        mask = (
+            np.zeros(len(ids), dtype=bool)
+            if degraded is None
+            else np.ascontiguousarray(degraded, dtype=bool)
+        )
+        if col is None:
+            col = _Column(feature_name, mat.shape[1], self.dtype)
+            self._columns[feature_name] = col
+        if col.n and int(ids[0]) <= int(col.ids[col.n - 1]):
+            raise ValueError(
+                "batch ids must exceed every stored id "
+                f"(first {int(ids[0])} <= last {int(col.ids[col.n - 1])})"
+            )
+        self._ensure_capacity(col, col.n + len(ids))
+        col.matrix[col.n : col.n + len(ids)] = mat
+        col.ids[col.n : col.n + len(ids)] = ids
+        col.mask[col.n : col.n + len(ids)] = mask
+        col.n += len(ids)
+        self._appends.inc(len(ids))
+        self._note_mutation()
+
+    def delete(self, shape_id: int) -> None:
+        """Drop the id's row from every column carrying it."""
+        touched = False
+        for fname, col in self._columns.items():
+            row = self._row_of(fname, shape_id)
+            if row is None:
+                continue
+            keep = np.ones(col.n, dtype=bool)
+            keep[row] = False
+            self._rebuild(col, col.ids[: col.n][keep], col.matrix[: col.n][keep], col.mask[: col.n][keep])
+            touched = True
+        if touched:
+            self._note_mutation()
+
+    def replace(
+        self,
+        shape_id: int,
+        features: Dict[str, np.ndarray],
+        degraded: bool = False,
+    ) -> None:
+        """Swap one record's rows (``update_features`` healing path)."""
+        self.delete(shape_id)
+        for fname, vec in features.items():
+            self.append(fname, shape_id, vec, degraded=degraded)
+
+    def attach(
+        self,
+        feature_name: str,
+        ids: np.ndarray,
+        matrix: np.ndarray,
+        mask: np.ndarray,
+        mmap: bool = True,
+    ) -> None:
+        """Adopt pre-built column arrays (the packed ``.npy`` load path).
+
+        The arrays are used as the backing store directly — typically
+        read-only ``np.memmap`` instances, giving zero-copy scans.  The
+        first mutation of an attached column materializes it into RAM.
+        """
+        if feature_name in self._columns:
+            raise ValueError(f"column {feature_name!r} already populated")
+        ids = np.asarray(ids)
+        if ids.dtype != np.int64 or ids.ndim != 1:
+            raise ValueError("ids must be a 1D int64 array")
+        if np.ndim(matrix) != 2 or matrix.dtype != self.dtype:
+            raise ValueError(f"matrix must be 2D {self.dtype}, got {np.shape(matrix)} {getattr(matrix, 'dtype', None)}")
+        if len(ids) != len(matrix) or len(mask) != len(ids):
+            raise ValueError("ids, matrix, and mask lengths differ")
+        if len(ids) > 1 and not bool(np.all(np.diff(ids) > 0)):
+            raise ValueError("attached ids must be strictly ascending")
+        col = _Column.__new__(_Column)
+        col.name = feature_name
+        col.dim = int(matrix.shape[1])
+        col.matrix = matrix
+        col.ids = ids
+        col.mask = np.asarray(mask, dtype=bool)
+        col.n = len(ids)
+        col.mmap = bool(mmap)
+        self._columns[feature_name] = col
+        if col.mmap:
+            get_registry().inc("store.mmap_attaches")
+        self._note_mutation()
+
+    # ------------------------------------------------------------------
+    # Mutation internals
+    # ------------------------------------------------------------------
+    def _ensure_capacity(self, col: _Column, needed: int) -> None:
+        if not col.mmap and needed <= len(col.ids):
+            return
+        capacity = max(_MIN_CAPACITY, needed, 2 * col.n)
+        matrix = np.empty((capacity, col.dim), dtype=self.dtype)
+        ids = np.empty(capacity, dtype=np.int64)
+        mask = np.zeros(capacity, dtype=bool)
+        matrix[: col.n] = col.matrix[: col.n]
+        ids[: col.n] = col.ids[: col.n]
+        mask[: col.n] = col.mask[: col.n]
+        col.matrix, col.ids, col.mask = matrix, ids, mask
+        col.mmap = False
+
+    def _append_tail(self, col: _Column, shape_id: int, vec: np.ndarray, degraded: bool) -> None:
+        self._ensure_capacity(col, col.n + 1)
+        col.matrix[col.n] = vec
+        col.ids[col.n] = shape_id
+        col.mask[col.n] = degraded
+        col.n += 1
+
+    def _insert_sorted(self, col: _Column, shape_id: int, vec: np.ndarray, degraded: bool) -> None:
+        at = int(np.searchsorted(col.ids[: col.n], shape_id))
+        ids = np.insert(col.ids[: col.n], at, shape_id)
+        matrix = np.insert(col.matrix[: col.n], at, vec, axis=0)
+        mask = np.insert(col.mask[: col.n], at, degraded)
+        self._rebuild(col, ids, matrix, mask)
+
+    def _rebuild(self, col: _Column, ids: np.ndarray, matrix: np.ndarray, mask: np.ndarray) -> None:
+        """Copy-on-write swap of a column's backing arrays."""
+        capacity = max(_MIN_CAPACITY, len(ids))
+        col.matrix = np.empty((capacity, col.dim), dtype=self.dtype)
+        col.ids = np.empty(capacity, dtype=np.int64)
+        col.mask = np.zeros(capacity, dtype=bool)
+        col.matrix[: len(ids)] = matrix
+        col.ids[: len(ids)] = ids
+        col.mask[: len(ids)] = mask
+        col.n = len(ids)
+        col.mmap = False
+        self._rebuilds.inc()
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def view(self, feature_name: str) -> ColumnView:
+        """O(1) read-only view of one feature column (cached per
+        generation).  Raises ``KeyError`` for unknown/empty columns."""
+        cached = self._views.get(feature_name)
+        if cached is not None:
+            return cached
+        col = self._columns.get(feature_name)
+        if col is None or col.n == 0:
+            raise KeyError(feature_name)
+        view = ColumnView(
+            name=feature_name,
+            matrix=_readonly(col.matrix[: col.n]),
+            ids=_readonly(col.ids[: col.n]),
+            mask=_readonly(col.mask[: col.n]),
+            generation=self.generation,
+            mmap=col.mmap,
+        )
+        self._views[feature_name] = view
+        return view
+
+    def row(self, feature_name: str, shape_id: int) -> np.ndarray:
+        """Read-only 1D view of one stored vector."""
+        idx = self._row_of(feature_name, shape_id)
+        if idx is None:
+            raise KeyError(
+                f"feature {feature_name!r} has no row for id {shape_id}"
+            )
+        col = self._columns[feature_name]
+        return _readonly(col.matrix[idx])
+
+    def gather(
+        self, feature_name: str, shape_ids: Sequence[int]
+    ) -> Tuple[np.ndarray, List[int], List[int]]:
+        """Candidate rows for a rerank: ``(rows, carrying, missing)``.
+
+        ``rows`` stacks the vectors of the ids that carry the feature
+        (in the order given); ``missing`` lists the rest (degraded
+        candidates the caller ranks at ``d_max``).  One vectorized
+        ``searchsorted`` + fancy-index — no per-record vstack.
+        """
+        col = self._columns.get(feature_name)
+        wanted = np.asarray(list(shape_ids), dtype=np.int64)
+        if col is None or col.n == 0:
+            return (
+                np.empty((0, 0), dtype=self.dtype),
+                [],
+                [int(i) for i in wanted],
+            )
+        ids = col.ids[: col.n]
+        pos = np.searchsorted(ids, wanted)
+        pos_clipped = np.minimum(pos, col.n - 1)
+        found = ids[pos_clipped] == wanted
+        carrying = [int(i) for i in wanted[found]]
+        missing = [int(i) for i in wanted[~found]]
+        rows = col.matrix[: col.n][pos_clipped[found]]
+        return rows, carrying, missing

@@ -5,10 +5,21 @@ Layout of a database directory::
     manifest.json     record metadata + per-file SHA-256 checksums
     features.npz      feature vectors, key "<id>/<feature_name>"
     meshes/<id>.off   geometry (optional; records may be feature-only)
+    packed/<feature>.matrix.npy   packed float32 feature matrix (rows
+    packed/<feature>.ids.npy      sorted by ascending shape id, aligned
+    packed/<feature>.mask.npy     int64 ids and bool degraded mask)
 
 Format version 2 adds integrity checking: the manifest carries a SHA-256
 checksum for every data file it points at, and loads verify them before
 trusting the contents.  Version-1 directories (no checksums) still load.
+
+The ``packed/`` tier is the scale path: one contiguous ``.npy`` per
+feature family, memory-mappable with ``np.load(..., mmap_mode="r")`` so
+a read-mostly process scans feature matrices without materializing them
+in RAM (see :func:`load_packed_features`).  It is derived data — the
+same vectors as ``features.npz`` — so directories missing it (or with a
+corrupt copy, under salvage) still load by rebuilding the in-memory
+store from the records.
 
 Manifests additionally carry a *per-record* feature checksum (a SHA-256
 over the record's feature names and array bytes), so an integrity
@@ -55,6 +66,7 @@ from .records import ShapeRecord
 MANIFEST_NAME = "manifest.json"
 FEATURES_NAME = "features.npz"
 MESH_DIR = "meshes"
+PACKED_DIR = "packed"
 _FORMAT_VERSION = 2
 #: Versions this loader understands (v1 predates checksums).
 _SUPPORTED_VERSIONS = (1, 2)
@@ -97,6 +109,69 @@ def _features_digest(features: Dict[str, np.ndarray]) -> str:
     return digest.hexdigest()
 
 
+def _packed_safe_name(feature_name: str) -> Optional[str]:
+    """Feature name as a packed filename stem, or None if unrepresentable."""
+    if feature_name and all(
+        ch.isalnum() or ch in "_-." for ch in feature_name
+    ):
+        return feature_name
+    return None
+
+
+def _packed_rels(feature_name: str) -> Tuple[str, str, str]:
+    """(matrix, ids, mask) relpaths of one packed feature column."""
+    return (
+        f"{PACKED_DIR}/{feature_name}.matrix.npy",
+        f"{PACKED_DIR}/{feature_name}.ids.npy",
+        f"{PACKED_DIR}/{feature_name}.mask.npy",
+    )
+
+
+def _write_packed(
+    records: List[ShapeRecord], root: str, checksums: Dict[str, str]
+) -> Dict[str, dict]:
+    """Write the packed columnar tier; returns the manifest section.
+
+    One contiguous float32 matrix per feature family, rows sorted by
+    ascending shape id, with aligned int64 id and bool degraded-mask
+    vectors.  Features with inconsistent dimensions or unrepresentable
+    names are skipped (the load path rebuilds those from the records).
+    """
+    by_feature: Dict[str, List[ShapeRecord]] = {}
+    for rec in sorted(records, key=lambda r: r.shape_id):
+        for fname in rec.features:
+            by_feature.setdefault(fname, []).append(rec)
+
+    section: Dict[str, dict] = {}
+    made_dir = False
+    for fname, carrying in sorted(by_feature.items()):
+        stem = _packed_safe_name(fname)
+        if stem is None:
+            continue
+        dims = {np.asarray(rec.features[fname]).shape for rec in carrying}
+        if len(dims) != 1 or len(next(iter(dims))) != 1:
+            continue
+        if not made_dir:
+            os.makedirs(os.path.join(root, PACKED_DIR), exist_ok=True)
+            made_dir = True
+        matrix = np.stack(
+            [np.asarray(rec.features[fname], dtype=np.float32) for rec in carrying]
+        )
+        ids = np.array([rec.shape_id for rec in carrying], dtype=np.int64)
+        mask = np.array([rec.is_degraded() for rec in carrying], dtype=bool)
+        rels = _packed_rels(stem)
+        for rel, arr in zip(rels, (matrix, ids, mask)):
+            path = os.path.join(root, rel)
+            np.save(path, arr, allow_pickle=False)
+            checksums[rel] = _file_sha256(path)
+        section[fname] = {
+            "rows": int(len(ids)),
+            "dim": int(matrix.shape[1]),
+            "files": {"matrix": rels[0], "ids": rels[1], "mask": rels[2]},
+        }
+    return section
+
+
 def _write_database(records: List[ShapeRecord], root: str) -> None:
     """Write a complete database directory (not atomic by itself)."""
     mesh_dir = os.path.join(root, MESH_DIR)
@@ -130,10 +205,13 @@ def _write_database(records: List[ShapeRecord], root: str) -> None:
     np.savez_compressed(features_path, **arrays)
     checksums[FEATURES_NAME] = _file_sha256(features_path)
 
+    packed = _write_packed(records, root, checksums)
+
     manifest = {
         "version": _FORMAT_VERSION,
         "records": manifest_records,
         "checksums": checksums,
+        "packed": packed,
     }
     fd, tmp_path = tempfile.mkstemp(dir=root, suffix=".manifest.tmp")
     try:
@@ -388,6 +466,100 @@ def salvage_records(
     readable — without it there is nothing to salvage against.
     """
     return _load_impl(os.fspath(directory), load_meshes=load_meshes, strict=False)
+
+
+@dataclass
+class PackedColumn:
+    """One memory-mapped packed feature column from a database directory.
+
+    ``matrix`` is a read-only float32 memmap of shape ``(rows, dim)``;
+    ``ids`` the aligned ascending int64 shape ids; ``mask`` the aligned
+    degraded flags (loaded into RAM — it is tiny and consulted often).
+    """
+
+    name: str
+    matrix: np.ndarray
+    ids: np.ndarray
+    mask: np.ndarray
+
+
+def load_packed_features(
+    directory: Union[str, os.PathLike],
+    strict: bool = True,
+    mmap: bool = True,
+) -> Optional[Dict[str, PackedColumn]]:
+    """Load the packed columnar tier of a database directory.
+
+    Returns ``None`` when the directory has no packed section (older
+    writers) — callers fall back to rebuilding the in-memory store from
+    the records.  Every packed file is re-hashed against its manifest
+    checksum before being trusted; with ``strict=True`` a mismatch (or a
+    structurally inconsistent column) raises :class:`StorageError`, with
+    ``strict=False`` the whole tier is discarded (returns ``None``) so a
+    salvage load still comes up from the record path.
+
+    With ``mmap=True`` matrices and id vectors come back as read-only
+    ``np.load(..., mmap_mode="r")`` maps: the OS pages feature rows in
+    on demand and the corpus never has to fit in RAM.
+    """
+    root = os.fspath(directory)
+    manifest = _read_manifest(root)
+    section = manifest.get("packed")
+    if not section:
+        return None
+    checksums = manifest.get("checksums", {})
+
+    def _fail(reason: str) -> Optional[Dict[str, PackedColumn]]:
+        if strict:
+            raise StorageError(
+                f"{root}: packed feature tier corrupt: {reason}; "
+                "pass strict=False to rebuild from records",
+                code="storage.corrupt",
+            )
+        get_registry().inc("robust.corrupt_files")
+        return None
+
+    columns: Dict[str, PackedColumn] = {}
+    for fname, entry in section.items():
+        files = entry.get("files", {})
+        arrays = {}
+        for part in ("matrix", "ids", "mask"):
+            rel = files.get(part)
+            if rel is None:
+                return _fail(f"{fname}: manifest entry missing {part!r} file")
+            path = os.path.join(root, rel)
+            if not os.path.exists(path):
+                return _fail(f"{fname}: {rel} missing")
+            expected = checksums.get(rel)
+            if expected is not None and _file_sha256(path) != expected:
+                return _fail(f"{fname}: {rel} fails its checksum")
+            mode = "r" if (mmap and part != "mask") else None
+            try:
+                arrays[part] = np.load(path, mmap_mode=mode, allow_pickle=False)
+            # repro-lint: disable=RPL001 -- corruption probe; any decode
+            except Exception as exc:
+                return _fail(f"{fname}: {rel} unreadable: {exc}")  # failure is the finding
+        matrix, ids, mask = arrays["matrix"], arrays["ids"], arrays["mask"]
+        ok = (
+            matrix.ndim == 2
+            and matrix.dtype == np.float32
+            and ids.ndim == 1
+            and ids.dtype == np.int64
+            and mask.ndim == 1
+            and len(ids) == len(matrix) == len(mask)
+            and int(entry.get("rows", len(ids))) == len(ids)
+            and int(entry.get("dim", matrix.shape[1])) == matrix.shape[1]
+            and (len(ids) < 2 or bool(np.all(np.diff(ids) > 0)))
+        )
+        if not ok:
+            return _fail(f"{fname}: column arrays are inconsistent")
+        columns[fname] = PackedColumn(
+            name=fname,
+            matrix=matrix,
+            ids=ids,
+            mask=np.asarray(mask, dtype=bool),
+        )
+    return columns
 
 
 def verify_database(directory: Union[str, os.PathLike]) -> Dict[str, str]:

@@ -13,9 +13,12 @@ harness times the hot paths the system actually runs —
   fork-per-task strategy, identical-outcome asserted),
 * the **extraction stages** (normalize / voxelize / skeletonize medians,
   straight from the ``repro.obs`` timers),
-* **query latency** (indexed k-NN vs the vectorized linear fallback), and
+* **query latency** (indexed k-NN vs the vectorized linear fallback),
 * **service latency** (HTTP round-trip p50/p99 through an in-process
-  ``three-dess serve`` daemon under 1/4/16 concurrent clients)
+  ``three-dess serve`` daemon under 1/4/16 concurrent clients, plus a
+  cold-connection vs keep-alive comparison), and
+* the **scaling curve** (``--scale``): packed-store build time, RSS
+  high-water, and query p50/p99 at 1k/10k/100k synthetic shapes
 
 — and writes one ``BENCH_<rev>.json`` whose medians later PRs can cite.
 All numbers are wall-clock medians over ``repeats`` runs on whatever
@@ -43,7 +46,7 @@ from ..search.engine import SearchEngine
 from ..skeleton.thinning import thin
 from ..voxel.voxelize import voxelize
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Extraction-stage histograms copied from the obs registry into the
 #: report (`median` = p50 over all observations of the serial run).
@@ -379,6 +382,30 @@ def bench_service(
                         ),
                     }
                 )
+
+            # Connection reuse: one client, the same request stream, with
+            # a fresh TCP connection per call vs one kept-alive socket.
+            reuse_rows = []
+            for keep_alive in (False, True):
+                client = ServiceClient(
+                    server.url, timeout=120.0, keep_alive=keep_alive
+                )
+                reuse_latencies: List[float] = []
+                for i in range(requests_per_client * 2):
+                    shape_id = ids[i % len(ids)]
+                    start = time.perf_counter()
+                    client.search(shape_id=shape_id, k=k)
+                    reuse_latencies.append(time.perf_counter() - start)
+                client.close()
+                reuse_rows.append(
+                    {
+                        "keep_alive": keep_alive,
+                        "requests": len(reuse_latencies),
+                        "p50_s": _median(reuse_latencies),
+                        "p99_s": float(np.percentile(reuse_latencies, 99)),
+                    }
+                )
+            cold_p50, warm_p50 = reuse_rows[0]["p50_s"], reuse_rows[1]["p50_s"]
             return {
                 "n_shapes": len(ids),
                 "k": k,
@@ -386,9 +413,102 @@ def bench_service(
                 "max_concurrent": 8,
                 "queue_limit": 64,
                 "runs": runs,
+                "connection_reuse": {
+                    "runs": reuse_rows,
+                    "p50_speedup": (
+                        cold_p50 / warm_p50 if warm_p50 > 0 else float("inf")
+                    ),
+                },
             }
         finally:
             server.stop()
+
+
+def bench_scale(
+    sizes: Sequence[int] = (1000, 10000, 100000),
+    feature_name: str = "principal_moments",
+    k: int = 10,
+    queries: int = 40,
+    seed: int = 42,
+    index_limit: int = 20000,
+) -> Dict[str, object]:
+    """Packed-store scaling curve over synthetic-vector corpora.
+
+    Per corpus size: bulk-append build time, process RSS high-water
+    (``ru_maxrss`` — monotone across sizes, so the interesting number is
+    the delta row to row), packed-store rows/bytes, and k-NN latency
+    p50/p99 through the zero-copy linear scan.  Corpora at or below
+    ``index_limit`` also time an R-tree bulk load and indexed queries
+    (per-node costs make the index the wrong tool at the top sizes —
+    that, measured, is the point of the section).
+    """
+    import resource
+
+    from ..datasets.generator import build_synthetic_database
+
+    def rss_mb() -> float:
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        build_start = time.perf_counter()
+        db = build_synthetic_database(size, seed=seed)
+        build_s = time.perf_counter() - build_start
+        store = db.matrix_store
+        engine = SearchEngine(db)
+        ids = db.ids()
+        step = max(1, len(ids) // queries)
+        query_ids = ids[::step][:queries]
+        # Warm the per-generation measure cache (weights + d_max) so the
+        # timed loop measures the scan, not one-off setup.
+        engine.search_knn(query_ids[0], feature_name, k=k, use_index=False)
+
+        def run_queries(use_index: bool) -> List[float]:
+            out = []
+            for sid in query_ids:
+                start = time.perf_counter()
+                engine.search_knn(sid, feature_name, k=k, use_index=use_index)
+                out.append(time.perf_counter() - start)
+            return out
+
+        linear = run_queries(use_index=False)
+        row: Dict[str, object] = {
+            "n_shapes": size,
+            "build_s": build_s,
+            "rss_high_water_mb": rss_mb(),
+            "store_rows": store.total_rows,
+            "store_bytes": store.nbytes,
+            "queries": len(query_ids),
+            "linear_p50_ms": _median(linear) * 1e3,
+            "linear_p99_ms": float(np.percentile(linear, 99)) * 1e3,
+        }
+        if size <= index_limit:
+            index_start = time.perf_counter()
+            db.rebuild_indexes()
+            index_build_s = time.perf_counter() - index_start
+            index = db.index(feature_name)
+            index.reset_stats()
+            indexed = run_queries(use_index=True)
+            row["index"] = {
+                "build_s": index_build_s,
+                "p50_ms": _median(indexed) * 1e3,
+                "p99_ms": float(np.percentile(indexed, 99)) * 1e3,
+                "node_accesses_per_query": index.node_accesses / len(query_ids),
+            }
+        else:
+            row["index"] = {
+                "skipped": True,
+                "reason": f"index build skipped above {index_limit} shapes",
+            }
+        rows.append(row)
+        del engine, store, db
+    return {
+        "feature": feature_name,
+        "k": k,
+        "seed": seed,
+        "index_limit": index_limit,
+        "sizes": rows,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -401,11 +521,15 @@ def run_bench(
     repeats: int = 3,
     seed: int = 42,
     quick: bool = False,
+    scale: bool = False,
+    scale_sizes: Optional[Sequence[int]] = None,
 ) -> Dict[str, object]:
     """Run every bench stage and assemble the JSON-ready report.
 
     ``quick`` shrinks the workload (resolution 12, 6 shapes, workers
-    (1, 2), single repeat) for CI smoke runs.
+    (1, 2), single repeat) for CI smoke runs.  ``scale`` appends the
+    synthetic-corpus scaling curve (default sizes 1k/10k/100k; quick
+    runs use 500/2000 unless ``scale_sizes`` overrides them).
     """
     if quick:
         resolution, n_shapes, worker_counts, repeats = 12, 6, (1, 2), 1
@@ -442,8 +566,17 @@ def run_bench(
         client_counts=(1, 2) if quick else (1, 4, 16),
         requests_per_client=5 if quick else 25,
     )
+    scale_report: Optional[Dict[str, object]] = None
+    if scale:
+        if scale_sizes is None:
+            scale_sizes = (500, 2000) if quick else (1000, 10000, 100000)
+        scale_report = bench_scale(
+            sizes=tuple(scale_sizes),
+            seed=seed,
+            queries=10 if quick else 40,
+        )
 
-    return {
+    report = {
         "schema_version": SCHEMA_VERSION,
         "revision": revision(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -468,6 +601,9 @@ def run_bench(
         "query": query,
         "service": service,
     }
+    if scale_report is not None:
+        report["scale"] = scale_report
+    return report
 
 
 def write_bench(report: Dict[str, object], path: str) -> None:
@@ -538,5 +674,37 @@ def format_summary(report: Dict[str, object]) -> str:
                 f"p99 {row['p99_s'] * 1e3:6.2f} ms, "
                 f"{row['throughput_rps']:.0f} req/s, "
                 f"failed={row['failed']}"
+            )
+        reuse = service.get("connection_reuse")
+        if reuse:
+            for row in reuse["runs"]:
+                label = "keep-alive" if row["keep_alive"] else "cold conn"
+                lines.append(
+                    f"  {label}: p50 {row['p50_s'] * 1e3:6.2f} ms, "
+                    f"p99 {row['p99_s'] * 1e3:6.2f} ms"
+                )
+            lines.append(
+                f"  connection reuse p50 speedup: {reuse['p50_speedup']:.2f}x"
+            )
+    scale = report.get("scale")
+    if scale:
+        lines.append("")
+        lines.append(
+            f"scale ({scale['feature']}, k={scale['k']}, synthetic corpus):"
+        )
+        for row in scale["sizes"]:
+            index = row["index"]
+            if index.get("skipped"):
+                index_part = "index skipped"
+            else:
+                index_part = (
+                    f"index build {index['build_s']:.2f} s, "
+                    f"p50 {index['p50_ms']:.2f} ms"
+                )
+            lines.append(
+                f"  n={row['n_shapes']:>7d}: build {row['build_s']:6.2f} s, "
+                f"rss {row['rss_high_water_mb']:7.1f} MB, "
+                f"linear p50 {row['linear_p50_ms']:6.2f} ms "
+                f"p99 {row['linear_p99_ms']:6.2f} ms, {index_part}"
             )
     return "\n".join(lines)

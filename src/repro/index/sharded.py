@@ -1,0 +1,269 @@
+"""Sharded R-tree: per-feature-space region shards behind one index API.
+
+A single STR-packed R-tree stays efficient for queries but its build
+cost and per-query ``node_accesses`` grow with corpus size.  At the
+100k+ tier we instead partition the feature space into contiguous slabs
+along its widest axis and pack an independent R-tree per slab.  Queries
+visit shards best-first by the MINDIST of each shard's bounding box and
+stop as soon as the next shard cannot improve the running result — for
+localized queries most shards are never touched.
+
+The class mirrors the :class:`~repro.index.rtree.RTree` query surface
+(``nearest`` / ``radius_search`` / ``range_search`` / ``insert`` /
+``delete`` / ``node_accesses``) so the database and search engine treat
+both interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .rect import Rect, bounding_rect
+from .rtree import DEFAULT_MAX_ENTRIES, QUADRATIC_SPLIT, RTree
+
+__all__ = ["ShardedRTree", "DEFAULT_SHARDS"]
+
+DEFAULT_SHARDS = 8
+
+
+class ShardedRTree:
+    """R-tree sharded into contiguous feature-space slabs.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the indexed space.
+    shards:
+        Number of slabs (each an independent :class:`RTree`).
+    max_entries / min_entries / split:
+        Forwarded to every member tree.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        shards: int = DEFAULT_SHARDS,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        min_entries: Optional[int] = None,
+        split: str = QUADRATIC_SPLIT,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.dim = int(dim)
+        self.max_entries = int(max_entries)
+        self._shards: List[RTree] = [
+            RTree(dim, max_entries=max_entries, min_entries=min_entries, split=split)
+            for _ in range(int(shards))
+        ]
+        #: record id -> shard index (deletes route without probing).
+        self._shard_of: Dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        points: np.ndarray,
+        record_ids: Sequence[Hashable],
+        shards: int = DEFAULT_SHARDS,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        min_entries: Optional[int] = None,
+    ) -> "ShardedRTree":
+        """STR-pack ``points`` into ``shards`` slabs along the widest axis.
+
+        Sorting once and bulk-loading per contiguous slab keeps the
+        shard boxes nearly disjoint, which is what makes the best-first
+        shard pruning in :meth:`nearest` effective.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError(f"points must be 2D (n, d), got shape {pts.shape}")
+        if len(pts) != len(record_ids):
+            raise ValueError("points and record_ids must have equal length")
+        ids = list(record_ids)
+        if len(pts) == 0:
+            return cls(
+                pts.shape[1] if pts.ndim == 2 and pts.shape[1] else 1,
+                shards=shards,
+                max_entries=max_entries,
+                min_entries=min_entries,
+            )
+        n_shards = max(1, min(int(shards), len(pts)))
+        index = cls.__new__(cls)
+        index.dim = int(pts.shape[1])
+        index.max_entries = int(max_entries)
+        index._shards = []
+        index._shard_of = {}
+
+        spread = pts.max(axis=0) - pts.min(axis=0)
+        axis = int(np.argmax(spread))
+        order = np.argsort(pts[:, axis], kind="stable")
+        bounds = np.linspace(0, len(pts), n_shards + 1).astype(int)
+        for s in range(n_shards):
+            take = order[bounds[s] : bounds[s + 1]]
+            shard_ids = [ids[i] for i in take]
+            tree = RTree.bulk_load(
+                pts[take],
+                shard_ids,
+                max_entries=max_entries,
+                min_entries=min_entries,
+            )
+            for rid in shard_ids:
+                index._shard_of[rid] = s
+            index._shards.append(tree)
+        return index
+
+    # ------------------------------------------------------------------
+    # Introspection / stats
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return sum(t.size for t in self._shards)
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def node_accesses(self) -> int:
+        return sum(t.node_accesses for t in self._shards)
+
+    def reset_stats(self) -> None:
+        for t in self._shards:
+            t.reset_stats()
+
+    def height(self) -> int:
+        """Max member-tree height (1 for all-empty shards)."""
+        return max(t.height() for t in self._shards)
+
+    def check_invariants(self) -> None:
+        for t in self._shards:
+            t.check_invariants()
+        assert len(self._shard_of) == self.size, (
+            f"routing map size {len(self._shard_of)} != index size {self.size}"
+        )
+        for rid, s in self._shard_of.items():
+            assert 0 <= s < len(self._shards), f"id {rid!r} routed to shard {s}"
+
+    def _shard_rects(self) -> List[Optional[Rect]]:
+        return [
+            bounding_rect(e.rect for e in t.root.entries) if t.size else None
+            for t in self._shards
+        ]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, point_or_rect, record_id: Hashable) -> None:
+        """Insert into the shard needing the least box enlargement.
+
+        Empty shards are seeded first, so an index grown purely by
+        inserts still spreads across all shards.
+        """
+        rect = (
+            point_or_rect
+            if isinstance(point_or_rect, Rect)
+            else Rect.from_point(point_or_rect)
+        )
+        if rect.dim != self.dim:
+            raise ValueError(f"expected dimension {self.dim}, got {rect.dim}")
+        target = None
+        for s, t in enumerate(self._shards):
+            if t.size == 0:
+                target = s
+                break
+        if target is None:
+            best = None
+            for s, shard_rect in enumerate(self._shard_rects()):
+                assert shard_rect is not None  # no shard is empty here
+                key = (shard_rect.enlargement(rect), shard_rect.area(), s)
+                if best is None or key < best[0]:
+                    best = (key, s)
+            assert best is not None
+            target = best[1]
+        self._shards[target].insert(rect, record_id)
+        self._shard_of[record_id] = target
+
+    def delete(self, point_or_rect, record_id: Hashable) -> bool:
+        """Remove one entry matching (rect, id); returns True if found."""
+        s = self._shard_of.get(record_id)
+        if s is None:
+            return False
+        found = self._shards[s].delete(point_or_rect, record_id)
+        if found:
+            del self._shard_of[record_id]
+        return found
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nearest(
+        self,
+        point: Sequence[float],
+        k: int = 1,
+        weights: Optional[np.ndarray] = None,
+    ) -> List[Tuple[Hashable, float]]:
+        """Best-first k-NN over the shards.
+
+        Shards are visited in ascending MINDIST of their bounding boxes;
+        the search stops once k results are in hand and the next shard's
+        box cannot beat the current kth distance (weighted MINDIST lower
+        bounds the weighted point distance, so the stop is admissible).
+        """
+        pt = np.asarray(list(point), dtype=np.float64)
+        if pt.shape != (self.dim,):
+            raise ValueError(f"query point must have dimension {self.dim}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        ranked = sorted(
+            (
+                (rect.min_dist(pt, weights=weights), s)
+                for s, rect in enumerate(self._shard_rects())
+                if rect is not None
+            ),
+        )
+        out: List[Tuple[Hashable, float]] = []
+        for mindist, s in ranked:
+            if len(out) >= k and mindist > out[k - 1][1]:
+                break
+            out.extend(self._shards[s].nearest(pt, k=k, weights=weights))
+            out.sort(key=lambda pair: pair[1])
+            del out[k:]
+        return out
+
+    def radius_search(
+        self,
+        point: Sequence[float],
+        radius: float,
+        weights: Optional[np.ndarray] = None,
+    ) -> List[Tuple[Hashable, float]]:
+        """(id, distance) pairs within a (weighted) Euclidean radius."""
+        pt = np.asarray(list(point), dtype=np.float64)
+        if pt.shape != (self.dim,):
+            raise ValueError(f"query point must have dimension {self.dim}")
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        out: List[Tuple[Hashable, float]] = []
+        for s, rect in enumerate(self._shard_rects()):
+            if rect is None or rect.min_dist(pt, weights=weights) > radius:
+                continue
+            out.extend(self._shards[s].radius_search(pt, radius, weights=weights))
+        out.sort(key=lambda pair: pair[1])
+        return out
+
+    def range_search(self, rect: Rect) -> List[Hashable]:
+        """Record ids whose rects intersect the query box."""
+        if rect.dim != self.dim:
+            raise ValueError(f"expected dimension {self.dim}, got {rect.dim}")
+        out: List[Hashable] = []
+        for s, shard_rect in enumerate(self._shard_rects()):
+            if shard_rect is None or not shard_rect.intersects(rect):
+                continue
+            out.extend(self._shards[s].range_search(rect))
+        return out

@@ -90,6 +90,7 @@ class MetricSpec:
 _PIPELINE = "Extraction pipeline (server tier)"
 _SEARCH = "Search (interface tier)"
 _INDEX = "Index (database tier)"
+_STORE = "Packed feature store (database tier)"
 _FACADE = "Facade"
 _ROBUST = "Robustness (fault paths; see [ROBUSTNESS.md](ROBUSTNESS.md))"
 _JOBS = "Background jobs (see [JOBS.md](JOBS.md))"
@@ -101,6 +102,7 @@ SECTION_ORDER: Tuple[str, ...] = (
     _PIPELINE,
     _SEARCH,
     _INDEX,
+    _STORE,
     _FACADE,
     _ROBUST,
     _JOBS,
@@ -113,6 +115,7 @@ SECTION_KEYS: Dict[str, str] = {
     "pipeline": _PIPELINE,
     "search": _SEARCH,
     "index": _INDEX,
+    "store": _STORE,
     "facade": _FACADE,
     "robust": _ROBUST,
     "jobs": _JOBS,
@@ -312,6 +315,53 @@ CATALOG: Tuple[MetricSpec, ...] = (
         "index/bruteforce.py",
         "points scanned by the linear baseline",
         _INDEX,
+    ),
+    # -- packed feature store (database tier) --------------------------
+    MetricSpec(
+        "store.appends",
+        "counter",
+        "db/matrix_store.py",
+        "feature rows appended to the packed columnar store (tail-append "
+        "fast path and copy-on-write inserts alike)",
+        _STORE,
+    ),
+    MetricSpec(
+        "store.rebuilds",
+        "counter",
+        "db/matrix_store.py",
+        "copy-on-write column rebuilds (deletes, out-of-order inserts, "
+        "replacements)",
+        _STORE,
+    ),
+    MetricSpec(
+        "store.mmap_attaches",
+        "counter",
+        "db/matrix_store.py",
+        "columns attached as read-only memory maps from a packed `.npy` "
+        "tier (zero-copy loads)",
+        _STORE,
+    ),
+    MetricSpec(
+        "store.fallback_rebuilds",
+        "counter",
+        "db/database.py",
+        "database loads that rebuilt the packed store from records "
+        "(directory without a usable packed tier, or salvage mismatch)",
+        _STORE,
+    ),
+    MetricSpec(
+        "store.rows",
+        "gauge",
+        "db/matrix_store.py",
+        "total feature rows currently packed (sum over feature families)",
+        _STORE,
+    ),
+    MetricSpec(
+        "store.bytes",
+        "gauge",
+        "db/matrix_store.py",
+        "bytes held (or mapped) by the packed matrices",
+        _STORE,
     ),
     # -- facade --------------------------------------------------------
     MetricSpec(

@@ -19,23 +19,26 @@ from .combined import CombinedSimilarity
 
 
 class BatchScorer:
-    """Matrix-based scoring over one database snapshot.
+    """Matrix-based scoring over the packed feature store.
 
-    Build once, query many times; rebuild after inserts/deletes (the
-    constructor is cheap relative to one full scan).
+    Feature matrices come straight from the database's columnar views
+    (O(1), zero-copy); the per-feature cache is keyed on the store
+    generation, so inserts/updates/deletes refresh it automatically.
     """
 
     def __init__(self, engine: SearchEngine) -> None:
         self.engine = engine
         self.database: ShapeDatabase = engine.database
-        self._matrices: Dict[str, Tuple[np.ndarray, List[int]]] = {}
+        self._matrices: Dict[str, Tuple[int, np.ndarray, List[int]]] = {}
 
     def _space(self, feature_name: str) -> Tuple[np.ndarray, List[int]]:
+        generation = self.database.store_generation
         cached = self._matrices.get(feature_name)
-        if cached is None:
-            cached = self.database.feature_matrix(feature_name)
+        if cached is None or cached[0] != generation:
+            matrix, ids = self.database.feature_matrix(feature_name)
+            cached = (generation, matrix, ids)
             self._matrices[feature_name] = cached
-        return cached
+        return cached[1], cached[2]
 
     def distances(self, query: Query, feature_name: str) -> Tuple[np.ndarray, List[int]]:
         """Weighted distances from the query to every stored vector."""

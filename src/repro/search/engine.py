@@ -56,24 +56,32 @@ class SearchEngine:
     def __init__(self, database: ShapeDatabase, weighting=RANGE_WEIGHTS) -> None:
         self.database = database
         self.weighting = weighting
-        self._measures: Dict[str, SimilarityMeasure] = {}
+        self._measures: Dict[str, Tuple[int, SimilarityMeasure]] = {}
 
     # ------------------------------------------------------------------
     def measure(self, feature_name: str) -> SimilarityMeasure:
         """Similarity measure of one feature space (cached).
 
-        Call :meth:`invalidate` after bulk inserts to refresh d_max and
-        the default weights.
+        The cache is keyed on the database's store generation, so any
+        insert/update/delete refreshes d_max and the default weights
+        lazily on the next call — no explicit invalidation needed.
         """
+        generation = self.database.store_generation
         cached = self._measures.get(feature_name)
-        if cached is None:
-            matrix, _ = self.database.feature_matrix(feature_name)
-            cached = SimilarityMeasure(matrix, weighting=self.weighting)
+        if cached is None or cached[0] != generation:
+            view = self.database.feature_view(feature_name)
+            cached = (
+                generation,
+                SimilarityMeasure(view.matrix, weighting=self.weighting),
+            )
             self._measures[feature_name] = cached
-        return cached
+        return cached[1]
 
     def invalidate(self) -> None:
-        """Drop cached similarity measures (after inserts/deletes)."""
+        """Drop cached similarity measures.
+
+        Kept for API compatibility; the generation-keyed cache in
+        :meth:`measure` already refreshes itself after mutations."""
         self._measures = {}
 
     # ------------------------------------------------------------------
@@ -126,21 +134,22 @@ class SearchEngine:
     def _linear_knn(
         self, feature_name: str, vec: np.ndarray, k: int
     ) -> List[Tuple[int, float]]:
-        """Vectorized full-scan k-NN (no index): one matrix expression."""
-        matrix, ids = self.database.feature_matrix(feature_name)
-        dists = self.measure(feature_name).distances(vec, matrix)
-        order = np.lexsort((ids, dists))[:k]
-        return [(ids[i], float(dists[i])) for i in order]
+        """Vectorized full-scan k-NN: one expression over the packed
+        columnar view (zero-copy; no per-query vstack)."""
+        view = self.database.feature_view(feature_name)
+        dists = self.measure(feature_name).distances(vec, view.matrix)
+        order = np.lexsort((view.ids, dists))[:k]
+        return [(int(view.ids[i]), float(dists[i])) for i in order]
 
     def _linear_radius(
         self, feature_name: str, vec: np.ndarray, radius: float
     ) -> List[Tuple[int, float]]:
-        """Vectorized full-scan range query (no index)."""
-        matrix, ids = self.database.feature_matrix(feature_name)
-        dists = self.measure(feature_name).distances(vec, matrix)
+        """Vectorized full-scan range query over the packed view."""
+        view = self.database.feature_view(feature_name)
+        dists = self.measure(feature_name).distances(vec, view.matrix)
         within = np.flatnonzero(dists <= radius)
-        order = within[np.lexsort(([ids[i] for i in within], dists[within]))]
-        return [(ids[i], float(dists[i])) for i in order]
+        order = within[np.lexsort((view.ids[within], dists[within]))]
+        return [(int(view.ids[i]), float(dists[i])) for i in order]
 
     def search_knn(
         self,
@@ -272,21 +281,16 @@ class SearchEngine:
             exclude = int(query) if isinstance(query, (int, np.integer)) and exclude_query else None
             if not candidate_ids:
                 return []
-            carrying = [
-                sid
-                for sid in candidate_ids
-                if feature_name in self.database.get(sid).features
-            ]
-            missing = [sid for sid in candidate_ids if sid not in set(carrying)]
+            # One vectorized gather against the packed store — never a
+            # per-candidate vstack.  Mutations bump the store generation,
+            # which refreshes the measure cache above, so reranks after
+            # update_features/delete see current vectors automatically.
+            rows, carrying, missing = self.database.gather_features(
+                feature_name, candidate_ids
+            )
             pairs: List[Tuple[int, float]] = []
             if carrying:
-                matrix = np.vstack(
-                    [
-                        self.database.get(sid).feature(feature_name)
-                        for sid in carrying
-                    ]
-                )
-                dists = measure.distances(vec, matrix)
+                dists = measure.distances(vec, rows)
                 pairs = [(sid, float(d)) for sid, d in zip(carrying, dists)]
             metrics.inc("search.candidates_examined", len(pairs))
             pairs.sort(key=lambda p: (p[1], p[0]))

@@ -50,6 +50,7 @@ def multi_step_search(
     plan: Optional[MultiStepPlan] = None,
     exclude_query: bool = True,
     deadline: Optional[Deadline] = None,
+    use_index: bool = True,
 ) -> List[SearchResult]:
     """Run a multi-step query.
 
@@ -57,6 +58,9 @@ def multi_step_search(
     reranked by geometric parameters, top 10 presented.  A ``deadline``
     propagates into the pool retrieval and every filter step, so a
     timed-out query aborts between steps rather than finishing the plan.
+    ``use_index=False`` forces the pool retrieval onto the packed linear
+    scan (identical results); filter steps always rerank against the
+    packed store and never touch an index.
     """
     if plan is None:
         plan = MultiStepPlan(
@@ -75,6 +79,7 @@ def multi_step_search(
             k=first_keep,
             exclude_query=exclude_query,
             deadline=deadline,
+            use_index=use_index,
         )
         for feature_name, keep in plan.steps[1:]:
             candidate_ids = [r.shape_id for r in results]

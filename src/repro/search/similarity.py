@@ -48,9 +48,14 @@ def weighted_distances(
 
     The vectorized counterpart of :func:`weighted_distance` — one NumPy
     expression over the whole feature matrix instead of a Python loop.
+
+    The matrix is *not* cast up front: with a float64 query the
+    subtraction broadcast upcasts float32 rows exactly, so packed
+    (float32, possibly memory-mapped) matrices are scanned zero-copy
+    with results bitwise identical to a float64 pre-cast.
     """
     q = np.asarray(query, dtype=np.float64)
-    mat = np.asarray(matrix, dtype=np.float64)
+    mat = np.asarray(matrix)
     if mat.ndim != 2 or q.shape != (mat.shape[1],):
         raise ValueError(
             f"need query (d,) and matrix (n, d); got {q.shape} and {mat.shape}"
@@ -123,12 +128,21 @@ class SimilarityMeasure:
     def _max_pairwise_distance(self, mat: np.ndarray) -> float:
         """The paper's d_max: the maximum distance of points in feature
         space.  Exact for moderate collections; bounded by the weighted
-        bounding-box diagonal for very large ones."""
+        bounding-box diagonal for very large ones.
+
+        The exact path evaluates :func:`weighted_distances` row by row —
+        the very formula every scan uses — so the farthest stored pair's
+        query distance equals ``d_max`` bitwise and a threshold-0 radius
+        query keeps every shape.  (A Gram-matrix shortcut rounds
+        differently and can land one ulp *below* the true maximum.)
+        """
+        if len(mat) <= self._EXACT_DMAX_LIMIT:
+            best = 0.0
+            for row in mat:
+                d = weighted_distances(row, mat, self.weights)
+                best = max(best, float(d.max()))
+            return best
         scaled = mat if self.weights is None else mat * np.sqrt(self.weights)
-        if len(scaled) <= self._EXACT_DMAX_LIMIT:
-            sq = (scaled**2).sum(axis=1)
-            d2 = sq[:, None] + sq[None, :] - 2.0 * (scaled @ scaled.T)
-            return float(np.sqrt(max(0.0, d2.max())))
         span = scaled.max(axis=0) - scaled.min(axis=0)
         return float(np.sqrt((span**2).sum()))
 

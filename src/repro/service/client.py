@@ -1,21 +1,26 @@
 """Stdlib client of the query service (used by tests and the CLI).
 
 :class:`ServiceClient` speaks the JSON wire protocol of
-:mod:`repro.service.protocol` over ``urllib`` — no dependencies, one
-class.  Server-reported failures surface as :class:`ServiceError`
-carrying the HTTP status and the taxonomy ``stage``/``code`` from the
-error body; a server that cannot be reached at all raises
+:mod:`repro.service.protocol` over ``http.client`` — no dependencies,
+one class.  By default the client keeps one HTTP/1.1 connection alive
+and reuses it across calls (the TCP + slow-start handshake dominates
+small-query latency); a reused socket that the server has since closed
+is detected and the request retried once on a fresh connection.
+Server-reported failures surface as :class:`ServiceError` carrying the
+HTTP status and the taxonomy ``stage``/``code`` from the error body; a
+server that cannot be reached at all raises
 :class:`ServiceUnavailableError` (the CLI maps it to
 ``ExitCode.UNAVAILABLE``).
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import socket
-import urllib.error
-import urllib.request
+import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from urllib.parse import urlsplit
 
 from ..geometry.mesh import TriangleMesh
 from ..robust.errors import ReproError
@@ -69,15 +74,93 @@ class ServiceClient:
     timeout:
         Socket timeout in seconds for each call (this is the transport
         bound; the *server-side* budget is ``deadline_ms`` per query).
+    keep_alive:
+        Reuse one HTTP/1.1 connection across calls (default).  When
+        off, every call opens a fresh connection and sends
+        ``Connection: close``.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self, base_url: str, timeout: float = 30.0, keep_alive: bool = True
+    ) -> None:
         if "://" not in base_url:
             base_url = f"http://{base_url}"
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        parts = urlsplit(self.base_url)
+        self._scheme = parts.scheme
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port
+        self._prefix = parts.path.rstrip("/")
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        cls = (
+            http.client.HTTPSConnection
+            if self._scheme == "https"
+            else http.client.HTTPConnection
+        )
+        return cls(self._host, self._port, timeout=self.timeout)
+
+    def close(self) -> None:
+        """Drop the persistent connection (safe to call repeatedly)."""
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _roundtrip(
+        self,
+        method: str,
+        url: str,
+        data: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Tuple[int, Any, bytes]:
+        """One HTTP exchange, reusing the kept-alive connection.
+
+        A reused socket may have been closed by the server between
+        calls; that surfaces as an immediate OSError/HTTPException and
+        is retried exactly once on a fresh connection.  Failures on a
+        fresh connection (and socket timeouts, where the server may
+        still be working) are never retried.
+        """
+        reused = self._conn is not None
+        conn = self._conn if self._conn is not None else self._connect()
+        self._conn = None
+        while True:
+            try:
+                conn.request(method, url, body=data, headers=headers)
+                resp = conn.getresponse()
+                raw = resp.read()
+            except socket.timeout as exc:
+                conn.close()
+                raise ServiceUnavailableError(
+                    f"cannot reach {self.base_url}: {exc}", status=0
+                ) from exc
+            except (OSError, http.client.HTTPException) as exc:
+                conn.close()
+                if reused:
+                    reused = False
+                    conn = self._connect()
+                    continue
+                raise ServiceUnavailableError(
+                    f"cannot reach {self.base_url}: {exc}", status=0
+                ) from exc
+            if self.keep_alive and not resp.will_close:
+                self._conn = conn
+            else:
+                conn.close()
+            return resp.status, resp.headers, raw
+
     def _call(
         self,
         method: str,
@@ -89,30 +172,26 @@ class ServiceClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            f"{self.base_url}{path}", data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            raw = exc.read()
+        if not self.keep_alive:
+            headers["Connection"] = "close"
+        with self._lock:
+            status, resp_headers, raw = self._roundtrip(
+                method, f"{self._prefix}{path}", data, headers
+            )
+        if status >= 400:
             try:
                 payload = json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError):
                 payload = {}
             error = payload.get("error", {}) if isinstance(payload, dict) else {}
             raise ServiceError(
-                error.get("message", f"HTTP {exc.code} from {path}"),
-                status=exc.code,
+                error.get("message", f"HTTP {status} from {path}"),
+                status=status,
                 payload=payload,
                 code=error.get("code"),
-                retry_after=exc.headers.get("Retry-After"),
-            ) from exc
-        except (urllib.error.URLError, socket.timeout, ConnectionError) as exc:
-            raise ServiceUnavailableError(
-                f"cannot reach {self.base_url}: {exc}", status=0
-            ) from exc
+                retry_after=resp_headers.get("Retry-After"),
+            )
+        return json.loads(raw.decode("utf-8"))
 
     # ------------------------------------------------------------------
     def search(

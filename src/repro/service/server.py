@@ -158,6 +158,11 @@ class _ServiceHTTPServer(ThreadingHTTPServer):
 class _RequestHandler(BaseHTTPRequestHandler):
     server: _ServiceHTTPServer
     protocol_version = "HTTP/1.1"
+    # The response goes out as two small writes (headers, then body).
+    # With Nagle on, the body write stalls behind the client's delayed
+    # ACK (~40 ms) once a kept-alive connection leaves quick-ACK mode —
+    # TCP_NODELAY keeps reused connections at loopback latency.
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------
     # plumbing
@@ -320,6 +325,12 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 "degraded_records": snapshot.degraded_records,
                 "dropped_records": snapshot.dropped_records,
                 "uptime_s": round(time.time() - service.started_at, 3),
+                "store": {
+                    "columns": snapshot.store_columns,
+                    "rows": snapshot.system.database.matrix_store.total_rows,
+                    "bytes": snapshot.system.database.matrix_store.nbytes,
+                    "zero_copy": snapshot.zero_copy,
+                },
                 "admission": {
                     "active": service.gate.active,
                     "waiting": service.gate.waiting,

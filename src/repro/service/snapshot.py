@@ -45,6 +45,17 @@ class Snapshot:
     def dropped_records(self) -> int:
         return len(self.system.database.dropped_records)
 
+    @property
+    def store_columns(self) -> int:
+        """Feature families in the packed columnar store."""
+        return len(self.system.database.matrix_store.columns())
+
+    @property
+    def zero_copy(self) -> bool:
+        """True when any store column still serves memory-mapped rows
+        straight from the saved ``packed/`` files (no RAM copy)."""
+        return self.system.database.matrix_store.mmap_backed
+
 
 class SnapshotManager:
     """Loads, serves, and atomically replaces database snapshots.

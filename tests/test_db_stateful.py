@@ -30,7 +30,9 @@ class ShapeDatabaseMachine(RuleBasedStateMachine):
         )
         new_id = self.db.insert_record(record)
         assert new_id not in self.oracle
-        self.oracle[new_id] = (np.asarray(vec), group)
+        # The database canonicalizes stored vectors to float32; the
+        # oracle must model the same rounding to predict distances.
+        self.oracle[new_id] = (np.asarray(vec, dtype=np.float32), group)
 
     @precondition(lambda self: self.oracle)
     @rule(data=st.data())

@@ -487,3 +487,64 @@ class TestServeCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "watched 1 cycle(s)" in out
+
+
+# ----------------------------------------------------------------------
+# Keep-alive client transport
+# ----------------------------------------------------------------------
+class TestKeepAlive:
+    def test_connection_reused_across_calls(self, server):
+        client = ServiceClient(server.url)
+        client.health()
+        conn = client._conn
+        assert conn is not None
+        client.search(shape_id=1, k=2)
+        assert client._conn is conn
+        client.close()
+        assert client._conn is None
+
+    def test_keep_alive_off_never_persists(self, server):
+        client = ServiceClient(server.url, keep_alive=False)
+        client.health()
+        client.search(shape_id=1, k=2)
+        assert client._conn is None
+
+    def test_stale_socket_retried_once(self, server):
+        client = ServiceClient(server.url)
+        client.health()
+        # Simulate the server closing an idle kept-alive socket.
+        client._conn.sock.close()
+        out = client.health()
+        assert out["ok"] is True
+        assert client._conn is not None
+        client.close()
+
+    def test_fresh_connection_failure_is_unavailable(self):
+        client = ServiceClient("127.0.0.1:9", timeout=2.0)
+        with pytest.raises(ServiceUnavailableError):
+            client.health()
+        assert client._conn is None
+
+    def test_error_responses_keep_connection(self, server):
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError) as err:
+            client.search(shape_id=999999, k=2)
+        assert err.value.status == 400
+        conn = client._conn
+        assert conn is not None
+        assert client.health()["ok"] is True
+        assert client._conn is conn
+        client.close()
+
+    def test_context_manager_closes(self, server):
+        with ServiceClient(server.url) as client:
+            client.health()
+            assert client._conn is not None
+        assert client._conn is None
+
+    def test_healthz_reports_store(self, client):
+        out = client.health()
+        assert out["store"]["columns"] >= 1
+        assert out["store"]["rows"] > 0
+        assert out["store"]["bytes"] > 0
+        assert isinstance(out["store"]["zero_copy"], bool)

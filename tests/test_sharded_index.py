@@ -1,0 +1,157 @@
+"""ShardedRTree: per-shard STR bulk load, routed inserts/deletes, and
+query equivalence with the single R-tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import ShapeDatabase, ShapeRecord
+from repro.index import DEFAULT_SHARDS, RTree, ShardedRTree
+
+DIM = 3
+
+
+@pytest.fixture
+def points():
+    rng = np.random.default_rng(19)
+    return rng.normal(size=(300, DIM))
+
+
+def build_pair(points, shards=4):
+    ids = list(range(len(points)))
+    single = RTree.bulk_load(points, ids, max_entries=8)
+    sharded = ShardedRTree.bulk_load(points, ids, shards=shards, max_entries=8)
+    return single, sharded
+
+
+class TestBulkLoad:
+    def test_sizes_and_invariants(self, points):
+        single, sharded = build_pair(points)
+        assert len(sharded) == len(single) == len(points)
+        assert sharded.shard_count == 4
+        sharded.check_invariants()
+
+    def test_nearest_equivalence(self, points):
+        single, sharded = build_pair(points)
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            q = rng.normal(size=DIM)
+            for k in (1, 5, 17):
+                assert sharded.nearest(q, k=k) == single.nearest(q, k=k)
+
+    def test_radius_equivalence(self, points):
+        single, sharded = build_pair(points)
+        rng = np.random.default_rng(6)
+        for _ in range(10):
+            q = rng.normal(size=DIM)
+            for radius in (0.3, 1.0, 5.0):
+                assert sharded.radius_search(q, radius) == single.radius_search(
+                    q, radius
+                )
+
+    def test_weighted_queries_equivalent(self, points):
+        single, sharded = build_pair(points)
+        weights = np.array([4.0, 1.0, 0.25])
+        q = np.zeros(DIM)
+        assert sharded.nearest(q, k=10, weights=weights) == single.nearest(
+            q, k=10, weights=weights
+        )
+        assert sharded.radius_search(q, 1.5, weights=weights) == single.radius_search(
+            q, 1.5, weights=weights
+        )
+
+    def test_range_search_equivalence(self, points):
+        from repro.index.rect import Rect
+
+        single, sharded = build_pair(points)
+        rect = Rect(np.full(DIM, -0.5), np.full(DIM, 0.5))
+        assert sorted(sharded.range_search(rect)) == sorted(
+            single.range_search(rect)
+        )
+
+    def test_k_larger_than_size(self, points):
+        _, sharded = build_pair(points[:7])
+        out = sharded.nearest(np.zeros(DIM), k=50)
+        assert len(out) == 7
+
+    def test_default_shard_count(self, points):
+        sharded = ShardedRTree.bulk_load(points, list(range(len(points))))
+        assert sharded.shard_count == DEFAULT_SHARDS
+
+
+class TestMutation:
+    def test_insert_then_query(self):
+        rng = np.random.default_rng(2)
+        pts = rng.normal(size=(80, DIM))
+        single = RTree(dim=DIM, max_entries=8)
+        sharded = ShardedRTree(dim=DIM, shards=3, max_entries=8)
+        for i, p in enumerate(pts):
+            single.insert(p, i)
+            sharded.insert(p, i)
+        sharded.check_invariants()
+        q = np.zeros(DIM)
+        assert sharded.nearest(q, k=9) == single.nearest(q, k=9)
+
+    def test_delete_routes_to_owning_shard(self, points):
+        _, sharded = build_pair(points)
+        victims = [0, 37, 150, 299]
+        for victim in victims:
+            sharded.delete(points[victim], victim)
+        sharded.check_invariants()
+        assert len(sharded) == len(points) - len(victims)
+        hits = {rid for rid, _ in sharded.nearest(np.zeros(DIM), k=len(points))}
+        assert not hits.intersection(victims)
+
+    def test_delete_unknown_id_is_false(self, points):
+        _, sharded = build_pair(points)
+        assert sharded.delete(points[0], 999999) is False
+        assert len(sharded) == len(points)
+
+    def test_node_accesses_accumulate_and_reset(self, points):
+        _, sharded = build_pair(points)
+        sharded.reset_stats()
+        sharded.nearest(np.zeros(DIM), k=5)
+        assert sharded.node_accesses > 0
+        sharded.reset_stats()
+        assert sharded.node_accesses == 0
+
+    def test_empty_tree(self):
+        sharded = ShardedRTree(dim=DIM, shards=2)
+        assert len(sharded) == 0
+        assert sharded.nearest(np.zeros(DIM), k=3) == []
+        assert sharded.radius_search(np.zeros(DIM), 1.0) == []
+        sharded.check_invariants()
+
+
+class TestDatabaseSharding:
+    def _db(self, shards):
+        rng = np.random.default_rng(23)
+        db = ShapeDatabase(pipeline=None, index_shards=shards)
+        for _ in range(60):
+            db.insert_record(
+                ShapeRecord(0, "s", None, features={"f": rng.normal(size=DIM)})
+            )
+        return db
+
+    def test_sharded_db_matches_unsharded(self):
+        flat, sharded = self._db(0), self._db(4)
+        assert isinstance(sharded.index("f"), ShardedRTree)
+        assert isinstance(flat.index("f"), RTree)
+        q = np.zeros(DIM)
+        assert sharded.nearest("f", q, k=8) == flat.nearest("f", q, k=8)
+
+    def test_rebuild_indexes_keeps_sharding(self):
+        sharded = self._db(4)
+        sharded.rebuild_indexes(bulk=True)
+        index = sharded.index("f")
+        assert isinstance(index, ShardedRTree)
+        assert index.shard_count == 4
+        flat = self._db(0)
+        assert sharded.nearest("f", np.ones(DIM), k=5) == flat.nearest(
+            "f", np.ones(DIM), k=5
+        )
+
+    def test_negative_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ShapeDatabase(pipeline=None, index_shards=-1)
