@@ -1,0 +1,250 @@
+"""Chaos drills: prove the recovery guarantees under canned fault plans.
+
+Two drills, both driven by the plans in ``tests/chaos_plans/`` and both
+exiting non-zero the moment a guarantee is violated (CI runs them in the
+``chaos`` job; see ``docs/ROBUSTNESS.md``, *Chaos layer*):
+
+``storage``
+    Injects torn and erroring writes into a database save and checks
+    that the previously saved database survives bit-for-bit, then lands
+    silent corruption past the checksum seal and checks that
+    ``verify_database`` reports it loudly and a salvage load still
+    comes up.
+
+``sigterm``
+    Starts a real ``three-dess serve`` subprocess under a plan that
+    SIGTERMs it in the middle of a 16-client search load, and checks
+    the graceful-drain contract: every admitted request gets a
+    response, late arrivals get the retryable draining 503, and the
+    process exits 0 after printing ``drained; shutting down``.
+
+Run:  python examples/chaos_drill.py storage|sigterm
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+PLAN_DIR = os.path.join(REPO_ROOT, "tests", "chaos_plans")
+
+
+def check(condition: bool, message: str) -> None:
+    from repro.cli import ExitCode
+
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        raise SystemExit(ExitCode.INTEGRITY)
+    print(f"  ok: {message}")
+
+
+# ----------------------------------------------------------------------
+# Drill 1: storage under injected write faults
+# ----------------------------------------------------------------------
+def make_records(n: int = 4) -> list:
+    from repro.db import ShapeRecord
+
+    rng = np.random.default_rng(7)
+    return [
+        ShapeRecord(
+            shape_id=i + 1,
+            name=f"shape-{i + 1}",
+            features={
+                "fam_a": rng.normal(size=6),
+                "fam_b": rng.normal(size=3),
+            },
+        )
+        for i in range(n)
+    ]
+
+
+def drill_storage() -> None:
+    from repro.db import (
+        StorageError,
+        load_records,
+        salvage_records,
+        save_records,
+        verify_database,
+    )
+    from repro.robust import chaos
+
+    print("storage drill: torn/erroring writes must never corrupt the "
+          "live database")
+    with tempfile.TemporaryDirectory() as scratch:
+        target = os.path.join(scratch, "db")
+        originals = make_records()
+        save_records(originals, target)
+
+        # Raising faults (the canned storage-io plan): the save dies
+        # before the atomic swap, the old database stays intact.
+        plan = chaos.FaultPlan.parse(os.path.join(PLAN_DIR, "storage-io.json"))
+        with chaos.active_plan(plan) as ctl:
+            try:
+                save_records(make_records(6), target)
+                raised = False
+            except OSError:
+                raised = True
+            hits = dict(ctl.hits)
+        check(raised, "faulted save raised instead of half-writing")
+        check(hits.get("storage.packed.write", 0) >= 3,
+              "the plan actually exercised the packed write sites")
+        check(verify_database(target) == {},
+              "old database verifies clean after the crashed save")
+        check(len(load_records(target)) == len(originals),
+              "old database still loads every record")
+
+        # Silent corruption promoted past the checksum seal: the save
+        # "succeeds", so the load side must catch it loudly.
+        silent = {
+            "faults": [{"point": "storage.save.commit", "kind": "torn",
+                        "at": 1, "keep_fraction": 0.3, "silent": True}]
+        }
+        torn_target = os.path.join(scratch, "torn-db")
+        with chaos.active_plan(silent):
+            save_records(originals, torn_target)
+        check(verify_database(torn_target) != {},
+              "verify_database reports the promoted corruption")
+        try:
+            load_records(torn_target, strict=True)
+            strict_raised = False
+        except StorageError:
+            strict_raised = True
+        check(strict_raised, "strict load refuses the corrupt directory")
+        records, dropped = salvage_records(torn_target)
+        check(len(records) + len(dropped) >= 1,
+              "salvage load comes up and accounts for every record")
+    print("storage drill passed")
+
+
+# ----------------------------------------------------------------------
+# Drill 2: SIGTERM mid-load drains cleanly
+# ----------------------------------------------------------------------
+def drill_sigterm() -> None:
+    from repro import SystemConfig, ThreeDESS
+    from repro.geometry import box, cylinder
+    from repro.service import (
+        RetryPolicy,
+        ServiceClient,
+        ServiceError,
+        ServiceUnavailableError,
+    )
+
+    print("sigterm drill: drain under 16-client load, zero dropped "
+          "responses")
+    with tempfile.TemporaryDirectory() as scratch:
+        db_dir = os.path.join(scratch, "db")
+        system = ThreeDESS(SystemConfig(voxel_resolution=10))
+        system.insert(box((2, 3, 4)), name="b1", group="boxes")
+        system.insert(box((2.1, 3.1, 3.9)), name="b2", group="boxes")
+        system.insert(box((1.9, 2.8, 4.2)), name="b3", group="boxes")
+        system.insert(cylinder(1, 4, 16), name="c1", group="cyls")
+        system.save(db_dir)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.join(REPO_ROOT, "src"),
+                          env.get("PYTHONPATH")])
+        )
+        # The plan SIGTERMs the server out of its own request path: the
+        # 5th search triggers the drain while the other 15 clients are
+        # mid-flight.
+        env["REPRO_CHAOS"] = os.path.join(PLAN_DIR, "sigterm-load.json")
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve", db_dir,
+             "--port", "0", "--max-concurrent", "16",
+             "--queue-limit", "64", "--drain-deadline", "10"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        url = None
+        for _ in range(200):
+            line = proc.stdout.readline()
+            if not line:
+                break
+            if " on http://" in line:
+                url = line.rsplit(" on ", 1)[1].strip()
+                break
+        check(url is not None, "server came up and printed its address")
+
+        outcomes: list = []
+        failures: list = []
+        lock = threading.Lock()
+
+        def load() -> None:
+            client = ServiceClient(
+                url,
+                timeout=30.0,
+                retry=RetryPolicy(max_attempts=2, base_delay_s=0.005,
+                                  seed=3),
+            )
+            try:
+                for _ in range(50):
+                    try:
+                        response = client.search(shape_id=1, k=2)
+                        kind = "ok" if response["hits"] else "empty"
+                    except ServiceUnavailableError:
+                        kind = "down"
+                    except ServiceError as exc:
+                        kind = (
+                            "draining"
+                            if exc.code == "service.draining"
+                            else f"unexpected:{exc.code}"
+                        )
+                    with lock:
+                        outcomes.append(kind)
+                    if kind in ("down", "draining"):
+                        return
+            # repro-lint: disable=RPL001 -- drill harness: any other
+            except Exception as exc:
+                with lock:  # failure is the drill's finding
+                    failures.append(repr(exc))
+            finally:
+                client.close()
+
+        workers = [threading.Thread(target=load) for _ in range(16)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60.0)
+        out, _ = proc.communicate(timeout=60.0)
+
+        check(not failures, f"no client saw an unexpected error: {failures}")
+        check(outcomes.count("ok") >= 4,
+              f"real load was served before the kill ({outcomes.count('ok')} ok)")
+        check("empty" not in outcomes and
+              not any(k.startswith("unexpected") for k in outcomes),
+              "every response was either a hit list or a clean shed")
+        check(proc.returncode == 0,
+              f"server exited 0 after SIGTERM (got {proc.returncode})")
+        check("drained; shutting down" in out,
+              "server reported the graceful drain")
+    print("sigterm drill passed")
+
+
+def main() -> None:
+    drills = {"storage": drill_storage, "sigterm": drill_sigterm}
+    names = sys.argv[1:] or list(drills)
+    for name in names:
+        if name not in drills:
+            from repro.cli import ExitCode
+
+            print(f"unknown drill {name!r}; expected {'/'.join(drills)}",
+                  file=sys.stderr)
+            raise SystemExit(ExitCode.USAGE)
+        drills[name]()
+    print("all drills passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -48,6 +48,7 @@ from . import obs
 from .core.system import ThreeDESS
 from .datasets.generator import build_database, load_or_build_database
 from .evaluation import experiments as exps
+from .robust import chaos
 from .robust.errors import ReproError, classify_exception
 from .robust.quarantine import QuarantineItem, QuarantineReport
 from .search.api import SearchRequest
@@ -421,6 +422,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 if args.default_deadline_ms
                 else None
             ),
+            drain_deadline_s=args.drain_deadline,
         )
     except (OSError, ValueError) as exc:
         # Bind failures and bad admission bounds are *server* errors,
@@ -452,6 +454,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     try:
         server.serve_forever()
+        if server.draining:
+            # SIGTERM path: serve_forever returned because the drain
+            # completed — a clean, zero-exit shutdown by design.
+            print("drained; shutting down")
     except KeyboardInterrupt:
         print("shutting down")
     finally:
@@ -771,6 +777,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="load the database with strict=False: serve the intact "
         "records of a damaged directory in degraded mode",
     )
+    p_serve.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=10.0,
+        help="seconds a SIGTERM graceful drain waits for in-flight "
+        "requests before stopping anyway",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_browse = sub.add_parser("browse", help="print the drill-down browse hierarchy")
@@ -914,6 +927,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Deterministic fault injection for CI chaos runs: a REPRO_CHAOS
+    # env var (inline JSON or a plan-file path) arms the process-wide
+    # controller before any command executes.
+    chaos.arm_from_env()
     profile = getattr(args, "profile", False)
     if profile:
         obs.get_registry().enable()

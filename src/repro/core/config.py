@@ -77,6 +77,12 @@ class SystemConfig:
     #: True/False enable/disable it when the system is constructed;
     #: None (default) leaves the registry's current state untouched.
     metrics_enabled: Optional[bool] = None
+    #: Deterministic fault-injection plan (``repro.robust.chaos``):
+    #: inline JSON or a plan-file path, armed process-wide when the
+    #: system is constructed.  None (default) leaves the chaos
+    #: controller untouched (the ``REPRO_CHAOS`` env var still works).
+    #: Test/CI machinery — never set this in production.
+    chaos_plan: Optional[str] = None
 
     def validate(self) -> None:
         """Raise ValueError on inconsistent settings."""

@@ -66,6 +66,10 @@ class ThreeDESS:
                 get_registry().enable()
             else:
                 get_registry().disable()
+        if self.config.chaos_plan is not None:
+            from ..robust import chaos
+
+            chaos.controller().arm(chaos.FaultPlan.parse(self.config.chaos_plan))
         pipeline = FeaturePipeline(
             feature_names=self.config.feature_names,
             voxel_resolution=self.config.voxel_resolution,
@@ -253,12 +257,17 @@ class ThreeDESS:
         Returns the :class:`~repro.jobs.runner.JobRunReport`.
         """
         from ..jobs import RE_EXTRACT, JobQueue, JobRunner, ReextractHandler
+        from ..service.warmup import WARM_CACHE, WarmCacheHandler
 
         owned = not isinstance(queue, JobQueue)
         q = JobQueue(queue) if owned else queue
         try:
             runner = JobRunner(
-                q, {RE_EXTRACT: ReextractHandler(self.database)}
+                q,
+                {
+                    RE_EXTRACT: ReextractHandler(self.database),
+                    WARM_CACHE: WarmCacheHandler(self),
+                },
             )
             report = runner.run(max_jobs=max_jobs)
         finally:

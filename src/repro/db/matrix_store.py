@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..obs import get_registry
+from ..robust.chaos import inject as chaos_inject
 
 __all__ = ["ColumnView", "FeatureMatrixStore"]
 
@@ -191,6 +192,7 @@ class FeatureMatrixStore:
     ) -> None:
         """Register one vector.  O(1) for ascending ids (the normal
         insert order); out-of-order ids pay a copy-on-write rebuild."""
+        chaos_inject("store.append")
         vec = np.ascontiguousarray(vector, dtype=self.dtype)
         if vec.ndim != 1:
             raise ValueError(f"feature vector must be 1D, got shape {vec.shape}")
@@ -292,6 +294,7 @@ class FeatureMatrixStore:
         read-only ``np.memmap`` instances, giving zero-copy scans.  The
         first mutation of an attached column materializes it into RAM.
         """
+        chaos_inject("store.attach")
         if feature_name in self._columns:
             raise ValueError(f"column {feature_name!r} already populated")
         ids = np.asarray(ids)

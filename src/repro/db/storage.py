@@ -60,6 +60,7 @@ import numpy as np
 
 from ..geometry.io_off import load_off, save_off
 from ..obs import get_registry
+from ..robust.chaos import inject as chaos_inject
 from ..robust.errors import StorageCorruptionError
 from .records import ShapeRecord
 
@@ -163,6 +164,10 @@ def _write_packed(
         for rel, arr in zip(rels, (matrix, ids, mask)):
             path = os.path.join(root, rel)
             np.save(path, arr, allow_pickle=False)
+            # Chaos: a fault here models a crash between writing the
+            # array and sealing its checksum — the save aborts and the
+            # atomic directory swap never promotes the torn file.
+            chaos_inject("storage.packed.write", path=path)
             checksums[rel] = _file_sha256(path)
         section[fname] = {
             "rows": int(len(ids)),
@@ -188,6 +193,7 @@ def _write_database(records: List[ShapeRecord], root: str) -> None:
             rel = f"{MESH_DIR}/{rec.shape_id}.off"
             mesh_path = os.path.join(root, rel)
             save_off(rec.mesh, mesh_path)
+            chaos_inject("storage.mesh.write", path=mesh_path)
             checksums[rel] = _file_sha256(mesh_path)
         manifest_records.append(
             {
@@ -203,6 +209,7 @@ def _write_database(records: List[ShapeRecord], root: str) -> None:
 
     features_path = os.path.join(root, FEATURES_NAME)
     np.savez_compressed(features_path, **arrays)
+    chaos_inject("storage.features.write", path=features_path)
     checksums[FEATURES_NAME] = _file_sha256(features_path)
 
     packed = _write_packed(records, root, checksums)
@@ -217,6 +224,7 @@ def _write_database(records: List[ShapeRecord], root: str) -> None:
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2)
+        chaos_inject("storage.manifest.write", path=tmp_path)
         os.replace(tmp_path, os.path.join(root, MANIFEST_NAME))
     except BaseException:
         if os.path.exists(tmp_path):
@@ -242,12 +250,21 @@ def save_records(
     stale_root: Optional[str] = None
     try:
         _write_database(records, tmp_root)
+        # Chaos: the written-but-not-yet-live directory.  A *silent*
+        # torn fault here corrupts a file after its checksum was sealed,
+        # so the swap still promotes it — the case `verify_database()` /
+        # salvage loads must catch loudly downstream.  A raising fault
+        # models a crash before the swap (old database stays intact).
+        chaos_inject("storage.save.commit", path=tmp_root)
         if os.path.exists(root):
             stale_root = tempfile.mkdtemp(
                 dir=parent, prefix=f".{os.path.basename(root)}.stale-"
             )
             os.rmdir(stale_root)  # reuse the unique name for the rename
             os.rename(root, stale_root)
+        # Chaos: between the two renames — a kill here leaves no
+        # database under the final name until the rollback below runs.
+        chaos_inject("storage.save.swap")
         os.rename(tmp_root, root)
     except BaseException:
         shutil.rmtree(tmp_root, ignore_errors=True)
@@ -304,6 +321,7 @@ def _load_impl(
     load_meshes: bool,
     strict: bool,
 ) -> Tuple[List[ShapeRecord], List[DroppedRecord]]:
+    chaos_inject("storage.load", path=root)
     manifest = _read_manifest(root)
     problems = _verify_checksums(root, manifest)
     # Mesh-file problems are handled per record below (so strict loads
@@ -503,6 +521,7 @@ def load_packed_features(
     on demand and the corpus never has to fit in RAM.
     """
     root = os.fspath(directory)
+    chaos_inject("storage.packed.load", path=os.path.join(root, PACKED_DIR))
     manifest = _read_manifest(root)
     section = manifest.get("packed")
     if not section:

@@ -39,6 +39,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, TextIO, Union
 
 from ..obs import get_registry
+from ..robust.chaos import inject as chaos_inject
 from ..robust.errors import FailureInfo
 
 __all__ = ["Job", "JobQueue", "JOB_STATES"]
@@ -102,6 +103,9 @@ class JobQueue:
 
     # -- journal ------------------------------------------------------
     def _replay(self) -> None:
+        # Chaos: a torn fault here truncates the journal mid-record
+        # before it is read — the torn-tail tolerance under test.
+        chaos_inject("jobs.journal.replay", path=self.path)
         with open(self.path, "r", encoding="utf-8") as handle:
             lines = handle.read().split("\n")
         for line in lines:
@@ -149,6 +153,9 @@ class JobQueue:
         line = json.dumps(job.to_dict(), sort_keys=True)
         self._handle.write(line + "\n")
         self._handle.flush()
+        # Chaos: after the flush but before fsync — a torn fault leaves
+        # exactly the truncated final line replay must tolerate.
+        chaos_inject("jobs.journal.append", path=self.path)
         os.fsync(self._handle.fileno())
 
     def close(self) -> None:

@@ -460,6 +460,20 @@ CATALOG: Tuple[MetricSpec, ...] = (
         "similarity 0)",
         _ROBUST,
     ),
+    MetricSpec(
+        "chaos.hits",
+        "counter",
+        "robust/chaos.py",
+        "injection-point hits evaluated while a fault plan is armed",
+        _ROBUST,
+    ),
+    MetricSpec(
+        "chaos.injected",
+        "counter",
+        "robust/chaos.py",
+        "faults actually fired (error/latency/torn/kill) by the armed plan",
+        _ROBUST,
+    ),
     # -- background jobs -----------------------------------------------
     MetricSpec(
         "pool.tasks",
@@ -640,6 +654,80 @@ CATALOG: Tuple[MetricSpec, ...] = (
         "counter",
         "service/watcher.py",
         "jobs executed by the background drainer (done or failed)",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.state",
+        "gauge",
+        "service/server.py",
+        "server health state (0 healthy, 1 degraded, 2 draining)",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.drains",
+        "counter",
+        "service/server.py",
+        "graceful drains started (SIGTERM or `stop(drain=True)`)",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.drain.shed",
+        "counter",
+        "service/server.py",
+        "requests refused with 503 `service.draining` during a drain",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.idempotent_replays",
+        "counter",
+        "service/server.py",
+        "admin requests answered from the idempotency replay cache "
+        "(client retried an already-applied mutation)",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.warmup",
+        "histogram",
+        "service/warmup.py",
+        "one cache-warmup pass (matrix views paged in + scorer caches "
+        "primed after a snapshot load)",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.client.requests",
+        "counter",
+        "service/client.py",
+        "HTTP requests attempted by `ServiceClient` (including retries)",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.client.retries",
+        "counter",
+        "service/client.py",
+        "`ServiceClient` attempts that were retried after a retryable "
+        "failure (backoff + jitter)",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.client.failures",
+        "counter",
+        "service/client.py",
+        "`ServiceClient` calls that exhausted the retry budget or hit a "
+        "non-retryable error",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.client.breaker_open",
+        "counter",
+        "service/client.py",
+        "circuit-breaker transitions to open (error rate over threshold)",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.client.breaker_state",
+        "gauge",
+        "service/client.py",
+        "circuit-breaker state (0 closed, 1 half-open, 2 open)",
         _SERVICE,
     ),
     # -- derived -------------------------------------------------------

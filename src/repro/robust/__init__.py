@@ -12,11 +12,27 @@ this layer makes that assumption fail *gracefully* instead of fatally:
 * :mod:`repro.robust.deadline` — cooperative per-request deadlines used
   by the query service (``docs/SERVICE.md``).
 
+* :mod:`repro.robust.chaos` — deterministic, seedable fault injection
+  (named injection points + JSON fault plans) used to *prove* the
+  recovery paths above under torn writes, I/O errors, latency, and
+  process kills.
+
 Worker timeouts live in :mod:`repro.features.parallel`; integrity-checked
 persistence in :mod:`repro.db.storage`; degraded-mode search in
 :mod:`repro.search`.  See ``docs/ROBUSTNESS.md`` for the full model.
 """
 
+from .chaos import (
+    ChaosController,
+    ChaosPlanError,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    active_plan,
+    arm_from_env,
+    controller,
+    inject,
+)
 from .deadline import Deadline, DeadlineExceededError
 from .errors import (
     RETRYABLE_CODES,
@@ -38,6 +54,15 @@ from .quarantine import QuarantineItem, QuarantineReport
 from .validate import check_mesh, validate_mesh
 
 __all__ = [
+    "ChaosController",
+    "ChaosPlanError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "active_plan",
+    "arm_from_env",
+    "controller",
+    "inject",
     "Deadline",
     "DeadlineExceededError",
     "ReproError",

@@ -1,0 +1,523 @@
+"""Deterministic, seedable fault injection (``repro.robust.chaos``).
+
+The storage, job-queue, and service layers each claim to survive a
+class of faults — torn writes, flaky sockets, killed processes.  This
+module makes those claims *testable*: the instrumented code calls
+:func:`inject` at **named injection points**, and a :class:`FaultPlan`
+armed on the process-wide :class:`ChaosController` decides — fully
+deterministically — which hits turn into faults.
+
+A disarmed controller reduces every :func:`inject` call to one attribute
+load and a branch, so the hooks stay in production paths permanently
+(the same contract as the :mod:`repro.obs` registry).
+
+Fault plans
+-----------
+
+A plan is JSON (inline, or a file path)::
+
+    {
+      "seed": 42,
+      "faults": [
+        {"point": "storage.packed.write", "kind": "error", "at": 2},
+        {"point": "service.search", "kind": "latency", "rate": 0.25,
+         "delay_s": 0.02},
+        {"point": "jobs.journal.append", "kind": "torn", "at": 3,
+         "trim_bytes": 7, "silent": true},
+        {"point": "storage.save.swap", "kind": "kill", "at": 1,
+         "signal": "SIGTERM"}
+      ]
+    }
+
+Each fault names one injection point (``*`` globs match families, e.g.
+``storage.*``) and fires on a **trigger**: ``at`` (the Nth matching hit,
+1-based), ``every`` (every Nth hit), or ``rate`` (a per-hit probability
+drawn from a per-fault RNG seeded by the plan seed — the same plan
+always injects at the same hits).  ``times`` bounds how often a fault
+fires (default: ``at`` fires once, ``every``/``rate`` fire unbounded).
+
+Kinds:
+
+``error``
+    Raise an exception at the point (``exception`` names the type;
+    default :class:`InjectedFaultError`, an ``OSError``).
+``latency``
+    Sleep ``delay_s`` seconds at the point.
+``torn``
+    Truncate the file the point is writing (``trim_bytes`` off the tail,
+    or down to ``keep_fraction`` of its size), then raise — a crash
+    mid-write.  With ``"silent": true`` the truncation does *not* raise:
+    the writer believes the write completed, modelling a page that never
+    hit disk.  Points that pass a directory pick one file under it
+    deterministically.
+``kill``
+    Send ``signal`` (default ``SIGKILL``) to the current process — the
+    hard end of the spectrum, used by the drain/crash-recovery suites
+    through subprocesses.
+
+Activation
+----------
+
+* tests: ``with chaos.active_plan(plan): ...`` (always disarms);
+* process-wide: ``chaos.arm_from_env()`` — reads ``REPRO_CHAOS``
+  (inline JSON or a plan-file path); the CLI and the test suite's
+  conftest both call it, so CI can run whole suites under a plan;
+* config: :attr:`repro.core.config.SystemConfig.chaos_plan` arms a plan
+  when a :class:`~repro.core.system.ThreeDESS` is constructed.
+
+Hits and fires are counted per point (``ChaosController.hits`` /
+``fired``) and on the metrics registry (``chaos.hits`` /
+``chaos.injected``), so suites can assert coverage: a write-site with
+zero hits under a storage plan is a hole in the harness, not a pass.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import json
+import os
+import signal as _signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from random import Random
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Type,
+    Union,
+)
+
+from ..obs import get_registry
+from .errors import ReproError, StorageCorruptionError
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "FAULT_KINDS",
+    "ChaosController",
+    "ChaosPlanError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "active_plan",
+    "arm_from_env",
+    "controller",
+    "inject",
+]
+
+#: Environment variable holding a fault plan (inline JSON or a path).
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+FAULT_KINDS = ("error", "latency", "torn", "kill")
+
+
+class ChaosPlanError(ReproError, ValueError):
+    """A fault plan is malformed (bad kind, no trigger, unknown field)."""
+
+    stage = "chaos"
+    default_code = "chaos.bad_plan"
+
+
+class InjectedFaultError(ReproError, OSError):
+    """The default exception an ``error``/``torn`` fault raises.
+
+    An ``OSError`` so injected I/O faults travel the same ``except``
+    paths a real disk or socket failure would.
+    """
+
+    stage = "chaos"
+    default_code = "chaos.injected"
+
+
+#: Exception types an ``error`` fault may raise by name.  Kept small and
+#: explicit: a plan is configuration, not code.
+_ERROR_TYPES: Dict[str, Type[BaseException]] = {
+    "InjectedFaultError": InjectedFaultError,
+    "OSError": OSError,
+    "IOError": OSError,
+    "ConnectionResetError": ConnectionResetError,
+    "BrokenPipeError": BrokenPipeError,
+    "TimeoutError": TimeoutError,
+    "MemoryError": MemoryError,
+    "StorageCorruptionError": StorageCorruptionError,
+}
+
+_SPEC_FIELDS = frozenset(
+    {
+        "point",
+        "kind",
+        "at",
+        "every",
+        "rate",
+        "times",
+        "delay_s",
+        "exception",
+        "message",
+        "trim_bytes",
+        "keep_fraction",
+        "silent",
+        "signal",
+    }
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: a named injection point, a trigger, and an effect."""
+
+    point: str
+    kind: str
+    #: Fire at exactly the Nth matching hit (1-based).
+    at: Optional[int] = None
+    #: Fire at every Nth matching hit.
+    every: Optional[int] = None
+    #: Fire each hit with this probability (deterministic from the seed).
+    rate: Optional[float] = None
+    #: Maximum number of fires (None: once for ``at``, unbounded else).
+    times: Optional[int] = None
+    delay_s: float = 0.05
+    exception: str = "InjectedFaultError"
+    message: str = "injected fault"
+    #: ``torn``: bytes truncated off the file tail (0 -> keep_fraction).
+    trim_bytes: int = 0
+    #: ``torn``: fraction of the file kept when ``trim_bytes`` is 0.
+    keep_fraction: float = 0.5
+    #: ``torn``: truncate without raising (the write "succeeded").
+    silent: bool = False
+    #: ``kill``: signal name sent to the current process.
+    signal: str = "SIGKILL"
+
+    def validate(self) -> None:
+        """Raise :class:`ChaosPlanError` on an inconsistent spec."""
+        if not self.point:
+            raise ChaosPlanError("fault spec needs a non-empty 'point'")
+        if self.kind not in FAULT_KINDS:
+            raise ChaosPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        triggers = [self.at, self.every, self.rate]
+        if sum(t is not None for t in triggers) != 1:
+            raise ChaosPlanError(
+                f"fault at {self.point!r} needs exactly one trigger: "
+                "'at', 'every', or 'rate'"
+            )
+        if self.at is not None and self.at < 1:
+            raise ChaosPlanError("'at' is 1-based and must be >= 1")
+        if self.every is not None and self.every < 1:
+            raise ChaosPlanError("'every' must be >= 1")
+        if self.rate is not None and not 0.0 < self.rate <= 1.0:
+            raise ChaosPlanError("'rate' must be in (0, 1]")
+        if self.times is not None and self.times < 1:
+            raise ChaosPlanError("'times' must be >= 1")
+        if self.kind == "latency" and self.delay_s <= 0:
+            raise ChaosPlanError("'delay_s' must be positive")
+        if self.kind == "error" and self.exception not in _ERROR_TYPES:
+            raise ChaosPlanError(
+                f"unknown exception {self.exception!r}; expected one of "
+                f"{', '.join(sorted(_ERROR_TYPES))}"
+            )
+        if self.kind == "torn":
+            if self.trim_bytes < 0:
+                raise ChaosPlanError("'trim_bytes' must be >= 0")
+            if not 0.0 <= self.keep_fraction < 1.0:
+                raise ChaosPlanError("'keep_fraction' must be in [0, 1)")
+        if self.kind == "kill" and not hasattr(_signal, self.signal):
+            raise ChaosPlanError(f"unknown signal {self.signal!r}")
+
+    def matches(self, point: str) -> bool:
+        """Whether this spec covers an injection point (globs allowed)."""
+        if self.point == point:
+            return True
+        return fnmatch.fnmatchcase(point, self.point)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        unknown = set(data) - _SPEC_FIELDS
+        if unknown:
+            raise ChaosPlanError(
+                f"unknown fault field(s): {', '.join(sorted(unknown))}"
+            )
+        try:
+            spec = cls(**data)  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise ChaosPlanError(f"bad fault spec: {exc}") from exc
+        spec.validate()
+        return spec
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered list of :class:`FaultSpec` to arm."""
+
+    seed: int = 0
+    faults: Tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(data, Mapping):
+            raise ChaosPlanError("fault plan must be a JSON object")
+        unknown = set(data) - {"seed", "faults"}
+        if unknown:
+            raise ChaosPlanError(
+                f"unknown plan field(s): {', '.join(sorted(unknown))}"
+            )
+        raw = data.get("faults", [])
+        if not isinstance(raw, (list, tuple)):
+            raise ChaosPlanError("'faults' must be a list")
+        return cls(
+            seed=int(data.get("seed", 0)),
+            faults=tuple(FaultSpec.from_dict(item) for item in raw),
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from inline JSON or a plan-file path."""
+        stripped = text.strip()
+        if not stripped.startswith("{"):
+            try:
+                with open(stripped, "r", encoding="utf-8") as handle:
+                    stripped = handle.read()
+            except OSError as exc:
+                raise ChaosPlanError(
+                    f"cannot read fault plan {text!r}: {exc}"
+                ) from exc
+        try:
+            data = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            raise ChaosPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        faults: List[Dict[str, Any]] = []
+        for spec in self.faults:
+            entry: Dict[str, Any] = {"point": spec.point, "kind": spec.kind}
+            for name in ("at", "every", "rate", "times"):
+                value = getattr(spec, name)
+                if value is not None:
+                    entry[name] = value
+            faults.append(entry)
+        return {"seed": self.seed, "faults": faults}
+
+
+class _ArmedFault:
+    """Mutable per-arm state of one :class:`FaultSpec`."""
+
+    __slots__ = ("spec", "hits", "fired", "rng")
+
+    def __init__(self, spec: FaultSpec, seed: int, index: int) -> None:
+        self.spec = spec
+        self.hits = 0
+        self.fired = 0
+        digest = hashlib.sha256(
+            f"{seed}:{index}:{spec.point}".encode("utf-8")
+        ).digest()
+        self.rng = Random(int.from_bytes(digest[:8], "big"))
+
+    def should_fire(self) -> bool:
+        self.hits += 1
+        spec = self.spec
+        budget = spec.times if spec.times is not None else (
+            1 if spec.at is not None else None
+        )
+        if budget is not None and self.fired >= budget:
+            return False
+        if spec.at is not None:
+            due = self.hits == spec.at
+        elif spec.every is not None:
+            due = self.hits % spec.every == 0
+        else:
+            due = self.rng.random() < float(spec.rate or 0.0)
+        if due:
+            self.fired += 1
+        return due
+
+
+@dataclass
+class _Action:
+    """One fault effect to execute after the controller lock is dropped."""
+
+    spec: FaultSpec
+    point: str
+    path: Optional[str] = None
+
+
+class ChaosController:
+    """Process-wide owner of the armed fault plan (thread-safe).
+
+    One controller per process (see :func:`controller`); arming is
+    last-writer-wins, and :func:`inject` is a near-free no-op while
+    nothing is armed.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._plan: Optional[FaultPlan] = None
+        self._armed: List[_ArmedFault] = []
+        #: injection-point -> hits while armed (assert harness coverage).
+        self.hits: Dict[str, int] = {}
+        #: injection-point -> faults actually fired.
+        self.fired: Dict[str, int] = {}
+
+    # -- arming --------------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        return self._plan is not None
+
+    @property
+    def plan(self) -> Optional[FaultPlan]:
+        return self._plan
+
+    def arm(self, plan: FaultPlan) -> None:
+        """Install a plan (replacing any armed one) and zero counters."""
+        for spec in plan.faults:
+            spec.validate()
+        with self._lock:
+            self._armed = [
+                _ArmedFault(spec, plan.seed, i)
+                for i, spec in enumerate(plan.faults)
+            ]
+            self.hits = {}
+            self.fired = {}
+            self._plan = plan
+
+    def disarm(self) -> None:
+        """Remove the armed plan; counters survive for inspection."""
+        with self._lock:
+            self._plan = None
+            self._armed = []
+
+    # -- the hot path --------------------------------------------------
+    def hit(self, point: str, path: Optional[str] = None) -> None:
+        """Evaluate one injection-point hit (called via :func:`inject`)."""
+        actions: List[_Action] = []
+        with self._lock:
+            if self._plan is None:
+                return
+            self.hits[point] = self.hits.get(point, 0) + 1
+            for armed in self._armed:
+                if not armed.spec.matches(point):
+                    continue
+                if armed.should_fire():
+                    actions.append(_Action(armed.spec, point, path))
+        metrics = get_registry()
+        metrics.inc("chaos.hits")
+        for action in actions:
+            metrics.inc("chaos.injected")
+            with self._lock:
+                self.fired[point] = self.fired.get(point, 0) + 1
+            self._execute(action)
+
+    # -- effects -------------------------------------------------------
+    def _execute(self, action: _Action) -> None:
+        spec = action.spec
+        if spec.kind == "latency":
+            time.sleep(spec.delay_s)
+            return
+        if spec.kind == "kill":
+            os.kill(os.getpid(), getattr(_signal, spec.signal))
+            # A catchable signal (e.g. SIGTERM with a drain handler)
+            # returns here; give the handler a moment to run before the
+            # caller proceeds.
+            time.sleep(0.01)
+            return
+        if spec.kind == "torn":
+            self._tear(action)
+            if spec.silent:
+                return
+            raise InjectedFaultError(
+                f"{spec.message} (torn write at {action.point})",
+                code="chaos.torn_write",
+                point=action.point,
+                path=action.path,
+            )
+        exc_type = _ERROR_TYPES[spec.exception]
+        if issubclass(exc_type, ReproError):
+            raise exc_type(
+                f"{spec.message} (at {action.point})",
+                code="chaos.injected",
+                point=action.point,
+            )
+        raise exc_type(f"{spec.message} (injected at {action.point})")
+
+    def _tear(self, action: _Action) -> None:
+        spec = action.spec
+        path = action.path
+        if path is None:
+            return
+        if os.path.isdir(path):
+            candidates = sorted(
+                os.path.join(dirpath, name)
+                for dirpath, _, names in os.walk(path)
+                for name in names
+            )
+            if not candidates:
+                return
+            path = candidates[
+                (self.fired.get(action.point, 1) - 1) % len(candidates)
+            ]
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return
+        if spec.trim_bytes > 0:
+            keep = max(0, size - spec.trim_bytes)
+        else:
+            keep = int(size * spec.keep_fraction)
+        os.truncate(path, keep)
+
+
+_CONTROLLER = ChaosController()
+
+
+def controller() -> ChaosController:
+    """The process-wide :class:`ChaosController` singleton."""
+    return _CONTROLLER
+
+
+def inject(point: str, path: Optional[str] = None) -> None:
+    """One injection-point hit; a no-op unless a plan is armed.
+
+    ``path`` names the file (or directory) a ``torn`` fault at this
+    point may truncate — pass it at write sites.
+    """
+    if _CONTROLLER._plan is None:
+        return
+    _CONTROLLER.hit(point, path=path)
+
+
+@contextmanager
+def active_plan(
+    plan: Union[FaultPlan, str, Mapping[str, Any]]
+) -> Iterator[ChaosController]:
+    """Arm a plan for the duration of a ``with`` block (always disarms)."""
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    elif isinstance(plan, Mapping):
+        plan = FaultPlan.from_dict(plan)
+    _CONTROLLER.arm(plan)
+    try:
+        yield _CONTROLLER
+    finally:
+        _CONTROLLER.disarm()
+
+
+def arm_from_env(environ: Optional[Mapping[str, str]] = None) -> bool:
+    """Arm the plan named by ``REPRO_CHAOS``; False when unset.
+
+    Idempotent for a fixed environment: re-arming the same plan resets
+    its counters, which is what a fresh process would see anyway.
+    """
+    env = environ if environ is not None else os.environ
+    text = env.get(CHAOS_ENV_VAR, "").strip()
+    if not text:
+        return False
+    _CONTROLLER.arm(FaultPlan.parse(text))
+    return True

@@ -13,6 +13,8 @@ saved :class:`~repro.db.database.ShapeDatabase`:
 * :mod:`repro.service.watcher` — the background drainer healing
   degraded records through the durable job queue while the same
   process keeps serving;
+* :mod:`repro.service.warmup` — the ``warm-cache`` job type priming a
+  freshly-(re)loaded snapshot's mmap pages and scorer caches;
 * :mod:`repro.service.protocol` — the JSON wire codecs;
 * :mod:`repro.service.client` — the stdlib client used by the CLI
   (``three-dess query --server``) and the tests.
@@ -21,22 +23,45 @@ Everything is standard library + the existing ``repro`` layers; see
 ``docs/SERVICE.md`` for the endpoint reference and deployment runbook.
 """
 
-from .client import ServiceClient, ServiceError, ServiceUnavailableError
+from .client import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailableError,
+)
 from .protocol import ProtocolError, decode_request, encode_response
-from .server import QueryServer, QueueFullError
+from .server import (
+    STATE_DEGRADED,
+    STATE_DRAINING,
+    STATE_HEALTHY,
+    QueryServer,
+    QueueFullError,
+)
 from .snapshot import Snapshot, SnapshotManager
+from .warmup import WARM_CACHE, WarmCacheHandler, warm_system
 from .watcher import JobWatcher
 
 __all__ = [
     "QueryServer",
     "QueueFullError",
+    "STATE_DEGRADED",
+    "STATE_DRAINING",
+    "STATE_HEALTHY",
     "Snapshot",
     "SnapshotManager",
     "JobWatcher",
     "ProtocolError",
     "decode_request",
     "encode_response",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "ServiceUnavailableError",
+    "WARM_CACHE",
+    "WarmCacheHandler",
+    "warm_system",
 ]

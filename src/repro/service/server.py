@@ -21,6 +21,27 @@ be shed), ``POST /admin/reload`` swaps the snapshot (as does SIGHUP when
 :meth:`QueryServer.serve_forever` installed its handler).  Every
 endpoint is timed into ``service.request.<endpoint>`` histograms; see
 the catalog section in ``docs/SERVICE.md``.
+
+Health states and graceful drain
+--------------------------------
+
+The server is always in exactly one state, exposed as ``state`` on
+``/healthz`` and on the ``service.state`` gauge:
+
+* ``healthy`` — serving, snapshot fully intact;
+* ``degraded`` — serving, but the snapshot was salvaged (records
+  dropped to corruption) or carries degraded records.  ``/healthz``
+  still answers 200: degraded is an operator signal, not an outage;
+* ``draining`` — :meth:`QueryServer.drain` ran (SIGTERM, or an
+  operator call).  New requests are refused with 503
+  ``service.draining`` + ``Connection: close``; requests already
+  admitted run to completion within the drain deadline; ``/healthz``
+  answers 503 so load balancers stop routing here.
+
+``POST /admin/reload`` honors an ``Idempotency-Key`` header: the
+response to each key is cached (bounded LRU), so a client retrying a
+reload whose response got lost on the wire gets the original answer
+replayed instead of swapping the snapshot twice.
 """
 
 from __future__ import annotations
@@ -31,16 +52,34 @@ import logging
 import signal
 import threading
 import time
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 from ..obs import get_registry
+from ..robust.chaos import inject as chaos_inject
 from ..robust.deadline import Deadline, DeadlineExceededError
 from ..robust.errors import FailureInfo, ReproError, classify_exception
 from .protocol import ProtocolError, decode_request, encode_response
 from .snapshot import SnapshotManager
 
-__all__ = ["AdmissionGate", "QueryServer", "QueueFullError"]
+__all__ = [
+    "AdmissionGate",
+    "QueryServer",
+    "QueueFullError",
+    "STATE_DEGRADED",
+    "STATE_DRAINING",
+    "STATE_HEALTHY",
+]
+
+#: Health-state machine values (``service.state`` gauge encoding).
+STATE_HEALTHY = "healthy"
+STATE_DEGRADED = "degraded"
+STATE_DRAINING = "draining"
+_STATE_GAUGE = {STATE_HEALTHY: 0, STATE_DEGRADED: 1, STATE_DRAINING: 2}
+
+#: Replay-cache capacity for ``Idempotency-Key``ed admin requests.
+_IDEMPOTENCY_CACHE_SIZE = 128
 
 logger = logging.getLogger("repro.service")
 
@@ -175,13 +214,22 @@ class _RequestHandler(BaseHTTPRequestHandler):
         status: int,
         payload: Dict[str, Any],
         retry_after: Optional[float] = None,
+        close: bool = False,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._drain_request_body()
+        # Chaos: before the first byte goes out — an error fault here
+        # turns into a clean 500 (or a closed connection when it fires
+        # again on the failure path); latency faults model a slow wire.
+        chaos_inject("service.response.write")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         if retry_after is not None:
             self.send_header("Retry-After", str(max(1, round(retry_after))))
+        if close:
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
 
@@ -190,6 +238,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         status: int,
         info: FailureInfo,
         retry_after: Optional[float] = None,
+        close: bool = False,
     ) -> None:
         self._send_json(
             status,
@@ -202,13 +251,40 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 },
             },
             retry_after=retry_after,
+            close=close,
         )
+
+    def _drain_request_body(self) -> None:
+        """Consume an unread request body before answering.
+
+        A response produced *before* the handler read the body (shed
+        while draining, an injected fault, a protocol error) would
+        otherwise leave the body bytes in the socket — and the next
+        request on the kept-alive connection would be parsed out of the
+        middle of them.  Oversized bodies are not drained; the
+        connection is closed instead.
+        """
+        if getattr(self, "_body_consumed", True):
+            return
+        self._body_consumed = True
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError:
+            length = 0
+        if length <= 0:
+            return
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        self.rfile.read(length)
 
     def _read_json(self) -> Any:
         length = int(self.headers.get("Content-Length", 0) or 0)
+        self._body_consumed = True
         if length <= 0:
             raise ProtocolError("request body required (Content-Length)")
         if length > MAX_BODY_BYTES:
+            self._body_consumed = False  # too big to drain; will close
             raise ProtocolError(
                 f"request body too large ({length} bytes > {MAX_BODY_BYTES})"
             )
@@ -222,6 +298,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # routing
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # stdlib handler naming
+        self._body_consumed = False
         if self.path == "/search":
             self._dispatch("search", self._handle_search)
         elif self.path == "/admin/reload":
@@ -256,8 +333,28 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def _dispatch(self, endpoint: str, handler: Any) -> None:
         metrics = get_registry()
         metrics.inc("service.requests")
-        with metrics.timed(f"service.request.{endpoint}"):
+        service = self.server.service
+        if service.draining and endpoint != "healthz":
+            # Probes still see the draining state; everything else is
+            # told to go away *and* to drop the kept-alive connection,
+            # so the drain isn't held open by idle clients.
+            metrics.inc("service.drain.shed")
+            self._send_failure(
+                503,
+                FailureInfo(
+                    stage="service",
+                    code="service.draining",
+                    message="server is draining; retry against another replica",
+                ),
+                retry_after=service.retry_after_s,
+                close=True,
+            )
+            return
+        with service.track_request(), metrics.timed(
+            f"service.request.{endpoint}"
+        ):
             try:
+                chaos_inject("service.request")
                 handler()
             except ProtocolError as exc:
                 metrics.inc("service.client_errors")
@@ -293,6 +390,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def _handle_search(self) -> None:
         service = self.server.service
         start = time.monotonic()
+        chaos_inject("service.search")
         request, budget_s = decode_request(self._read_json())
         if budget_s is None:
             budget_s = service.default_deadline_s
@@ -316,10 +414,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def _handle_healthz(self) -> None:
         service = self.server.service
         snapshot = service.snapshots.current
+        state = service.state
+        # Draining answers 503 — readiness semantics: the process is
+        # alive, but a balancer should route new traffic elsewhere.
         self._send_json(
-            200,
+            503 if state == STATE_DRAINING else 200,
             {
-                "ok": True,
+                "ok": state != STATE_DRAINING,
+                "state": state,
                 "generation": snapshot.generation,
                 "shapes": len(snapshot.system.database),
                 "degraded_records": snapshot.degraded_records,
@@ -345,16 +447,23 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def _handle_reload(self) -> None:
         service = self.server.service
+        key = self.headers.get("Idempotency-Key")
+        if key:
+            cached = service.idempotent_lookup(key)
+            if cached is not None:
+                get_registry().inc("service.idempotent_replays")
+                self._send_json(200, cached)
+                return
         snapshot = service.snapshots.reload()
-        self._send_json(
-            200,
-            {
-                "ok": True,
-                "generation": snapshot.generation,
-                "shapes": len(snapshot.system.database),
-                "degraded_records": snapshot.degraded_records,
-            },
-        )
+        payload = {
+            "ok": True,
+            "generation": snapshot.generation,
+            "shapes": len(snapshot.system.database),
+            "degraded_records": snapshot.degraded_records,
+        }
+        if key:
+            service.idempotent_store(key, payload)
+        self._send_json(200, payload)
 
 
 class QueryServer:
@@ -376,6 +485,9 @@ class QueryServer:
         unbounded).
     retry_after_s:
         Hint returned in 503 ``Retry-After`` headers.
+    drain_deadline_s:
+        How long :meth:`drain` waits for in-flight requests before
+        stopping the server anyway.
     """
 
     def __init__(
@@ -387,16 +499,28 @@ class QueryServer:
         queue_limit: int = 16,
         default_deadline_s: Optional[float] = 30.0,
         retry_after_s: float = 1.0,
+        drain_deadline_s: float = 10.0,
     ) -> None:
         self.snapshots = snapshots
         self.gate = AdmissionGate(max_concurrent, queue_limit)
         self.default_deadline_s = default_deadline_s or None
         self.retry_after_s = retry_after_s
+        self.drain_deadline_s = drain_deadline_s
         self.started_at = time.time()
         _ = snapshots.current  # eager first load: fail at startup, not on query 1
         self._httpd = _ServiceHTTPServer((host, port), _RequestHandler)
         self._httpd.service = self
         self._thread: Optional[threading.Thread] = None
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        self._draining = threading.Event()
+        self._idempotency_lock = threading.Lock()
+        self._idempotency_cache: "OrderedDict[str, Dict[str, Any]]" = (
+            OrderedDict()
+        )
+        get_registry().gauge("service.state").set(
+            _STATE_GAUGE[self.state]
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -408,6 +532,84 @@ class QueryServer:
     def url(self) -> str:
         host, port = self.address
         return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------
+    # health-state machine
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    @property
+    def state(self) -> str:
+        """Current health state (``healthy``/``degraded``/``draining``)."""
+        if self._draining.is_set():
+            return STATE_DRAINING
+        snapshot = self.snapshots.current
+        if snapshot.dropped_records or snapshot.degraded_records:
+            return STATE_DEGRADED
+        return STATE_HEALTHY
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being handled (admitted, not yet answered)."""
+        with self._inflight_cond:
+            return self._inflight
+
+    @contextlib.contextmanager
+    def track_request(self) -> Iterator[None]:
+        """Count one request as in-flight for the drain barrier."""
+        with self._inflight_cond:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
+
+    def idempotent_lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._idempotency_lock:
+            return self._idempotency_cache.get(key)
+
+    def idempotent_store(self, key: str, payload: Dict[str, Any]) -> None:
+        with self._idempotency_lock:
+            self._idempotency_cache[key] = payload
+            while len(self._idempotency_cache) > _IDEMPOTENCY_CACHE_SIZE:
+                self._idempotency_cache.popitem(last=False)
+
+    def drain(self, deadline_s: Optional[float] = None) -> bool:
+        """Gracefully stop: refuse new work, finish in-flight, shut down.
+
+        Returns True when every in-flight request completed within the
+        deadline, False when the deadline expired first (the server
+        still stops).  Idempotent; safe to call from a signal-spawned
+        thread but never from a request-handler thread.
+        """
+        if self._draining.is_set():
+            return True
+        self._draining.set()
+        metrics = get_registry()
+        metrics.inc("service.drains")
+        metrics.gauge("service.state").set(_STATE_GAUGE[STATE_DRAINING])
+        budget = self.drain_deadline_s if deadline_s is None else deadline_s
+        deadline = time.monotonic() + budget
+        clean = True
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    clean = False
+                    break
+                self._inflight_cond.wait(timeout=remaining)
+        if not clean:
+            logger.warning(
+                "drain deadline (%.1fs) expired with %d request(s) in flight",
+                budget,
+                self.inflight,
+            )
+        self._httpd.shutdown()
+        return clean
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -429,15 +631,23 @@ class QueryServer:
             self._thread.join(timeout=10.0)
             self._thread = None
 
-    def serve_forever(self, install_sighup: bool = True) -> None:
+    def serve_forever(
+        self, install_sighup: bool = True, install_sigterm: bool = True
+    ) -> None:
         """Serve on the calling thread until interrupted (the CLI path).
 
         With ``install_sighup`` (and a platform that has SIGHUP), a
         hangup signal triggers an asynchronous snapshot reload — the
         operator's `kill -HUP` after replacing the database directory.
+        With ``install_sigterm``, SIGTERM triggers a graceful drain:
+        in-flight requests finish (within ``drain_deadline_s``), new
+        ones are refused with 503, and this method returns normally so
+        the process can exit 0.
         """
         if install_sighup and hasattr(signal, "SIGHUP"):
             signal.signal(signal.SIGHUP, self._on_sighup)
+        if install_sigterm and hasattr(signal, "SIGTERM"):
+            signal.signal(signal.SIGTERM, self._on_sigterm)
         try:
             self._httpd.serve_forever()
         finally:
@@ -447,6 +657,14 @@ class QueryServer:
         # Reloads can take seconds; never block the signal frame.
         threading.Thread(
             target=self._reload_quietly, name="sighup-reload", daemon=True
+        ).start()
+
+    def _on_sigterm(self, signum: int, frame: Any) -> None:
+        # The draining flag flips synchronously (new requests shed at
+        # once); the in-flight wait + shutdown run off the signal frame.
+        logger.info("SIGTERM: draining (deadline %.1fs)", self.drain_deadline_s)
+        threading.Thread(
+            target=self.drain, name="sigterm-drain", daemon=True
         ).start()
 
     def _reload_quietly(self) -> None:

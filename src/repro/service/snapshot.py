@@ -74,6 +74,11 @@ class SnapshotManager:
     strict:
         ``False`` salvages a partially-corrupt directory (degraded
         mode); the dropped-record count is surfaced in responses.
+    warm:
+        Warm every loaded snapshot's caches (page in the memory-mapped
+        feature matrices, prime the similarity measures — see
+        :mod:`repro.service.warmup`) *before* it starts serving, so the
+        first post-(re)load queries skip the cold path.
     """
 
     def __init__(
@@ -82,21 +87,28 @@ class SnapshotManager:
         config: Optional[SystemConfig] = None,
         load_meshes: bool = False,
         strict: bool = True,
+        warm: bool = False,
     ) -> None:
         self.directory = os.fspath(directory)
         self.config = config
         self.load_meshes = load_meshes
         self.strict = strict
+        self.warm = warm
         self._lock = threading.Lock()
         self._current: Optional[Snapshot] = None
 
     def _load_system(self) -> ThreeDESS:
-        return ThreeDESS.load(
+        system = ThreeDESS.load(
             self.directory,
             config=self.config,
             load_meshes=self.load_meshes,
             strict=self.strict,
         )
+        if self.warm:
+            from .warmup import warm_system
+
+            warm_system(system)
+        return system
 
     @property
     def current(self) -> Snapshot:

@@ -1,0 +1,85 @@
+"""Cache warmup: pay the cold-path costs before queries arrive.
+
+A freshly-loaded snapshot is lazy everywhere it can afford to be: the
+packed feature matrices are memory-mapped (``.npy`` pages fault in on
+first touch), per-generation :class:`ColumnView` objects and the search
+engine's :class:`SimilarityMeasure` cache (d_max, default weights) all
+build on first use.  That keeps reloads fast — but it means the first
+few queries after a reload eat every cold-path cost at once.
+
+:func:`warm_system` walks the packed store once — forcing every matrix
+page in, materializing each feature family's view, and priming the
+per-family similarity measures — so post-reload latency starts at the
+steady state.  It is exposed two ways:
+
+* the durable ``warm-cache`` job type (:data:`WARM_CACHE` /
+  :class:`WarmCacheHandler`) for the ``jobs watch`` drainer — the
+  embedded watcher enqueues one after each healing reload;
+* ``SnapshotManager(warm=True)`` warms every snapshot inside the reload
+  path, *before* the swap, so not even the first query goes cold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+import numpy as np
+
+from ..jobs.queue import Job
+from ..obs import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.system import ThreeDESS
+
+__all__ = ["WARM_CACHE", "WarmCacheHandler", "warm_system"]
+
+#: Job type priming a freshly-(re)loaded snapshot's caches.
+WARM_CACHE = "warm-cache"
+
+
+def warm_system(system: "ThreeDESS") -> Dict[str, object]:
+    """Prime one system's read-path caches; returns what was warmed.
+
+    For every feature family in the packed store: build the columnar
+    view (cached per store generation), touch every matrix page (an
+    ``np.add.reduce`` over the memory-mapped rows faults the whole
+    column into the page cache), materialize the ``id_list`` the legacy
+    ``feature_matrix`` contract hands out, and construct the similarity
+    measure (d_max + default weights) the scorer would otherwise build
+    on the first query.  Idempotent and read-only — safe against a
+    snapshot that is already serving.
+    """
+    metrics = get_registry()
+    with metrics.timed("service.warmup"):
+        database = system.database
+        columns = 0
+        rows = 0
+        touched_bytes = 0
+        for fname in database.matrix_store.columns():
+            view = database.feature_view(fname)
+            # One full pass over the (possibly memory-mapped) matrix
+            # faults every page of the column into the page cache.
+            np.add.reduce(np.asarray(view.matrix), axis=None)
+            touched_bytes += int(view.matrix.nbytes)
+            _ = view.id_list
+            system.engine.measure(fname)
+            columns += 1
+            rows += int(len(view.ids))
+    return {"columns": columns, "rows": rows, "bytes": touched_bytes}
+
+
+@dataclass
+class WarmCacheHandler:
+    """Handler running one ``warm-cache`` job against a live system.
+
+    A module-level dataclass (not a closure) per the RPL005 handler
+    contract.  The payload is advisory (``{"generation": N}`` from the
+    watcher); warming is idempotent, so a stale or replayed job is
+    harmless.
+    """
+
+    system: "ThreeDESS"
+
+    def __call__(self, job: Job) -> Dict[str, object]:
+        return warm_system(self.system)

@@ -30,10 +30,11 @@ from typing import Optional, Union
 
 from ..core.config import SystemConfig
 from ..core.system import ThreeDESS
-from ..jobs import JobQueue
+from ..jobs import JobQueue, JobRunner
 from ..obs import get_registry
 from ..robust.errors import classify_exception
 from .snapshot import SnapshotManager
+from .warmup import WARM_CACHE, WarmCacheHandler
 
 __all__ = ["JobWatcher"]
 
@@ -102,14 +103,25 @@ class JobWatcher:
             if not queue.pending_work():
                 return 0
             report = system.run_jobs(queue)
-        executed = report.executed
+            executed = report.executed
+            if report.done:
+                system.save(self.directory)
+                if self.snapshots is not None:
+                    snap = self.snapshots.reload()
+                    # Warm the *new serving generation* through the same
+                    # durable queue (idempotent; a crash between reload
+                    # and warmup just replays a harmless job): the first
+                    # post-reload queries skip the cold mmap/measure path.
+                    queue.enqueue(
+                        WARM_CACHE, {"generation": snap.generation}
+                    )
+                    warm_report = JobRunner(
+                        queue, {WARM_CACHE: WarmCacheHandler(snap.system)}
+                    ).run()
+                    executed += warm_report.executed
         metrics.inc("service.watch.cycles")
         metrics.inc("service.watch.jobs", executed)
         self.jobs_executed += executed
-        if report.done:
-            system.save(self.directory)
-            if self.snapshots is not None:
-                self.snapshots.reload()
         logger.info("jobs watch cycle: %s", report.summary())
         return executed
 

@@ -7,7 +7,21 @@ import pytest
 
 from repro.datasets.generator import load_or_build_database
 from repro.geometry import box, cylinder, extrude_polygon, torus, tube, uv_sphere
+from repro.robust import chaos
 from repro.search import SearchEngine
+
+
+@pytest.fixture(scope="session", autouse=True)
+def chaos_from_env():
+    """Arm the ``REPRO_CHAOS`` fault plan (if any) for the whole run.
+
+    The CI chaos job sets the env var to a canned plan and re-runs the
+    tier-1 suite under it; an unset var keeps this a no-op.
+    """
+    armed = chaos.arm_from_env()
+    yield
+    if armed:
+        chaos.controller().disarm()
 
 
 @pytest.fixture

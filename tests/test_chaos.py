@@ -1,0 +1,546 @@
+"""The chaos layer: deterministic fault injection and crash recovery.
+
+Three tiers of coverage:
+
+1. the :mod:`repro.robust.chaos` framework itself — plan parsing,
+   triggers, determinism, the four fault kinds;
+2. storage under injected faults — a torn packed-store write at *every*
+   write site either leaves the old database intact (raising faults =
+   crash before the atomic swap) or is caught loudly downstream
+   (silent faults = corruption promoted past its sealed checksum);
+3. the job-queue journal torn mid-record, recovering through replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    ShapeRecord,
+    StorageError,
+    load_packed_features,
+    load_records,
+    salvage_records,
+    save_records,
+    verify_database,
+)
+from repro.jobs import JobQueue
+from repro.robust import chaos
+from repro.robust.chaos import (
+    ChaosPlanError,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    active_plan,
+)
+
+DIM_A = 6
+DIM_B = 3
+
+
+def make_records(n: int = 4) -> list:
+    """Feature-only records with two packable (consistent-dim) families."""
+    rng = np.random.default_rng(7)
+    return [
+        ShapeRecord(
+            shape_id=i + 1,
+            name=f"shape-{i + 1}",
+            features={
+                "fam_a": rng.normal(size=DIM_A),
+                "fam_b": rng.normal(size=DIM_B),
+            },
+        )
+        for i in range(n)
+    ]
+
+
+def assert_features_match(loaded, originals) -> None:
+    by_id = {rec.shape_id: rec for rec in loaded}
+    for rec in originals:
+        back = by_id[rec.shape_id]
+        for fname, vec in rec.features.items():
+            np.testing.assert_allclose(
+                np.asarray(back.features[fname], dtype=np.float64),
+                np.asarray(vec, dtype=np.float64),
+                rtol=1e-6,
+            )
+
+
+# ----------------------------------------------------------------------
+# Plan parsing and validation
+# ----------------------------------------------------------------------
+class TestFaultPlanParsing:
+    def test_inline_json(self):
+        plan = FaultPlan.parse(
+            '{"seed": 9, "faults": [{"point": "p", "kind": "error", "at": 1}]}'
+        )
+        assert plan.seed == 9
+        assert plan.faults[0].point == "p"
+        assert plan.faults[0].kind == "error"
+
+    def test_plan_file_path(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps(
+                {"seed": 1, "faults": [{"point": "x", "kind": "latency",
+                                        "every": 2, "delay_s": 0.001}]}
+            )
+        )
+        plan = FaultPlan.parse(str(path))
+        assert plan.faults[0].every == 2
+
+    def test_missing_plan_file(self, tmp_path):
+        with pytest.raises(ChaosPlanError, match="cannot read"):
+            FaultPlan.parse(str(tmp_path / "nope.json"))
+
+    def test_invalid_json(self):
+        with pytest.raises(ChaosPlanError, match="not valid JSON"):
+            FaultPlan.parse("{ not json")
+
+    def test_unknown_plan_field(self):
+        with pytest.raises(ChaosPlanError, match="unknown plan field"):
+            FaultPlan.from_dict({"seed": 0, "faults": [], "typo": 1})
+
+    def test_unknown_fault_field(self):
+        with pytest.raises(ChaosPlanError, match="unknown fault field"):
+            FaultSpec.from_dict({"point": "p", "kind": "error", "at": 1,
+                                 "wat": True})
+
+    @pytest.mark.parametrize(
+        "spec, match",
+        [
+            ({"point": "", "kind": "error", "at": 1}, "non-empty 'point'"),
+            ({"point": "p", "kind": "frob", "at": 1}, "unknown fault kind"),
+            ({"point": "p", "kind": "error"}, "exactly one trigger"),
+            ({"point": "p", "kind": "error", "at": 1, "rate": 0.5},
+             "exactly one trigger"),
+            ({"point": "p", "kind": "error", "at": 0}, "1-based"),
+            ({"point": "p", "kind": "error", "every": 0}, "'every'"),
+            ({"point": "p", "kind": "error", "rate": 1.5}, "'rate'"),
+            ({"point": "p", "kind": "error", "at": 1, "times": 0}, "'times'"),
+            ({"point": "p", "kind": "latency", "at": 1, "delay_s": 0.0},
+             "'delay_s'"),
+            ({"point": "p", "kind": "error", "at": 1, "exception": "Kaboom"},
+             "unknown exception"),
+            ({"point": "p", "kind": "torn", "at": 1, "trim_bytes": -1},
+             "'trim_bytes'"),
+            ({"point": "p", "kind": "torn", "at": 1, "keep_fraction": 1.0},
+             "'keep_fraction'"),
+            ({"point": "p", "kind": "kill", "at": 1, "signal": "SIGNOPE"},
+             "unknown signal"),
+        ],
+    )
+    def test_invalid_specs(self, spec, match):
+        with pytest.raises(ChaosPlanError, match=match):
+            FaultSpec.from_dict(spec)
+
+    def test_chaos_plan_error_is_value_error(self):
+        assert issubclass(ChaosPlanError, ValueError)
+
+    def test_injected_fault_is_os_error(self):
+        assert issubclass(InjectedFaultError, OSError)
+
+    def test_to_dict_round_trips_triggers(self):
+        plan = FaultPlan.parse(
+            '{"seed": 3, "faults": [{"point": "p", "kind": "error",'
+            ' "every": 4, "times": 2}]}'
+        )
+        back = FaultPlan.from_dict(plan.to_dict())
+        assert back.faults[0].every == 4
+        assert back.faults[0].times == 2
+
+
+# ----------------------------------------------------------------------
+# Triggers and determinism
+# ----------------------------------------------------------------------
+def fire_pattern(plan, point: str, hits: int) -> list:
+    """Which of ``hits`` injections raised under ``plan``."""
+    fired = []
+    with active_plan(plan):
+        for i in range(hits):
+            try:
+                chaos.inject(point)
+            except InjectedFaultError:
+                fired.append(i)
+    return fired
+
+
+class TestTriggers:
+    def test_at_fires_exactly_once_at_nth_hit(self):
+        plan = {"faults": [{"point": "p", "kind": "error", "at": 3}]}
+        assert fire_pattern(plan, "p", 6) == [2]
+
+    def test_at_with_times_budget_refires(self):
+        plan = {"faults": [{"point": "p", "kind": "error", "at": 2,
+                            "times": 3}]}
+        # `at` pins the *first* fire; the remaining budget never matches
+        # again (hits != at), so the budget caps, not extends.
+        assert fire_pattern(plan, "p", 8) == [1]
+
+    def test_every_fires_periodically(self):
+        plan = {"faults": [{"point": "p", "kind": "error", "every": 2}]}
+        assert fire_pattern(plan, "p", 7) == [1, 3, 5]
+
+    def test_every_with_times_cap(self):
+        plan = {"faults": [{"point": "p", "kind": "error", "every": 2,
+                            "times": 2}]}
+        assert fire_pattern(plan, "p", 10) == [1, 3]
+
+    def test_rate_is_deterministic_for_a_seed(self):
+        plan = {"seed": 42,
+                "faults": [{"point": "p", "kind": "error", "rate": 0.3}]}
+        first = fire_pattern(plan, "p", 200)
+        second = fire_pattern(plan, "p", 200)
+        assert first == second
+        assert 20 <= len(first) <= 100  # ~30% of 200
+
+    def test_rate_differs_across_seeds(self):
+        base = {"faults": [{"point": "p", "kind": "error", "rate": 0.3}]}
+        a = fire_pattern({"seed": 1, **base}, "p", 200)
+        b = fire_pattern({"seed": 2, **base}, "p", 200)
+        assert a != b
+
+    def test_glob_point_matches_family(self):
+        plan = {"faults": [{"point": "storage.*", "kind": "error", "at": 1}]}
+        assert fire_pattern(plan, "storage.packed.write", 2) == [0]
+
+    def test_glob_point_misses_other_family(self):
+        plan = {"faults": [{"point": "storage.*", "kind": "error", "at": 1}]}
+        assert fire_pattern(plan, "jobs.journal.append", 3) == []
+
+    def test_hits_and_fired_counters(self):
+        plan = {"faults": [{"point": "p", "kind": "error", "at": 2}]}
+        with active_plan(plan) as ctl:
+            for _ in range(4):
+                try:
+                    chaos.inject("p")
+                except InjectedFaultError:
+                    pass
+            chaos.inject("q")
+            assert ctl.hits == {"p": 4, "q": 1}
+            assert ctl.fired == {"p": 1}
+
+    def test_disarmed_inject_is_a_noop(self):
+        ctl = chaos.controller()
+        assert not ctl.armed
+        before = dict(ctl.hits)
+        chaos.inject("p")
+        assert ctl.hits == before
+
+    def test_active_plan_always_disarms(self):
+        with pytest.raises(RuntimeError):
+            with active_plan({"faults": []}):
+                assert chaos.controller().armed
+                raise RuntimeError("boom")
+        assert not chaos.controller().armed
+
+    def test_arm_from_env(self):
+        env = {"REPRO_CHAOS":
+               '{"faults": [{"point": "p", "kind": "error", "at": 1}]}'}
+        try:
+            assert chaos.arm_from_env(env) is True
+            assert chaos.controller().armed
+            with pytest.raises(InjectedFaultError):
+                chaos.inject("p")
+        finally:
+            chaos.controller().disarm()
+        assert chaos.arm_from_env({}) is False
+
+
+# ----------------------------------------------------------------------
+# Fault kinds
+# ----------------------------------------------------------------------
+class TestFaultKinds:
+    def test_error_kind_raises_named_exception(self):
+        plan = {"faults": [{"point": "p", "kind": "error", "at": 1,
+                            "exception": "ConnectionResetError"}]}
+        with active_plan(plan):
+            with pytest.raises(ConnectionResetError):
+                chaos.inject("p")
+
+    def test_default_error_carries_taxonomy_code(self):
+        plan = {"faults": [{"point": "p", "kind": "error", "at": 1}]}
+        with active_plan(plan):
+            with pytest.raises(InjectedFaultError) as err:
+                chaos.inject("p")
+        assert err.value.code == "chaos.injected"
+
+    def test_latency_kind_sleeps(self):
+        import time as _time
+
+        plan = {"faults": [{"point": "p", "kind": "latency", "at": 1,
+                            "delay_s": 0.05}]}
+        with active_plan(plan):
+            start = _time.monotonic()
+            chaos.inject("p")
+            assert _time.monotonic() - start >= 0.05
+
+    def test_torn_truncates_and_raises(self, tmp_path):
+        victim = tmp_path / "data.bin"
+        victim.write_bytes(b"x" * 100)
+        plan = {"faults": [{"point": "p", "kind": "torn", "at": 1,
+                            "trim_bytes": 30}]}
+        with active_plan(plan):
+            with pytest.raises(InjectedFaultError) as err:
+                chaos.inject("p", path=str(victim))
+        assert err.value.code == "chaos.torn_write"
+        assert victim.stat().st_size == 70
+
+    def test_silent_torn_does_not_raise(self, tmp_path):
+        victim = tmp_path / "data.bin"
+        victim.write_bytes(b"x" * 100)
+        plan = {"faults": [{"point": "p", "kind": "torn", "at": 1,
+                            "keep_fraction": 0.25, "silent": True}]}
+        with active_plan(plan):
+            chaos.inject("p", path=str(victim))  # no raise
+        assert victim.stat().st_size == 25
+
+    def test_torn_on_directory_picks_a_file(self, tmp_path):
+        (tmp_path / "a.bin").write_bytes(b"x" * 40)
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.bin").write_bytes(b"x" * 40)
+        plan = {"faults": [{"point": "p", "kind": "torn", "at": 1,
+                            "trim_bytes": 10, "silent": True}]}
+        with active_plan(plan):
+            chaos.inject("p", path=str(tmp_path))
+        sizes = sorted(
+            p.stat().st_size
+            for p in (tmp_path / "a.bin", tmp_path / "sub" / "b.bin")
+        )
+        assert sizes == [30, 40]  # exactly one file torn
+
+    def test_torn_without_path_is_harmless(self):
+        plan = {"faults": [{"point": "p", "kind": "torn", "at": 1,
+                            "silent": True}]}
+        with active_plan(plan):
+            chaos.inject("p")  # nothing to tear, nothing raised
+
+    def test_kill_kind_sends_signal(self):
+        received = []
+        previous = signal.signal(
+            signal.SIGUSR1, lambda signum, frame: received.append(signum)
+        )
+        try:
+            plan = {"faults": [{"point": "p", "kind": "kill", "at": 1,
+                                "signal": "SIGUSR1"}]}
+            with active_plan(plan):
+                chaos.inject("p")
+        finally:
+            signal.signal(signal.SIGUSR1, previous)
+        assert received == [signal.SIGUSR1]
+
+
+# ----------------------------------------------------------------------
+# Storage under injected faults
+# ----------------------------------------------------------------------
+def packed_write_hits(tmp_path) -> int:
+    """How many times one save hits ``storage.packed.write``."""
+    with active_plan(FaultPlan()) as ctl:  # armed, no faults: count hits
+        save_records(make_records(), tmp_path / "probe")
+        return ctl.hits.get("storage.packed.write", 0)
+
+
+class TestStorageChaos:
+    def test_save_covers_the_expected_injection_points(self, tmp_path):
+        with active_plan(FaultPlan()) as ctl:
+            save_records(make_records(), tmp_path / "db")
+            hits = dict(ctl.hits)
+        # Two packable families x three files (matrix/ids/mask).
+        assert hits["storage.packed.write"] == 6
+        assert hits["storage.features.write"] == 1
+        assert hits["storage.manifest.write"] == 1
+        assert hits["storage.save.commit"] == 1
+        assert hits["storage.save.swap"] == 1
+
+    def test_torn_write_at_every_packed_site_preserves_old_database(
+        self, tmp_path
+    ):
+        """Acceptance (b), raising half: a torn write at *each* of the
+        packed write sites crashes the save before the atomic swap, so
+        the previously saved database survives bit-for-bit."""
+        originals = make_records()
+        target = tmp_path / "db"
+        save_records(originals, target)
+        sites = packed_write_hits(tmp_path)
+        assert sites == 6
+        replacement = make_records(6)
+        for nth in range(1, sites + 1):
+            plan = {"faults": [{"point": "storage.packed.write",
+                                "kind": "torn", "at": nth,
+                                "trim_bytes": 64}]}
+            with active_plan(plan):
+                with pytest.raises(InjectedFaultError):
+                    save_records(replacement, target)
+            assert verify_database(target) == {}
+            survivors = load_records(target)
+            assert len(survivors) == len(originals)
+            assert_features_match(survivors, originals)
+
+    @pytest.mark.parametrize(
+        "point", ["storage.features.write", "storage.manifest.write"]
+    )
+    def test_torn_write_at_archive_sites_preserves_old_database(
+        self, tmp_path, point
+    ):
+        originals = make_records()
+        target = tmp_path / "db"
+        save_records(originals, target)
+        plan = {"faults": [{"point": point, "kind": "torn", "at": 1,
+                            "trim_bytes": 32}]}
+        with active_plan(plan):
+            with pytest.raises(InjectedFaultError):
+                save_records(make_records(6), target)
+        assert verify_database(target) == {}
+        assert_features_match(load_records(target), originals)
+
+    def test_injected_io_error_during_save_rolls_back(self, tmp_path):
+        originals = make_records()
+        target = tmp_path / "db"
+        save_records(originals, target)
+        plan = {"faults": [{"point": "storage.save.swap", "kind": "error",
+                            "at": 1, "exception": "OSError"}]}
+        with active_plan(plan):
+            with pytest.raises(OSError):
+                save_records(make_records(6), target)
+        # The old database was renamed away and must be rolled back.
+        assert verify_database(target) == {}
+        assert len(load_records(target)) == len(originals)
+
+    def test_silent_torn_packed_write_never_loads_silently_wrong(
+        self, tmp_path
+    ):
+        """Acceptance (b), silent half at the write sites: the file is
+        truncated *before* its checksum is computed, so the checksum
+        seals the damage and the save succeeds.  The load side must
+        still refuse the tier loudly (strict) or rebuild from records
+        (salvage) — never serve wrong vectors."""
+        originals = make_records()
+        for nth in range(1, 7):
+            target = tmp_path / f"db-{nth}"
+            plan = {"faults": [{"point": "storage.packed.write",
+                                "kind": "torn", "at": nth,
+                                "keep_fraction": 0.25, "silent": True}]}
+            with active_plan(plan):
+                save_records(originals, target)
+            with pytest.raises(StorageError, match="packed"):
+                load_packed_features(target, strict=True)
+            assert load_packed_features(target, strict=False) is None
+            salvaged = load_records(target, strict=False)
+            assert_features_match(salvaged, originals)
+
+    def test_silent_torn_after_checksum_seal_fails_verify_loudly(
+        self, tmp_path
+    ):
+        """Acceptance (b), the nastier silent case: corruption lands
+        *after* every checksum was sealed (at the commit point), so it
+        is promoted into the live directory — and ``verify_database``
+        must report it, and a strict load must refuse it."""
+        target = tmp_path / "db"
+        plan = {"faults": [{"point": "storage.save.commit", "kind": "torn",
+                            "at": 1, "keep_fraction": 0.3, "silent": True}]}
+        with active_plan(plan):
+            save_records(make_records(), target)
+        problems = verify_database(target)
+        assert problems, "promoted corruption must not verify clean"
+        with pytest.raises(StorageError):
+            load_records(target, strict=True)
+        # Salvage still comes up (possibly dropping records) and says so.
+        records, dropped = salvage_records(target)
+        assert len(records) + len(dropped) >= 1
+
+    def test_truncated_packed_npy_tail(self, tmp_path):
+        """Satellite: a torn tail on one packed matrix is caught by its
+        manifest checksum; salvage rebuilds the tier from records."""
+        target = tmp_path / "db"
+        originals = make_records()
+        save_records(originals, target)
+        victim = target / "packed" / "fam_a.matrix.npy"
+        os.truncate(victim, victim.stat().st_size - 5)
+        problems = verify_database(target)
+        assert "packed/fam_a.matrix.npy" in problems
+        assert "checksum mismatch" in problems["packed/fam_a.matrix.npy"]
+        with pytest.raises(StorageError, match="fam_a"):
+            load_packed_features(target, strict=True)
+        assert load_packed_features(target, strict=False) is None
+        assert_features_match(load_records(target, strict=False), originals)
+
+    def test_checksum_mismatch_on_exactly_one_family(self, tmp_path):
+        """Satellite: damage to one family's ids file is attributed to
+        that file alone — no record-level fallout, since the canonical
+        per-record archive is untouched."""
+        target = tmp_path / "db"
+        originals = make_records()
+        save_records(originals, target)
+        victim = target / "packed" / "fam_b.ids.npy"
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        problems = verify_database(target)
+        assert set(problems) == {"packed/fam_b.ids.npy"}
+        with pytest.raises(StorageError, match="fam_b"):
+            load_packed_features(target, strict=True)
+        salvaged = load_records(target, strict=False)
+        assert_features_match(salvaged, originals)
+
+
+# ----------------------------------------------------------------------
+# Job-queue journal under injected faults
+# ----------------------------------------------------------------------
+class TestJournalChaos:
+    def test_silent_torn_append_recovers_on_replay(self, tmp_path):
+        """Satellite: a journal record torn mid-write (the page never
+        hit disk) is counted corrupt on reopen; every earlier record
+        replays intact."""
+        path = tmp_path / "jobs.jsonl"
+        with JobQueue(path) as queue:
+            first = queue.enqueue("re-extract", {"shape_id": 1})
+            queue.enqueue("re-extract", {"shape_id": 2})
+            job = queue.claim()
+            queue.complete(job)
+            plan = {"faults": [{"point": "jobs.journal.append",
+                                "kind": "torn", "at": 1, "trim_bytes": 9,
+                                "silent": True}]}
+            with active_plan(plan):
+                queue.enqueue("re-extract", {"shape_id": 3})
+        with JobQueue(path) as reopened:
+            assert reopened.corrupt_lines == 1
+            kinds = {}
+            while True:
+                job = reopened.claim()
+                if job is None:
+                    break
+                kinds[job.payload["shape_id"]] = job.type
+            # shape 1 completed, shape 2 replays; the torn shape-3
+            # record is dropped, not half-applied.
+            assert set(kinds) == {2}
+        assert first.payload == {"shape_id": 1}
+
+    def test_raising_torn_append_surfaces_and_queue_survives(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        with JobQueue(path) as queue:
+            queue.enqueue("re-extract", {"shape_id": 1})
+            plan = {"faults": [{"point": "jobs.journal.append",
+                                "kind": "torn", "at": 1, "trim_bytes": 5}]}
+            with active_plan(plan):
+                with pytest.raises(InjectedFaultError):
+                    queue.enqueue("re-extract", {"shape_id": 2})
+        with JobQueue(path) as reopened:
+            assert reopened.corrupt_lines == 1
+            job = reopened.claim()
+            assert job is not None and job.payload["shape_id"] == 1
+            assert reopened.claim() is None
+
+    def test_injected_error_on_replay_propagates(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        with JobQueue(path) as queue:
+            queue.enqueue("re-extract", {"shape_id": 1})
+        plan = {"faults": [{"point": "jobs.journal.replay", "kind": "error",
+                            "at": 1}]}
+        with active_plan(plan):
+            with pytest.raises(InjectedFaultError):
+                JobQueue(path)
