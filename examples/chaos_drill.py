@@ -18,7 +18,14 @@ exiting non-zero the moment a guarantee is violated (CI runs them in the
     response, late arrivals get the retryable draining 503, and the
     process exits 0 after printing ``drained; shutting down``.
 
-Run:  python examples/chaos_drill.py storage|sigterm
+``sigkill``
+    Runs a database save in a subprocess that is SIGKILLed at the
+    commit point — everything written, nothing yet renamed into place
+    — and checks the atomic-swap contract: the previous database
+    survives bit-for-bit, only a temporary sibling is left behind, and
+    a later save over the same path succeeds.
+
+Run:  python examples/chaos_drill.py storage|sigterm|sigkill
 """
 
 from __future__ import annotations
@@ -232,8 +239,67 @@ def drill_sigterm() -> None:
     print("sigterm drill passed")
 
 
+# ----------------------------------------------------------------------
+# Drill 3: SIGKILL mid-save leaves the old database untouched
+# ----------------------------------------------------------------------
+def drill_sigkill() -> None:
+    from repro.db import load_records, save_records, verify_database
+
+    print("sigkill drill: a save killed at the commit point must not "
+          "touch the live database")
+    with tempfile.TemporaryDirectory() as scratch:
+        target = os.path.join(scratch, "db")
+        originals = make_records()
+        save_records(originals, target)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.join(REPO_ROOT, "src"),
+                          env.get("PYTHONPATH")])
+        )
+        env["REPRO_CHAOS"] = os.path.join(PLAN_DIR, "sigkill-save.json")
+        # The child re-saves a larger database over the same path; the
+        # plan SIGKILLs it at storage.save.commit — after every byte is
+        # written to the temporary sibling, before either rename.
+        child = subprocess.run(
+            [sys.executable, "-c",
+             "import sys; sys.path.insert(0, sys.argv[2]);"
+             "from examples.chaos_drill import make_records;"
+             "from repro.db import save_records;"
+             "from repro.robust.chaos import arm_from_env;"
+             "arm_from_env();"
+             "save_records(make_records(8), sys.argv[1]);"
+             "print('save survived')",
+             target, REPO_ROOT],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+            timeout=60.0,
+        )
+        check(child.returncode == -signal.SIGKILL,
+              f"child died of SIGKILL (returncode {child.returncode})")
+        check("save survived" not in child.stdout,
+              "the kill landed before the save completed")
+        check(verify_database(target) == {},
+              "old database verifies clean after the killed save")
+        check(len(load_records(target)) == len(originals),
+              "old database still loads every original record")
+        leftovers = [name for name in os.listdir(scratch) if name != "db"]
+        check(all(".tmp-" in name for name in leftovers),
+              f"only temporary siblings left behind ({leftovers})")
+
+        # The half-finished save must not wedge the path: a clean save
+        # over it succeeds and fully replaces the contents.
+        save_records(make_records(8), target)
+        check(len(load_records(target)) == 8,
+              "a later save over the same path succeeds")
+    print("sigkill drill passed")
+
+
 def main() -> None:
-    drills = {"storage": drill_storage, "sigterm": drill_sigterm}
+    drills = {"storage": drill_storage, "sigterm": drill_sigterm,
+              "sigkill": drill_sigkill}
     names = sys.argv[1:] or list(drills)
     for name in names:
         if name not in drills:

@@ -208,6 +208,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             if args.scale_sizes
             else None
         ),
+        cascade=args.cascade,
     )
     output = args.output if args.output else bench.default_output_path()
     bench.write_bench(report, output)
@@ -692,6 +693,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale-sizes",
         default=None,
         help="comma-separated corpus sizes for --scale (implies --scale)",
+    )
+    p_bench.add_argument(
+        "--cascade",
+        action="store_true",
+        help="append the staged-cascade recall@k / latency curves "
+        "(synthetic corpora at 1k/10k/100k shapes; 500/2000 with --quick)",
     )
     p_bench.add_argument(
         "--output", default=None, help="output JSON path (default BENCH_<rev>.json)"

@@ -21,10 +21,12 @@ from ..index.rtree import RTree
 from ..index.sharded import ShardedRTree
 from ..obs import get_registry
 from .matrix_store import ColumnView, FeatureMatrixStore
+from .quantized import QuantizedColumn
 from .records import ShapeRecord
 from .storage import (
     DroppedRecord,
     load_packed_features,
+    load_quantized_features,
     load_records,
     salvage_records,
     save_records,
@@ -469,6 +471,20 @@ class ShapeDatabase:
         except KeyError:
             raise KeyError(f"no shapes carry feature {feature_name!r}") from None
 
+    def quantized_view(self, feature_name: str) -> QuantizedColumn:
+        """int8-quantized sidecar view of one feature space.
+
+        The cascade's stage-1 scan matrix (see :mod:`repro.db.quantized`).
+        Served from the persisted ``quantized/`` tier when one was
+        attached at load time, rebuilt lazily from the packed column
+        otherwise; either way coherent with ``store_generation``.
+        Raises ``KeyError`` when no shape carries the feature.
+        """
+        try:
+            return self._matrix_store.quantized_view(feature_name)
+        except KeyError:
+            raise KeyError(f"no shapes carry feature {feature_name!r}") from None
+
     def feature_matrix(self, feature_name: str) -> Tuple[np.ndarray, List[int]]:
         """(matrix, ids) of all stored vectors for one feature.
 
@@ -665,6 +681,23 @@ class ShapeDatabase:
                 view = db._matrix_store.view(fname)
                 for pos, sid in enumerate(view.id_list):
                     db._records[sid].features[fname] = view.matrix[pos]
+            # The int8 sidecar tier rides on top of the packed columns.
+            # It is doubly derived, so failures never fail the load: a
+            # missing/corrupt/stale sidecar just rebuilds lazily from
+            # the attached column on first cascade query.
+            quantized = load_quantized_features(
+                directory, strict=False, mmap=mmap_features
+            )
+            for fname, side in (quantized or {}).items():
+                if fname not in packed:
+                    continue
+                try:
+                    db._matrix_store.attach_quantized(
+                        fname, side.codes, side.scale, side.offset,
+                        mmap=mmap_features,
+                    )
+                except (KeyError, ValueError):
+                    get_registry().inc("store.quantized_fallbacks")
         else:
             get_registry().inc("store.fallback_rebuilds")
         db.dropped_records = dropped

@@ -36,6 +36,7 @@ import numpy as np
 
 from ..obs import get_registry
 from ..robust.chaos import inject as chaos_inject
+from .quantized import QuantizedColumn, quantize_column
 
 __all__ = ["ColumnView", "FeatureMatrixStore"]
 
@@ -121,6 +122,7 @@ class FeatureMatrixStore:
         self.generation = 0
         self._columns: Dict[str, _Column] = {}
         self._views: Dict[str, ColumnView] = {}
+        self._quantized: Dict[str, QuantizedColumn] = {}
         registry = get_registry()
         # Bound once: the append fast path runs per inserted vector.
         self._appends = registry.counter("store.appends")
@@ -171,6 +173,7 @@ class FeatureMatrixStore:
     def _note_mutation(self) -> None:
         self.generation += 1
         self._views.clear()
+        self._quantized.clear()
         registry = get_registry()
         registry.gauge("store.rows").set(self.total_rows)
         registry.gauge("store.bytes").set(self.nbytes)
@@ -384,6 +387,57 @@ class FeatureMatrixStore:
         )
         self._views[feature_name] = view
         return view
+
+    def quantized_view(self, feature_name: str) -> QuantizedColumn:
+        """int8-quantized sidecar view of one column (cached per
+        generation; see :mod:`repro.db.quantized`).  Rebuilt lazily from
+        the column after any mutation, so it can never serve rows the
+        full-precision view does not."""
+        cached = self._quantized.get(feature_name)
+        if cached is not None and cached.generation == self.generation:
+            return cached
+        quantized = quantize_column(self.view(feature_name))
+        self._quantized[feature_name] = quantized
+        get_registry().inc("store.quantized_builds")
+        return quantized
+
+    def attach_quantized(
+        self,
+        feature_name: str,
+        codes: np.ndarray,
+        scale: np.ndarray,
+        offset: np.ndarray,
+        mmap: bool = True,
+    ) -> None:
+        """Adopt a persisted quantized sidecar (the ``quantized/`` load
+        path).  The base column must already be attached; the sidecar
+        must mirror its shape exactly — a stale sidecar is rejected and
+        the caller falls back to the lazy rebuild."""
+        view = self.view(feature_name)  # KeyError for unknown columns
+        codes = np.asarray(codes)
+        if codes.dtype != np.int8 or codes.shape != view.matrix.shape:
+            raise ValueError(
+                f"quantized codes for {feature_name!r} must be int8 with "
+                f"shape {view.matrix.shape}, got {codes.dtype} {codes.shape}"
+            )
+        scale = np.asarray(scale, dtype=np.float64).ravel()
+        offset = np.asarray(offset, dtype=np.float64).ravel()
+        if len(scale) != view.matrix.shape[1] or len(offset) != view.matrix.shape[1]:
+            raise ValueError(
+                f"quantized scale/offset for {feature_name!r} must have "
+                f"dim {view.matrix.shape[1]}"
+            )
+        self._quantized[feature_name] = QuantizedColumn(
+            name=feature_name,
+            codes=codes,
+            scale=scale,
+            offset=offset,
+            ids=view.ids,
+            mask=view.mask,
+            generation=self.generation,
+            mmap=bool(mmap),
+        )
+        get_registry().inc("store.quantized_attaches")
 
     def row(self, feature_name: str, shape_id: int) -> np.ndarray:
         """Read-only 1D view of one stored vector."""

@@ -1,0 +1,173 @@
+"""int8-quantized sidecar views of packed feature columns.
+
+The cascade's stage 1 (``repro.search.cascade``) needs a scan that is
+cheap in memory bandwidth: a full-precision linear pass reads 4 bytes
+per dimension per row, which at 100k+ rows is the dominant cost of the
+whole query.  This module derives a **per-dimension affine int8
+quantization** of a :class:`~repro.db.matrix_store.ColumnView`:
+
+    code = clip(round((x - offset) / scale), 0, 255) - 128     (int8)
+    x̂    = offset + (code + 128) * scale
+
+so the coarse pass reads 1 byte per dimension and reconstructs the
+value to within half a quantization step (``scale / 2`` per dimension,
+256 levels over the column's observed range).  The sidecar is *derived
+data*: it is rebuilt from the column on demand, cached keyed on the
+store ``generation`` (the same coherence contract the similarity
+measures use), and persisted/salvaged alongside the packed tier —
+losing it never loses records.
+
+Rows mirror the source column exactly: same ascending ids, same
+degraded mask.  Records that do not carry the feature have no row here
+either, so a partial-feature (degraded) corpus can never crash the
+quantized scan — such candidates simply flow past stage 1 the same way
+they flow past the full-precision linear scan.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "QUANT_LEVELS",
+    "QuantizedColumn",
+    "approx_weighted_sq_distances",
+    "dequantize",
+    "quantize_matrix",
+]
+
+#: Quantization levels per dimension (one unsigned byte, stored int8).
+QUANT_LEVELS = 256
+
+#: Spans below this are treated as constant dimensions (scale 1, so the
+#: whole column quantizes to one code and contributes zero distance).
+_SPAN_FLOOR = 1e-12
+
+
+class QuantizedColumn:
+    """One generation's int8 view of a feature column.
+
+    ``codes`` has shape ``(n, dim)`` int8; ``scale``/``offset`` are the
+    per-dimension float64 dequantization parameters; ``ids``/``mask``
+    alias the source column's (ascending ids, degraded flags).
+    """
+
+    __slots__ = (
+        "name",
+        "codes",
+        "scale",
+        "offset",
+        "ids",
+        "mask",
+        "generation",
+        "mmap",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        codes: np.ndarray,
+        scale: np.ndarray,
+        offset: np.ndarray,
+        ids: np.ndarray,
+        mask: np.ndarray,
+        generation: int,
+        mmap: bool = False,
+    ) -> None:
+        self.name = name
+        self.codes = codes
+        self.scale = scale
+        self.offset = offset
+        self.ids = ids
+        self.mask = mask
+        self.generation = generation
+        self.mmap = mmap
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @property
+    def dim(self) -> int:
+        return int(self.codes.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the code matrix (the point of the exercise)."""
+        return int(self.codes.size * self.codes.itemsize)
+
+
+def quantize_matrix(
+    matrix: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Quantize a ``(n, dim)`` matrix; returns ``(codes, scale, offset)``.
+
+    Empty matrices quantize to an empty int8 matrix with unit scales so
+    the round trip stays well defined.
+    """
+    mat = np.asarray(matrix, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ValueError(f"expected a 2D matrix, got shape {mat.shape}")
+    n, dim = mat.shape
+    if n == 0:
+        return (
+            np.empty((0, dim), dtype=np.int8),
+            np.ones(dim, dtype=np.float64),
+            np.zeros(dim, dtype=np.float64),
+        )
+    offset = mat.min(axis=0)
+    span = mat.max(axis=0) - offset
+    scale = np.where(span > _SPAN_FLOOR, span / (QUANT_LEVELS - 1), 1.0)
+    levels = np.rint((mat - offset) / scale)
+    np.clip(levels, 0, QUANT_LEVELS - 1, out=levels)
+    codes = (levels - 128).astype(np.int8)
+    return codes, scale, offset
+
+
+def dequantize(
+    codes: np.ndarray, scale: np.ndarray, offset: np.ndarray
+) -> np.ndarray:
+    """Reconstruct approximate float64 values from int8 codes."""
+    return offset + (codes.astype(np.float64) + 128.0) * scale
+
+
+def quantize_column(view, generation: Optional[int] = None) -> QuantizedColumn:
+    """Build a :class:`QuantizedColumn` from a ``ColumnView``."""
+    codes, scale, offset = quantize_matrix(view.matrix)
+    return QuantizedColumn(
+        name=view.name,
+        codes=codes,
+        scale=scale,
+        offset=offset,
+        ids=view.ids,
+        mask=view.mask,
+        generation=view.generation if generation is None else generation,
+    )
+
+
+def approx_weighted_sq_distances(
+    column: QuantizedColumn, query: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Weighted squared distances of a query to every quantized row.
+
+    Folds the dequantization affine into the weight transform so the
+    scan is one fused ``codes * a + c`` pass over the int8 matrix:
+
+        w·(x̂ - q)² = (codes · a + c)²   with
+        a = √w · scale,  c = √w · (offset + 128·scale - q)
+
+    Returns float32 squared distances — a *pruning* score, never a
+    user-facing distance (stage 2 recomputes exactly).
+    """
+    q = np.asarray(query, dtype=np.float64).ravel()
+    if len(q) != column.dim:
+        raise ValueError(
+            f"query dim {len(q)} != column dim {column.dim}"
+        )
+    sqrtw = np.sqrt(np.asarray(weights, dtype=np.float64).ravel())
+    a = (sqrtw * column.scale).astype(np.float32)
+    c = (sqrtw * (column.offset + 128.0 * column.scale - q)).astype(np.float32)
+    t = column.codes * a
+    t += c
+    return np.einsum("ij,ij->i", t, t)

@@ -8,6 +8,9 @@ Layout of a database directory::
     packed/<feature>.matrix.npy   packed float32 feature matrix (rows
     packed/<feature>.ids.npy      sorted by ascending shape id, aligned
     packed/<feature>.mask.npy     int64 ids and bool degraded mask)
+    quantized/<feature>.codes.npy   int8 quantized sidecar of the packed
+    quantized/<feature>.scale.npy   matrix (per-dimension affine scale /
+    quantized/<feature>.offset.npy  offset; see repro.db.quantized)
 
 Format version 2 adds integrity checking: the manifest carries a SHA-256
 checksum for every data file it points at, and loads verify them before
@@ -20,6 +23,13 @@ in RAM (see :func:`load_packed_features`).  It is derived data — the
 same vectors as ``features.npz`` — so directories missing it (or with a
 corrupt copy, under salvage) still load by rebuilding the in-memory
 store from the records.
+
+The ``quantized/`` tier is doubly derived: an int8 affine quantization
+of each packed matrix (``repro.db.quantized``), used by the search
+cascade's cheap first pass.  It follows the same salvage contract as
+the packed tier one level down — a missing or corrupt sidecar is
+discarded and rebuilt lazily from the (packed or record-rebuilt)
+column, never failing the load (see :func:`load_quantized_features`).
 
 Manifests additionally carry a *per-record* feature checksum (a SHA-256
 over the record's feature names and array bytes), so an integrity
@@ -62,12 +72,14 @@ from ..geometry.io_off import load_off, save_off
 from ..obs import get_registry
 from ..robust.chaos import inject as chaos_inject
 from ..robust.errors import StorageCorruptionError
+from .quantized import quantize_matrix
 from .records import ShapeRecord
 
 MANIFEST_NAME = "manifest.json"
 FEATURES_NAME = "features.npz"
 MESH_DIR = "meshes"
 PACKED_DIR = "packed"
+QUANT_DIR = "quantized"
 _FORMAT_VERSION = 2
 #: Versions this loader understands (v1 predates checksums).
 _SUPPORTED_VERSIONS = (1, 2)
@@ -128,15 +140,25 @@ def _packed_rels(feature_name: str) -> Tuple[str, str, str]:
     )
 
 
+def _quant_rels(feature_name: str) -> Tuple[str, str, str]:
+    """(codes, scale, offset) relpaths of one quantized sidecar column."""
+    return (
+        f"{QUANT_DIR}/{feature_name}.codes.npy",
+        f"{QUANT_DIR}/{feature_name}.scale.npy",
+        f"{QUANT_DIR}/{feature_name}.offset.npy",
+    )
+
+
 def _write_packed(
     records: List[ShapeRecord], root: str, checksums: Dict[str, str]
-) -> Dict[str, dict]:
-    """Write the packed columnar tier; returns the manifest section.
+) -> Tuple[Dict[str, dict], Dict[str, dict]]:
+    """Write the packed + quantized tiers; returns both manifest sections.
 
     One contiguous float32 matrix per feature family, rows sorted by
     ascending shape id, with aligned int64 id and bool degraded-mask
-    vectors.  Features with inconsistent dimensions or unrepresentable
-    names are skipped (the load path rebuilds those from the records).
+    vectors, plus the int8 quantized sidecar of the same matrix.
+    Features with inconsistent dimensions or unrepresentable names are
+    skipped (the load path rebuilds those from the records).
     """
     by_feature: Dict[str, List[ShapeRecord]] = {}
     for rec in sorted(records, key=lambda r: r.shape_id):
@@ -144,6 +166,7 @@ def _write_packed(
             by_feature.setdefault(fname, []).append(rec)
 
     section: Dict[str, dict] = {}
+    quant_section: Dict[str, dict] = {}
     made_dir = False
     for fname, carrying in sorted(by_feature.items()):
         stem = _packed_safe_name(fname)
@@ -154,6 +177,7 @@ def _write_packed(
             continue
         if not made_dir:
             os.makedirs(os.path.join(root, PACKED_DIR), exist_ok=True)
+            os.makedirs(os.path.join(root, QUANT_DIR), exist_ok=True)
             made_dir = True
         matrix = np.stack(
             [np.asarray(rec.features[fname], dtype=np.float32) for rec in carrying]
@@ -174,7 +198,20 @@ def _write_packed(
             "dim": int(matrix.shape[1]),
             "files": {"matrix": rels[0], "ids": rels[1], "mask": rels[2]},
         }
-    return section
+        codes, scale, offset = quantize_matrix(matrix)
+        qrels = _quant_rels(stem)
+        for rel, arr in zip(qrels, (codes, scale, offset)):
+            path = os.path.join(root, rel)
+            np.save(path, arr, allow_pickle=False)
+            # Chaos: same crash window as the packed write above.
+            chaos_inject("storage.quantized.write", path=path)
+            checksums[rel] = _file_sha256(path)
+        quant_section[fname] = {
+            "rows": int(len(ids)),
+            "dim": int(matrix.shape[1]),
+            "files": {"codes": qrels[0], "scale": qrels[1], "offset": qrels[2]},
+        }
+    return section, quant_section
 
 
 def _write_database(records: List[ShapeRecord], root: str) -> None:
@@ -212,13 +249,14 @@ def _write_database(records: List[ShapeRecord], root: str) -> None:
     chaos_inject("storage.features.write", path=features_path)
     checksums[FEATURES_NAME] = _file_sha256(features_path)
 
-    packed = _write_packed(records, root, checksums)
+    packed, quantized = _write_packed(records, root, checksums)
 
     manifest = {
         "version": _FORMAT_VERSION,
         "records": manifest_records,
         "checksums": checksums,
         "packed": packed,
+        "quantized": quantized,
     }
     fd, tmp_path = tempfile.mkstemp(dir=root, suffix=".manifest.tmp")
     try:
@@ -577,6 +615,94 @@ def load_packed_features(
             matrix=matrix,
             ids=ids,
             mask=np.asarray(mask, dtype=bool),
+        )
+    return columns
+
+
+@dataclass
+class QuantizedSidecar:
+    """One persisted int8 quantized column (``quantized/`` tier).
+
+    ``codes`` is int8 ``(rows, dim)`` (memory-mapped when requested);
+    ``scale``/``offset`` are the float64 per-dimension dequantization
+    parameters (tiny; always loaded into RAM).
+    """
+
+    name: str
+    codes: np.ndarray
+    scale: np.ndarray
+    offset: np.ndarray
+
+
+def load_quantized_features(
+    directory: Union[str, os.PathLike],
+    strict: bool = False,
+    mmap: bool = True,
+) -> Optional[Dict[str, QuantizedSidecar]]:
+    """Load the int8 quantized sidecar tier of a database directory.
+
+    Returns ``None`` when the directory has no quantized section (older
+    writers).  The tier is doubly derived data, so the default is
+    ``strict=False``: any checksum or consistency failure discards the
+    whole tier (returns ``None``) and the caller rebuilds sidecars
+    lazily from the packed columns.  ``strict=True`` raises instead —
+    useful in integrity tooling, never on the serving path.
+    """
+    root = os.fspath(directory)
+    chaos_inject("storage.quantized.load", path=os.path.join(root, QUANT_DIR))
+    manifest = _read_manifest(root)
+    section = manifest.get("quantized")
+    if not section:
+        return None
+    checksums = manifest.get("checksums", {})
+
+    def _fail(reason: str) -> Optional[Dict[str, QuantizedSidecar]]:
+        if strict:
+            raise StorageError(
+                f"{root}: quantized feature tier corrupt: {reason}; "
+                "the sidecar is derived data — delete it and re-save",
+                code="storage.corrupt",
+            )
+        get_registry().inc("robust.corrupt_files")
+        return None
+
+    columns: Dict[str, QuantizedSidecar] = {}
+    for fname, entry in section.items():
+        files = entry.get("files", {})
+        arrays = {}
+        for part in ("codes", "scale", "offset"):
+            rel = files.get(part)
+            if rel is None:
+                return _fail(f"{fname}: manifest entry missing {part!r} file")
+            path = os.path.join(root, rel)
+            if not os.path.exists(path):
+                return _fail(f"{fname}: {rel} missing")
+            expected = checksums.get(rel)
+            if expected is not None and _file_sha256(path) != expected:
+                return _fail(f"{fname}: {rel} fails its checksum")
+            mode = "r" if (mmap and part == "codes") else None
+            try:
+                arrays[part] = np.load(path, mmap_mode=mode, allow_pickle=False)
+            # repro-lint: disable=RPL001 -- corruption probe; any decode
+            except Exception as exc:
+                return _fail(f"{fname}: {rel} unreadable: {exc}")  # failure is the finding
+        codes, scale, offset = arrays["codes"], arrays["scale"], arrays["offset"]
+        ok = (
+            codes.ndim == 2
+            and codes.dtype == np.int8
+            and scale.ndim == 1
+            and offset.ndim == 1
+            and len(scale) == len(offset) == codes.shape[1]
+            and int(entry.get("rows", len(codes))) == len(codes)
+            and int(entry.get("dim", codes.shape[1])) == codes.shape[1]
+        )
+        if not ok:
+            return _fail(f"{fname}: sidecar arrays are inconsistent")
+        columns[fname] = QuantizedSidecar(
+            name=fname,
+            codes=codes,
+            scale=np.asarray(scale, dtype=np.float64),
+            offset=np.asarray(offset, dtype=np.float64),
         )
     return columns
 

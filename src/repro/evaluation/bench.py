@@ -511,6 +511,115 @@ def bench_scale(
     }
 
 
+def bench_cascade(
+    sizes: Sequence[int] = (1000, 10000, 100000),
+    feature_name: str = "principal_moments",
+    k: int = 10,
+    pool_factors: Sequence[int] = (2, 4, 8),
+    queries: int = 40,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Staged cascade vs the one-shot linear scan on synthetic corpora.
+
+    Per corpus size: the exact-mode equivalence check (a cascade with a
+    full-precision scan must return bitwise-identical ids, distances and
+    ordering to ``search_knn(use_index=False)``), the quantized
+    cascade's recall@k against the linear ground truth as the survivor
+    pool grows, and p50/p99 latency of both paths.  Recall measures pool
+    membership only — stage 2 recomputes distances at full precision, so
+    quantization never distorts a reported distance.
+    """
+    from ..datasets.generator import build_synthetic_database
+    from ..search.cascade import CascadeStrategy, run_cascade
+
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        db = build_synthetic_database(size, seed=seed)
+        engine = SearchEngine(db)
+        ids = db.ids()
+        step = max(1, len(ids) // queries)
+        query_ids = ids[::step][:queries]
+        # Warm the measure cache and the quantized sidecar so the timed
+        # loops measure scans, not one-off builds.
+        engine.search_knn(query_ids[0], feature_name, k=k, use_index=False)
+        db.quantized_view(feature_name)
+
+        truth = {
+            sid: [
+                (r.shape_id, r.distance)
+                for r in engine.search_knn(
+                    sid, feature_name, k=k, use_index=False
+                )
+            ]
+            for sid in query_ids
+        }
+
+        exact_identical = all(
+            [
+                (r.shape_id, r.distance, r.rank)
+                for r in run_cascade(
+                    engine,
+                    sid,
+                    CascadeStrategy.exact(feature_name, k, pool=4 * k),
+                ).results
+            ]
+            == [(i, d, rank + 1) for rank, (i, d) in enumerate(truth[sid])]
+            for sid in query_ids
+        )
+
+        pools: List[Dict[str, object]] = []
+        for factor in pool_factors:
+            pool = factor * k
+            strategy = CascadeStrategy.default(
+                feature_name, k, pool=pool, quantized=True
+            )
+            hits = 0
+            times: List[float] = []
+            for sid in query_ids:
+                start = time.perf_counter()
+                outcome = run_cascade(engine, sid, strategy)
+                times.append(time.perf_counter() - start)
+                retrieved = {r.shape_id for r in outcome.results}
+                hits += len(retrieved & {i for i, _ in truth[sid]})
+            pools.append(
+                {
+                    "pool": pool,
+                    "recall_at_k": hits / (k * len(query_ids)),
+                    "p50_ms": _median(times) * 1e3,
+                    "p99_ms": float(np.percentile(times, 99)) * 1e3,
+                }
+            )
+
+        linear_times: List[float] = []
+        for sid in query_ids:
+            start = time.perf_counter()
+            engine.search_knn(sid, feature_name, k=k, use_index=False)
+            linear_times.append(time.perf_counter() - start)
+
+        column = db.quantized_view(feature_name)
+        view = db.feature_view(feature_name)
+        rows.append(
+            {
+                "n_shapes": size,
+                "queries": len(query_ids),
+                "exact_mode_identical": exact_identical,
+                "linear_p50_ms": _median(linear_times) * 1e3,
+                "linear_p99_ms": float(np.percentile(linear_times, 99)) * 1e3,
+                "quantized_bytes": column.nbytes,
+                "packed_bytes": int(view.matrix.nbytes),
+                "pools": pools,
+            }
+        )
+        del engine, db
+    return {
+        "feature": feature_name,
+        "k": k,
+        "seed": seed,
+        "pool_factors": list(pool_factors),
+        "sizes": rows,
+    }
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -523,6 +632,7 @@ def run_bench(
     quick: bool = False,
     scale: bool = False,
     scale_sizes: Optional[Sequence[int]] = None,
+    cascade: bool = False,
 ) -> Dict[str, object]:
     """Run every bench stage and assemble the JSON-ready report.
 
@@ -530,6 +640,8 @@ def run_bench(
     (1, 2), single repeat) for CI smoke runs.  ``scale`` appends the
     synthetic-corpus scaling curve (default sizes 1k/10k/100k; quick
     runs use 500/2000 unless ``scale_sizes`` overrides them).
+    ``cascade`` appends the staged-cascade recall/latency curves over
+    the same synthetic sizes.
     """
     if quick:
         resolution, n_shapes, worker_counts, repeats = 12, 6, (1, 2), 1
@@ -575,6 +687,14 @@ def run_bench(
             seed=seed,
             queries=10 if quick else 40,
         )
+    cascade_report: Optional[Dict[str, object]] = None
+    if cascade:
+        cascade_sizes = (500, 2000) if quick else (1000, 10000, 100000)
+        cascade_report = bench_cascade(
+            sizes=cascade_sizes,
+            seed=seed,
+            queries=10 if quick else 40,
+        )
 
     report = {
         "schema_version": SCHEMA_VERSION,
@@ -603,6 +723,8 @@ def run_bench(
     }
     if scale_report is not None:
         report["scale"] = scale_report
+    if cascade_report is not None:
+        report["cascade"] = cascade_report
     return report
 
 
@@ -707,4 +829,24 @@ def format_summary(report: Dict[str, object]) -> str:
                 f"linear p50 {row['linear_p50_ms']:6.2f} ms "
                 f"p99 {row['linear_p99_ms']:6.2f} ms, {index_part}"
             )
+    cascade = report.get("cascade")
+    if cascade:
+        lines.append("")
+        lines.append(
+            f"cascade ({cascade['feature']}, k={cascade['k']}, "
+            f"quantized stage-1 scan vs one-shot linear):"
+        )
+        for row in cascade["sizes"]:
+            lines.append(
+                f"  n={row['n_shapes']:>7d}: exact-mode identical="
+                f"{row['exact_mode_identical']}, linear p50 "
+                f"{row['linear_p50_ms']:6.2f} ms p99 "
+                f"{row['linear_p99_ms']:6.2f} ms"
+            )
+            for pool in row["pools"]:
+                lines.append(
+                    f"    pool={pool['pool']:4d}: recall@{cascade['k']} "
+                    f"{pool['recall_at_k']:.3f}, p50 {pool['p50_ms']:6.2f} ms "
+                    f"p99 {pool['p99_ms']:6.2f} ms"
+                )
     return "\n".join(lines)

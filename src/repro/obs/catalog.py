@@ -300,6 +300,79 @@ CATALOG: Tuple[MetricSpec, ...] = (
         "total steps executed across multi-step plans",
         _SEARCH,
     ),
+    MetricSpec(
+        "cascade.run",
+        "histogram",
+        "search/cascade.py",
+        "one whole cascade retrieval (all stages)",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "cascade.stage_ms",
+        "histogram",
+        "search/cascade.py",
+        "elapsed time of one executed cascade stage (any kind)",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "cascade.queries",
+        "counter",
+        "search/cascade.py",
+        "cascade retrievals run (`mode=\"cascade\"` plus the deprecated "
+        "`multi_step` shim)",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "cascade.quantized_scans",
+        "counter",
+        "search/cascade.py",
+        "stage-1 scans answered from the int8 quantized sidecar",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "cascade.exact_scans",
+        "counter",
+        "search/cascade.py",
+        "stage-1 scans run at full precision (exact mode / shim)",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "cascade.candidates_in",
+        "counter",
+        "search/cascade.py",
+        "candidates entering cascade stages (summed over stages)",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "cascade.survivors",
+        "counter",
+        "search/cascade.py",
+        "candidates surviving cascade stages (summed over stages)",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "cascade.degraded_survivors",
+        "counter",
+        "search/cascade.py",
+        "degraded (partial-feature) records among stage survivors",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "cascade.graph_skips",
+        "counter",
+        "search/cascade.py",
+        "graph-stage candidates left at their previous score (no mesh, "
+        "or the stage budget ran out)",
+        _SEARCH,
+    ),
+    MetricSpec(
+        "cascade.graph_stage_skipped",
+        "counter",
+        "search/cascade.py",
+        "graph stages skipped whole (query without geometry, or no "
+        "extraction pipeline)",
+        _SEARCH,
+    ),
     # -- index (database tier) -----------------------------------------
     MetricSpec(
         "index.rtree.node_accesses",
@@ -361,6 +434,30 @@ CATALOG: Tuple[MetricSpec, ...] = (
         "gauge",
         "db/matrix_store.py",
         "bytes held (or mapped) by the packed matrices",
+        _STORE,
+    ),
+    MetricSpec(
+        "store.quantized_builds",
+        "counter",
+        "db/matrix_store.py",
+        "int8 quantized views built in-process from a packed column "
+        "(cache miss on the current generation)",
+        _STORE,
+    ),
+    MetricSpec(
+        "store.quantized_attaches",
+        "counter",
+        "db/matrix_store.py",
+        "quantized columns attached from the persisted sidecar at load "
+        "time (no rebuild needed)",
+        _STORE,
+    ),
+    MetricSpec(
+        "store.quantized_fallbacks",
+        "counter",
+        "db/database.py",
+        "persisted quantized columns discarded at load (shape/dtype "
+        "mismatch vs the packed tier); the view is lazily rebuilt instead",
         _STORE,
     ),
     # -- facade --------------------------------------------------------
@@ -728,6 +825,14 @@ CATALOG: Tuple[MetricSpec, ...] = (
         "gauge",
         "service/client.py",
         "circuit-breaker state (0 closed, 1 half-open, 2 open)",
+        _SERVICE,
+    ),
+    MetricSpec(
+        "service.client.wire_downgrades",
+        "counter",
+        "service/client.py",
+        "clients that renegotiated from protocol v2 to v1 against a "
+        "pre-versioning server (once per client lifetime)",
         _SERVICE,
     ),
     # -- derived -------------------------------------------------------

@@ -46,10 +46,13 @@ Kinds:
 ``torn``
     Truncate the file the point is writing (``trim_bytes`` off the tail,
     or down to ``keep_fraction`` of its size), then raise — a crash
-    mid-write.  With ``"silent": true`` the truncation does *not* raise:
-    the writer believes the write completed, modelling a page that never
-    hit disk.  Points that pass a directory pick one file under it
-    deterministically.
+    mid-write.  With ``"flip_bytes": n`` the file keeps its length but
+    ``n`` evenly-spaced bytes are XOR-flipped instead — bit rot or a
+    misdirected write rather than a short one, which only checksums
+    (not size checks) can catch.  With ``"silent": true`` the damage
+    does *not* raise: the writer believes the write completed, modelling
+    a page that never hit disk.  Points that pass a directory pick one
+    file under it deterministically.
 ``kill``
     Send ``signal`` (default ``SIGKILL``) to the current process — the
     hard end of the spectrum, used by the drain/crash-recovery suites
@@ -162,6 +165,7 @@ _SPEC_FIELDS = frozenset(
         "message",
         "trim_bytes",
         "keep_fraction",
+        "flip_bytes",
         "silent",
         "signal",
     }
@@ -189,6 +193,9 @@ class FaultSpec:
     trim_bytes: int = 0
     #: ``torn``: fraction of the file kept when ``trim_bytes`` is 0.
     keep_fraction: float = 0.5
+    #: ``torn``: XOR-flip this many evenly-spaced bytes instead of
+    #: truncating (same length, corrupt content — bit-rot, not a crash).
+    flip_bytes: int = 0
     #: ``torn``: truncate without raising (the write "succeeded").
     silent: bool = False
     #: ``kill``: signal name sent to the current process.
@@ -229,6 +236,13 @@ class FaultSpec:
                 raise ChaosPlanError("'trim_bytes' must be >= 0")
             if not 0.0 <= self.keep_fraction < 1.0:
                 raise ChaosPlanError("'keep_fraction' must be in [0, 1)")
+            if self.flip_bytes < 0:
+                raise ChaosPlanError("'flip_bytes' must be >= 0")
+            if self.flip_bytes > 0 and self.trim_bytes > 0:
+                raise ChaosPlanError(
+                    "'flip_bytes' and 'trim_bytes' are mutually exclusive "
+                    "(a torn fault either flips or truncates)"
+                )
         if self.kind == "kill" and not hasattr(_signal, self.signal):
             raise ChaosPlanError(f"unknown signal {self.signal!r}")
 
@@ -466,6 +480,20 @@ class ChaosController:
         try:
             size = os.path.getsize(path)
         except OSError:
+            return
+        if spec.flip_bytes > 0:
+            if size == 0:
+                return
+            # Same length, damaged content: XOR evenly-spaced bytes
+            # (always including offset 0, where file magic lives).
+            count = min(spec.flip_bytes, size)
+            with open(path, "r+b") as handle:
+                for i in range(count):
+                    offset = (i * size) // count
+                    handle.seek(offset)
+                    byte = handle.read(1)
+                    handle.seek(offset)
+                    handle.write(bytes([byte[0] ^ 0xFF]))
             return
         if spec.trim_bytes > 0:
             keep = max(0, size - spec.trim_bytes)

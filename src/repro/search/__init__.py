@@ -1,4 +1,4 @@
-"""Search tier: similarity, query engine, multi-step, relevance feedback."""
+"""Search tier: similarity, query engine, cascade, relevance feedback."""
 
 from .api import (
     SEARCH_MODES,
@@ -8,6 +8,14 @@ from .api import (
     execute_search,
 )
 from .batch import BatchScorer
+from .cascade import (
+    CASCADE_STAGE_KINDS,
+    CascadeOutcome,
+    CascadeStage,
+    CascadeStrategy,
+    StageReport,
+    run_cascade,
+)
 from .combined import (
     CombinedFeedbackSession,
     CombinedSimilarity,
@@ -42,6 +50,12 @@ __all__ = [
     "SearchResponse",
     "SEARCH_MODES",
     "execute_search",
+    "CASCADE_STAGE_KINDS",
+    "CascadeStage",
+    "CascadeStrategy",
+    "CascadeOutcome",
+    "StageReport",
+    "run_cascade",
     "SearchEngine",
     "CombinedSimilarity",
     "combined_search",

@@ -26,12 +26,13 @@ enforces per-request timeouts.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from ..robust.deadline import Deadline
+from .cascade import CascadeStrategy, StageReport, run_cascade
 from .engine import Query, SearchEngine, SearchResult
-from .multistep import MultiStepPlan, multi_step_search
 
 __all__ = [
     "SearchRequest",
@@ -41,8 +42,9 @@ __all__ = [
     "execute_search",
 ]
 
-#: Supported values of :attr:`SearchRequest.mode`.
-SEARCH_MODES = ("knn", "threshold", "multi_step")
+#: Supported values of :attr:`SearchRequest.mode`.  ``"multi_step"`` is a
+#: deprecated alias: it executes as the equivalent two-stage cascade.
+SEARCH_MODES = ("knn", "threshold", "multi_step", "cascade")
 
 
 @dataclass(frozen=True)
@@ -56,25 +58,34 @@ class SearchRequest:
         feature vector (resolved per Fig. 2 of the paper).
     mode:
         ``"knn"`` (k most similar), ``"threshold"`` (every shape whose
-        Eq. 4.4 similarity exceeds ``threshold``), or ``"multi_step"``
-        (Section 4.2 pool-then-filter).
+        Eq. 4.4 similarity exceeds ``threshold``), ``"cascade"``
+        (staged retrieval under a :class:`CascadeStrategy`), or the
+        deprecated ``"multi_step"`` alias (Section 4.2 pool-then-filter,
+        now executed as the equivalent cascade).
     feature_name:
-        Feature space for ``knn``/``threshold`` modes (ignored by
+        Feature space for ``knn``/``threshold`` modes, and for the
+        default cascade strategy when ``strategy`` is None (ignored by
         ``multi_step``, which takes its spaces from ``steps``).
     k:
-        Result budget for ``knn`` mode.
+        Result budget for ``knn`` mode and the default cascade strategy.
     threshold:
         Similarity cutoff in [0, 1] for ``threshold`` mode.
     steps:
         Optional ``(feature_name, keep)`` pairs for ``multi_step`` mode;
         None uses the paper's plan (pool of 30 under moment invariants,
         top 10 reranked by geometric parameters).
+    strategy:
+        Optional :class:`CascadeStrategy` for ``cascade`` mode; None
+        builds the default two-stage cascade (quantized scan over
+        ``feature_name`` keeping ``max(4k, 50)``, exact rerank to ``k``).
     exclude_query:
         Drop the query shape itself from the ranking when the query is a
         database ID (the paper never counts it).
     use_index:
         Permit the R-tree index; ``False`` forces the linear scan (the
         engine also falls back on its own when a space has no index).
+        Cascade stages always run against the packed/quantized columnar
+        store and never probe an index.
     """
 
     query: Query
@@ -83,6 +94,7 @@ class SearchRequest:
     k: int = 10
     threshold: float = 0.9
     steps: Optional[Tuple[Tuple[str, int], ...]] = None
+    strategy: Optional[CascadeStrategy] = None
     exclude_query: bool = True
     use_index: bool = True
 
@@ -92,12 +104,23 @@ class SearchRequest:
                 f"unknown search mode {self.mode!r}; expected one of "
                 f"{', '.join(SEARCH_MODES)}"
             )
-        if self.mode == "knn" and self.k < 1:
+        if self.mode in ("knn", "cascade") and self.k < 1:
             raise ValueError(f"k must be >= 1, got {self.k}")
         if self.mode == "threshold" and not 0.0 <= self.threshold <= 1.0:
             raise ValueError(
                 f"threshold must be in [0, 1], got {self.threshold}"
             )
+        if self.strategy is not None:
+            if not isinstance(self.strategy, CascadeStrategy):
+                raise ValueError(
+                    "strategy must be a CascadeStrategy, got "
+                    f"{type(self.strategy).__name__}"
+                )
+            if self.mode != "cascade":
+                raise ValueError(
+                    f"strategy is only valid with mode='cascade', "
+                    f"not {self.mode!r}"
+                )
         if self.steps is not None:
             # Normalize to a tuple of tuples so the request stays
             # hashable/frozen even when built from lists.
@@ -115,8 +138,10 @@ class SearchHit:
     Extends the legacy :class:`SearchResult` tuple of (id, distance,
     similarity, rank) with where the hit came from: ``degraded`` flags a
     record carrying only a partial feature set, ``path`` records whether
-    this retrieval went through the R-tree (``"index"``) or the
-    vectorized linear scan (``"linear"``).
+    this retrieval went through the R-tree (``"index"``), the vectorized
+    linear scan (``"linear"``), or a staged cascade (``"cascade"``),
+    and ``stage`` is the 1-based cascade stage whose score this hit
+    carries (0 outside cascade retrievals).
     """
 
     shape_id: int
@@ -127,6 +152,7 @@ class SearchHit:
     group: Optional[str] = None
     degraded: bool = False
     path: str = "index"
+    stage: int = 0
 
 
 @dataclass(frozen=True)
@@ -135,8 +161,11 @@ class SearchResponse:
 
     request: SearchRequest
     hits: Tuple[SearchHit, ...] = ()
-    #: Retrieval path of the (first) index probe: "index" or "linear".
+    #: Retrieval path: "index", "linear", or "cascade".
     path: str = "index"
+    #: Per-stage provenance of a cascade retrieval (empty otherwise):
+    #: candidates in/out, degraded survivors and elapsed time per stage.
+    stages: Tuple[StageReport, ...] = ()
 
     def __len__(self) -> int:
         return len(self.hits)
@@ -183,7 +212,59 @@ def execute_search(
     ``deadline`` (if given) bounds the work: it is checked cooperatively
     at engine stage boundaries and raises
     :class:`~repro.robust.DeadlineExceededError` once spent.
+
+    ``mode="multi_step"`` is a deprecation shim: it warns and runs the
+    equivalent cascade (exact scan over the first step's feature, then
+    one rerank per later step) — identical ids, distances and ordering
+    to the removed ``multi_step_search`` linear path.
     """
+    if request.mode in ("cascade", "multi_step"):
+        if request.mode == "multi_step":
+            warnings.warn(
+                "SearchRequest(mode='multi_step') is deprecated; use "
+                "mode='cascade' with a CascadeStrategy (see docs/SEARCH.md). "
+                "This request runs as the equivalent cascade.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if request.steps is not None and len(request.steps) < 2:
+                raise ValueError("a multi-step plan needs at least two steps")
+            strategy = (
+                CascadeStrategy.from_steps(request.steps)
+                if request.steps is not None
+                else CascadeStrategy.paper()
+            )
+        else:
+            strategy = request.strategy or CascadeStrategy.default(
+                request.feature_name, request.k
+            )
+        outcome = run_cascade(
+            engine,
+            request.query,
+            strategy,
+            exclude_query=request.exclude_query,
+            deadline=deadline,
+        )
+        hits = tuple(
+            SearchHit(
+                shape_id=r.shape_id,
+                rank=r.rank,
+                distance=r.distance,
+                similarity=r.similarity,
+                name=r.name,
+                group=r.group,
+                degraded=engine.database.get(r.shape_id).is_degraded(),
+                path="cascade",
+                stage=outcome.scored_stage.get(r.shape_id, 0),
+            )
+            for r in outcome.results
+        )
+        return SearchResponse(
+            request=request,
+            hits=hits,
+            path="cascade",
+            stages=outcome.reports,
+        )
     if request.mode == "knn":
         path = _retrieval_path(engine, request.feature_name, request.use_index)
         results = engine.search_knn(
@@ -194,7 +275,7 @@ def execute_search(
             use_index=request.use_index,
             deadline=deadline,
         )
-    elif request.mode == "threshold":
+    else:  # threshold
         path = _retrieval_path(engine, request.feature_name, request.use_index)
         results = engine.search_threshold(
             request.query,
@@ -202,23 +283,6 @@ def execute_search(
             threshold=request.threshold,
             exclude_query=request.exclude_query,
             use_index=request.use_index,
-            deadline=deadline,
-        )
-    else:  # multi_step
-        plan = (
-            MultiStepPlan(list(request.steps))
-            if request.steps is not None
-            else None
-        )
-        pool_feature = (
-            request.steps[0][0] if request.steps else "moment_invariants"
-        )
-        path = _retrieval_path(engine, pool_feature, request.use_index)
-        results = multi_step_search(
-            engine,
-            request.query,
-            plan,
-            exclude_query=request.exclude_query,
             deadline=deadline,
         )
     hits = tuple(

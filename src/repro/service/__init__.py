@@ -31,7 +31,12 @@ from .client import (
     ServiceError,
     ServiceUnavailableError,
 )
-from .protocol import ProtocolError, decode_request, encode_response
+from .protocol import (
+    WIRE_VERSIONS,
+    ProtocolError,
+    decode_request,
+    encode_response,
+)
 from .server import (
     STATE_DEGRADED,
     STATE_DRAINING,
@@ -53,6 +58,7 @@ __all__ = [
     "SnapshotManager",
     "JobWatcher",
     "ProtocolError",
+    "WIRE_VERSIONS",
     "decode_request",
     "encode_response",
     "CircuitBreaker",

@@ -61,6 +61,7 @@ from ..geometry.mesh import TriangleMesh
 from ..obs import get_registry
 from ..robust.chaos import inject as chaos_inject
 from ..robust.errors import ReproError
+from ..search.cascade import CascadeStrategy
 
 __all__ = [
     "CircuitBreaker",
@@ -314,6 +315,10 @@ class ServiceClient:
         self._conn: Optional[http.client.HTTPConnection] = None
         self._lock = threading.Lock()
         self._rng = Random(retry.seed) if retry is not None else Random()
+        # Wire protocol version for /search.  The client opens at v2 and
+        # negotiates down once — permanently for this client — when a
+        # pre-versioning server rejects the unknown "v" field.
+        self._wire_v = 2
 
     # ------------------------------------------------------------------
     def _connect(self) -> http.client.HTTPConnection:
@@ -496,6 +501,9 @@ class ServiceClient:
         k: int = 10,
         threshold: float = 0.9,
         steps: Optional[Sequence[Tuple[str, int]]] = None,
+        strategy: Optional[
+            Union[CascadeStrategy, Sequence[Dict[str, Any]]]
+        ] = None,
         exclude_query: bool = True,
         use_index: bool = True,
         deadline_ms: Optional[float] = None,
@@ -505,9 +513,18 @@ class ServiceClient:
         Exactly one of ``shape_id`` / ``vector`` / ``mesh`` must be
         given (``mesh`` accepts a :class:`TriangleMesh` or an
         already-encoded ``{"vertices": ..., "faces": ...}`` dict).
-        Raises :class:`ServiceError` with ``status`` 503/504/400... on
+        ``strategy`` (a :class:`CascadeStrategy` or its wire form, a
+        list of stage dicts) configures ``mode="cascade"`` retrievals
+        and requires a protocol-v2 server.  Raises
+        :class:`ServiceError` with ``status`` 503/504/400... on
         server-reported failures.  Search is read-only, so the retry
         policy (when configured) applies.
+
+        The client sends protocol v2 and transparently renegotiates to
+        v1 — once, remembered for the client's lifetime — when the
+        server predates protocol versioning; a ``strategy`` cannot be
+        expressed in v1, so against such a server it fails with the
+        server's 400.
         """
         body: Dict[str, Any] = {
             "mode": mode,
@@ -532,9 +549,40 @@ class ServiceClient:
                 body["mesh"] = mesh
         if steps is not None:
             body["steps"] = [[str(name), int(keep)] for name, keep in steps]
+        if strategy is not None:
+            if isinstance(strategy, CascadeStrategy):
+                body["strategy"] = strategy.to_wire()
+            else:
+                # Validate client-side so a malformed strategy fails
+                # here instead of as an opaque server 400.
+                body["strategy"] = CascadeStrategy.from_wire(
+                    list(strategy)
+                ).to_wire()
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
-        return self._call("POST", "/search", body)
+        if self._wire_v >= 2:
+            body["v"] = self._wire_v
+        try:
+            return self._call("POST", "/search", body)
+        except ServiceError as exc:
+            if self._wire_v >= 2 and self._unknown_version_field(exc):
+                # Pre-versioning server: drop to v1 for good and replay
+                # the request once (minus the fields v1 cannot carry).
+                self._wire_v = 1
+                get_registry().inc("service.client.wire_downgrades")
+                body.pop("v", None)
+                if "strategy" not in body:
+                    return self._call("POST", "/search", body)
+            raise
+
+    @staticmethod
+    def _unknown_version_field(exc: ServiceError) -> bool:
+        """Whether a 400 rejects the ``"v"`` field itself (the signature
+        of a server that predates protocol versioning)."""
+        if exc.status != 400 or "unknown request field" not in str(exc):
+            return False
+        listed = str(exc).split(":", 1)[-1].split(";", 1)[0]
+        return "v" in {f.strip() for f in listed.split(",")}
 
     def hits(self, response: Dict[str, Any]) -> List[Dict[str, Any]]:
         """The hit list of a :meth:`search` response (convenience)."""

@@ -16,6 +16,22 @@ Every other field matches the ``SearchRequest`` dataclass, plus
 :class:`ProtocolError`, which the server answers with HTTP 400; the
 error body carries the taxonomy ``stage``/``code`` so clients can
 distinguish a bad request from a saturated or timed-out one.
+
+The protocol is **versioned** via the ``"v"`` request field (default 1,
+so every pre-versioning client keeps working unchanged):
+
+* **v1** — the original shape.  Responses carry no ``"v"`` key and hits
+  carry no staged provenance; byte-identical to the pre-cascade wire.
+* **v2** — adds the ``"strategy"`` request field (a list of cascade
+  stage objects, see :meth:`CascadeStrategy.from_wire`) and staged
+  provenance on the response: a top-level ``"v": 2``, a ``"stages"``
+  list (one report per executed cascade stage), and a per-hit
+  ``"stage"`` (the 1-based stage whose score the hit carries).
+
+A server answering a v1 request never emits v2 keys, so old clients
+are unaffected; :class:`~repro.service.client.ServiceClient` sends v2
+and negotiates down when a pre-versioning server rejects the ``"v"``
+field.  The migration table lives in ``docs/SERVICE.md``.
 """
 
 from __future__ import annotations
@@ -26,8 +42,17 @@ from typing import Any, Dict, Optional, Tuple
 from ..geometry.mesh import MeshError, TriangleMesh
 from ..robust.errors import ReproError
 from ..search.api import SEARCH_MODES, SearchRequest, SearchResponse
+from ..search.cascade import CascadeStrategy
 
-__all__ = ["ProtocolError", "decode_request", "encode_response"]
+__all__ = [
+    "ProtocolError",
+    "WIRE_VERSIONS",
+    "decode_request",
+    "encode_response",
+]
+
+#: Wire protocol versions this server understands.
+WIRE_VERSIONS = (1, 2)
 
 #: Wire fields accepted by ``POST /search`` (everything else is rejected
 #: so typos fail loudly instead of silently running defaults).
@@ -41,9 +66,11 @@ _REQUEST_FIELDS = frozenset(
         "k",
         "threshold",
         "steps",
+        "strategy",
         "exclude_query",
         "use_index",
         "deadline_ms",
+        "v",
     }
 )
 
@@ -96,13 +123,14 @@ def _decode_query(payload: Dict[str, Any]) -> Any:
 
 def decode_request(
     payload: Any,
-) -> Tuple[SearchRequest, Optional[float]]:
+) -> Tuple[SearchRequest, Optional[float], int]:
     """Decode a ``POST /search`` JSON body.
 
-    Returns the :class:`SearchRequest` and the requested deadline budget
-    in **seconds** (None when the client set none — the server then
-    applies its default).  Raises :class:`ProtocolError` on any
-    malformed field.
+    Returns the :class:`SearchRequest`, the requested deadline budget in
+    **seconds** (None when the client set none — the server then applies
+    its default), and the negotiated wire version (1 when the client
+    sent no ``"v"``).  Raises :class:`ProtocolError` on any malformed
+    field.
     """
     if not isinstance(payload, dict):
         raise ProtocolError("request body must be a JSON object")
@@ -111,6 +139,12 @@ def decode_request(
         raise ProtocolError(
             f"unknown request field(s): {', '.join(unknown)}; "
             f"expected a subset of {', '.join(sorted(_REQUEST_FIELDS))}"
+        )
+    wire_v = payload.get("v", 1)
+    if isinstance(wire_v, bool) or wire_v not in WIRE_VERSIONS:
+        raise ProtocolError(
+            f"unsupported protocol version {wire_v!r}; "
+            f"this server speaks {', '.join(str(v) for v in WIRE_VERSIONS)}"
         )
     query = _decode_query(payload)
     mode = payload.get("mode", "knn")
@@ -126,6 +160,17 @@ def decode_request(
             raise ProtocolError(
                 "steps must be a list of [feature_name, keep] pairs"
             ) from exc
+    strategy = payload.get("strategy")
+    if strategy is not None:
+        if wire_v < 2:
+            raise ProtocolError(
+                "the strategy field requires protocol version 2 "
+                '(send "v": 2)'
+            )
+        try:
+            strategy = CascadeStrategy.from_wire(strategy)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid strategy: {exc}") from exc
     deadline_ms = payload.get("deadline_ms")
     if deadline_ms is not None:
         if (
@@ -144,13 +189,14 @@ def decode_request(
             k=int(payload.get("k", 10)),
             threshold=float(payload.get("threshold", 0.9)),
             steps=steps,
+            strategy=strategy,
             exclude_query=bool(payload.get("exclude_query", True)),
             use_index=bool(payload.get("use_index", True)),
         )
     except (TypeError, ValueError) as exc:
         raise ProtocolError(str(exc)) from exc
     budget_s = float(deadline_ms) / 1000.0 if deadline_ms is not None else None
-    return request, budget_s
+    return request, budget_s, wire_v
 
 
 def encode_response(
@@ -160,15 +206,19 @@ def encode_response(
     elapsed_ms: float,
     degraded_records: int = 0,
     dropped_records: int = 0,
+    wire_v: int = 1,
 ) -> Dict[str, Any]:
     """Encode a ``SearchResponse`` (plus snapshot provenance) as JSON.
 
     ``degraded_records`` / ``dropped_records`` surface the serving
     snapshot's health so a client can tell a complete answer from one
     computed over a partially-healed corpus (degraded mode, see
-    ``docs/ROBUSTNESS.md``).
+    ``docs/ROBUSTNESS.md``).  ``wire_v`` is the version the request
+    negotiated: v1 responses are byte-identical to the pre-versioning
+    wire; v2 adds ``"v"``, per-hit ``"stage"`` and the ``"stages"``
+    provenance list.
     """
-    return {
+    body: Dict[str, Any] = {
         "ok": True,
         "mode": response.request.mode,
         "path": response.path,
@@ -192,3 +242,9 @@ def encode_response(
             for hit in response.hits
         ],
     }
+    if wire_v >= 2:
+        body["v"] = 2
+        for encoded, hit in zip(body["hits"], response.hits):
+            encoded["stage"] = hit.stage
+        body["stages"] = [report.to_wire() for report in response.stages]
+    return body

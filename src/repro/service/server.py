@@ -391,7 +391,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         service = self.server.service
         start = time.monotonic()
         chaos_inject("service.search")
-        request, budget_s = decode_request(self._read_json())
+        request, budget_s, wire_v = decode_request(self._read_json())
         if budget_s is None:
             budget_s = service.default_deadline_s
         deadline = Deadline.after(budget_s) if budget_s else None
@@ -408,6 +408,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     elapsed_ms=(time.monotonic() - start) * 1000.0,
                     degraded_records=snapshot.degraded_records,
                     dropped_records=snapshot.dropped_records,
+                    wire_v=wire_v,
                 ),
             )
 

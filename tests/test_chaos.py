@@ -131,6 +131,10 @@ class TestFaultPlanParsing:
              "'trim_bytes'"),
             ({"point": "p", "kind": "torn", "at": 1, "keep_fraction": 1.0},
              "'keep_fraction'"),
+            ({"point": "p", "kind": "torn", "at": 1, "flip_bytes": -1},
+             "'flip_bytes'"),
+            ({"point": "p", "kind": "torn", "at": 1, "flip_bytes": 2,
+              "trim_bytes": 8}, "mutually exclusive"),
             ({"point": "p", "kind": "kill", "at": 1, "signal": "SIGNOPE"},
              "unknown signal"),
         ],
@@ -319,6 +323,44 @@ class TestFaultKinds:
                             "silent": True}]}
         with active_plan(plan):
             chaos.inject("p")  # nothing to tear, nothing raised
+
+    def test_torn_flip_bytes_keeps_length_and_damages_content(self, tmp_path):
+        victim = tmp_path / "data.bin"
+        original = bytes(range(100))
+        victim.write_bytes(original)
+        plan = {"faults": [{"point": "p", "kind": "torn", "at": 1,
+                            "flip_bytes": 4, "silent": True}]}
+        with active_plan(plan):
+            chaos.inject("p", path=str(victim))
+        after = victim.read_bytes()
+        assert len(after) == 100  # length unchanged — no truncation
+        flipped = [i for i in range(100) if after[i] != original[i]]
+        assert flipped == [0, 25, 50, 75]  # evenly spaced, incl. offset 0
+        for i in flipped:
+            assert after[i] == original[i] ^ 0xFF
+
+    def test_torn_flip_bytes_is_deterministic(self, tmp_path):
+        plan = {"faults": [{"point": "p", "kind": "torn", "at": 1,
+                            "flip_bytes": 3, "silent": True}]}
+        damaged = []
+        for name in ("a.bin", "b.bin"):
+            victim = tmp_path / name
+            victim.write_bytes(b"\x00" * 64)
+            with active_plan(plan):
+                chaos.inject("p", path=str(victim))
+            damaged.append(victim.read_bytes())
+        assert damaged[0] == damaged[1]  # same plan -> same flips
+
+    def test_torn_flip_bytes_raises_unless_silent(self, tmp_path):
+        victim = tmp_path / "data.bin"
+        victim.write_bytes(b"x" * 10)
+        plan = {"faults": [{"point": "p", "kind": "torn", "at": 1,
+                            "flip_bytes": 1}]}
+        with active_plan(plan):
+            with pytest.raises(InjectedFaultError) as err:
+                chaos.inject("p", path=str(victim))
+        assert err.value.code == "chaos.torn_write"
+        assert victim.stat().st_size == 10
 
     def test_kill_kind_sends_signal(self):
         received = []

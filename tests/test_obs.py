@@ -322,9 +322,12 @@ class TestSystemIntegration:
                 steps=(("principal_moments", 3), ("geometric_params", 2)),
             )
         )
+        # The multi_step shim now runs as a cascade, so the cascade
+        # metrics (not the legacy search.multistep ones) account for it.
         snap = system.stats()
-        assert snap["histograms"]["search.multistep"]["count"] == 1
-        assert snap["counters"]["search.multistep.steps"] == 2
+        assert snap["histograms"]["cascade.run"]["count"] == 1
+        assert snap["counters"]["cascade.queries"] == 1
+        assert snap["counters"]["cascade.exact_scans"] >= 1
         assert snap["histograms"]["search.rerank"]["count"] == 1
 
 

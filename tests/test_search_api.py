@@ -60,7 +60,21 @@ class TestSearchRequestValidation:
         )
 
     def test_modes_catalog(self):
-        assert SEARCH_MODES == ("knn", "threshold", "multi_step")
+        assert SEARCH_MODES == ("knn", "threshold", "multi_step", "cascade")
+
+    def test_strategy_requires_cascade_mode(self):
+        from repro.search import CascadeStrategy
+
+        with pytest.raises(ValueError, match="cascade"):
+            SearchRequest(
+                query=1,
+                mode="knn",
+                strategy=CascadeStrategy.default("principal_moments", 5),
+            )
+
+    def test_strategy_must_be_strategy_object(self):
+        with pytest.raises(ValueError, match="CascadeStrategy"):
+            SearchRequest(query=1, mode="cascade", strategy=[("scan", 5)])
 
 
 class TestUnifiedSearch:
@@ -84,15 +98,31 @@ class TestUnifiedSearch:
         # threshold 0 admits every other shape.
         assert len(response) == len(system) - 1
 
-    def test_multi_step_mode(self, system):
-        response = system.search(
-            SearchRequest(
-                query=1,
-                mode="multi_step",
-                steps=(("principal_moments", 4), ("geometric_params", 2)),
+    def test_multi_step_mode_is_deprecated_shim(self, system):
+        # mode="multi_step" still answers — as the equivalent cascade —
+        # but warns; new code uses mode="cascade" with a strategy.
+        with pytest.deprecated_call():
+            response = system.search(
+                SearchRequest(
+                    query=1,
+                    mode="multi_step",
+                    steps=(("principal_moments", 4), ("geometric_params", 2)),
+                )
             )
-        )
         assert len(response) == 2
+        assert response.path == "cascade"
+        assert [s.kind for s in response.stages] == ["scan", "rerank"]
+
+    def test_cascade_mode_default_strategy(self, system):
+        response = system.search(SearchRequest(query=1, mode="cascade", k=3))
+        assert len(response) == 3
+        assert response.path == "cascade"
+        assert all(h.path == "cascade" for h in response.hits)
+        assert all(h.stage >= 1 for h in response.hits)
+        assert [s.stage for s in response.stages] == [1, 2]
+        # The default strategy's exact rerank agrees with one-shot knn.
+        knn = system.search(SearchRequest(query=1, mode="knn", k=3))
+        assert response.shape_ids == knn.shape_ids
 
     def test_mesh_query(self, system):
         response = system.search(

@@ -152,13 +152,47 @@ class TestAdmissionGate:
 # ----------------------------------------------------------------------
 class TestProtocol:
     def test_decode_minimal(self):
-        request, budget = decode_request({"shape_id": 1})
+        request, budget, wire_v = decode_request({"shape_id": 1})
         assert request.query == 1 and request.mode == "knn"
         assert budget is None
+        assert wire_v == 1
 
     def test_deadline_ms_converted_to_seconds(self):
-        _, budget = decode_request({"shape_id": 1, "deadline_ms": 1500})
+        _, budget, _ = decode_request({"shape_id": 1, "deadline_ms": 1500})
         assert budget == pytest.approx(1.5)
+
+    def test_decode_v2_with_strategy(self):
+        request, _, wire_v = decode_request(
+            {
+                "shape_id": 1,
+                "v": 2,
+                "mode": "cascade",
+                "strategy": [
+                    {"kind": "scan", "keep": 20, "feature_name": "principal_moments", "quantized": True},
+                    {"kind": "rerank", "keep": 5, "feature_name": "principal_moments"},
+                ],
+            }
+        )
+        assert wire_v == 2
+        assert request.mode == "cascade"
+        assert request.strategy is not None
+        assert [s.kind for s in request.strategy.stages] == ["scan", "rerank"]
+
+    def test_strategy_requires_v2(self):
+        with pytest.raises(ProtocolError):
+            decode_request(
+                {
+                    "shape_id": 1,
+                    "mode": "cascade",
+                    "strategy": [
+                        {"kind": "scan", "keep": 5, "feature_name": "principal_moments"}
+                    ],
+                }
+            )
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request({"shape_id": 1, "v": 3})
 
     @pytest.mark.parametrize(
         "payload",
@@ -209,6 +243,81 @@ class TestSearchEndpoint:
         )
         assert response["mode"] == "multi_step"
         assert len(client.hits(response)) == 2
+
+    def test_v1_request_gets_v1_response(self, server):
+        # A raw request without "v" must be answered byte-compatible
+        # with the pre-versioning wire: no "v", no staged provenance.
+        request = urllib.request.Request(
+            f"{server.url}/search",
+            data=json.dumps({"shape_id": 1, "k": 2}).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30.0) as resp:
+            body = json.loads(resp.read().decode("utf-8"))
+        assert "v" not in body and "stages" not in body
+        assert all("stage" not in h for h in body["hits"])
+
+    def test_v2_cascade_over_the_wire(self, client):
+        response = client.search(
+            shape_id=1,
+            mode="cascade",
+            k=2,
+            strategy=[
+                {
+                    "kind": "scan",
+                    "keep": 3,
+                    "feature_name": "principal_moments",
+                    "quantized": True,
+                },
+                {"kind": "rerank", "keep": 2, "feature_name": "principal_moments"},
+            ],
+        )
+        assert response["v"] == 2 and response["mode"] == "cascade"
+        assert [s["stage"] for s in response["stages"]] == [1, 2]
+        assert response["stages"][0]["path"] == "quantized"
+        assert response["stages"][0]["candidates_in"] == 4
+        hits = client.hits(response)
+        assert len(hits) == 2
+        assert all(h["stage"] == 2 and h["path"] == "cascade" for h in hits)
+
+    def test_client_negotiates_down_to_v1(self, client, monkeypatch):
+        # Simulate a pre-versioning server: reject any body carrying
+        # "v" with the old unknown-field 400, else pass through.
+        real_call = client._call
+
+        def legacy_call(method, path, body=None, **kwargs):
+            if body is not None and "v" in body:
+                raise ServiceError(
+                    "unknown request field(s): v; expected a subset of ...",
+                    status=400,
+                    code="service.bad_request",
+                )
+            return real_call(method, path, body, **kwargs)
+
+        monkeypatch.setattr(client, "_call", legacy_call)
+        response = client.search(shape_id=1, k=1)
+        assert response["ok"] and "v" not in response
+        assert client._wire_v == 1
+        # The downgrade sticks: the next call goes straight to v1.
+        response = client.search(shape_id=1, k=1)
+        assert response["ok"]
+
+    def test_strategy_not_expressible_on_v1_server(self, client, monkeypatch):
+        def legacy_call(method, path, body=None, **kwargs):
+            assert body is not None and ("v" in body or "strategy" in body)
+            raise ServiceError(
+                "unknown request field(s): strategy, v; expected a subset of ...",
+                status=400,
+                code="service.bad_request",
+            )
+
+        monkeypatch.setattr(client, "_call", legacy_call)
+        with pytest.raises(ServiceError) as err:
+            client.search(shape_id=1, mode="cascade", strategy=[
+                {"kind": "scan", "keep": 2, "feature_name": "principal_moments"},
+            ])
+        assert err.value.status == 400
 
     def test_unknown_shape_id_is_client_error(self, client):
         with pytest.raises(ServiceError) as err:
