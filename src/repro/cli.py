@@ -375,6 +375,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--ignore", args.ignore]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.baseline_write:
+        argv += ["--baseline-write", args.baseline_write]
     return lint_main(argv)
 
 
@@ -897,8 +901,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="run the project static-analysis rules (RPL001-RPL006); "
-        "exit 1 on any unsuppressed finding",
+        help="run the project static-analysis rules (RPL001-RPL007 and "
+        "the flow-sensitive RPL100-RPL102); exit 1 on any unsuppressed, "
+        "unbaselined finding",
     )
     p_lint.add_argument(
         "paths",
@@ -910,6 +915,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--select", metavar="CODES", default=None)
     p_lint.add_argument("--ignore", metavar="CODES", default=None)
     p_lint.add_argument("--list-rules", action="store_true")
+    p_lint.add_argument("--baseline", metavar="PATH", default=None)
+    p_lint.add_argument("--baseline-write", metavar="PATH", default=None)
     p_lint.set_defaults(func=_cmd_lint)
 
     p_stats = sub.add_parser(

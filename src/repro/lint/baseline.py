@@ -1,0 +1,140 @@
+"""Accepted-findings baseline: pre-existing findings that don't fail CI.
+
+A baseline entry is the *fingerprint* of a finding — ``(code, path,
+message)``, deliberately **without** the line number, so unrelated edits
+that shift a file do not invalidate the baseline.  This is why the flow
+rules (RPL100-RPL102) keep their messages line-free and stable: the
+message carries the class/method/attribute identity instead.
+
+Semantics are strict set membership:
+
+* a current finding whose fingerprint is in the baseline is *filtered*
+  (counted in ``LintReport.baselined``, absent from ``diagnostics``);
+* a finding not in the baseline fails the run as usual — the baseline
+  grandfathers old debt, it never absorbs regressions;
+* stale entries (in the file, no longer found) are tolerated so a fix
+  does not force a same-PR regeneration, but ``--baseline-write``
+  drops them.
+
+``--baseline-write`` regenerates the file deterministically — sorted,
+deduplicated, forward-slash paths, trailing newline — so it diffs
+cleanly in PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from .core import Diagnostic, LintReport
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "BaselineError",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: ``(code, normalized path, message)``.
+Fingerprint = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, unreadable, or malformed."""
+
+
+def _normalize_path(path: str) -> str:
+    """Fingerprint path normalization: relative to the working
+    directory when under it (so absolute and relative invocations of
+    the same tree fingerprint identically), collapsed, forward-slashed.
+    CI and the self-hosting tests both run from the repo root, which
+    makes these effectively repo-relative."""
+    absolute = os.path.abspath(path)
+    cwd = os.getcwd()
+    if absolute == cwd or absolute.startswith(cwd + os.sep):
+        normalized = os.path.relpath(absolute, cwd)
+    else:
+        normalized = os.path.normpath(path)
+    return normalized.replace(os.sep, "/")
+
+
+def fingerprint(diag: Diagnostic) -> Fingerprint:
+    return (diag.code, _normalize_path(diag.path), diag.message)
+
+
+def load_baseline(path: str) -> FrozenSet[Fingerprint]:
+    """Load and validate a baseline file; raises :class:`BaselineError`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_SCHEMA_VERSION:
+        raise BaselineError(
+            f"baseline {path!r}: expected an object with "
+            f'"version": {BASELINE_SCHEMA_VERSION}'
+        )
+    findings = payload.get("findings")
+    if not isinstance(findings, list):
+        raise BaselineError(f'baseline {path!r}: "findings" must be a list')
+    out = set()
+    for index, entry in enumerate(findings):
+        if not isinstance(entry, dict):
+            raise BaselineError(
+                f"baseline {path!r}: findings[{index}] is not an object"
+            )
+        code = entry.get("code")
+        entry_path = entry.get("path")
+        message = entry.get("message")
+        if not (
+            isinstance(code, str)
+            and isinstance(entry_path, str)
+            and isinstance(message, str)
+        ):
+            raise BaselineError(
+                f"baseline {path!r}: findings[{index}] needs string "
+                f'"code", "path", "message"'
+            )
+        out.add((code, _normalize_path(entry_path), message))
+    return frozenset(out)
+
+
+def write_baseline(path: str, diagnostics: Iterable[Diagnostic]) -> int:
+    """Write a deterministic baseline for ``diagnostics``; returns the
+    number of (deduplicated) entries written."""
+    entries = sorted({fingerprint(diag) for diag in diagnostics})
+    payload: Dict[str, object] = {
+        "version": BASELINE_SCHEMA_VERSION,
+        "findings": [
+            {"code": code, "path": fpath, "message": message}
+            for code, fpath, message in entries
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    report: LintReport, baseline: FrozenSet[Fingerprint]
+) -> LintReport:
+    """Filter baselined findings out of ``report`` (in place); the
+    filtered count lands in ``report.baselined``."""
+    kept: List[Diagnostic] = []
+    filtered = 0
+    for diag in report.diagnostics:
+        if fingerprint(diag) in baseline:
+            filtered += 1
+        else:
+            kept.append(diag)
+    report.diagnostics = kept
+    report.baselined += filtered
+    return report

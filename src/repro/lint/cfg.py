@@ -1,0 +1,448 @@
+"""Per-function control-flow graphs built from stdlib ``ast``.
+
+The flow-sensitive rules (RPL100-RPL102) need to know *in which order*
+statements can execute, not just that they exist — a field read before a
+``with self._lock`` is a different fact from the same read inside it.
+:func:`build_cfg` turns one ``def`` into a :class:`CFG` of
+:class:`Block` objects connected by kind-tagged edges:
+
+* ``normal`` — sequential fall-through (including returns into the
+  synthetic exit block);
+* ``true`` / ``false`` — the two arms of an ``if``/loop/``match`` test;
+* ``back`` — a loop back edge (body end to header);
+* ``except`` — control transferred by an exception (into a handler, a
+  ``finally`` clone, or the synthetic :attr:`CFG.raise_exit`).
+
+Block instructions are the original ``ast`` statement/expression nodes
+plus three pseudo-instructions that make implicit control effects
+explicit for the dataflow engine (:mod:`repro.lint.flow`):
+
+* :class:`WithEnter` / :class:`WithExit` — a ``with`` item was acquired
+  or released (the lock-discipline analysis keys on these);
+* :class:`LoopHead` — a loop header evaluating its test/iterable.
+
+Design limits (deliberate, documented in ``docs/STATIC_ANALYSIS.md``):
+``finally`` bodies are *cloned* per route (normal completion, each
+``return``/``break``/``continue``, the unmatched-exception path), so a
+``return`` inside ``finally`` is modelled exactly; exception edges are
+block-granular (any instruction in a ``try`` body may jump to each
+handler), and a ``with`` is *not* considered released on the exception
+edge that leaves its body.  Nested ``def``/``class``/``lambda`` bodies
+are opaque single instructions — build their CFGs separately.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Block",
+    "CFG",
+    "FuncDef",
+    "LoopHead",
+    "WithEnter",
+    "WithExit",
+    "build_cfg",
+    "iter_function_defs",
+]
+
+FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: ``ast.Match`` exists only on Python >= 3.10; feature-detect so the
+#: builder (and the 3.9 mypy profile) stay version-clean.
+_MATCH_TYPE: Optional[type] = getattr(ast, "Match", None)
+_TRYSTAR_TYPE: Optional[type] = getattr(ast, "TryStar", None)
+
+
+@dataclass(frozen=True)
+class WithEnter:
+    """Pseudo-instruction: one ``with`` item was acquired."""
+
+    item: ast.withitem
+    #: The owning ``With``/``AsyncWith`` statement (position anchor).
+    node: ast.stmt
+
+
+@dataclass(frozen=True)
+class WithExit:
+    """Pseudo-instruction: one ``with`` item was released (normal exit)."""
+
+    item: ast.withitem
+    node: ast.stmt
+
+
+@dataclass(frozen=True)
+class LoopHead:
+    """Pseudo-instruction: a loop header evaluating its test/iterable."""
+
+    node: Union[ast.While, ast.For, ast.AsyncFor]
+
+
+#: Anything a block may hold: an ast node or a pseudo-instruction.
+Instr = object
+
+
+class Block:
+    """A basic block: a straight-line instruction list plus edges."""
+
+    __slots__ = ("bid", "label", "instrs", "succs", "preds")
+
+    def __init__(self, bid: int, label: str = "") -> None:
+        self.bid = bid
+        self.label = label
+        self.instrs: List[Instr] = []
+        #: ``(successor, kind)`` pairs, deduplicated, insertion-ordered.
+        self.succs: List[Tuple["Block", str]] = []
+        self.preds: List[Tuple["Block", str]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        succs = ", ".join(f"{b.bid}:{k}" for b, k in self.succs)
+        return f"<Block {self.bid} {self.label!r} n={len(self.instrs)} -> [{succs}]>"
+
+
+class CFG:
+    """The control-flow graph of one function definition."""
+
+    def __init__(self, func: FuncDef) -> None:
+        self.func = func
+        self.blocks: List[Block] = []
+        self.entry = self.new_block("entry")
+        #: Normal termination (every ``return`` and the implicit one).
+        self.exit = self.new_block("exit")
+        #: Exceptional termination (uncaught raise).
+        self.raise_exit = self.new_block("raise-exit")
+
+    def new_block(self, label: str = "") -> Block:
+        block = Block(len(self.blocks), label)
+        self.blocks.append(block)
+        return block
+
+    def edges(self) -> List[Tuple[int, int, str]]:
+        """Every edge as ``(src bid, dst bid, kind)`` (test/debug view)."""
+        out: List[Tuple[int, int, str]] = []
+        for block in self.blocks:
+            for succ, kind in block.succs:
+                out.append((block.bid, succ.bid, kind))
+        return out
+
+    def reachable(self) -> List[Block]:
+        """Blocks reachable from the entry, in visit order."""
+        seen = {self.entry.bid}
+        order = [self.entry]
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            for succ, _ in block.succs:
+                if succ.bid not in seen:
+                    seen.add(succ.bid)
+                    order.append(succ)
+                    stack.append(succ)
+        return order
+
+
+class _TryCtx:
+    """Bookkeeping for one ``try``: blocks needing exception edges."""
+
+    __slots__ = ("handler_entries", "blocks", "fexc_entry")
+
+    def __init__(self, handler_entries: List[Block]) -> None:
+        self.handler_entries = handler_entries
+        #: Blocks created while the try body was open.
+        self.blocks: List[Block] = []
+        #: Entry of the finally clone on the unmatched-exception path.
+        self.fexc_entry: Optional[Block] = None
+
+
+class _Builder:
+    """Single-use builder translating one function body into a CFG."""
+
+    def __init__(self, func: FuncDef) -> None:
+        self.cfg = CFG(func)
+        self._current: Optional[Block] = self.cfg.entry
+        #: Innermost-last stack of ``finally`` statement lists.
+        self._finally_stack: List[Sequence[ast.stmt]] = []
+        self._try_stack: List[_TryCtx] = []
+        #: ``(header, after, finally_depth_at_entry)`` per open loop.
+        self._loop_stack: List[Tuple[Block, Block, int]] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _new_block(self, label: str = "") -> Block:
+        block = self.cfg.new_block(label)
+        for ctx in self._try_stack:
+            ctx.blocks.append(block)
+        return block
+
+    @staticmethod
+    def _edge(src: Optional[Block], dst: Block, kind: str = "normal") -> None:
+        if src is None:
+            return
+        entry = (dst, kind)
+        if entry not in src.succs:
+            src.succs.append(entry)
+            dst.preds.append((src, kind))
+
+    def _append(self, instr: Instr) -> None:
+        assert self._current is not None
+        self._current.instrs.append(instr)
+
+    def _ensure_block(self) -> Block:
+        if self._current is None:
+            # Statements after a return/raise/break: keep them in a
+            # predecessor-less block so other rules still see the nodes.
+            self._current = self._new_block("unreachable")
+        return self._current
+
+    # -- finally routing -----------------------------------------------
+    def _terminate_to(
+        self, target: Block, upto: int = 0, kind: str = "normal"
+    ) -> None:
+        """Route ``self._current`` to ``target`` through every open
+        ``finally`` body down to stack depth ``upto``, cloning each body
+        (a ``return``/``break`` runs them innermost-first).  A clone
+        that itself returns/raises swallows the original jump, exactly
+        like Python."""
+        saved = self._finally_stack
+        index = len(saved)
+        while index > upto:
+            index -= 1
+            entry = self._new_block("finally")
+            self._edge(self._current, entry, kind)
+            kind = "normal"
+            self._current = entry
+            self._finally_stack = saved[:index]
+            self._visit_stmts(list(saved[index]))
+            if self._current is None:
+                self._finally_stack = saved
+                return
+        self._finally_stack = saved
+        self._edge(self._current, target, kind)
+        self._current = None
+
+    # -- statement dispatch --------------------------------------------
+    def build(self) -> CFG:
+        self._visit_stmts(self.cfg.func.body)
+        if self._current is not None:
+            self._edge(self._current, self.cfg.exit, "normal")
+        return self.cfg
+
+    def _visit_stmts(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._ensure_block()
+            self._visit(stmt)
+
+    def _visit(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.If):
+            self._visit_if(node)
+        elif isinstance(node, ast.While):
+            self._visit_loop(node, is_while=True)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._visit_loop(node, is_while=False)
+        elif isinstance(node, ast.Try) or (
+            _TRYSTAR_TYPE is not None and isinstance(node, _TRYSTAR_TYPE)
+        ):
+            self._visit_try(node)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node)
+        elif isinstance(node, ast.Return):
+            self._append(node)
+            self._terminate_to(self.cfg.exit)
+        elif isinstance(node, ast.Raise):
+            self._visit_raise(node)
+        elif isinstance(node, ast.Break):
+            self._append(node)
+            if self._loop_stack:
+                _, after, depth = self._loop_stack[-1]
+                self._terminate_to(after, upto=depth)
+            else:  # broken code; pretend it falls off the end
+                self._terminate_to(self.cfg.exit)
+        elif isinstance(node, ast.Continue):
+            self._append(node)
+            if self._loop_stack:
+                header, _, depth = self._loop_stack[-1]
+                self._terminate_to(header, upto=depth)
+            else:
+                self._terminate_to(self.cfg.exit)
+        elif _MATCH_TYPE is not None and isinstance(node, _MATCH_TYPE):
+            self._visit_match(node)
+        else:
+            # Simple statements and opaque nested scopes.
+            self._append(node)
+
+    # -- structured statements -----------------------------------------
+    def _visit_if(self, node: ast.If) -> None:
+        self._append(node.test)
+        cond = self._current
+        after = self._new_block("if-after")
+
+        then_entry = self._new_block("then")
+        self._edge(cond, then_entry, "true")
+        self._current = then_entry
+        self._visit_stmts(node.body)
+        self._edge(self._current, after, "normal")
+
+        if node.orelse:
+            else_entry = self._new_block("else")
+            self._edge(cond, else_entry, "false")
+            self._current = else_entry
+            self._visit_stmts(node.orelse)
+            self._edge(self._current, after, "normal")
+        else:
+            self._edge(cond, after, "false")
+        self._current = after
+
+    def _visit_loop(
+        self, node: Union[ast.While, ast.For, ast.AsyncFor], is_while: bool
+    ) -> None:
+        header = self._new_block("loop-header")
+        self._edge(self._current, header, "normal")
+        header.instrs.append(LoopHead(node))
+        after = self._new_block("loop-after")
+
+        body_entry = self._new_block("loop-body")
+        self._edge(header, body_entry, "true")
+        self._loop_stack.append((header, after, len(self._finally_stack)))
+        self._current = body_entry
+        self._visit_stmts(node.body)
+        self._edge(self._current, header, "back")
+        self._loop_stack.pop()
+
+        if node.orelse:
+            else_entry = self._new_block("loop-else")
+            self._edge(header, else_entry, "false")
+            self._current = else_entry
+            self._visit_stmts(node.orelse)
+            self._edge(self._current, after, "normal")
+        else:
+            self._edge(header, after, "false")
+        self._current = after
+
+    def _visit_with(self, node: Union[ast.With, ast.AsyncWith]) -> None:
+        for item in node.items:
+            self._append(WithEnter(item=item, node=node))
+        self._visit_stmts(node.body)
+        if self._current is None:
+            return  # every path returned/raised; exits ran unwinding
+        for item in reversed(node.items):
+            self._append(WithExit(item=item, node=node))
+
+    def _visit_raise(self, node: ast.Raise) -> None:
+        self._append(node)
+        if self._try_stack:
+            # The block is registered with the enclosing try context:
+            # its except edges (handlers / finally clone) cover this.
+            self._current = None
+        else:
+            self._terminate_to(self.cfg.raise_exit, kind="except")
+
+    def _visit_try(self, node: ast.Try) -> None:
+        has_finally = bool(node.finalbody)
+        if has_finally:
+            self._finally_stack.append(node.finalbody)
+
+        # Handler entries exist before the body context opens so they
+        # receive *outer* exception edges only, never their own.
+        handler_entries = [self._new_block("handler") for _ in node.handlers]
+        ctx = _TryCtx(handler_entries)
+
+        self._try_stack.append(ctx)
+        body_entry = self._new_block("try-body")
+        self._edge(self._current, body_entry, "normal")
+        self._current = body_entry
+        self._visit_stmts(node.body)
+        self._try_stack.pop()
+
+        if self._current is not None and node.orelse:
+            self._visit_stmts(node.orelse)
+        success_end = self._current
+
+        handler_ends: List[Block] = []
+        for entry, handler in zip(handler_entries, node.handlers):
+            entry.instrs.append(handler)
+            self._current = entry
+            self._visit_stmts(handler.body)
+            if self._current is not None:
+                handler_ends.append(self._current)
+
+        if has_finally:
+            self._finally_stack.pop()
+
+        after = self._new_block("try-after")
+        ends = ([success_end] if success_end is not None else []) + handler_ends
+        if has_finally:
+            if ends:
+                fentry = self._new_block("finally")
+                for end in ends:
+                    self._edge(end, fentry, "normal")
+                self._current = fentry
+                self._visit_stmts(list(node.finalbody))
+                self._edge(self._current, after, "normal")
+            # The unmatched-exception route: finally runs, then the
+            # exception keeps propagating.
+            fexc = self._new_block("finally-exc")
+            ctx.fexc_entry = fexc
+            self._current = fexc
+            self._visit_stmts(list(node.finalbody))
+            self._edge(self._current, self.cfg.raise_exit, "except")
+        else:
+            for end in ends:
+                self._edge(end, after, "normal")
+
+        for block in ctx.blocks:
+            for entry in handler_entries:
+                self._edge(block, entry, "except")
+            if ctx.fexc_entry is not None:
+                self._edge(block, ctx.fexc_entry, "except")
+            elif not handler_entries:  # pragma: no cover - try needs one
+                self._edge(block, self.cfg.raise_exit, "except")
+
+        self._current = after if (ends or handler_entries) else None
+        if self._current is None:
+            # try/finally whose body always returns/raises: anything
+            # after the statement is unreachable.
+            self._current = self._new_block("unreachable")
+
+    def _visit_match(self, node: ast.AST) -> None:
+        subject = getattr(node, "subject")
+        cases = getattr(node, "cases")
+        self._append(subject)
+        head = self._current
+        after = self._new_block("match-after")
+        for case in cases:
+            entry = self._new_block("case")
+            self._edge(head, entry, "true")
+            entry.instrs.append(case)
+            self._current = entry
+            self._visit_stmts(case.body)
+            self._edge(self._current, after, "normal")
+        if not _match_is_exhaustive(cases):
+            self._edge(head, after, "false")
+        self._current = after
+
+
+def _match_is_exhaustive(cases: Sequence[ast.AST]) -> bool:
+    """Whether the last case is an unguarded wildcard (``case _:``)."""
+    if not cases:
+        return False
+    last = cases[-1]
+    pattern = getattr(last, "pattern", None)
+    match_as = getattr(ast, "MatchAs", None)
+    return (
+        getattr(last, "guard", None) is None
+        and match_as is not None
+        and isinstance(pattern, match_as)
+        and getattr(pattern, "pattern", None) is None
+    )
+
+
+def build_cfg(func: FuncDef) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    return _Builder(func).build()
+
+
+def iter_function_defs(tree: ast.AST) -> Iterator[FuncDef]:
+    """Every ``def``/``async def`` in the tree, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -13,6 +13,12 @@ import argparse
 import enum
 from typing import List, Optional, Sequence
 
+from .baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from .core import all_rules, lint_paths
 from .reporters import render_json, render_text
 
@@ -36,8 +42,9 @@ def _split_codes(value: Optional[str]) -> Optional[List[str]]:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="three-dess lint",
-        description="project static analysis (AST rules RPL001-RPL006); "
-        "see docs/STATIC_ANALYSIS.md",
+        description="project static analysis (AST rules RPL001-RPL007 "
+        "plus the flow-sensitive RPL100-RPL102); see "
+        "docs/STATIC_ANALYSIS.md",
     )
     parser.add_argument(
         "paths",
@@ -67,6 +74,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    baseline_group = parser.add_mutually_exclusive_group()
+    baseline_group.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="accepted-findings baseline file: findings fingerprinted "
+        "there are reported as 'baselined' and do not fail the run",
+    )
+    baseline_group.add_argument(
+        "--baseline-write",
+        metavar="PATH",
+        help="(re)generate the baseline from this run's findings "
+        "(deterministic: sorted, deduplicated, path-relative) and exit 0",
+    )
     return parser
 
 
@@ -92,15 +112,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return LintExit.OK
     paths = list(args.paths) or _default_paths()
     try:
+        baseline = (
+            load_baseline(args.baseline) if args.baseline is not None else None
+        )
         report = lint_paths(
             paths,
             select=_split_codes(args.select),
             ignore=_split_codes(args.ignore),
         )
-    except (ValueError, FileNotFoundError) as exc:
+    except (BaselineError, ValueError, FileNotFoundError) as exc:
         parser.print_usage()
         print(f"error: {exc}")
         return LintExit.USAGE
+    if args.baseline_write is not None:
+        try:
+            count = write_baseline(args.baseline_write, report.diagnostics)
+        except OSError as exc:
+            parser.print_usage()
+            print(f"error: cannot write baseline: {exc}")
+            return LintExit.USAGE
+        print(
+            f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+            f"to {args.baseline_write}"
+        )
+        return LintExit.OK
+    if baseline is not None:
+        apply_baseline(report, baseline)
     if args.format == "json":
         print(render_json(report))
     else:

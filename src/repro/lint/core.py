@@ -67,6 +67,10 @@ class Diagnostic:
     line: int
     col: int
     message: str
+    #: Line of the enclosing scope (a ``def`` header), when the finding
+    #: is about a function-wide property: a suppression comment on (or
+    #: above) that line silences it too.  Not part of the wire schema.
+    scope_line: Optional[int] = None
 
     def format(self) -> str:
         """``path:line:col: CODE message`` (editor-clickable)."""
@@ -173,7 +177,8 @@ def get_rule(code: str) -> Optional[Rule]:
 
 def _ensure_builtin_rules() -> None:
     # Import for the registration side effect; late import avoids a
-    # cycle (rules.py imports this module for the decorator).
+    # cycle (the rule modules import this module for the decorator).
+    from . import flowrules as _flowrules  # noqa: F401
     from . import rules as _rules  # noqa: F401
 
 
@@ -184,6 +189,9 @@ class LintReport:
     diagnostics: List[Diagnostic] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    #: Findings filtered by an accepted-findings baseline
+    #: (:mod:`repro.lint.baseline`), counted so debt stays visible.
+    baselined: int = 0
 
     @property
     def ok(self) -> bool:
@@ -247,7 +255,10 @@ def lint_source(
         if active is not None and rule_obj.code not in active:
             continue
         for diag in rule_obj.check(module):
-            if module.is_suppressed(diag.code, diag.line):
+            if module.is_suppressed(diag.code, diag.line) or (
+                diag.scope_line is not None
+                and module.is_suppressed(diag.code, diag.scope_line)
+            ):
                 suppressed += 1
             else:
                 out.append(diag)

@@ -1,0 +1,386 @@
+"""Generic forward dataflow over :mod:`repro.lint.cfg` graphs.
+
+:func:`run_forward` is a classic worklist fixpoint: each reachable
+block's entry state is the lattice join of its predecessors' exit
+states (filtered through :meth:`ForwardAnalysis.edge`, which lets an
+analysis treat exception edges differently), and its exit state is the
+instruction-by-instruction :meth:`ForwardAnalysis.transfer` of its
+entry state.  Analyses supply the lattice; the engine supplies
+termination — states are compared with ``==``, so joins must be
+monotone and the lattice finite in practice (both concrete analyses
+below use frozensets over program identifiers, which are).
+
+Two concrete analyses back the flow rules (RPL100-RPL102):
+
+* :class:`HeldLocksAnalysis` — *must* analysis (join = intersection)
+  of which ``self.<lock>`` attributes are definitely held, driven by
+  the :class:`~repro.lint.cfg.WithEnter`/:class:`~repro.lint.cfg.WithExit`
+  pseudo-instructions plus explicit ``.acquire()``/``.release()`` calls.
+* :class:`LiveResourcesAnalysis` — *may* analysis (join = union) of
+  local names holding an open file/socket/connection, from tracked
+  constructor calls to a ``close()``/``with``/escape point.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Generic,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+from .cfg import CFG, Block, LoopHead, WithEnter, WithExit
+
+__all__ = [
+    "ForwardAnalysis",
+    "FlowResult",
+    "run_forward",
+    "iter_instr_states",
+    "HeldLocksAnalysis",
+    "LiveResourcesAnalysis",
+    "RESOURCE_CONSTRUCTORS",
+]
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """Base class an analysis subclasses: the lattice and transfer."""
+
+    def initial(self) -> S:
+        """State at the function entry."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        """Lattice join of two predecessor exit states."""
+        raise NotImplementedError
+
+    def transfer(self, instr: object, state: S) -> S:
+        """State after executing one block instruction."""
+        raise NotImplementedError
+
+    def edge(self, state: S, kind: str) -> Optional[S]:
+        """Filter a state flowing along an edge of ``kind``; return
+        ``None`` to kill the edge for this analysis."""
+        return state
+
+
+@dataclass
+class FlowResult(Generic[S]):
+    """Fixpoint states per block (``None`` for unreachable blocks)."""
+
+    block_in: Dict[int, Optional[S]]
+    block_out: Dict[int, Optional[S]]
+    iterations: int
+
+
+def _transfer_block(analysis: ForwardAnalysis[S], block: Block, state: S) -> S:
+    for instr in block.instrs:
+        state = analysis.transfer(instr, state)
+    return state
+
+
+def iter_instr_states(
+    analysis: ForwardAnalysis[S], block: Block, entry: S
+) -> Iterator[Tuple[object, S]]:
+    """``(instruction, state *before* it)`` pairs across one block.
+
+    Rules use this after the fixpoint to recover per-instruction states
+    from the block entry state without the engine storing them all.
+    """
+    state = entry
+    for instr in block.instrs:
+        yield instr, state
+        state = analysis.transfer(instr, state)
+
+
+def run_forward(
+    cfg: CFG,
+    analysis: ForwardAnalysis[S],
+    max_iterations: int = 10000,
+) -> FlowResult[S]:
+    """Worklist fixpoint of ``analysis`` over ``cfg``.
+
+    ``max_iterations`` bounds total block visits; a well-formed finite
+    lattice converges in ``O(blocks * lattice height)`` and the bound
+    exists only to turn a non-monotone analysis bug into a loud
+    ``RuntimeError`` instead of a hang.
+    """
+    block_in: Dict[int, Optional[S]] = {b.bid: None for b in cfg.blocks}
+    block_out: Dict[int, Optional[S]] = {b.bid: None for b in cfg.blocks}
+
+    block_in[cfg.entry.bid] = analysis.initial()
+    worklist: List[Block] = [cfg.entry]
+    queued = {cfg.entry.bid}
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError(
+                f"dataflow did not converge after {max_iterations} visits "
+                f"({len(cfg.blocks)} blocks); non-monotone transfer?"
+            )
+        block = worklist.pop(0)
+        queued.discard(block.bid)
+        entry = block_in[block.bid]
+        if entry is None:  # pragma: no cover - only queued when reachable
+            continue
+        out = _transfer_block(analysis, block, entry)
+        block_out[block.bid] = out
+        for succ, kind in block.succs:
+            flowed = analysis.edge(out, kind)
+            if flowed is None:
+                continue
+            current = block_in[succ.bid]
+            merged = flowed if current is None else analysis.join(current, flowed)
+            if merged != current:
+                block_in[succ.bid] = merged
+                if succ.bid not in queued:
+                    queued.add(succ.bid)
+                    worklist.append(succ)
+    return FlowResult(block_in=block_in, block_out=block_out, iterations=iterations)
+
+
+# ---------------------------------------------------------------------------
+# Held-locks (must) analysis
+# ---------------------------------------------------------------------------
+
+
+def _self_attr(expr: ast.AST, self_name: str) -> Optional[str]:
+    """``self.X`` -> ``"X"`` (for the given self name), else ``None``."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == self_name
+    ):
+        return expr.attr
+    return None
+
+
+class HeldLocksAnalysis(ForwardAnalysis[FrozenSet[str]]):
+    """Which of a class's lock attributes are definitely held.
+
+    State is the frozenset of held lock attribute names; the join is
+    intersection (a lock counts as held only if *every* path holds it).
+    ``with self._lock`` enters/exits via the CFG pseudo-instructions;
+    bare ``self._lock.acquire()`` / ``.release()`` expression statements
+    are honoured too.  A ``Condition.wait()`` keeps the lock held from
+    this analysis's view — it is reacquired before ``wait`` returns, so
+    accesses after it are still guarded (values may have changed, but
+    that is a staleness question, not a data race).
+    """
+
+    def __init__(self, self_name: str, lock_attrs: FrozenSet[str]) -> None:
+        self.self_name = self_name
+        self.lock_attrs = lock_attrs
+
+    def initial(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def join(self, a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        return a & b
+
+    def _lock_of(self, expr: ast.AST) -> Optional[str]:
+        attr = _self_attr(expr, self.self_name)
+        if attr is not None and attr in self.lock_attrs:
+            return attr
+        return None
+
+    def transfer(self, instr: object, state: FrozenSet[str]) -> FrozenSet[str]:
+        if isinstance(instr, WithEnter):
+            lock = self._lock_of(instr.item.context_expr)
+            if lock is not None:
+                return state | {lock}
+        elif isinstance(instr, WithExit):
+            lock = self._lock_of(instr.item.context_expr)
+            if lock is not None:
+                return state - {lock}
+        elif isinstance(instr, ast.Expr) and isinstance(instr.value, ast.Call):
+            func = instr.value.func
+            if isinstance(func, ast.Attribute):
+                lock = self._lock_of(func.value)
+                if lock is not None:
+                    if func.attr == "acquire":
+                        return state | {lock}
+                    if func.attr == "release":
+                        return state - {lock}
+        return state
+
+
+# ---------------------------------------------------------------------------
+# Live-resources (may) analysis
+# ---------------------------------------------------------------------------
+
+#: Callable names (rightmost dotted segment or full dotted path) whose
+#: return value is a closeable resource the lifecycle rule tracks.
+RESOURCE_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {
+        "open",
+        "socket.socket",
+        "socket.create_connection",
+        "HTTPConnection",
+        "HTTPSConnection",
+    }
+)
+
+#: var name -> set of ``(open-site line, constructor name)`` still open.
+ResourceState = FrozenSet[Tuple[str, int, str]]
+
+
+def _dotted_name(func: ast.AST) -> Optional[str]:
+    """``a.b.c`` / ``c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _constructor_name(call: ast.Call) -> Optional[str]:
+    """The tracked-constructor name of a call, else ``None``."""
+    dotted = _dotted_name(call.func)
+    if dotted is None:
+        return None
+    if dotted in RESOURCE_CONSTRUCTORS:
+        return dotted
+    tail = dotted.rsplit(".", 1)[-1]
+    if tail in RESOURCE_CONSTRUCTORS:
+        return tail
+    return None
+
+
+def _walk_with_parents(
+    root: ast.AST,
+) -> Iterator[Tuple[ast.AST, Optional[ast.AST]]]:
+    stack: List[Tuple[ast.AST, Optional[ast.AST]]] = [(root, None)]
+    while stack:
+        node, parent = stack.pop()
+        yield node, parent
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, node))
+
+
+class LiveResourcesAnalysis(ForwardAnalysis[ResourceState]):
+    """Which local names *may* hold an unclosed tracked resource.
+
+    State elements are ``(variable, open-site line, constructor)``; the
+    join is union.  A resource stops being tracked when it is closed
+    (``x.close()``), managed (``with x:`` or ``closing(x)``), rebound,
+    or *escapes* — passed as a call argument, returned, yielded, or
+    stored into an attribute/subscript/container, at which point
+    ownership is someone else's problem (a deliberate false-negative
+    trade documented in ``docs/STATIC_ANALYSIS.md``).  Exception edges
+    drop the whole state: RPL102 reports leaks on non-exceptional paths
+    only.
+    """
+
+    def initial(self) -> ResourceState:
+        return frozenset()
+
+    def join(self, a: ResourceState, b: ResourceState) -> ResourceState:
+        return a | b
+
+    def edge(self, state: ResourceState, kind: str) -> Optional[ResourceState]:
+        if kind == "except":
+            return frozenset()
+        return state
+
+    def _drop(self, state: ResourceState, name: str) -> ResourceState:
+        return frozenset(item for item in state if item[0] != name)
+
+    def _managed_names(self, expr: ast.AST) -> List[str]:
+        """Names a ``with`` item or ``closing(...)`` call takes over."""
+        if isinstance(expr, ast.Name):
+            return [expr.id]
+        if isinstance(expr, ast.Call):
+            dotted = _dotted_name(expr.func)
+            if dotted is not None and dotted.rsplit(".", 1)[-1] == "closing":
+                return [
+                    arg.id for arg in expr.args if isinstance(arg, ast.Name)
+                ]
+        return []
+
+    def transfer(self, instr: object, state: ResourceState) -> ResourceState:
+        if isinstance(instr, WithEnter):
+            for name in self._managed_names(instr.item.context_expr):
+                state = self._drop(state, name)
+            return state
+        if isinstance(instr, (WithExit, LoopHead)):
+            if isinstance(instr, LoopHead) and isinstance(
+                instr.node, (ast.For, ast.AsyncFor)
+            ):
+                # ``for x in ...`` rebinds x each iteration.
+                for name in _assigned_names(instr.node.target):
+                    state = self._drop(state, name)
+            return state
+        if not isinstance(instr, ast.AST):
+            return state
+
+        # 1. ``x.close()`` closes x.
+        if isinstance(instr, ast.Expr) and isinstance(instr.value, ast.Call):
+            func = instr.value.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "close"
+                and isinstance(func.value, ast.Name)
+            ):
+                return self._drop(state, func.value.id)
+
+        # 2. Any other Load of a tracked name lets it escape.
+        tracked = {item[0] for item in state}
+        if tracked:
+            for node, parent in _walk_with_parents(instr):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in tracked
+                    and not (
+                        isinstance(parent, ast.Attribute)
+                        and parent.value is node
+                    )
+                ):
+                    state = self._drop(state, node.id)
+                    tracked.discard(node.id)
+
+        # 3. Assignments: rebinding drops the old value; a tracked
+        #    constructor assigned to a plain name opens a resource.
+        if isinstance(instr, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                instr.targets if isinstance(instr, ast.Assign) else [instr.target]
+            )
+            for target in targets:
+                for name in _assigned_names(target):
+                    state = self._drop(state, name)
+            value = instr.value
+            if (
+                value is not None
+                and isinstance(value, ast.Call)
+                and len(targets) == 1
+                and isinstance(targets[0], ast.Name)
+            ):
+                ctor = _constructor_name(value)
+                if ctor is not None:
+                    state = state | {(targets[0].id, value.lineno, ctor)}
+        return state
+
+
+def _assigned_names(target: ast.AST) -> List[str]:
+    """Plain names bound by an assignment target (tuples unpacked)."""
+    out: List[str] = []
+    if isinstance(target, ast.Name):
+        out.append(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            out.extend(_assigned_names(element))
+    return out

@@ -1,18 +1,23 @@
 """Diagnostic reporters: human-readable text and machine-readable JSON.
 
-The JSON schema (``version`` 1) is stable for CI consumers::
+The JSON schema (``version`` 2) is stable for CI consumers::
 
     {
-      "version": 1,
+      "version": 2,
       "ok": false,
       "files_checked": 42,
       "suppressed": 3,
+      "baselined": 3,
       "counts": {"RPL001": 2},
       "diagnostics": [
         {"code": "RPL001", "path": "src/x.py", "line": 7, "col": 8,
          "message": "..."}
       ]
     }
+
+Version history: v2 added ``baselined`` (findings filtered by an
+accepted-findings baseline, see :mod:`repro.lint.baseline`); the
+``diagnostics`` entry shape is unchanged since v1.
 """
 
 from __future__ import annotations
@@ -24,7 +29,13 @@ from .core import LintReport
 
 __all__ = ["render_text", "render_json", "REPORT_SCHEMA_VERSION"]
 
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
+
+
+def _baseline_suffix(report: LintReport) -> str:
+    if report.baselined:
+        return f", {report.baselined} baselined"
+    return ""
 
 
 def render_text(report: LintReport) -> str:
@@ -38,11 +49,13 @@ def render_text(report: LintReport) -> str:
             f"{len(report.diagnostics)} finding(s) in "
             f"{report.files_checked} file(s) ({breakdown}); "
             f"{report.suppressed} suppressed"
+            f"{_baseline_suffix(report)}"
         )
     else:
         lines.append(
             f"clean: {report.files_checked} file(s), 0 findings, "
             f"{report.suppressed} suppressed"
+            f"{_baseline_suffix(report)}"
         )
     return "\n".join(lines)
 
@@ -53,6 +66,7 @@ def render_json(report: LintReport) -> str:
         "ok": report.ok,
         "files_checked": report.files_checked,
         "suppressed": report.suppressed,
+        "baselined": report.baselined,
         "counts": report.counts_by_code(),
         "diagnostics": [diag.to_dict() for diag in report.diagnostics],
     }

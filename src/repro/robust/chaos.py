@@ -361,6 +361,11 @@ class _Action:
     spec: FaultSpec
     point: str
     path: Optional[str] = None
+    #: This action's 1-based position in the point's fired sequence,
+    #: captured under the controller lock — effects that need it (the
+    #: torn-write file rotation) must not re-read the shared counter
+    #: after the lock is dropped.
+    seq: int = 1
 
 
 class ChaosController:
@@ -383,11 +388,13 @@ class ChaosController:
     # -- arming --------------------------------------------------------
     @property
     def armed(self) -> bool:
-        return self._plan is not None
+        with self._lock:
+            return self._plan is not None
 
     @property
     def plan(self) -> Optional[FaultPlan]:
-        return self._plan
+        with self._lock:
+            return self._plan
 
     def arm(self, plan: FaultPlan) -> None:
         """Install a plan (replacing any armed one) and zero counters."""
@@ -426,7 +433,7 @@ class ChaosController:
         for action in actions:
             metrics.inc("chaos.injected")
             with self._lock:
-                self.fired[point] = self.fired.get(point, 0) + 1
+                action.seq = self.fired[point] = self.fired.get(point, 0) + 1
             self._execute(action)
 
     # -- effects -------------------------------------------------------
@@ -474,9 +481,7 @@ class ChaosController:
             )
             if not candidates:
                 return
-            path = candidates[
-                (self.fired.get(action.point, 1) - 1) % len(candidates)
-            ]
+            path = candidates[(action.seq - 1) % len(candidates)]
         try:
             size = os.path.getsize(path)
         except OSError:

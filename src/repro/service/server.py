@@ -127,11 +127,13 @@ class AdmissionGate:
 
     @property
     def waiting(self) -> int:
-        return self._waiting
+        with self._lock:
+            return self._waiting
 
     @property
     def active(self) -> int:
-        return self._active
+        with self._lock:
+            return self._active
 
     @contextlib.contextmanager
     def admit(

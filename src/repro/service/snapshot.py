@@ -113,6 +113,7 @@ class SnapshotManager:
     @property
     def current(self) -> Snapshot:
         """The serving snapshot (loads generation 1 on first access)."""
+        # repro-lint: disable=RPL100 -- double-checked atomic-reference fast path; stale None falls to locked slow path
         snap = self._current
         if snap is not None:
             return snap

@@ -1,0 +1,395 @@
+"""Tests for :mod:`repro.lint.cfg` (CFG builder) and
+:mod:`repro.lint.flow` (forward dataflow engine).
+
+The builder cases here are the tricky shapes the flow rules depend on:
+``try/finally`` with ``return`` in both arms, ``while/else``, nested
+``with`` acquiring two locks, comprehension scopes, and ``match``
+statements.  Assertions pin block/edge counts and edge kinds, and every
+case also runs a dataflow fixpoint to prove termination.
+"""
+
+import ast
+import sys
+
+import pytest
+
+from repro.lint.cfg import (
+    LoopHead,
+    WithEnter,
+    WithExit,
+    build_cfg,
+    iter_function_defs,
+)
+from repro.lint.flow import (
+    ForwardAnalysis,
+    HeldLocksAnalysis,
+    LiveResourcesAnalysis,
+    iter_instr_states,
+    run_forward,
+)
+
+
+def cfg_of(source):
+    """Build the CFG of the first function in ``source``."""
+    tree = ast.parse(source)
+    func = next(iter_function_defs(tree))
+    return build_cfg(func)
+
+
+def edge_kinds(cfg):
+    counts = {}
+    for _, _, kind in cfg.edges():
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+class _ReachAnalysis(ForwardAnalysis):
+    """Trivial lattice ({()} set) used purely to prove termination."""
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, instr, state):
+        return state
+
+
+def assert_fixpoint_terminates(cfg):
+    result = run_forward(cfg, _ReachAnalysis())
+    assert result.iterations <= 4 * max(len(cfg.blocks), 1)
+    return result
+
+
+# ----------------------------------------------------------------------
+# builder edge cases
+# ----------------------------------------------------------------------
+class TestTryFinally:
+    SRC = (
+        "def f(x):\n"
+        "    try:\n"
+        "        return 1\n"
+        "    finally:\n"
+        "        return 2\n"
+    )
+
+    def test_return_in_both_arms(self):
+        cfg = cfg_of(self.SRC)
+        assert len(cfg.blocks) == 8
+        kinds = edge_kinds(cfg)
+        assert kinds["normal"] == 5
+        assert kinds["except"] == 2
+        # Both the return-route finally clone and the exception-route
+        # clone end in `return 2`, so both flow to the *normal* exit...
+        exit_pred_bids = {b.bid for b, _ in cfg.exit.preds}
+        assert len(exit_pred_bids) >= 2
+        # ...and the raise-exit is unreachable: a `return` in finally
+        # swallows the in-flight exception, exactly like CPython.
+        assert cfg.raise_exit.preds == []
+        assert_fixpoint_terminates(cfg)
+
+    def test_finally_body_is_cloned_per_route(self):
+        cfg = cfg_of(self.SRC)
+        finally_returns = [
+            instr
+            for block in cfg.blocks
+            for instr in block.instrs
+            if isinstance(instr, ast.Return)
+            and isinstance(instr.value, ast.Constant)
+            and instr.value.value == 2
+        ]
+        # One clone for the try-body return route, one for the
+        # unmatched-exception route.
+        assert len(finally_returns) == 2
+
+    def test_exception_route_without_return_reaches_raise_exit(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    try:\n"
+            "        risky()\n"
+            "    finally:\n"
+            "        cleanup()\n"
+        )
+        raise_pred_kinds = {kind for _, kind in cfg.raise_exit.preds}
+        assert raise_pred_kinds == {"except"}
+        assert_fixpoint_terminates(cfg)
+
+
+class TestWhileElse:
+    SRC = (
+        "def f(xs):\n"
+        "    i = 0\n"
+        "    while i < 3:\n"
+        "        i += 1\n"
+        "    else:\n"
+        "        done = True\n"
+        "    return i\n"
+    )
+
+    def test_blocks_and_edges(self):
+        cfg = cfg_of(self.SRC)
+        assert len(cfg.blocks) == 7
+        assert len(cfg.edges()) == 6
+        assert edge_kinds(cfg) == {"normal": 3, "true": 1, "false": 1, "back": 1}
+        assert_fixpoint_terminates(cfg)
+
+    def test_else_runs_on_normal_loop_exit_only(self):
+        cfg = cfg_of(self.SRC)
+        (header,) = [
+            b for b in cfg.blocks if any(isinstance(i, LoopHead) for i in b.instrs)
+        ]
+        false_succs = [b for b, k in header.succs if k == "false"]
+        assert len(false_succs) == 1
+        assert false_succs[0].label == "loop-else"
+
+    def test_break_skips_else(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    while cond():\n"
+            "        break\n"
+            "    else:\n"
+            "        done = True\n"
+            "    return 1\n"
+        )
+        (after,) = [b for b in cfg.blocks if b.label == "loop-after"]
+        pred_labels = {b.label for b, _ in after.preds}
+        # The break edge lands on loop-after directly, bypassing else.
+        assert "loop-body" in pred_labels
+        assert_fixpoint_terminates(cfg)
+
+
+class TestNestedWith:
+    SRC = (
+        "def f(self):\n"
+        "    with self._a:\n"
+        "        with self._b:\n"
+        "            self._x = 1\n"
+        "    return None\n"
+    )
+
+    def test_straight_line_single_block(self):
+        cfg = cfg_of(self.SRC)
+        assert len(cfg.blocks) == 3  # entry + exit + raise-exit
+        assert cfg.edges() == [(cfg.entry.bid, cfg.exit.bid, "normal")]
+        enters = [i for i in cfg.entry.instrs if isinstance(i, WithEnter)]
+        exits = [i for i in cfg.entry.instrs if isinstance(i, WithExit)]
+        assert len(enters) == 2
+        assert len(exits) == 2
+
+    def test_both_locks_held_at_inner_write(self):
+        cfg = cfg_of(self.SRC)
+        analysis = HeldLocksAnalysis("self", frozenset({"_a", "_b"}))
+        result = run_forward(cfg, analysis)
+        states_at_assign = [
+            state
+            for instr, state in iter_instr_states(
+                analysis, cfg.entry, result.block_in[cfg.entry.bid]
+            )
+            if isinstance(instr, ast.Assign)
+        ]
+        assert states_at_assign == [frozenset({"_a", "_b"})]
+
+    def test_locks_released_in_reverse_order(self):
+        cfg = cfg_of(self.SRC)
+        analysis = HeldLocksAnalysis("self", frozenset({"_a", "_b"}))
+        result = run_forward(cfg, analysis)
+        assert result.block_out[cfg.entry.bid] == frozenset()
+
+
+class TestComprehensions:
+    SRC = (
+        "def f(xs):\n"
+        "    ys = [x * 2 for x in xs]\n"
+        "    zs = {x: y for x, y in zip(xs, ys)}\n"
+        "    return sum(y for y in ys)\n"
+    )
+
+    def test_comprehensions_do_not_create_loop_blocks(self):
+        cfg = cfg_of(self.SRC)
+        assert len(cfg.blocks) == 3
+        assert edge_kinds(cfg) == {"normal": 1}
+        assert not any(
+            isinstance(i, LoopHead) for b in cfg.blocks for i in b.instrs
+        )
+        assert_fixpoint_terminates(cfg)
+
+    def test_nested_def_is_opaque(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    def g(y):\n"
+            "        while True:\n"
+            "            pass\n"
+            "    return g\n"
+        )
+        # The nested def is one instruction; its infinite loop does not
+        # leak blocks or edges into the outer graph.
+        assert len(cfg.blocks) == 3
+        assert edge_kinds(cfg) == {"normal": 1}
+
+
+@pytest.mark.skipif(
+    sys.version_info < (3, 10), reason="match statements need Python 3.10+"
+)
+class TestMatch:
+    SRC = (
+        "def f(v):\n"
+        "    match v:\n"
+        "        case 0:\n"
+        "            r = 'zero'\n"
+        "        case [a, b]:\n"
+        "            r = 'pair'\n"
+        "        case _:\n"
+        "            r = 'other'\n"
+        "    return r\n"
+    )
+
+    def test_blocks_and_edges(self):
+        cfg = cfg_of(self.SRC)
+        assert len(cfg.blocks) == 7
+        assert edge_kinds(cfg) == {"true": 3, "normal": 4}
+        assert_fixpoint_terminates(cfg)
+
+    def test_wildcard_match_has_no_fallthrough(self):
+        cfg = cfg_of(self.SRC)
+        # An unguarded `case _` is exhaustive: the head has no false
+        # edge to match-after.
+        head_kinds = {kind for _, kind in cfg.entry.succs}
+        assert head_kinds == {"true"}
+
+    def test_non_exhaustive_match_keeps_fallthrough(self):
+        cfg = cfg_of(
+            "def f(v):\n"
+            "    match v:\n"
+            "        case 0:\n"
+            "            r = 'zero'\n"
+            "    return v\n"
+        )
+        head_kinds = {kind for _, kind in cfg.entry.succs}
+        assert head_kinds == {"true", "false"}
+        assert_fixpoint_terminates(cfg)
+
+
+class TestLoopsAndRaise:
+    def test_for_loop_back_edge(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    total = 0\n"
+            "    for x in xs:\n"
+            "        total += x\n"
+            "    return total\n"
+        )
+        assert edge_kinds(cfg)["back"] == 1
+        assert_fixpoint_terminates(cfg)
+
+    def test_continue_targets_header(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x < 0:\n"
+            "            continue\n"
+            "        use(x)\n"
+            "    return 1\n"
+        )
+        (header,) = [
+            b for b in cfg.blocks if any(isinstance(i, LoopHead) for i in b.instrs)
+        ]
+        # back edge from the body end plus the continue's direct jump
+        back_like = [b for b, kind in header.preds if kind in ("back", "normal")]
+        assert len(back_like) >= 2
+        assert_fixpoint_terminates(cfg)
+
+    def test_uncaught_raise_reaches_raise_exit(self):
+        cfg = cfg_of("def f():\n    raise ValueError('x')\n")
+        assert [(b.bid, k) for b, k in cfg.raise_exit.preds] == [
+            (cfg.entry.bid, "except")
+        ]
+
+    def test_caught_raise_reaches_handler(self):
+        cfg = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        raise ValueError('x')\n"
+            "    except ValueError:\n"
+            "        return None\n"
+        )
+        (handler,) = [b for b in cfg.blocks if b.label == "handler"]
+        assert {kind for _, kind in handler.preds} == {"except"}
+        assert_fixpoint_terminates(cfg)
+
+    def test_code_after_return_is_disconnected(self):
+        cfg = cfg_of("def f():\n    return 1\n    x = 2\n")
+        (dangling,) = [b for b in cfg.blocks if b.label == "unreachable"]
+        assert dangling.preds == []
+        result = assert_fixpoint_terminates(cfg)
+        assert result.block_in[dangling.bid] is None
+
+
+# ----------------------------------------------------------------------
+# dataflow engine semantics
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_must_join_is_intersection_across_branches(self):
+        cfg = cfg_of(
+            "def f(self, flag):\n"
+            "    if flag:\n"
+            "        self._lock.acquire()\n"
+            "    self._x = 1\n"
+            "    return None\n"
+        )
+        analysis = HeldLocksAnalysis("self", frozenset({"_lock"}))
+        result = run_forward(cfg, analysis)
+        (after,) = [b for b in cfg.blocks if b.label == "if-after"]
+        # One branch holds the lock, the other does not: must-hold is
+        # the intersection, i.e. nothing.
+        assert result.block_in[after.bid] == frozenset()
+
+    def test_loop_fixpoint_converges_with_union_join(self):
+        cfg = cfg_of(
+            "def f(paths):\n"
+            "    h = None\n"
+            "    for p in paths:\n"
+            "        h = open(p)\n"
+            "        h.close()\n"
+            "    return 1\n"
+        )
+        result = run_forward(cfg, LiveResourcesAnalysis())
+        assert result.block_in[cfg.exit.bid] == frozenset()
+
+    def test_non_monotone_analysis_raises_instead_of_hanging(self):
+        class Flapping(ForwardAnalysis):
+            def initial(self):
+                return 0
+
+            def join(self, a, b):
+                return max(a, b)
+
+            def transfer(self, instr, state):
+                return state + 1  # grows forever along the back edge
+
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    while cond():\n"
+            "        step()\n"
+            "    return 1\n"
+        )
+        with pytest.raises(RuntimeError, match="did not converge"):
+            run_forward(cfg, Flapping(), max_iterations=50)
+
+    def test_exception_edge_filter_is_applied(self):
+        cfg = cfg_of(
+            "def f(p):\n"
+            "    h = open(p)\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except ValueError:\n"
+            "        cleanup()\n"
+            "    h.close()\n"
+            "    return 1\n"
+        )
+        result = run_forward(cfg, LiveResourcesAnalysis())
+        (handler,) = [b for b in cfg.blocks if b.label == "handler"]
+        # LiveResources kills state on except edges: leaks are judged
+        # on non-exceptional paths only.
+        assert result.block_in[handler.bid] == frozenset()
+        assert result.block_in[cfg.exit.bid] == frozenset()

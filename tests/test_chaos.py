@@ -324,6 +324,61 @@ class TestFaultKinds:
         with active_plan(plan):
             chaos.inject("p")  # nothing to tear, nothing raised
 
+    def test_torn_directory_rotation_uses_captured_seq(self, tmp_path):
+        """Regression (RPL100): `_tear` must use the fired count captured
+        under the controller lock when the action was created, not
+        re-read the shared `fired` dict after the lock is dropped — a
+        concurrent hit in between would skew the rotation."""
+        from repro.robust.chaos import ChaosController, _Action
+
+        (tmp_path / "a.bin").write_bytes(b"x" * 40)
+        (tmp_path / "b.bin").write_bytes(b"x" * 40)
+        controller = ChaosController()
+        spec = FaultSpec(point="p", kind="torn", trim_bytes=10, silent=True)
+        # Simulate a racing hit() having bumped the shared counter after
+        # this action's seq was captured: seq=2 must still pick the
+        # second file, whatever `fired` says now.
+        controller.fired["p"] = 99
+        controller._tear(_Action(spec, "p", str(tmp_path), seq=2))
+        assert (tmp_path / "a.bin").stat().st_size == 40
+        assert (tmp_path / "b.bin").stat().st_size == 30
+
+    def test_consecutive_torn_fires_rotate_files(self, tmp_path):
+        (tmp_path / "a.bin").write_bytes(b"x" * 40)
+        (tmp_path / "b.bin").write_bytes(b"x" * 40)
+        plan = {"faults": [{"point": "p", "kind": "torn", "every": 1,
+                            "times": 2, "trim_bytes": 10, "silent": True}]}
+        with active_plan(plan):
+            chaos.inject("p", path=str(tmp_path))
+            chaos.inject("p", path=str(tmp_path))
+        assert (tmp_path / "a.bin").stat().st_size == 30
+        assert (tmp_path / "b.bin").stat().st_size == 30
+
+    def test_armed_and_plan_read_under_lock(self):
+        """Regression (RPL100): the `armed`/`plan` properties take the
+        controller lock instead of reading `_plan` lock-free."""
+        from repro.robust.chaos import ChaosController
+
+        controller = ChaosController()
+
+        class RecordingLock:
+            def __init__(self, inner):
+                self._inner = inner
+                self.entries = 0
+
+            def __enter__(self):
+                self.entries += 1
+                return self._inner.__enter__()
+
+            def __exit__(self, *exc_info):
+                return self._inner.__exit__(*exc_info)
+
+        controller._lock = RecordingLock(controller._lock)
+        before = controller._lock.entries
+        assert controller.armed is False
+        assert controller.plan is None
+        assert controller._lock.entries == before + 2
+
     def test_torn_flip_bytes_keeps_length_and_damages_content(self, tmp_path):
         victim = tmp_path / "data.bin"
         original = bytes(range(100))

@@ -1,0 +1,559 @@
+"""Tests for the flow-sensitive rules RPL100-RPL102
+(:mod:`repro.lint.flowrules`).
+
+Positive/negative snippets compiled through :func:`repro.lint.lint_source`,
+mirroring the style of ``tests/test_lint.py`` for the AST rules.
+"""
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def run_rule(code, source, path="src/repro/somewhere/mod.py"):
+    diags, suppressed = lint_source(
+        path, textwrap.dedent(source), active=frozenset({code})
+    )
+    return diags, suppressed
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+# ----------------------------------------------------------------------
+# RPL100 — lock discipline
+# ----------------------------------------------------------------------
+class TestRPL100:
+    GUARDED = """
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._value = 0
+
+        def set(self, v):
+            with self._lock:
+                self._value = v
+    """
+
+    def test_unlocked_read_of_guarded_attr_is_flagged(self):
+        diags, _ = run_rule(
+            "RPL100",
+            self.GUARDED
+            + """
+        def peek(self):
+            return self._value
+    """,
+        )
+        assert codes(diags) == ["RPL100"]
+        assert "_value" in diags[0].message
+        assert "_lock" in diags[0].message
+
+    def test_unlocked_write_is_flagged(self):
+        diags, _ = run_rule(
+            "RPL100",
+            self.GUARDED
+            + """
+        def clobber(self):
+            self._value = -1
+    """,
+        )
+        assert codes(diags) == ["RPL100"]
+        assert "write" in diags[0].message
+
+    def test_locked_access_is_clean(self):
+        diags, _ = run_rule(
+            "RPL100",
+            self.GUARDED
+            + """
+        def peek(self):
+            with self._lock:
+                return self._value
+    """,
+        )
+        assert diags == []
+
+    def test_init_writes_are_exempt(self):
+        diags, _ = run_rule("RPL100", self.GUARDED)
+        assert diags == []
+
+    def test_partially_locked_branch_is_flagged(self):
+        # Lock held on one path only: must-hold analysis flags the join.
+        diags, _ = run_rule(
+            "RPL100",
+            self.GUARDED
+            + """
+        def maybe(self, flag):
+            if flag:
+                self._lock.acquire()
+            self._value += 1
+    """,
+        )
+        assert codes(diags) == ["RPL100"]
+
+    def test_acquire_release_calls_are_understood(self):
+        diags, _ = run_rule(
+            "RPL100",
+            self.GUARDED
+            + """
+        def explicit(self):
+            self._lock.acquire()
+            self._value += 1
+            self._lock.release()
+    """,
+        )
+        assert diags == []
+
+    def test_mutator_call_counts_as_write(self):
+        diags, _ = run_rule(
+            "RPL100",
+            """
+    import threading
+
+    class Q:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = []
+
+        def put(self, item):
+            with self._lock:
+                self._items.append(item)
+
+        def drain(self):
+            self._items.clear()
+    """,
+        )
+        assert codes(diags) == ["RPL100"]
+        assert "_items" in diags[0].message
+
+    def test_unguarded_attrs_are_not_claimed(self):
+        # An attribute never written under the lock has no inferred
+        # guard; accesses to it are not this rule's business.
+        diags, _ = run_rule(
+            "RPL100",
+            self.GUARDED
+            + """
+        def other(self):
+            self.tag = "x"
+            return self.tag
+    """,
+        )
+        assert diags == []
+
+    def test_class_without_locks_is_skipped(self):
+        diags, _ = run_rule(
+            "RPL100",
+            """
+    class Plain:
+        def __init__(self):
+            self._value = 0
+
+        def bump(self):
+            self._value += 1
+    """,
+        )
+        assert diags == []
+
+    def test_condition_counts_as_lock(self):
+        diags, _ = run_rule(
+            "RPL100",
+            """
+    import threading
+
+    class W:
+        def __init__(self):
+            self._cond = threading.Condition()
+            self._ready = False
+
+        def signal(self):
+            with self._cond:
+                self._ready = True
+                self._cond.notify()
+
+        def is_ready(self):
+            return self._ready
+    """,
+        )
+        assert codes(diags) == ["RPL100"]
+        assert "_cond" in diags[0].message
+
+    def test_def_line_suppression_covers_whole_function(self):
+        diags, suppressed = run_rule(
+            "RPL100",
+            self.GUARDED
+            + """
+        # repro-lint: disable=RPL100 -- caller holds self._lock
+        def _peek_locked(self):
+            a = self._value
+            b = self._value
+            return a + b
+    """,
+        )
+        assert diags == []
+        assert suppressed == 2
+
+    def test_double_checked_read_needs_one_suppression_line(self):
+        diags, _ = run_rule(
+            "RPL100",
+            self.GUARDED
+            + """
+        def get(self):
+            # repro-lint: disable=RPL100 -- double-checked fast path
+            v = self._value
+            if v:
+                return v
+            with self._lock:
+                return self._value
+    """,
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# RPL101 — deadline propagation
+# ----------------------------------------------------------------------
+class TestRPL101:
+    def test_unused_deadline_param_is_flagged(self):
+        diags, _ = run_rule(
+            "RPL101",
+            """
+    from repro.robust import Deadline
+    from typing import Optional
+
+    def stage(x, deadline: Optional[Deadline] = None):
+        return x * 2
+    """,
+        )
+        assert codes(diags) == ["RPL101"]
+        assert "never checks or forwards" in diags[0].message
+
+    def test_checked_deadline_is_clean(self):
+        diags, _ = run_rule(
+            "RPL101",
+            """
+    from repro.robust import Deadline
+
+    def stage(x, deadline: Deadline):
+        deadline.check("stage")
+        return x * 2
+    """,
+        )
+        assert diags == []
+
+    def test_dropped_forward_to_aware_callee_is_flagged(self):
+        diags, _ = run_rule(
+            "RPL101",
+            """
+    from repro.robust import Deadline
+    from typing import Optional
+
+    def inner(y, deadline: Optional[Deadline] = None):
+        if deadline is not None:
+            deadline.check("inner")
+        return y
+
+    def outer(x, deadline: Optional[Deadline] = None):
+        if deadline is not None:
+            deadline.check("outer")
+        return inner(x)
+    """,
+        )
+        assert codes(diags) == ["RPL101"]
+        assert "inner" in diags[0].message
+
+    def test_forwarded_deadline_is_clean(self):
+        diags, _ = run_rule(
+            "RPL101",
+            """
+    from repro.robust import Deadline
+    from typing import Optional
+
+    def inner(y, deadline: Optional[Deadline] = None):
+        if deadline is not None:
+            deadline.check("inner")
+        return y
+
+    def outer(x, deadline: Optional[Deadline] = None):
+        return inner(x, deadline=deadline)
+    """,
+        )
+        assert diags == []
+
+    def test_derived_deadline_counts_as_forwarding(self):
+        diags, _ = run_rule(
+            "RPL101",
+            """
+    from repro.robust import Deadline
+    from typing import Optional
+
+    def inner(y, deadline: Optional[Deadline] = None):
+        if deadline is not None:
+            deadline.check("inner")
+        return y
+
+    def outer(x, deadline: Optional[Deadline] = None):
+        effective = tighter(deadline, Deadline.after(0.5))
+        return inner(x, effective)
+    """,
+        )
+        assert diags == []
+
+    def test_explicit_none_keyword_is_a_decision_not_a_drop(self):
+        diags, _ = run_rule(
+            "RPL101",
+            """
+    from repro.robust import Deadline
+    from typing import Optional
+
+    def inner(y, deadline: Optional[Deadline] = None):
+        if deadline is not None:
+            deadline.check("inner")
+        return y
+
+    def outer(x, deadline: Optional[Deadline] = None):
+        if deadline is not None:
+            deadline.check("outer")
+        return inner(x, deadline=None)
+    """,
+        )
+        assert diags == []
+
+    def test_float_deadline_name_is_not_claimed(self):
+        # jobs.pool / features.parallel use `deadline` for plain float
+        # epochs; the rule keys on the Deadline annotation, not the name.
+        diags, _ = run_rule(
+            "RPL101",
+            """
+    def wait(x, deadline: float):
+        return x
+    """,
+        )
+        assert diags == []
+
+    def test_unannotated_deadline_is_not_claimed(self):
+        diags, _ = run_rule(
+            "RPL101",
+            """
+    def wait(x, deadline=None):
+        return x
+    """,
+        )
+        assert diags == []
+
+    def test_calls_to_unaware_callees_are_clean(self):
+        diags, _ = run_rule(
+            "RPL101",
+            """
+    from repro.robust import Deadline
+
+    def stage(x, deadline: Deadline):
+        deadline.check("stage")
+        return transform(x)
+    """,
+        )
+        assert diags == []
+
+    def test_cross_module_cascade_call_is_aware(self):
+        diags, _ = run_rule(
+            "RPL101",
+            """
+    from repro.robust import Deadline
+    from typing import Optional
+
+    def outer(x, deadline: Optional[Deadline] = None):
+        if deadline is not None:
+            deadline.check("outer")
+        return run_cascade(x)
+    """,
+        )
+        assert codes(diags) == ["RPL101"]
+        assert "run_cascade" in diags[0].message
+
+
+# ----------------------------------------------------------------------
+# RPL102 — resource lifecycle
+# ----------------------------------------------------------------------
+class TestRPL102:
+    def test_leak_on_normal_path_is_flagged(self):
+        diags, _ = run_rule(
+            "RPL102",
+            """
+    def f(path):
+        h = open(path)
+        data = h.read()
+        return data
+    """,
+        )
+        assert codes(diags) == ["RPL102"]
+        assert "`h`" in diags[0].message
+        assert "open" in diags[0].message
+
+    def test_with_statement_is_clean(self):
+        diags, _ = run_rule(
+            "RPL102",
+            """
+    def f(path):
+        with open(path) as h:
+            return h.read()
+    """,
+        )
+        assert diags == []
+
+    def test_close_on_every_path_is_clean(self):
+        diags, _ = run_rule(
+            "RPL102",
+            """
+    def f(path, flag):
+        h = open(path)
+        if flag:
+            h.close()
+            return 1
+        h.close()
+        return 2
+    """,
+        )
+        assert diags == []
+
+    def test_close_on_one_branch_only_is_flagged(self):
+        diags, _ = run_rule(
+            "RPL102",
+            """
+    def f(path, flag):
+        h = open(path)
+        if flag:
+            h.close()
+        return 1
+    """,
+        )
+        assert codes(diags) == ["RPL102"]
+
+    def test_try_finally_close_is_clean(self):
+        diags, _ = run_rule(
+            "RPL102",
+            """
+    def f(path):
+        h = open(path)
+        try:
+            return h.read()
+        finally:
+            h.close()
+    """,
+        )
+        assert diags == []
+
+    def test_escape_via_return_is_clean(self):
+        diags, _ = run_rule(
+            "RPL102",
+            """
+    def f(path):
+        return open(path)
+    """,
+        )
+        assert diags == []
+
+    def test_escape_to_attribute_is_clean(self):
+        diags, _ = run_rule(
+            "RPL102",
+            """
+    class Holder:
+        def attach(self, path):
+            h = open(path)
+            self._handle = h
+    """,
+        )
+        assert diags == []
+
+    def test_escape_as_call_argument_is_clean(self):
+        diags, _ = run_rule(
+            "RPL102",
+            """
+    def f(path):
+        h = open(path)
+        return json.load(h)
+    """,
+        )
+        assert diags == []
+
+    def test_closing_helper_is_clean(self):
+        diags, _ = run_rule(
+            "RPL102",
+            """
+    from contextlib import closing
+
+    def f(host):
+        conn = HTTPConnection(host)
+        with closing(conn):
+            pass
+    """,
+        )
+        assert diags == []
+
+    def test_socket_constructors_are_tracked(self):
+        diags, _ = run_rule(
+            "RPL102",
+            """
+    import socket
+
+    def f(addr):
+        s = socket.create_connection(addr)
+        s.sendall(b"ping")
+        return True
+    """,
+        )
+        assert codes(diags) == ["RPL102"]
+        assert "`s`" in diags[0].message
+
+    def test_exception_path_leak_is_not_flagged(self):
+        # RPL102 judges non-exceptional paths only: the raise route
+        # leaking h is a known accepted limit.
+        diags, _ = run_rule(
+            "RPL102",
+            """
+    def f(path):
+        h = open(path)
+        risky()
+        h.close()
+        return 1
+    """,
+        )
+        assert diags == []
+
+    def test_loop_reopen_with_close_is_clean(self):
+        diags, _ = run_rule(
+            "RPL102",
+            """
+    def f(paths):
+        for p in paths:
+            h = open(p)
+            h.close()
+        return 1
+    """,
+        )
+        assert diags == []
+
+    def test_loop_reopen_without_close_is_flagged(self):
+        diags, _ = run_rule(
+            "RPL102",
+            """
+    def f(paths):
+        for p in paths:
+            h = open(p)
+        return 1
+    """,
+        )
+        assert codes(diags) == ["RPL102"]
+
+    def test_suppression_on_open_line_works(self):
+        diags, suppressed = run_rule(
+            "RPL102",
+            """
+    def f(path):
+        h = open(path)  # repro-lint: disable=RPL102 -- kept open on purpose; closed atexit
+        h.read()
+        return 1
+    """,
+        )
+        assert diags == []
+        assert suppressed == 1

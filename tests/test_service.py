@@ -146,6 +146,30 @@ class TestAdmissionGate:
         with pytest.raises(ValueError):
             AdmissionGate(1, -1)
 
+    def test_waiting_and_active_read_under_lock(self):
+        """Regression (RPL100): the ``waiting``/``active`` properties
+        must take the gate lock — they used to read the counters
+        lock-free, racing the condition-variable updates in admit()."""
+        gate = AdmissionGate(max_concurrent=1, queue_limit=1)
+
+        class RecordingLock:
+            def __init__(self, inner):
+                self._inner = inner
+                self.entries = 0
+
+            def __enter__(self):
+                self.entries += 1
+                return self._inner.__enter__()
+
+            def __exit__(self, *exc_info):
+                return self._inner.__exit__(*exc_info)
+
+        gate._lock = RecordingLock(gate._lock)
+        before = gate._lock.entries
+        assert gate.waiting == 0
+        assert gate.active == 0
+        assert gate._lock.entries == before + 2
+
 
 # ----------------------------------------------------------------------
 # Wire protocol (unit)
